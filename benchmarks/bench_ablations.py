@@ -1,0 +1,129 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each test removes one mechanism the paper relies on and reports the
+resulting quality drop: training volume (§4.3.1), SME augmentation
+(§4.3.2), synonym dictionaries (§4.5), persistent context (§5.2), and
+union/inheritance pattern augmentation (§4.2.1).
+"""
+
+from repro.eval.ablation import (
+    ablate_confidence_threshold,
+    ablate_persistent_context,
+    ablate_sme_augmentation,
+    ablate_special_semantics,
+    ablate_synonyms,
+    ablate_training_volume,
+    seed_sensitivity,
+)
+from repro.eval.reports import render_table
+
+
+def test_ablation_training_volume(benchmark, report):
+    results = benchmark.pedantic(
+        ablate_training_volume, rounds=1, iterations=1
+    )
+    report(
+        "=== Ablation: training examples per pattern vs macro F1 ===",
+        render_table(
+            ["examples/pattern", "macro F1"],
+            [[k, f"{v:.3f}"] for k, v in sorted(results.items())],
+        ),
+    )
+    # More generated examples must not hurt, and very few must be worse.
+    assert results[max(results)] >= results[min(results)] - 0.02
+
+
+def test_ablation_sme_augmentation(benchmark, report):
+    results = benchmark.pedantic(
+        ablate_sme_augmentation, rounds=1, iterations=1
+    )
+    report(
+        "=== Ablation: SME prior-query augmentation (§4.3.2) ===",
+        render_table(
+            ["variant", "accuracy on SME-style phrasings"],
+            [[k, f"{v:.2f}"] for k, v in results.items()],
+        ),
+    )
+    assert results["with_sme_augmentation"] >= results["without_sme_augmentation"]
+
+
+def test_ablation_synonym_dictionaries(benchmark, report):
+    results = benchmark.pedantic(ablate_synonyms, rounds=1, iterations=1)
+    report(
+        "=== Ablation: synonym dictionaries (§4.5, 'crucial for recall') ===",
+        render_table(
+            ["variant", "brand-name recognition recall"],
+            [[k, f"{v:.2f}"] for k, v in results.items()],
+        ),
+    )
+    assert results["with_synonyms"] > results["without_synonyms"] + 0.5
+
+
+def test_ablation_persistent_context(benchmark, report):
+    results = benchmark.pedantic(
+        ablate_persistent_context, rounds=1, iterations=1
+    )
+    report(
+        "=== Ablation: persistent context (§5.2) ===",
+        render_table(
+            ["variant", "two-turn requests answered"],
+            [[k, f"{v:.2f}"] for k, v in results.items()],
+        ),
+    )
+    assert results["with_context"] > results["without_context"]
+
+
+def test_ablation_special_semantics(benchmark, report):
+    results = benchmark.pedantic(
+        ablate_special_semantics, rounds=1, iterations=1
+    )
+    report(
+        "=== Ablation: union/inheritance pattern augmentation (Figure 4) ===",
+        render_table(
+            ["metric", "count"], [[k, v] for k, v in results.items()]
+        ),
+    )
+    assert results["augmentation_patterns"] >= 5
+    assert (
+        results["patterns_with_augmentation"]
+        == results["patterns_without_augmentation"]
+        + results["augmentation_patterns"]
+    )
+
+
+def test_ablation_confidence_threshold(benchmark, report):
+    results = benchmark.pedantic(
+        ablate_confidence_threshold, rounds=1, iterations=1
+    )
+    report(
+        "=== Ablation: irrelevance threshold (deployed: 0.2) ===",
+        render_table(
+            ["threshold", "accuracy", "fallback rate"],
+            [
+                [f"{t:.2f}", f"{m['accuracy']:.2f}",
+                 f"{m['fallback_rate']:.2f}"]
+                for t, m in sorted(results.items())
+            ],
+        ),
+    )
+    # Very high thresholds must hurt (everything falls back); the
+    # deployed 0.2 must be at least as accurate as 0.7.
+    assert results[0.2]["accuracy"] >= results[0.7]["accuracy"]
+    assert results[0.7]["fallback_rate"] > results[0.2]["fallback_rate"]
+
+
+def test_seed_sensitivity(benchmark, report):
+    results = benchmark.pedantic(seed_sensitivity, rounds=1, iterations=1)
+    report(
+        "=== Robustness: headline metrics across workload seeds ===",
+        render_table(
+            ["metric", "mean", "spread (max-min)"],
+            [
+                [name, f"{mean:.3f}", f"{spread:.3f}"]
+                for name, (mean, spread) in results.items()
+            ],
+        ),
+    )
+    accuracy_mean, accuracy_spread = results["accuracy"]
+    assert accuracy_mean > 0.9
+    assert accuracy_spread < 0.08  # stable across seeds

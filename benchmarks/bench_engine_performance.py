@@ -1,0 +1,56 @@
+"""Substrate performance: per-turn latency, classification and SQL
+throughput.
+
+Not a paper artifact — these benches document that the reproduction is
+interactive-speed (the deployed system answers clinicians in real time).
+"""
+
+from repro.dialogue.context import ConversationContext
+
+
+def test_perf_agent_turn_latency(benchmark, mdx_agent):
+    def one_turn():
+        context = ConversationContext()
+        return mdx_agent.respond("adverse effects of aspirin", context)
+
+    response = benchmark(one_turn)
+    assert response.kind == "answer"
+
+
+def test_perf_intent_classification(benchmark, mdx_agent):
+    utterances = ["show me drugs that treat psoriasis in children"] * 50
+    predictions = benchmark(mdx_agent.classifier.classify_batch, utterances)
+    assert len(predictions) == 50
+
+
+def test_perf_entity_recognition(benchmark, mdx_agent):
+    result = benchmark(
+        mdx_agent.recognizer.recognize,
+        "dosage for benztropine mesylate for parkinsonism in adults",
+    )
+    assert result.values
+
+
+def test_perf_template_sql_execution(benchmark, mdx_agent):
+    template = mdx_agent.templates["Adverse Effects of Drug"][0]
+
+    def run():
+        return template.execute(mdx_agent.database, {"Drug": "Aspirin"})
+
+    result = benchmark(run)
+    assert result.rows
+
+
+def test_perf_three_way_join(benchmark, mdx_agent):
+    sql = (
+        "SELECT DISTINCT d.name FROM treats t "
+        "INNER JOIN drug d ON t.drug_id = d.drug_id "
+        "INNER JOIN indication i ON t.indication_id = i.indication_id "
+        "WHERE i.name = :condition"
+    )
+
+    def run():
+        return mdx_agent.database.query(sql, {"condition": "Hypertension"})
+
+    result = benchmark(run)
+    assert result.rows

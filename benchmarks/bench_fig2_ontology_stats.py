@@ -1,0 +1,46 @@
+"""Figure 2 / §6.1 — the MDX ontology and its reported scale.
+
+Paper: "The generated domain ontology consists of 59 concepts, 178
+properties, and 58 relationships.  The relationships in the ontology
+include functional, inheritance, and union."
+"""
+
+from repro.eval.reports import render_table
+from repro.medical import build_mdx_database, build_mdx_ontology
+
+
+def test_fig2_ontology_generation(benchmark, report):
+    database = build_mdx_database()
+    ontology = benchmark(build_mdx_ontology, database)
+
+    summary = ontology.summary()
+    unions = {
+        c.name: ontology.union_members(c.name)
+        for c in ontology.concepts()
+        if ontology.is_union(c.name)
+    }
+    inheritance_only = sorted(
+        c.name
+        for c in ontology.concepts()
+        if ontology.is_inheritance_parent(c.name) and not ontology.is_union(c.name)
+    )
+    report(
+        "=== Figure 2 / §6.1: MDX ontology scale (paper: 59 concepts, "
+        "178 properties, 58 relationships) ===",
+        render_table(
+            ["Metric", "Paper", "Ours"],
+            [
+                ["concepts", 59, summary["concepts"]],
+                ["data properties", 178, summary["data_properties"]],
+                ["relationships", 58, summary["relationships"]],
+            ],
+        ),
+        "",
+        f"union concepts (Fig 2 'Risk'): {unions}",
+        f"inheritance parents (Fig 2 'Drug Interaction'): {inheritance_only}",
+    )
+    assert summary["concepts"] >= 59
+    assert summary["data_properties"] >= 178
+    assert summary["relationships"] >= 58
+    assert "Risk" in unions
+    assert "Drug Interaction" in inheritance_only

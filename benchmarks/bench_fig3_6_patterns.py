@@ -1,0 +1,79 @@
+"""Figures 3–6 — the query patterns extracted from the ontology.
+
+Regenerates each pattern family with an example query, exactly as the
+paper's figures draw them (lookup, union-augmented lookup, direct
+forward/inverse relationship, indirect relationship).
+"""
+
+from repro.bootstrap.patterns import (
+    direct_relationship_patterns,
+    indirect_relationship_patterns,
+    lookup_patterns,
+    render_pattern,
+)
+from repro.medical import build_mdx_database, build_mdx_ontology
+from repro.ontology import identify_dependent_concepts
+
+
+def test_fig3_to_6_pattern_enumeration(benchmark, report):
+    database = build_mdx_database()
+    ontology = build_mdx_ontology(database)
+    classification = identify_dependent_concepts(
+        ontology, ["Drug", "Indication"], database
+    )
+
+    def enumerate_all():
+        return (
+            lookup_patterns(ontology, classification),
+            direct_relationship_patterns(ontology, ["Drug", "Indication"]),
+            indirect_relationship_patterns(ontology, ["Drug", "Indication"]),
+        )
+
+    lookups, direct, indirect = benchmark(enumerate_all)
+
+    lines = ["=== Figure 3: lookup pattern ==="]
+    precaution = lookups[("Drug", "Precaution")][0]
+    lines.append(f"Pattern: {precaution.template}")
+    lines.append(
+        "Query:   " + render_pattern(precaution, {"Drug": "Benazepril"})
+    )
+
+    lines.append("")
+    lines.append("=== Figure 4: lookup pattern with union semantics ===")
+    for pattern in lookups[("Drug", "Risk")]:
+        marker = " (augmented)" if pattern.augmented_from else ""
+        lines.append(f"Pattern: {pattern.template}{marker}")
+
+    lines.append("")
+    lines.append("=== Figure 5: direct relationship pattern ===")
+    forward, inverse = direct[("Drug", "treats", "Indication")]
+    lines.append(f"Pattern 1: {forward.template}")
+    lines.append(
+        "Query 1:   " + render_pattern(forward, {"Indication": "Fever"})
+    )
+    lines.append(f"Pattern 2: {inverse.template}")
+    lines.append("Query 2:   " + render_pattern(inverse, {"Drug": "Aspirin"}))
+
+    lines.append("")
+    lines.append("=== Figure 6: indirect relationship pattern ===")
+    key = next(k for k in indirect if k[1] == "Dosage")
+    pattern1, pattern2 = indirect[key]
+    lines.append(f"Pattern 1: {pattern1.template}")
+    lines.append(
+        "Query 1:   " + render_pattern(pattern1, {"Indication": "Fever"})
+    )
+    lines.append(f"Pattern 2: {pattern2.template}")
+    lines.append(
+        "Query 2:   "
+        + render_pattern(pattern2, {"Drug": "Aspirin", "Indication": "Fever"})
+    )
+    lines.append("")
+    lines.append(
+        f"Totals: {len(lookups)} lookup pairs, {len(direct)} direct "
+        f"relationships, {len(indirect)} indirect paths"
+    )
+    report(*lines)
+
+    assert len(lookups[("Drug", "Risk")]) == 3
+    assert forward.template == "What Drug treats <@Indication>?"
+    assert len(indirect[key]) == 2

@@ -1,0 +1,65 @@
+"""§6.3 — the two sample conversations replayed end-to-end.
+
+Prints the full transcripts of the 20-line clinical session and the
+"User 480" keyword-search session against the live agent.
+"""
+
+
+def _replay(agent, turns):
+    session = agent.session()
+    transcript = [("A", session.open())]
+    responses = []
+    for utterance in turns:
+        response = session.ask(utterance)
+        transcript.append(("U", utterance))
+        transcript.append(("A", response.text))
+        responses.append(response)
+    return transcript, responses
+
+
+CLINICAL_TURNS = [
+    "show me drugs that treat psoriasis",
+    "adult",
+    "I mean pediatric",
+    "what do you mean by effective?",
+    "thanks",
+    "dosage for Tazarotene",
+    "how about for Fluocinonide?",
+    "thanks",
+    "no",
+    "goodbye",
+]
+
+USER480_TURNS = [
+    "cogentin",
+    "What are the side effects of cogentin",
+    "no",
+    "cogentin adverse effects",
+]
+
+
+def test_sec63_sample_conversations(benchmark, mdx_agent, report):
+    transcript, responses = benchmark.pedantic(
+        _replay, args=(mdx_agent, CLINICAL_TURNS), rounds=1, iterations=1
+    )
+    lines = ["=== §6.3: MDX sample conversation (clinical session) ==="]
+    for speaker, text in transcript:
+        lines.append(f"{speaker}: {text[:110]}")
+    transcript480, responses480 = _replay(mdx_agent, USER480_TURNS)
+    lines.append("")
+    lines.append("=== §6.3: MDX User 480 (keyword-search session) ===")
+    for speaker, text in transcript480:
+        lines.append(f"{speaker}: {text[:110]}")
+    report(*lines)
+
+    # Clinical session shape.
+    assert responses[0].kind == "elicit"                # Adult or pediatric?
+    assert responses[1].kind == "answer"                # drugs for adults
+    assert responses[2].kind == "answer"                # incremental: pediatric
+    assert responses[3].intent == "definition_request"  # 'effective' repair
+    assert responses[5].intent == "Drug Dosage for Condition"
+    assert "Goodbye" in responses[-1].text
+    # User 480 shape: keyword → proposal; explicit query → direct answer.
+    assert responses480[0].kind == "proposal"
+    assert responses480[-1].kind == "answer"
+    assert responses480[-1].intent == "Adverse Effects of Drug"

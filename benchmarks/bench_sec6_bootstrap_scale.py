@@ -1,0 +1,39 @@
+"""§6.1 — the bootstrapped conversation-space scale.
+
+Paper: "we generated a total number of 22 intents ... including 14
+lookup and 8 relationship patterns.  We added 14 intents for
+conversation management ... Additionally ... DRUG_GENERAL ... We
+populated a total of 52 entities for the MDX conversation space."
+"""
+
+from repro.eval.reports import render_table
+from repro.medical import build_mdx_database, build_mdx_space
+
+
+def test_sec6_bootstrap_scale(benchmark, report):
+    database = build_mdx_database()
+    space = benchmark.pedantic(
+        build_mdx_space, args=(database,), rounds=1, iterations=1
+    )
+    summary = space.summary()
+    domain_intents = summary["lookup_intents"] + summary["relationship_intents"]
+    report(
+        "=== §6.1: conversation-space scale (paper vs ours) ===",
+        render_table(
+            ["Artifact", "Paper", "Ours"],
+            [
+                ["lookup intents", 14, summary["lookup_intents"]],
+                ["relationship intents", 8, summary["relationship_intents"]],
+                ["domain intents", 22, domain_intents],
+                ["keyword intents (DRUG_GENERAL)", "yes",
+                 summary["keyword_intents"]],
+                ["management intents", 14, 14],
+                ["entities", 52, summary["entities"]],
+                ["training examples", "n/a", summary["training_examples"]],
+            ],
+        ),
+    )
+    assert summary["lookup_intents"] == 14
+    assert summary["relationship_intents"] == 8
+    assert summary["keyword_intents"] == 1
+    assert 30 <= summary["entities"] <= 60  # paper: 52

@@ -1,0 +1,50 @@
+"""Table 1 — sample entity population of the conversation space.
+
+Paper rows: the ontology concepts, the union/inheritance groupings
+(Risk; Drug Interaction), and instance values (Drug → Aspirin,
+Ibuprofen, Citicoline, Pancreatin).
+"""
+
+from repro.bootstrap.entities import extract_entities
+from repro.eval.reports import render_table
+from repro.medical import build_mdx_database, build_mdx_ontology
+from repro.medical.knowledge import mdx_concept_synonyms, mdx_instance_synonyms
+from repro.ontology import identify_dependent_concepts
+
+
+def test_table1_entity_population(benchmark, report):
+    database = build_mdx_database()
+    ontology = build_mdx_ontology(database)
+    classification = identify_dependent_concepts(
+        ontology, ["Drug", "Indication"], database
+    )
+    entities = benchmark(
+        extract_entities,
+        ontology, database, classification,
+        mdx_concept_synonyms(), mdx_instance_synonyms(),
+    )
+    by_name = {}
+    for entity in entities:
+        by_name.setdefault((entity.name, entity.kind), entity)
+
+    concepts = by_name[("concept", "concept")]
+    risk = by_name[("Risk", "group")]
+    interaction = by_name[("Drug Interaction", "group")]
+    drugs = by_name[("Drug", "instance")]
+    rows = [
+        ["Concepts", ", ".join(concepts.value_names()[:4]) + ", ... [Ontology Concepts]"],
+        ["Risk", ", ".join(risk.value_names()) + " [Concepts under Risk]"],
+        ["Drug Interaction", ", ".join(interaction.value_names()) + " [Concepts under Drug Interaction]"],
+        ["Drug", ", ".join(drugs.value_names()[:4]) + ", ... [Instances of Drug]"],
+    ]
+    report(
+        "=== Table 1: sample entity population ===",
+        render_table(["Entity", "Examples"], rows),
+        f"(total entities in the conversation space: {len(entities)})",
+    )
+    assert set(risk.value_names()) == {"Contra Indication", "Black Box Warning"}
+    assert {"Drug Drug Interaction", "Drug Food Interaction",
+            "Drug Lab Interaction"} <= set(interaction.value_names())
+    assert "Aspirin" in drugs.value_names()
+    assert "Pancreatin" in drugs.value_names()
+    assert "Citicoline" in drugs.value_names()

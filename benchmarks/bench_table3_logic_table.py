@@ -1,0 +1,34 @@
+"""Table 3 — the generic dialogue logic table.
+
+Regenerated for a minimal generic domain (not MDX), as the paper's
+Table 3 is domain-neutral: intent name, intent example, required
+entities, agent elicitations, optional entities, agent response.
+"""
+
+import sys
+
+sys.path.insert(0, "tests")
+
+from conftest import make_toy_database  # noqa: E402
+
+from repro.bootstrap import bootstrap_conversation_space  # noqa: E402
+from repro.dialogue.logic_table import DialogueLogicTable  # noqa: E402
+from repro.ontology import generate_ontology  # noqa: E402
+
+
+def test_table3_generic_logic_table(benchmark, report):
+    database = make_toy_database()
+    ontology = generate_ontology(database, "generic")
+    space = bootstrap_conversation_space(
+        ontology, database, key_concepts=["Drug", "Indication"]
+    )
+    table = benchmark(DialogueLogicTable.from_space, space)
+    report(
+        "=== Table 3: generic dialogue logic table ===",
+        table.render(max_width=30),
+    )
+    row = table.row_for("Precaution of Drug")
+    assert row is not None
+    assert row.required_entities == ["Drug"]
+    assert row.elicitation_for("Drug") == "For which drug?"
+    assert "{results}" in row.response_template

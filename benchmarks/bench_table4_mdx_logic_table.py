@@ -1,0 +1,42 @@
+"""Table 4 — the MDX dialogue logic table.
+
+Paper rows: Treatment Request (required: Condition, Age group;
+elicitations "For which condition?" / "Adult or pediatric?"), Dosage
+Request (Drug, Condition, Age Group), Drug Interaction Request.
+"""
+
+from repro.dialogue.logic_table import DialogueLogicTable
+from repro.eval.reports import render_table
+
+
+def test_table4_mdx_logic_table(benchmark, mdx_agent, report):
+    table = benchmark(DialogueLogicTable.from_space, mdx_agent.space)
+
+    targets = [
+        ("Drugs That Treat Condition", "Treatment Request"),
+        ("Drug Dosage for Condition", "Dosage Request"),
+        ("Drug-Drug Interactions", "Drug Interaction Request"),
+    ]
+    rows = []
+    for name, paper_name in targets:
+        row = table.row_for(name)
+        rows.append([
+            f"{name} ({paper_name})",
+            ", ".join(row.required_entities),
+            " / ".join(row.elicitations.values()),
+            row.response_template[:60],
+        ])
+    report(
+        "=== Table 4: dialogue logic table for MDX ===",
+        render_table(
+            ["Intent (paper name)", "Required Entities",
+             "Agent Elicitation", "Agent Response"],
+            rows,
+        ),
+        f"(full table: {len(table.rows)} domain rows)",
+    )
+    treatment = table.row_for("Drugs That Treat Condition")
+    assert treatment.required_entities == ["Indication", "Age Group"]
+    assert "Adult or pediatric?" in treatment.elicitations.values()
+    dosage = table.row_for("Drug Dosage for Condition")
+    assert dosage.required_entities == ["Drug", "Indication", "Age Group"]

@@ -1,0 +1,78 @@
+"""Table 5 — top-10 intent usage and detection effectiveness.
+
+Paper: the top-10 intents account for 75% of traffic; the classifier
+trained on the bootstrap-generated examples reaches an average F1 of
+0.85 across 36 intents, with DRUG_GENERAL the weakest (0.65) and "Uses
+of Drug" among the strongest (0.99).
+"""
+
+from collections import Counter
+
+from repro.eval.classifier_eval import evaluate_bootstrap_classifier
+from repro.eval.reports import render_table
+from repro.eval.workload import PAPER_USAGE_MIX
+
+#: The paper's Table 5, for side-by-side comparison.
+PAPER_F1 = {
+    "Drug Dosage for Condition": 0.85,
+    "Administration of Drug": 0.88,
+    "IV Compatibility of Drug": 0.86,
+    "Drugs That Treat Condition": 0.82,
+    "Uses of Drug": 0.99,
+    "Adverse Effects of Drug": 0.84,
+    "Drug-Drug Interactions": 0.88,
+    "DRUG_GENERAL": 0.65,
+    "Dose Adjustments for Drug": 0.95,
+    "Regulatory Status for Drug": 0.93,
+}
+
+
+def test_table5_intent_detection_effectiveness(
+    benchmark, mdx_agent, workload, report
+):
+    usage_pairs = [
+        (q.utterance, q.true_intent)
+        for q in workload
+        if q.noise in ("clean", "misspelled", "keyword", "management")
+    ]
+    evaluation = benchmark.pedantic(
+        evaluate_bootstrap_classifier,
+        args=(mdx_agent.space,),
+        kwargs={"usage_test_set": usage_pairs},
+        rounds=1, iterations=1,
+    )
+
+    counts = Counter(q.true_intent for q in workload)
+    total = sum(counts.values())
+    rows = []
+    for intent in PAPER_F1:
+        usage = counts.get(intent, 0) / total
+        rows.append([
+            intent,
+            f"{PAPER_USAGE_MIX.get(intent, 0.0):.0%}",
+            f"{usage:.0%}",
+            f"{PAPER_F1[intent]:.2f}",
+            f"{evaluation.f1_for(intent):.2f}",
+        ])
+    report(
+        "=== Table 5: top-10 intent detection effectiveness ===",
+        render_table(
+            ["Intent Name", "Usage (paper)", "Usage (ours)",
+             "F1 (paper)", "F1 (ours)"],
+            rows,
+        ),
+        "",
+        f"intents evaluated: {evaluation.n_intents} "
+        "(paper: 36 = 22 domain + 14 management; ours adds DRUG_GENERAL)",
+        f"average F1 across all intents: {evaluation.average_f1:.2f} "
+        "(paper: 0.85)",
+    )
+    # Shape checks: the average is in the paper's band and the keyword
+    # intent is, as in the paper, among the weakest.
+    assert 36 <= evaluation.n_intents <= 38
+    assert evaluation.average_f1 >= 0.75
+    top10_f1 = {name: evaluation.f1_for(name) for name in PAPER_F1}
+    assert top10_f1["DRUG_GENERAL"] <= min(
+        v for k, v in top10_f1.items() if k != "DRUG_GENERAL"
+    ) + 0.15
+    assert sum(1 for v in top10_f1.values() if v >= 0.75) >= 8

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The
+expensive artifacts (the full MDX agent, the 7-month workload replay)
+are built once per session and shared; `report` prints through pytest's
+capture so the regenerated tables are always visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.simulate import SMEJudgementModel, simulate_usage
+from repro.eval.workload import WorkloadGenerator
+from repro.medical import build_mdx_agent
+
+#: Size of the simulated 7-month interaction log.
+WORKLOAD_SIZE = 3000
+
+
+@pytest.fixture(scope="session")
+def mdx_agent():
+    return build_mdx_agent()
+
+
+@pytest.fixture(scope="session")
+def workload(mdx_agent):
+    return WorkloadGenerator(mdx_agent.space, seed=99).generate(WORKLOAD_SIZE)
+
+
+@pytest.fixture(scope="session")
+def simulation(mdx_agent, workload):
+    """The replayed usage log with user feedback and a 10% SME sample."""
+    return simulate_usage(
+        mdx_agent, workload,
+        sme_model=SMEJudgementModel(sample_fraction=0.10), seed=5,
+    )
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a regenerated table/figure, bypassing pytest capture."""
+
+    def _print(*lines: str) -> None:
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _print

@@ -1,0 +1,34 @@
+"""Quickstart: build Conversational MDX and ask it drug-reference questions.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.medical import build_mdx_agent
+
+
+def main() -> None:
+    print("Building the Conversational MDX agent (synthetic medical KB,")
+    print("ontology bootstrap, classifier training)...\n")
+    agent = build_mdx_agent()
+
+    session = agent.session()
+    print(f"A: {session.open()}\n")
+    for utterance in [
+        "what drugs treat hypertension in adults",
+        "adverse effects of lisinopril",
+        "does anything interact with warfarin",
+        "half life of digoxin",
+        "thanks",
+        "goodbye",
+    ]:
+        response = session.ask(utterance)
+        print(f"U: {utterance}")
+        print(f"A: [{response.intent} @ {response.confidence:.2f}] "
+              f"{response.text}\n")
+
+    print("Conversation space summary:", agent.space.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Conversation-space bootstrapping from the domain ontology.
+
+This package implements §4 of the paper — the core contribution: the
+conversation space (intents, their training examples, and entities with
+synonyms) is generated automatically from the domain ontology and the
+knowledge base, then refined with SME feedback.
+
+* :mod:`repro.bootstrap.patterns` — query-pattern enumeration: lookup
+  patterns (with union/inheritance augmentation), direct relationship
+  patterns (forward/inverse), indirect multi-hop relationship patterns,
+* :mod:`repro.bootstrap.intents` — grounding intents on patterns, plus
+  query-completion metadata,
+* :mod:`repro.bootstrap.training` — automatic training-example generation
+  and SME augmentation,
+* :mod:`repro.bootstrap.entities` — entity extraction (concepts, union /
+  inheritance groups, KB instances),
+* :mod:`repro.bootstrap.synonyms` — domain synonym dictionaries,
+* :mod:`repro.bootstrap.sme` — the SME feedback workflow,
+* :mod:`repro.bootstrap.space` — the :class:`ConversationSpace` container
+  and the one-call :func:`bootstrap_conversation_space` pipeline.
+"""
+
+from repro.bootstrap.annotations import (
+    AnnotationStore,
+    PatternAnnotation,
+    apply_annotations,
+)
+from repro.bootstrap.entities import Entity, EntityValue, extract_entities
+from repro.bootstrap.intents import Intent, generate_intents
+from repro.bootstrap.patterns import (
+    PatternKind,
+    QueryPattern,
+    direct_relationship_patterns,
+    indirect_relationship_patterns,
+    lookup_patterns,
+)
+from repro.bootstrap.serialization import space_from_dict, space_to_dict
+from repro.bootstrap.sme import SMEFeedback
+from repro.bootstrap.space import ConversationSpace, bootstrap_conversation_space
+from repro.bootstrap.synonyms import SynonymDictionary
+from repro.bootstrap.training import TrainingExample, generate_training_examples
+
+__all__ = [
+    "AnnotationStore",
+    "ConversationSpace",
+    "Entity",
+    "EntityValue",
+    "Intent",
+    "PatternKind",
+    "QueryPattern",
+    "SMEFeedback",
+    "PatternAnnotation",
+    "SynonymDictionary",
+    "TrainingExample",
+    "apply_annotations",
+    "bootstrap_conversation_space",
+    "direct_relationship_patterns",
+    "extract_entities",
+    "generate_intents",
+    "generate_training_examples",
+    "indirect_relationship_patterns",
+    "lookup_patterns",
+    "space_from_dict",
+    "space_to_dict",
+]

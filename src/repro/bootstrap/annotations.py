@@ -1,0 +1,218 @@
+"""SME pattern annotations on the ontology.
+
+§4.2.2: "We have developed tooling that allows SMEs to interact with our
+domain ontology, and mark expected query patterns as annotations to the
+OWL description of relevant concepts and relationships between them.  We
+associate each such SME-identified query pattern to a pattern already
+identified using the ontology structure ... If no intent exists, we
+create a new query pattern and its associated new intent."
+
+An annotation attaches an expected query phrasing (with ``<@Concept>``
+slots) to a concept or object property.  :func:`apply_annotations` folds
+a store of annotations into a bootstrapped conversation space: phrasings
+that map onto an existing intent become SME training examples; the rest
+spawn new custom intents.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bootstrap.space import ConversationSpace
+from repro.bootstrap.intents import Intent
+from repro.bootstrap.training import instance_values
+from repro.errors import OntologyError
+
+_SLOT_RE = re.compile(r"<@([^>]+)>")
+
+
+@dataclass(frozen=True)
+class PatternAnnotation:
+    """One SME-marked expected query pattern.
+
+    Attributes
+    ----------
+    target:
+        The ontology element the annotation is attached to — a concept
+        name, or an object-property name for relationship annotations.
+    target_kind:
+        ``"concept"`` or ``"relationship"``.
+    utterance_pattern:
+        The expected phrasing with ``<@Concept>`` entity slots, e.g.
+        ``"is <@Drug> safe during pregnancy?"``.
+    author / note:
+        Provenance metadata.
+    """
+
+    target: str
+    target_kind: str
+    utterance_pattern: str
+    author: str = "sme"
+    note: str = ""
+
+    def slot_concepts(self) -> list[str]:
+        """The concept names of the ``<@...>`` slots, in order."""
+        return _SLOT_RE.findall(self.utterance_pattern)
+
+
+class AnnotationStore:
+    """A collection of pattern annotations, serializable to JSON."""
+
+    def __init__(self) -> None:
+        self._annotations: list[PatternAnnotation] = []
+
+    def add(self, annotation: PatternAnnotation) -> PatternAnnotation:
+        if annotation.target_kind not in ("concept", "relationship"):
+            raise OntologyError(
+                f"unknown annotation target kind {annotation.target_kind!r}"
+            )
+        if annotation not in self._annotations:
+            self._annotations.append(annotation)
+        return annotation
+
+    def annotate_concept(
+        self, concept: str, utterance_pattern: str, note: str = ""
+    ) -> PatternAnnotation:
+        """Attach an expected query pattern to a concept."""
+        return self.add(PatternAnnotation(
+            target=concept, target_kind="concept",
+            utterance_pattern=utterance_pattern, note=note,
+        ))
+
+    def annotate_relationship(
+        self, relationship: str, utterance_pattern: str, note: str = ""
+    ) -> PatternAnnotation:
+        """Attach an expected query pattern to an object property."""
+        return self.add(PatternAnnotation(
+            target=relationship, target_kind="relationship",
+            utterance_pattern=utterance_pattern, note=note,
+        ))
+
+    def annotations_for(self, target: str) -> list[PatternAnnotation]:
+        return [
+            a for a in self._annotations if a.target.lower() == target.lower()
+        ]
+
+    def all(self) -> list[PatternAnnotation]:
+        return list(self._annotations)
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "target": a.target,
+                "target_kind": a.target_kind,
+                "utterance_pattern": a.utterance_pattern,
+                "author": a.author,
+                "note": a.note,
+            }
+            for a in self._annotations
+        ]
+
+    @classmethod
+    def from_dict(cls, data: list[dict[str, Any]]) -> "AnnotationStore":
+        store = cls()
+        for item in data:
+            store.add(PatternAnnotation(
+                target=item["target"],
+                target_kind=item["target_kind"],
+                utterance_pattern=item["utterance_pattern"],
+                author=item.get("author", "sme"),
+                note=item.get("note", ""),
+            ))
+        return store
+
+
+def _render_examples(
+    annotation: PatternAnnotation,
+    space: ConversationSpace,
+    per_annotation: int,
+    rng: random.Random,
+) -> list[str]:
+    """Instantiate an annotation's slots with KB instance values."""
+    slots = annotation.slot_concepts()
+    examples = []
+    for _ in range(per_annotation):
+        text = annotation.utterance_pattern
+        for concept in slots:
+            values = instance_values(space.ontology, space.database, concept)
+            value = rng.choice(values) if values else concept.lower()
+            text = text.replace(f"<@{concept}>", value, 1)
+        if text not in examples:
+            examples.append(text)
+    return examples
+
+
+def _matching_intent(
+    annotation: PatternAnnotation, space: ConversationSpace
+) -> Intent | None:
+    """Find the bootstrapped intent an annotation corresponds to.
+
+    A concept annotation matches a lookup intent whose result concept is
+    the annotated concept and whose required entities equal the
+    annotation's slots; a relationship annotation matches a relationship
+    intent over the annotated object property with the same filter slots.
+    """
+    slots = {c.lower() for c in annotation.slot_concepts()}
+    for intent in space.intents:
+        if intent.kind in ("management", "keyword"):
+            continue
+        required = {c.lower() for c in intent.required_entities}
+        if annotation.target_kind == "concept":
+            if (
+                intent.result_concept is not None
+                and intent.result_concept.lower() == annotation.target.lower()
+                and slots and slots <= required | {
+                    c.lower() for c in intent.optional_entities
+                }
+            ):
+                return intent
+        else:
+            for pattern in intent.patterns:
+                if (
+                    pattern.relationship is not None
+                    and pattern.relationship.lower() == annotation.target.lower()
+                    and slots == {c.lower() for c in pattern.filter_concepts}
+                ):
+                    return intent
+    return None
+
+
+def apply_annotations(
+    space: ConversationSpace,
+    store: AnnotationStore,
+    per_annotation: int = 6,
+    seed: int = 31,
+) -> dict[str, str]:
+    """Fold SME annotations into a conversation space.
+
+    Returns a mapping ``utterance_pattern -> intent name`` recording where
+    each annotation landed (an existing intent, or a newly created one).
+    """
+    rng = random.Random(seed)
+    placements: dict[str, str] = {}
+    for annotation in store.all():
+        intent = _matching_intent(annotation, space)
+        examples = _render_examples(annotation, space, per_annotation, rng)
+        if intent is None:
+            name = f"SME: {annotation.utterance_pattern}"
+            if not space.has_intent(name):
+                space.add_intent(Intent(
+                    name=name,
+                    kind="custom",
+                    required_entities=annotation.slot_concepts(),
+                    description=annotation.note
+                    or f"SME-annotated pattern on {annotation.target}.",
+                    source="sme",
+                ))
+            intent = space.intent(name)
+        space.add_training_examples(intent.name, examples)
+        placements[annotation.utterance_pattern] = intent.name
+    return placements

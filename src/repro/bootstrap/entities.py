@@ -1,0 +1,144 @@
+"""Entity extraction into the conversation space.
+
+§4.5's three steps, mirrored one-to-one:
+
+1. every ontology concept becomes a recognizable entity value (the
+   "Concepts" row of Table 1), and union/inheritance parents additionally
+   become *group* entities listing their member concepts,
+2. key and dependent concepts that behave as categorical attributes get
+   *instance* entities populated from the knowledge base ("Drug" →
+   Aspirin, Ibuprofen, ...),
+3. domain synonym dictionaries attach synonyms to both concept values
+   and instance values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bootstrap.synonyms import SynonymDictionary
+from repro.bootstrap.training import instance_values
+from repro.kb.database import Database
+from repro.ontology.key_concepts import ConceptClassification
+from repro.ontology.model import Ontology
+
+#: Cap on how many instance values are harvested per concept.  Guards
+#: against exploding the conversation space when a "categorical" concept
+#: still has thousands of instances (drug names are the common case and
+#: are expected to be large but bounded).
+DEFAULT_MAX_INSTANCES = 5000
+
+
+@dataclass
+class EntityValue:
+    """One recognizable value of an entity, with its synonyms."""
+
+    value: str
+    synonyms: list[str] = field(default_factory=list)
+
+    def surface_forms(self) -> list[str]:
+        """The value itself plus every synonym."""
+        return [self.value] + list(self.synonyms)
+
+
+@dataclass
+class Entity:
+    """An entity definition in the conversation space.
+
+    ``kind`` distinguishes the three §4.5 populations:
+
+    * ``"concept"`` — the single entity whose values are the ontology's
+      concept names (Table 1, row "Concepts"),
+    * ``"group"`` — one entity per union/inheritance parent, whose values
+      are the member concept names (Table 1, rows "Risk" and "Drug
+      Interaction"),
+    * ``"instance"`` — one entity per categorical key/dependent concept,
+      whose values are KB instances (Table 1, row "Drug").
+    """
+
+    name: str
+    kind: str
+    values: list[EntityValue] = field(default_factory=list)
+    concept: str | None = None
+
+    def value_names(self) -> list[str]:
+        return [v.value for v in self.values]
+
+    def find_value(self, surface: str) -> EntityValue | None:
+        """Exact (case-insensitive) match of ``surface`` against values
+        and synonyms."""
+        low = surface.lower()
+        for value in self.values:
+            if any(form.lower() == low for form in value.surface_forms()):
+                return value
+        return None
+
+
+CONCEPT_ENTITY_NAME = "concept"
+
+
+def extract_entities(
+    ontology: Ontology,
+    database: Database | None,
+    classification: ConceptClassification,
+    concept_synonyms: SynonymDictionary | None = None,
+    instance_synonyms: SynonymDictionary | None = None,
+    max_instances: int = DEFAULT_MAX_INSTANCES,
+) -> list[Entity]:
+    """Run the three-step entity population of §4.5.
+
+    Returns the entity list: first the concept entity, then group
+    entities, then instance entities (deterministic order).
+    """
+    concept_synonyms = concept_synonyms or SynonymDictionary()
+    instance_synonyms = instance_synonyms or SynonymDictionary()
+    entities: list[Entity] = []
+
+    # Step 1a: all ontology concepts as one entity.
+    concept_entity = Entity(name=CONCEPT_ENTITY_NAME, kind="concept")
+    for concept in ontology.concepts():
+        synonyms = list(concept.synonyms)
+        for extra in concept_synonyms.synonyms_of(concept.name):
+            if extra.lower() not in (s.lower() for s in synonyms):
+                synonyms.append(extra)
+        concept_entity.values.append(
+            EntityValue(value=concept.name, synonyms=synonyms)
+        )
+    entities.append(concept_entity)
+
+    # Step 1b: union and inheritance groupings as entities.
+    for concept in ontology.concepts():
+        members: list[str] = []
+        if ontology.is_union(concept.name):
+            members = ontology.union_members(concept.name)
+        elif ontology.is_inheritance_parent(concept.name):
+            members = ontology.children_of(concept.name)
+        if members:
+            entities.append(
+                Entity(
+                    name=concept.name,
+                    kind="group",
+                    concept=concept.name,
+                    values=[EntityValue(value=m) for m in members],
+                )
+            )
+
+    # Step 2 + 3: instances of categorical key/dependent concepts.
+    instance_concepts: dict[str, None] = {}
+    for key in classification.key_concepts:
+        instance_concepts.setdefault(key)
+    for dependent in classification.all_dependents():
+        instance_concepts.setdefault(dependent)
+    for concept_name in instance_concepts:
+        values = instance_values(ontology, database, concept_name, limit=max_instances)
+        if not values:
+            continue
+        entity = Entity(name=concept_name, kind="instance", concept=concept_name)
+        for value in values:
+            entity.values.append(
+                EntityValue(
+                    value=value, synonyms=instance_synonyms.synonyms_of(value)
+                )
+            )
+        entities.append(entity)
+    return entities

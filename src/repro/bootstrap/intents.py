@@ -1,0 +1,209 @@
+"""Intent generation: grounding intents on ontology query patterns.
+
+Each enumerated query pattern family grounds one intent (§4.2.1):
+
+* one *lookup* intent per (key concept, dependent concept) pair — its
+  pattern list includes the union/inheritance augmentation patterns,
+* one *direct relationship* intent per object property and direction
+  (the forward and inverse readings ask for different concepts and
+  filter on different entities, like the paper's distinct "Drugs That
+  Treat Condition" vs "Uses of Drug" intents),
+* one *indirect relationship* intent per (key1, intermediate, key2)
+  path, holding both Figure 6 patterns (the fully-filtered pattern 2 is
+  selected when the extra entity is present).
+
+Intents carry the entity requirements consumed by the dialogue logic
+table: ``required_entities`` must be elicited when missing,
+``optional_entities`` are used when present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bootstrap.patterns import (
+    PatternKind,
+    QueryPattern,
+    direct_relationship_patterns,
+    indirect_relationship_patterns,
+    lookup_patterns,
+)
+from repro.ontology.key_concepts import ConceptClassification
+from repro.ontology.model import Ontology
+
+
+@dataclass
+class Intent:
+    """A user intent grounded on one or more query patterns.
+
+    Attributes
+    ----------
+    name:
+        Unique display name; also the classifier label.
+    kind:
+        ``"lookup"``, ``"direct_relationship"``, ``"indirect_relationship"``,
+        ``"keyword"`` (entity-only fallback, §6.1), ``"management"``
+        (conversation management) or ``"custom"`` (SME-added).
+    patterns:
+        The grounded query patterns (empty for management intents).
+    required_entities:
+        Concepts whose instance value the dialogue must have (slot
+        filling elicits the missing ones).
+    optional_entities:
+        Concepts used when mentioned but never elicited.
+    result_concept:
+        The concept whose information answers this intent.
+    description:
+        One-line human documentation of the intent.
+    source:
+        Provenance: ``"ontology"``, ``"sme"`` or ``"builtin"``.
+    """
+
+    name: str
+    kind: str
+    patterns: list[QueryPattern] = field(default_factory=list)
+    required_entities: list[str] = field(default_factory=list)
+    optional_entities: list[str] = field(default_factory=list)
+    result_concept: str | None = None
+    description: str = ""
+    source: str = "ontology"
+    #: Per-entity elicitation prompt overrides ("Adult or pediatric?"),
+    #: consumed by the dialogue logic table.
+    elicitations: dict[str, str] = field(default_factory=dict)
+    #: Response template override; None selects the generated default.
+    response_template: str | None = None
+    #: SME-refined structured query templates.  When non-empty, these
+    #: replace the templates generated from the intent's patterns
+    #: (§4.2.2: SME feedback can refine what the bootstrap produced).
+    custom_templates: list = field(default_factory=list)
+
+    def primary_pattern(self) -> QueryPattern | None:
+        """The base pattern (first non-augmented one), if any."""
+        for pattern in self.patterns:
+            if pattern.augmented_from is None:
+                return pattern
+        return self.patterns[0] if self.patterns else None
+
+    def pattern_for_member(self, member: str) -> QueryPattern | None:
+        """The augmentation pattern whose result is ``member``, if any."""
+        for pattern in self.patterns:
+            if pattern.result_concept.lower() == member.lower():
+                return pattern
+        return None
+
+
+def lookup_intent_name(dependent: str, key: str) -> str:
+    """Canonical name of a lookup intent ("Precaution of Drug")."""
+    return f"{dependent} of {key}"
+
+
+def forward_intent_name(source: str, relationship: str, target: str) -> str:
+    """Canonical name of a forward relationship intent."""
+    return f"{source} that {relationship} {target}"
+
+
+def inverse_intent_name(source: str, relationship: str, target: str) -> str:
+    """Canonical name of an inverse relationship intent."""
+    return f"{target} that {source} {relationship}"
+
+
+def indirect_intent_name(key1: str, intermediate: str, key2: str) -> str:
+    """Canonical name of an indirect relationship intent."""
+    return f"{key1} {intermediate} for {key2}"
+
+
+def keyword_intent_name(concept: str) -> str:
+    """Canonical name of a keyword intent ("DRUG_GENERAL")."""
+    return f"{concept.upper().replace(' ', '_')}_GENERAL"
+
+
+def generate_intents(
+    ontology: Ontology,
+    classification: ConceptClassification,
+    include_keyword_intents: bool = True,
+) -> list[Intent]:
+    """Generate the full set of domain intents from the ontology.
+
+    The order is deterministic: lookups, then direct relationships, then
+    indirect relationships, then keyword (entity-only) intents for each
+    key concept (the paper's ``DRUG_GENERAL``, added "based on SME
+    input" — controlled here by ``include_keyword_intents``).
+    """
+    intents: list[Intent] = []
+
+    for (key, dependent), patterns in lookup_patterns(ontology, classification).items():
+        intents.append(
+            Intent(
+                name=lookup_intent_name(dependent, key),
+                kind=PatternKind.LOOKUP.value,
+                patterns=list(patterns),
+                required_entities=[key],
+                result_concept=dependent,
+                description=(
+                    f"Look up the {dependent} information of a specific {key}."
+                ),
+            )
+        )
+
+    direct = direct_relationship_patterns(ontology, classification.key_concepts)
+    for (source, relationship, target), (forward, inverse) in direct.items():
+        intents.append(
+            Intent(
+                name=forward_intent_name(source, relationship, target),
+                kind=PatternKind.DIRECT_RELATIONSHIP.value,
+                patterns=[forward],
+                required_entities=[target],
+                result_concept=source,
+                description=(
+                    f"Find every {source} that {relationship} a given {target}."
+                ),
+            )
+        )
+        intents.append(
+            Intent(
+                name=inverse_intent_name(source, relationship, target),
+                kind=PatternKind.DIRECT_RELATIONSHIP.value,
+                patterns=[inverse],
+                required_entities=[source],
+                result_concept=target,
+                description=(
+                    f"Find every {target} related to a given {source} "
+                    f"through {relationship}."
+                ),
+            )
+        )
+
+    indirect = indirect_relationship_patterns(ontology, classification.key_concepts)
+    for (key1, intermediate, key2), patterns in indirect.items():
+        intents.append(
+            Intent(
+                name=indirect_intent_name(key1, intermediate, key2),
+                kind=PatternKind.INDIRECT_RELATIONSHIP.value,
+                patterns=list(patterns),
+                required_entities=[key2],
+                optional_entities=[key1],
+                result_concept=intermediate,
+                description=(
+                    f"Find the {key1} and its {intermediate} for a given "
+                    f"{key2} (optionally restricted to one {key1})."
+                ),
+            )
+        )
+
+    if include_keyword_intents:
+        for key in classification.key_concepts:
+            intents.append(
+                Intent(
+                    name=keyword_intent_name(key),
+                    kind="keyword",
+                    patterns=[],
+                    required_entities=[key],
+                    result_concept=key,
+                    description=(
+                        f"The user mentioned only a {key} name (keyword-style "
+                        "query); the agent must elicit what they want to know."
+                    ),
+                    source="sme",
+                )
+            )
+    return intents

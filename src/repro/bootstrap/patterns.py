@@ -1,0 +1,297 @@
+"""Query-pattern enumeration over the domain ontology.
+
+§4.2.1 identifies three families of query patterns around key and
+dependent concepts, each of which grounds an intent:
+
+* **Lookup pattern** (Figure 3): information about a *dependent* concept
+  of a *key* concept — "Show me the Precautions for <@Drug>?".  When the
+  dependent concept carries special semantics the pattern is *augmented*
+  (Figure 4): a union dependent adds one pattern per union member; an
+  inheritance-parent dependent adds one pattern per child.  All augmented
+  patterns belong to the same intent.
+* **Direct relationship pattern** (Figure 5): two key concepts joined by
+  a one-hop object property, in the forward ("What Drug treats
+  <@Indication>?") and inverse ("What Indications are treated by
+  <@Drug>?") readings.
+* **Indirect relationship pattern** (Figure 6): two key concepts joined
+  through intermediate concepts, with the far key concept (pattern 1) or
+  both key concepts (pattern 2) as filter conditions.
+
+A pattern's ``template`` writes entity slots as ``<@Concept>``, exactly
+as the paper draws them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PatternError
+from repro.ontology.key_concepts import ConceptClassification
+from repro.ontology.model import ObjectProperty, Ontology
+
+
+class PatternKind(enum.Enum):
+    """The three pattern families of §4.2.1."""
+
+    LOOKUP = "lookup"
+    DIRECT_RELATIONSHIP = "direct_relationship"
+    INDIRECT_RELATIONSHIP = "indirect_relationship"
+
+
+def slot(concept: str) -> str:
+    """Render a concept as a pattern slot: ``Drug`` → ``<@Drug>``."""
+    return f"<@{concept}>"
+
+
+@dataclass(frozen=True)
+class QueryPattern:
+    """One query pattern over the ontology.
+
+    Attributes
+    ----------
+    kind:
+        The pattern family.
+    template:
+        The NL template with ``<@Concept>`` slots for filter concepts,
+        e.g. ``"Show me the Precautions for <@Drug>?"``.
+    result_concept:
+        The concept whose information the query returns (the dependent
+        concept for lookups; the asked-for key concept for relationships).
+    filter_concepts:
+        Concepts whose *instances* must fill the slots (the pattern's
+        filter conditions).
+    key_concept / dependent_concept:
+        Set for lookup patterns.
+    relationship / inverse:
+        Set for relationship patterns: the object-property name used and
+        whether the inverse reading is taken.
+    intermediate_concepts:
+        The in-between concepts of an indirect pattern.
+    augmented_from:
+        For augmentation patterns (Figure 4): the union/inheritance
+        dependent concept that spawned this pattern.
+    """
+
+    kind: PatternKind
+    template: str
+    result_concept: str
+    filter_concepts: tuple[str, ...]
+    key_concept: str | None = None
+    dependent_concept: str | None = None
+    relationship: str | None = None
+    inverse: bool = False
+    intermediate_concepts: tuple[str, ...] = ()
+    augmented_from: str | None = None
+
+    def slots(self) -> list[str]:
+        """The filter concepts, i.e. the ``<@...>`` slots of the template."""
+        return list(self.filter_concepts)
+
+
+# ---------------------------------------------------------------------------
+# Lookup patterns
+# ---------------------------------------------------------------------------
+
+
+def _lookup_template(dependent: str, key: str) -> str:
+    return f"Show me the {dependent} for {slot(key)}?"
+
+
+def lookup_patterns(
+    ontology: Ontology,
+    classification: ConceptClassification,
+) -> dict[tuple[str, str], list[QueryPattern]]:
+    """Enumerate lookup patterns for every (key, dependent) pair.
+
+    Returns a mapping from ``(key_concept, dependent_concept)`` to the
+    list of patterns grounding that pair's intent — one base pattern,
+    plus augmentation patterns when the dependent concept is a union or
+    an inheritance parent (all mapped to the same intent, per §4.2.1).
+    """
+    out: dict[tuple[str, str], list[QueryPattern]] = {}
+    for key_name in classification.key_concepts:
+        for dependent in classification.dependents_of.get(key_name, []):
+            patterns = [
+                QueryPattern(
+                    kind=PatternKind.LOOKUP,
+                    template=_lookup_template(dependent, key_name),
+                    result_concept=dependent,
+                    filter_concepts=(key_name,),
+                    key_concept=key_name,
+                    dependent_concept=dependent,
+                )
+            ]
+            members: list[str] = []
+            if ontology.is_union(dependent):
+                members = ontology.union_members(dependent)
+            elif ontology.is_inheritance_parent(dependent):
+                members = ontology.children_of(dependent)
+            for member in members:
+                patterns.append(
+                    QueryPattern(
+                        kind=PatternKind.LOOKUP,
+                        template=_lookup_template(member, key_name),
+                        result_concept=member,
+                        filter_concepts=(key_name,),
+                        key_concept=key_name,
+                        dependent_concept=member,
+                        augmented_from=dependent,
+                    )
+                )
+            out[(key_name, dependent)] = patterns
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Relationship patterns
+# ---------------------------------------------------------------------------
+
+
+def _forward_template(prop: ObjectProperty) -> str:
+    # "What Drug treats <@Indication>?" — asks for the source, filters
+    # on an instance of the target.
+    return f"What {prop.source} {prop.name} {slot(prop.target)}?"
+
+
+def _inverse_template(prop: ObjectProperty) -> str:
+    inverse = prop.inverse_name or f"is related by {prop.name} to"
+    return f"What {prop.target} {inverse} {slot(prop.source)}?"
+
+
+def direct_relationship_patterns(
+    ontology: Ontology,
+    key_concepts: list[str],
+) -> dict[tuple[str, str, str], list[QueryPattern]]:
+    """Enumerate direct relationship patterns between key-concept pairs.
+
+    Returns ``(source, relationship, target) -> [forward, inverse]``
+    pattern lists, one entry per object property connecting two key
+    concepts (paper: "one for each relationship between the pair").
+    """
+    key_set = {k.lower() for k in key_concepts}
+    out: dict[tuple[str, str, str], list[QueryPattern]] = {}
+    for prop in ontology.object_properties():
+        if prop.source.lower() not in key_set or prop.target.lower() not in key_set:
+            continue
+        forward = QueryPattern(
+            kind=PatternKind.DIRECT_RELATIONSHIP,
+            template=_forward_template(prop),
+            result_concept=prop.source,
+            filter_concepts=(prop.target,),
+            relationship=prop.name,
+            inverse=False,
+        )
+        inverse = QueryPattern(
+            kind=PatternKind.DIRECT_RELATIONSHIP,
+            template=_inverse_template(prop),
+            result_concept=prop.target,
+            filter_concepts=(prop.source,),
+            relationship=prop.name,
+            inverse=True,
+        )
+        out[(prop.source, prop.name, prop.target)] = [forward, inverse]
+    return out
+
+
+def _find_two_hop_paths(
+    ontology: Ontology, key_concepts: list[str]
+) -> list[tuple[str, str, str, ObjectProperty, ObjectProperty]]:
+    """Paths key1 —prop1— intermediate —prop2— key2 (intermediate not key).
+
+    Properties are traversable in either direction; each returned tuple is
+    (key1, intermediate, key2, prop1, prop2).
+    """
+    key_set = {k.lower() for k in key_concepts}
+    # adjacency: concept -> [(other, prop)]
+    adjacency: dict[str, list[tuple[str, ObjectProperty]]] = {}
+    for prop in ontology.object_properties():
+        adjacency.setdefault(prop.source.lower(), []).append((prop.target, prop))
+        adjacency.setdefault(prop.target.lower(), []).append((prop.source, prop))
+
+    paths = []
+    seen: set[tuple[str, str, str]] = set()
+    for key1 in key_concepts:
+        for intermediate, prop1 in adjacency.get(key1.lower(), []):
+            if intermediate.lower() in key_set:
+                continue
+            for key2, prop2 in adjacency.get(intermediate.lower(), []):
+                if key2.lower() not in key_set or key2.lower() == key1.lower():
+                    continue
+                if prop2 is prop1:
+                    continue
+                # Deduplicate symmetric paths: keep one canonical direction.
+                sig = tuple(sorted((key1.lower(), key2.lower()))) + (
+                    intermediate.lower(),
+                )
+                if sig in seen:
+                    continue
+                seen.add(sig)  # type: ignore[arg-type]
+                paths.append((key1, intermediate, key2, prop1, prop2))
+    return paths
+
+
+def indirect_relationship_patterns(
+    ontology: Ontology,
+    key_concepts: list[str],
+) -> dict[tuple[str, str, str], list[QueryPattern]]:
+    """Enumerate indirect (two-hop) relationship patterns (Figure 6).
+
+    For each path key1 — intermediate — key2, two patterns are produced:
+
+    * Pattern 1: return key1 and the intermediate, filtering on key2
+      ("Give me the Drug and its Dosage that treats <@Indication>"),
+    * Pattern 2: return the intermediate, filtering on both key concepts
+      ("Give me the Dosage for <@Drug> that treats <@Indication>").
+
+    Keys of the result dict are ``(key1, intermediate, key2)``.
+    """
+    out: dict[tuple[str, str, str], list[QueryPattern]] = {}
+    for key1, intermediate, key2, prop1, prop2 in _find_two_hop_paths(
+        ontology, key_concepts
+    ):
+        relationship = prop2.name
+        pattern1 = QueryPattern(
+            kind=PatternKind.INDIRECT_RELATIONSHIP,
+            template=(
+                f"Give me the {key1} and its {intermediate} "
+                f"that {relationship} {slot(key2)}?"
+            ),
+            result_concept=key1,
+            filter_concepts=(key2,),
+            relationship=relationship,
+            intermediate_concepts=(intermediate,),
+        )
+        pattern2 = QueryPattern(
+            kind=PatternKind.INDIRECT_RELATIONSHIP,
+            template=(
+                f"Give me the {intermediate} for {slot(key1)} "
+                f"that {relationship} {slot(key2)}?"
+            ),
+            result_concept=intermediate,
+            filter_concepts=(key1, key2),
+            relationship=relationship,
+            intermediate_concepts=(intermediate,),
+        )
+        out[(key1, intermediate, key2)] = [pattern1, pattern2]
+    return out
+
+
+def render_pattern(pattern: QueryPattern, bindings: dict[str, str]) -> str:
+    """Instantiate a pattern's slots with instance values.
+
+    ``bindings`` maps concept name → instance label; every slot must be
+    bound.  Used to produce the example queries shown under each pattern
+    in Figures 3–6.
+    """
+    text = pattern.template
+    for concept in pattern.filter_concepts:
+        marker = slot(concept)
+        if marker not in text:
+            raise PatternError(
+                f"pattern template {pattern.template!r} lacks slot {marker}"
+            )
+        if concept not in bindings:
+            raise PatternError(f"no binding for slot concept {concept!r}")
+        text = text.replace(marker, bindings[concept])
+    return text

@@ -1,0 +1,230 @@
+"""Conversation-space (de)serialization.
+
+§7: "The conversation artifacts described in Section 6 are uploaded to
+an instance of Watson Assistant."  This module is the workspace-export
+analog: the full artifact set — intents with their query patterns and
+templates, entities with synonyms, training examples, the key/dependent
+classification, and the ontology — round-trips through one JSON
+document.  The knowledge base itself is not embedded; it is re-attached
+at load time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bootstrap.entities import Entity, EntityValue
+from repro.bootstrap.intents import Intent
+from repro.bootstrap.patterns import PatternKind, QueryPattern
+from repro.bootstrap.space import ConversationSpace
+from repro.bootstrap.synonyms import SynonymDictionary
+from repro.bootstrap.training import TrainingExample
+from repro.errors import BootstrapError
+from repro.kb.database import Database
+from repro.nlq.templates import StructuredQueryTemplate
+from repro.ontology.key_concepts import ConceptClassification
+from repro.ontology.serialization import ontology_from_dict, ontology_to_dict
+
+#: Bumped on breaking format changes.
+FORMAT_VERSION = 1
+
+
+def _pattern_to_dict(pattern: QueryPattern) -> dict[str, Any]:
+    return {
+        "kind": pattern.kind.value,
+        "template": pattern.template,
+        "result_concept": pattern.result_concept,
+        "filter_concepts": list(pattern.filter_concepts),
+        "key_concept": pattern.key_concept,
+        "dependent_concept": pattern.dependent_concept,
+        "relationship": pattern.relationship,
+        "inverse": pattern.inverse,
+        "intermediate_concepts": list(pattern.intermediate_concepts),
+        "augmented_from": pattern.augmented_from,
+    }
+
+
+def _pattern_from_dict(data: dict[str, Any]) -> QueryPattern:
+    return QueryPattern(
+        kind=PatternKind(data["kind"]),
+        template=data["template"],
+        result_concept=data["result_concept"],
+        filter_concepts=tuple(data.get("filter_concepts", [])),
+        key_concept=data.get("key_concept"),
+        dependent_concept=data.get("dependent_concept"),
+        relationship=data.get("relationship"),
+        inverse=data.get("inverse", False),
+        intermediate_concepts=tuple(data.get("intermediate_concepts", [])),
+        augmented_from=data.get("augmented_from"),
+    )
+
+
+def _template_to_dict(template: StructuredQueryTemplate) -> dict[str, Any]:
+    return {
+        "intent_name": template.intent_name,
+        "sql": template.sql,
+        "parameters": dict(template.parameters),
+        "result_concepts": list(template.result_concepts),
+        "grouped": template.grouped,
+    }
+
+
+def _template_from_dict(data: dict[str, Any]) -> StructuredQueryTemplate:
+    return StructuredQueryTemplate(
+        intent_name=data["intent_name"],
+        sql=data["sql"],
+        parameters=dict(data.get("parameters", {})),
+        result_concepts=tuple(data.get("result_concepts", [])),
+        grouped=data.get("grouped", False),
+    )
+
+
+def _synonyms_to_dict(synonyms: SynonymDictionary) -> dict[str, list[str]]:
+    return {term: values for term, values in synonyms}
+
+
+def _synonyms_from_dict(data: dict[str, list[str]]) -> SynonymDictionary:
+    synonyms = SynonymDictionary()
+    for term, values in data.items():
+        synonyms.add(term, values)
+    return synonyms
+
+
+def space_to_dict(space: ConversationSpace) -> dict[str, Any]:
+    """Serialize every conversation artifact to a JSON-compatible dict."""
+    classification = space.classification
+    return {
+        "format_version": FORMAT_VERSION,
+        "ontology": ontology_to_dict(space.ontology),
+        "classification": {
+            "key_concepts": list(classification.key_concepts),
+            "dependents_of": {
+                k: list(v) for k, v in classification.dependents_of.items()
+            },
+            "keys_of": {k: list(v) for k, v in classification.keys_of.items()},
+            "union_dependents": sorted(classification.union_dependents),
+            "inheritance_dependents": sorted(
+                classification.inheritance_dependents
+            ),
+        },
+        "intents": [
+            {
+                "name": intent.name,
+                "kind": intent.kind,
+                "patterns": [_pattern_to_dict(p) for p in intent.patterns],
+                "required_entities": list(intent.required_entities),
+                "optional_entities": list(intent.optional_entities),
+                "result_concept": intent.result_concept,
+                "description": intent.description,
+                "source": intent.source,
+                "elicitations": dict(intent.elicitations),
+                "response_template": intent.response_template,
+                "custom_templates": [
+                    _template_to_dict(t) for t in intent.custom_templates
+                ],
+            }
+            for intent in space.intents
+        ],
+        "entities": [
+            {
+                "name": entity.name,
+                "kind": entity.kind,
+                "concept": entity.concept,
+                "values": [
+                    {"value": v.value, "synonyms": list(v.synonyms)}
+                    for v in entity.values
+                ],
+            }
+            for entity in space.entities
+        ],
+        "training_examples": [
+            {"utterance": e.utterance, "intent": e.intent, "source": e.source}
+            for e in space.training_examples
+        ],
+        "concept_synonyms": _synonyms_to_dict(space.concept_synonyms),
+        "instance_synonyms": _synonyms_to_dict(space.instance_synonyms),
+    }
+
+
+def space_from_dict(
+    data: dict[str, Any], database: Database | None = None
+) -> ConversationSpace:
+    """Reconstruct a conversation space from :func:`space_to_dict` output.
+
+    ``database`` re-attaches the knowledge base (queries need it; the
+    export deliberately does not embed the data).
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BootstrapError(
+            f"unsupported conversation-space format version: {version!r}"
+        )
+    try:
+        ontology = ontology_from_dict(data["ontology"])
+        cdata = data["classification"]
+        classification = ConceptClassification(
+            key_concepts=list(cdata["key_concepts"]),
+            dependents_of={
+                k: list(v) for k, v in cdata.get("dependents_of", {}).items()
+            },
+            keys_of={k: list(v) for k, v in cdata.get("keys_of", {}).items()},
+            union_dependents=set(cdata.get("union_dependents", [])),
+            inheritance_dependents=set(
+                cdata.get("inheritance_dependents", [])
+            ),
+        )
+        intents = []
+        for idata in data["intents"]:
+            intents.append(Intent(
+                name=idata["name"],
+                kind=idata["kind"],
+                patterns=[_pattern_from_dict(p) for p in idata.get("patterns", [])],
+                required_entities=list(idata.get("required_entities", [])),
+                optional_entities=list(idata.get("optional_entities", [])),
+                result_concept=idata.get("result_concept"),
+                description=idata.get("description", ""),
+                source=idata.get("source", "ontology"),
+                elicitations=dict(idata.get("elicitations", {})),
+                response_template=idata.get("response_template"),
+                custom_templates=[
+                    _template_from_dict(t)
+                    for t in idata.get("custom_templates", [])
+                ],
+            ))
+        entities = []
+        for edata in data["entities"]:
+            entities.append(Entity(
+                name=edata["name"],
+                kind=edata["kind"],
+                concept=edata.get("concept"),
+                values=[
+                    EntityValue(
+                        value=v["value"], synonyms=list(v.get("synonyms", []))
+                    )
+                    for v in edata.get("values", [])
+                ],
+            ))
+        examples = [
+            TrainingExample(
+                utterance=e["utterance"],
+                intent=e["intent"],
+                source=e.get("source", "auto"),
+            )
+            for e in data.get("training_examples", [])
+        ]
+    except KeyError as exc:
+        raise BootstrapError(
+            f"malformed conversation-space document: missing {exc}"
+        ) from exc
+    return ConversationSpace(
+        ontology=ontology,
+        database=database,
+        classification=classification,
+        intents=intents,
+        entities=entities,
+        training_examples=examples,
+        concept_synonyms=_synonyms_from_dict(data.get("concept_synonyms", {})),
+        instance_synonyms=_synonyms_from_dict(
+            data.get("instance_synonyms", {})
+        ),
+    )

@@ -1,0 +1,163 @@
+"""The SME (subject-matter expert) feedback workflow.
+
+§4.2.2: SMEs interact with the ontology through tooling, marking
+expected query patterns as annotations; each annotation is mapped to an
+existing intent or creates a new one, and SMEs also prune patterns that
+are "unlikely to be part of a real world workload".  §4.3.2 adds
+SME-labelled prior user queries as training augmentation, and §6.1 adds
+SME-provided synonyms.
+
+:class:`SMEFeedback` records these operations and applies them to a
+:class:`~repro.bootstrap.space.ConversationSpace`, keeping the
+human-in-the-loop step replayable and auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bootstrap.intents import Intent
+from repro.bootstrap.space import ConversationSpace
+
+
+@dataclass(frozen=True)
+class _Operation:
+    kind: str
+    payload: tuple
+
+
+@dataclass
+class SMEFeedback:
+    """A replayable batch of SME refinements to a conversation space."""
+
+    operations: list[_Operation] = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------
+
+    def annotate_pattern(
+        self, utterances: Sequence[str], intent_name: str
+    ) -> "SMEFeedback":
+        """Map expected query phrasings onto an intent.
+
+        When the intent exists, the utterances become SME training
+        examples for it; otherwise a new custom intent is created around
+        them (§4.2.2: "If no intent exists, we create a new query pattern
+        and its associated new intent").
+        """
+        self.operations.append(
+            _Operation("annotate", (tuple(utterances), intent_name))
+        )
+        return self
+
+    def prune_intent(self, intent_name: str) -> "SMEFeedback":
+        """Drop an intent unlikely to occur in the real workload."""
+        self.operations.append(_Operation("prune", (intent_name,)))
+        return self
+
+    def rename_intent(self, old: str, new: str) -> "SMEFeedback":
+        """Give an intent a business-friendly name."""
+        self.operations.append(_Operation("rename", (old, new)))
+        return self
+
+    def add_concept_synonyms(
+        self, concept: str, synonyms: Sequence[str]
+    ) -> "SMEFeedback":
+        """Extend the domain vocabulary for a concept (Table 2)."""
+        self.operations.append(
+            _Operation("concept_synonyms", (concept, tuple(synonyms)))
+        )
+        return self
+
+    def add_instance_synonyms(
+        self, instance: str, synonyms: Sequence[str]
+    ) -> "SMEFeedback":
+        """Extend the vocabulary for one instance value (brand names, ...)."""
+        self.operations.append(
+            _Operation("instance_synonyms", (instance, tuple(synonyms)))
+        )
+        return self
+
+    def add_required_entity(self, intent_name: str, concept: str) -> "SMEFeedback":
+        """Mark an additional entity as required for an intent (Table 4's
+        Age group on Treatment Request is an SME addition)."""
+        self.operations.append(_Operation("require_entity", (intent_name, concept)))
+        return self
+
+    def add_optional_entity(self, intent_name: str, concept: str) -> "SMEFeedback":
+        """Mark an additional entity as optional for an intent."""
+        self.operations.append(_Operation("optional_entity", (intent_name, concept)))
+        return self
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, space: ConversationSpace) -> ConversationSpace:
+        """Apply every recorded operation to ``space`` in order."""
+        for op in self.operations:
+            handler = getattr(self, f"_apply_{op.kind}")
+            handler(space, *op.payload)
+        return space
+
+    def _apply_annotate(
+        self, space: ConversationSpace, utterances: tuple[str, ...], intent_name: str
+    ) -> None:
+        if not space.has_intent(intent_name):
+            space.add_intent(
+                Intent(
+                    name=intent_name,
+                    kind="custom",
+                    description="SME-identified query pattern.",
+                    source="sme",
+                )
+            )
+        space.add_training_examples(intent_name, list(utterances), source="sme")
+
+    def _apply_prune(self, space: ConversationSpace, intent_name: str) -> None:
+        space.remove_intent(intent_name)
+
+    def _apply_rename(self, space: ConversationSpace, old: str, new: str) -> None:
+        space.rename_intent(old, new)
+
+    def _apply_concept_synonyms(
+        self, space: ConversationSpace, concept: str, synonyms: tuple[str, ...]
+    ) -> None:
+        space.concept_synonyms.add(concept, synonyms)
+        if space.ontology.has_concept(concept):
+            existing = space.ontology.concept(concept)
+            for synonym in synonyms:
+                if synonym.lower() not in (s.lower() for s in existing.synonyms):
+                    existing.synonyms.append(synonym)
+        # Refresh the concept entity's values.
+        if space.has_entity("concept"):
+            value = space.entity("concept").find_value(concept)
+            if value is not None:
+                for synonym in synonyms:
+                    if synonym.lower() not in (s.lower() for s in value.synonyms):
+                        value.synonyms.append(synonym)
+
+    def _apply_instance_synonyms(
+        self, space: ConversationSpace, instance: str, synonyms: tuple[str, ...]
+    ) -> None:
+        space.instance_synonyms.add(instance, synonyms)
+        for entity in space.entities:
+            if entity.kind != "instance":
+                continue
+            value = entity.find_value(instance)
+            if value is not None:
+                for synonym in synonyms:
+                    if synonym.lower() not in (s.lower() for s in value.synonyms):
+                        value.synonyms.append(synonym)
+
+    def _apply_require_entity(
+        self, space: ConversationSpace, intent_name: str, concept: str
+    ) -> None:
+        intent = space.intent(intent_name)
+        if concept not in intent.required_entities:
+            intent.required_entities.append(concept)
+
+    def _apply_optional_entity(
+        self, space: ConversationSpace, intent_name: str, concept: str
+    ) -> None:
+        intent = space.intent(intent_name)
+        if concept not in intent.optional_entities:
+            intent.optional_entities.append(concept)

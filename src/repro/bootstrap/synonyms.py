@@ -1,0 +1,72 @@
+"""Domain synonym dictionaries.
+
+§4.5 step 3: "we add domain-specific synonyms using dictionaries for
+both the ontology concept names and data instance values ... a crucial
+step to allow a greater recall of queries" (Table 2: "Adverse Effect" →
+"side effect", "Drug" → "medication", ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class SynonymDictionary:
+    """A case-insensitive mapping term → synonyms.
+
+    The reverse direction is indexed too: :meth:`canonical` resolves any
+    synonym back to its term, which the entity recognizer uses to map
+    "side effects" onto the "Adverse Effect" concept.
+    """
+
+    def __init__(self) -> None:
+        self._synonyms: dict[str, list[str]] = {}
+        self._display: dict[str, str] = {}
+        self._reverse: dict[str, str] = {}
+
+    def add(self, term: str, synonyms: Iterable[str]) -> None:
+        """Register ``synonyms`` for ``term`` (appends to existing ones)."""
+        key = term.lower()
+        self._display.setdefault(key, term)
+        bucket = self._synonyms.setdefault(key, [])
+        for synonym in synonyms:
+            low = synonym.lower()
+            if low == key or low in (s.lower() for s in bucket):
+                continue
+            bucket.append(synonym)
+            self._reverse.setdefault(low, key)
+
+    def synonyms_of(self, term: str) -> list[str]:
+        """The synonyms registered for ``term`` (empty when unknown)."""
+        return list(self._synonyms.get(term.lower(), []))
+
+    def canonical(self, surface: str) -> str | None:
+        """Resolve a surface form to its canonical term.
+
+        Returns the term's original spelling; a term resolves to itself.
+        None when the surface form is unknown.
+        """
+        low = surface.lower()
+        if low in self._display:
+            return self._display[low]
+        term_key = self._reverse.get(low)
+        return self._display[term_key] if term_key else None
+
+    def terms(self) -> list[str]:
+        """All registered terms, original spelling, insertion order."""
+        return list(self._display.values())
+
+    def merge(self, other: "SynonymDictionary") -> None:
+        """Fold another dictionary's entries into this one."""
+        for term in other.terms():
+            self.add(term, other.synonyms_of(term))
+
+    def __contains__(self, term: str) -> bool:
+        return term.lower() in self._synonyms
+
+    def __len__(self) -> int:
+        return len(self._synonyms)
+
+    def __iter__(self) -> Iterator[tuple[str, list[str]]]:
+        for key, display in self._display.items():
+            yield display, list(self._synonyms[key])

@@ -1,0 +1,255 @@
+"""Automatic training-example generation for intents.
+
+§4.3.1: pattern-matching over the ontology identifies the entities and
+relationships of each query pattern, the KB supplies instance values for
+the key concepts, and a list of *initial phrases* supplies paraphrases —
+the cross product yields labelled training utterances (Figure 7).
+§4.3.2 augments these with SME-labelled prior user queries (Figure 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bootstrap.intents import Intent
+from repro.bootstrap.patterns import PatternKind, QueryPattern
+from repro.errors import TrainingDataError
+from repro.kb.database import Database
+from repro.ontology.model import Ontology
+
+#: Initial-phrase paraphrase lists, one per pattern family (§4.3.1: "The
+#: initial phrases are provided to the training example generation
+#: process as a list, one for each type of query pattern").
+LOOKUP_PHRASES = (
+    "Show me the",
+    "Tell me about the",
+    "Give me the",
+    "What are the",
+    "List the",
+    "Find the",
+    "Display the",
+    "I want to see the",
+    "Can you show me the",
+    "I need the",
+)
+
+RELATIONSHIP_QUESTION_PHRASES = (
+    "What",
+    "Which",
+    "Show me the",
+    "Give me the",
+    "List the",
+    "Find the",
+    "Tell me what",
+    "I want to know what",
+)
+
+INDIRECT_PHRASES = (
+    "Give me the",
+    "Show me the",
+    "What is the",
+    "Find the",
+    "Tell me the",
+    "I need the",
+)
+
+KEYWORD_SUFFIXES = ("", "", " info", " information", " details")
+
+#: Connectors between a dependent concept and the key-instance slot.
+LOOKUP_CONNECTORS = ("for", "of", "associated with")
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One labelled training utterance."""
+
+    utterance: str
+    intent: str
+    source: str = "auto"  # "auto" (generated) or "sme" (augmented)
+
+
+def instance_values(
+    ontology: Ontology,
+    database: Database | None,
+    concept_name: str,
+    limit: int | None = None,
+) -> list[str]:
+    """Instance labels of ``concept_name`` from the knowledge base.
+
+    Reads the distinct values of the concept's bound label column.
+    Returns an empty list when the concept is unbound or the database is
+    unavailable.
+    """
+    if database is None:
+        return []
+    concept = ontology.concept(concept_name)
+    if not concept.table or not database.has_table(concept.table):
+        return []
+    label_column = concept.label_column()
+    if label_column is None:
+        return []
+    values = [
+        str(v) for v in database.table(concept.table).distinct_values(label_column)
+    ]
+    return values[:limit] if limit is not None else values
+
+
+def _surface_forms(ontology: Ontology, concept_name: str) -> list[str]:
+    """The concept's name plus its synonyms (linguistic variability)."""
+    concept = ontology.concept(concept_name)
+    return [concept.name] + list(concept.synonyms)
+
+
+def _pick_instances(
+    pattern: QueryPattern,
+    ontology: Ontology,
+    database: Database | None,
+    rng: random.Random,
+) -> dict[str, str] | None:
+    """Bind each filter concept of ``pattern`` to a random instance label.
+
+    Falls back to the concept name itself when no instances exist, so a
+    pattern over an empty table still yields trainable examples.
+    """
+    bindings: dict[str, str] = {}
+    for concept in pattern.filter_concepts:
+        values = instance_values(ontology, database, concept)
+        bindings[concept] = rng.choice(values) if values else concept.lower()
+    return bindings
+
+
+def _render_example(
+    pattern: QueryPattern,
+    ontology: Ontology,
+    bindings: dict[str, str],
+    rng: random.Random,
+) -> str:
+    """Compose one utterance for ``pattern`` with the given slot bindings."""
+    question_mark = "?" if rng.random() < 0.5 else ""
+    if pattern.kind is PatternKind.LOOKUP:
+        assert pattern.dependent_concept and pattern.key_concept
+        phrase = rng.choice(LOOKUP_PHRASES)
+        dependent = rng.choice(_surface_forms(ontology, pattern.dependent_concept))
+        connector = rng.choice(LOOKUP_CONNECTORS)
+        instance = bindings[pattern.key_concept]
+        return f"{phrase} {dependent} {connector} {instance}{question_mark}"
+    if pattern.kind is PatternKind.DIRECT_RELATIONSHIP:
+        phrase = rng.choice(RELATIONSHIP_QUESTION_PHRASES)
+        result = rng.choice(_surface_forms(ontology, pattern.result_concept))
+        filter_concept = pattern.filter_concepts[0]
+        instance = bindings[filter_concept]
+        if not pattern.inverse:
+            verb = pattern.relationship or "relates to"
+            return f"{phrase} {result} {verb} {instance}{question_mark}"
+        prop = _find_property(ontology, pattern)
+        inverse = (prop.inverse_name if prop else None) or "is related to"
+        return f"{phrase} {result} {inverse} {instance}{question_mark}"
+    if pattern.kind is PatternKind.INDIRECT_RELATIONSHIP:
+        phrase = rng.choice(INDIRECT_PHRASES)
+        verb = pattern.relationship or "relates to"
+        intermediate = pattern.intermediate_concepts[0]
+        if len(pattern.filter_concepts) == 1:
+            key2 = pattern.filter_concepts[0]
+            return (
+                f"{phrase} {pattern.result_concept} and its {intermediate} "
+                f"that {verb} {bindings[key2]}{question_mark}"
+            )
+        *rest, last = pattern.filter_concepts
+        rest_text = " for ".join(bindings[c] for c in rest)
+        return (
+            f"{phrase} {intermediate} for {rest_text} "
+            f"that {verb} {bindings[last]}{question_mark}"
+        )
+    raise TrainingDataError(f"cannot render pattern of kind {pattern.kind}")
+
+
+def _find_property(ontology: Ontology, pattern: QueryPattern):
+    for prop in ontology.object_properties():
+        if prop.name == pattern.relationship:
+            return prop
+    return None
+
+
+def _keyword_examples(
+    intent: Intent,
+    ontology: Ontology,
+    database: Database | None,
+    per_intent: int,
+    rng: random.Random,
+) -> list[TrainingExample]:
+    """Entity-only utterances for keyword intents ("cogentin", §6.3)."""
+    concept = intent.required_entities[0]
+    values = instance_values(ontology, database, concept)
+    if not values:
+        values = [concept.lower()]
+    examples = []
+    for _ in range(per_intent):
+        value = rng.choice(values)
+        suffix = rng.choice(KEYWORD_SUFFIXES)
+        examples.append(
+            TrainingExample(utterance=f"{value}{suffix}", intent=intent.name)
+        )
+    return examples
+
+
+def generate_training_examples(
+    intents: Sequence[Intent],
+    ontology: Ontology,
+    database: Database | None = None,
+    per_pattern: int = 12,
+    seed: int = 17,
+) -> list[TrainingExample]:
+    """Generate labelled training examples for every intent.
+
+    Each query pattern of each intent contributes ``per_pattern``
+    utterances, rendered from a random initial phrase, concept surface
+    forms (name or synonym) and KB instance values.  Keyword intents get
+    ``per_pattern`` entity-only utterances.  Deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    examples: list[TrainingExample] = []
+    seen: set[tuple[str, str]] = set()
+    for intent in intents:
+        if intent.kind == "keyword":
+            candidates = _keyword_examples(intent, ontology, database, per_pattern, rng)
+        elif intent.kind == "management":
+            continue  # management intents bring their own canned examples
+        else:
+            candidates = []
+            for pattern in intent.patterns:
+                for _ in range(per_pattern):
+                    bindings = _pick_instances(pattern, ontology, database, rng)
+                    assert bindings is not None
+                    utterance = _render_example(pattern, ontology, bindings, rng)
+                    candidates.append(
+                        TrainingExample(utterance=utterance, intent=intent.name)
+                    )
+        for example in candidates:
+            key = (example.utterance.lower(), example.intent)
+            if key not in seen:
+                seen.add(key)
+                examples.append(example)
+    return examples
+
+
+def augment_with_prior_queries(
+    examples: list[TrainingExample],
+    prior_queries: Sequence[tuple[str, str]],
+) -> list[TrainingExample]:
+    """Append SME-labelled prior user queries (§4.3.2, Figure 8).
+
+    ``prior_queries`` is a sequence of (utterance, intent_name) pairs.
+    Returns a new list; duplicates of existing utterances are skipped.
+    """
+    seen = {(e.utterance.lower(), e.intent) for e in examples}
+    out = list(examples)
+    for utterance, intent_name in prior_queries:
+        key = (utterance.lower(), intent_name)
+        if key not in seen:
+            seen.add(key)
+            out.append(
+                TrainingExample(utterance=utterance, intent=intent_name, source="sme")
+            )
+    return out

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``chat``
+    Interactive session with Conversational MDX, or with an agent built
+    from an exported conversation space (``--space``) and a CSV knowledge
+    base (``--data``).
+``demo``
+    Replay the paper's §6.3 sample conversations.
+``simulate``
+    Run the §7 evaluation: workload → success rates → Table 5 / Figure
+    11 / Figure 12 reports.
+``export``
+    Build Conversational MDX and write its artifacts to a directory:
+    conversation space JSON, ontology as OWL, knowledge base as CSVs,
+    and the dialogue logic table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.bootstrap import space_from_dict, space_to_dict
+from repro.engine import ConversationAgent
+from repro.kb.io import load_database, save_database
+from repro.medical import build_mdx_agent, build_mdx_database, build_mdx_space
+from repro.medical.build import rename_to_paper_intents
+from repro.medical.knowledge import mdx_glossary
+from repro.ontology import ontology_to_owl
+
+
+def _build_agent(args: argparse.Namespace) -> ConversationAgent:
+    if args.space:
+        if not args.data:
+            raise SystemExit("--space requires --data (the CSV KB directory)")
+        database = load_database(args.data)
+        space = space_from_dict(
+            json.loads(Path(args.space).read_text(encoding="utf-8")),
+            database=database,
+        )
+        return ConversationAgent.build(
+            space, database, agent_name=args.name, domain=args.domain
+        )
+    return build_mdx_agent()
+
+
+def cmd_chat(
+    args: argparse.Namespace,
+    input_fn: Callable[[str], str] = input,
+    output_fn: Callable[[str], None] = print,
+) -> int:
+    """Interactive REPL; ``input_fn``/``output_fn`` are injectable for tests."""
+    output_fn("Building the conversation agent...")
+    agent = _build_agent(args)
+    session = agent.session()
+    output_fn(f"A: {session.open()}")
+    output_fn("(type 'quit' to exit; '+1'/'-1' for thumbs feedback)")
+    while True:
+        try:
+            utterance = input_fn("U: ").strip()
+        except EOFError:
+            break
+        if not utterance:
+            continue
+        if utterance.lower() in ("quit", "exit"):
+            break
+        if utterance == "+1":
+            session.thumbs_up()
+            continue
+        if utterance == "-1":
+            session.thumbs_down()
+            continue
+        response = session.ask(utterance)
+        output_fn(f"A: {response.text}")
+    output_fn(
+        f"Session over. Equation-1 success rate: "
+        f"{agent.feedback_log.success_rate():.1%}"
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace, output_fn=print) -> int:
+    """Replay the §6.3 conversations against a freshly built agent."""
+    agent = build_mdx_agent()
+    for title, turns in (
+        ("clinical session", [
+            "show me drugs that treat psoriasis", "adult", "I mean pediatric",
+            "what do you mean by effective?", "thanks",
+            "dosage for Tazarotene", "how about for Fluocinonide?",
+            "thanks", "no", "goodbye",
+        ]),
+        ("User 480", [
+            "cogentin", "What are the side effects of cogentin",
+            "no", "cogentin adverse effects",
+        ]),
+    ):
+        output_fn(f"\n===== §6.3 {title} =====")
+        session = agent.session()
+        output_fn(f"A: {session.open()}")
+        for utterance in turns:
+            response = session.ask(utterance)
+            output_fn(f"U: {utterance}")
+            output_fn(f"A: {response.text}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace, output_fn=print) -> int:
+    """Run the §7 evaluation and print the reports."""
+    from repro.eval import (
+        WorkloadGenerator,
+        per_intent_success,
+        render_bar_figure,
+        simulate_usage,
+        success_rate,
+    )
+
+    agent = build_mdx_agent()
+    generator = WorkloadGenerator(agent.space, seed=args.seed)
+    result = simulate_usage(agent, generator.generate(args.interactions))
+    output_fn(render_bar_figure(
+        per_intent_success(result.records, "user", top_k=10),
+        "Success rate per intent (user feedback, top-10)",
+    ))
+    output_fn(f"total success rate: {success_rate(result.records):.1%} "
+              "(paper: 96.3%)")
+    sample = result.sampled_records()
+    output_fn(f"SME sample: user {success_rate(sample, 'user'):.1%} vs "
+              f"SME {success_rate(sample, 'sme'):.1%} "
+              "(paper: 97.9% vs 90.8%)")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace, output_fn=print) -> int:
+    """Write the MDX artifacts (space JSON, OWL, CSV KB, logic table)."""
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    database = build_mdx_database()
+    space = build_mdx_space(database)
+    rename_to_paper_intents(space)
+    # Build once so the management intents and glossary are folded in.
+    agent = ConversationAgent.build(
+        space, database, glossary=mdx_glossary(),
+        agent_name="Micromedex", domain="drug reference",
+    )
+    (out / "conversation_space.json").write_text(
+        json.dumps(space_to_dict(space), indent=2), encoding="utf-8"
+    )
+    (out / "ontology.owl").write_text(
+        ontology_to_owl(space.ontology), encoding="utf-8"
+    )
+    save_database(database, out / "kb")
+    (out / "dialogue_logic_table.txt").write_text(
+        agent.logic_table.render(), encoding="utf-8"
+    )
+    output_fn(f"Artifacts written to {out}/")
+    output_fn("  conversation_space.json  ontology.owl  kb/  "
+              "dialogue_logic_table.txt")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the `repro` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ontology-based conversation system (SIGMOD 2020 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chat = sub.add_parser("chat", help="interactive conversation")
+    chat.add_argument("--space", help="exported conversation-space JSON")
+    chat.add_argument("--data", help="CSV knowledge-base directory")
+    chat.add_argument("--name", default="Assistant", help="agent name")
+    chat.add_argument("--domain", default="knowledge base", help="domain label")
+    chat.set_defaults(handler=cmd_chat)
+
+    demo = sub.add_parser("demo", help="replay the paper's §6.3 conversations")
+    demo.set_defaults(handler=cmd_demo)
+
+    simulate = sub.add_parser("simulate", help="run the §7 evaluation")
+    simulate.add_argument("-n", "--interactions", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=99)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    export = sub.add_parser("export", help="write the MDX artifacts")
+    export.add_argument("--out", default="mdx-artifacts")
+    export.set_defaults(handler=cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Dialogue: logic table, dialogue tree, context and conversation management.
+
+Implements §5 of the paper: the dialogue tree is generated from a
+*Dialogue Logic Table* (Tables 3–4), augmented with domain-independent
+conversation-management patterns (the Natural Conversation Framework
+catalogue of [24]), and runs over a *persistent context* that carries
+intents and entities across turns.
+"""
+
+from repro.dialogue.context import ConversationContext, TurnRecord
+from repro.dialogue.logic_table import DialogueLogicRow, DialogueLogicTable
+from repro.dialogue.management import (
+    ManagementPattern,
+    default_management_intents,
+    management_catalogue,
+)
+from repro.dialogue.responses import format_result_list, render_template
+from repro.dialogue.tree import DialogueNode, DialogueTree, NodeOutcome, build_dialogue_tree
+
+__all__ = [
+    "ConversationContext",
+    "DialogueLogicRow",
+    "DialogueLogicTable",
+    "DialogueNode",
+    "DialogueTree",
+    "ManagementPattern",
+    "NodeOutcome",
+    "TurnRecord",
+    "build_dialogue_tree",
+    "default_management_intents",
+    "format_result_list",
+    "management_catalogue",
+    "render_template",
+]

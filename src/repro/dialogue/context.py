@@ -1,0 +1,114 @@
+"""Persistent conversation context.
+
+§4.1/§5.2: "dialogue uses a context data structure to capture and persist
+relevant information across turns ... allowing users to refer to
+entities mentioned in prior turns", which enables both slot filling
+across utterances (lines 02–05 of the §6.3 sample) and incremental query
+modification ("I mean pediatric", "how about for Fluocinonide?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TurnRecord:
+    """One completed turn: what the user said and how the agent replied."""
+
+    user: str
+    agent: str
+    intent: str | None = None
+    confidence: float = 0.0
+    entities: dict[str, str] = field(default_factory=dict)
+    outcome_kind: str = ""
+
+
+class ConversationContext:
+    """Mutable per-session state shared by the dialogue tree and engine.
+
+    Tracks the current intent, the entity slots accumulated so far
+    (concept → instance value), the intent awaiting slot filling, and the
+    full turn history.
+    """
+
+    def __init__(self) -> None:
+        self.current_intent: str | None = None
+        self.pending_intent: str | None = None
+        self.pending_entity: str | None = None
+        self.entities: dict[str, str] = {}
+        self.history: list[TurnRecord] = []
+        self.variables: dict[str, Any] = {}
+        self.last_response: str = ""
+
+    # -- entities -----------------------------------------------------------
+
+    def remember_entity(self, concept: str, value: str) -> None:
+        """Persist an entity slot; later mentions overwrite earlier ones."""
+        self.entities[concept] = value
+
+    def remember_entities(self, entities: dict[str, str]) -> None:
+        for concept, value in entities.items():
+            self.remember_entity(concept, value)
+
+    def entity(self, concept: str) -> str | None:
+        """The remembered instance value of ``concept``, if any."""
+        for key, value in self.entities.items():
+            if key.lower() == concept.lower():
+                return value
+        return None
+
+    def forget_entity(self, concept: str) -> None:
+        for key in list(self.entities):
+            if key.lower() == concept.lower():
+                del self.entities[key]
+
+    # -- intent / slot filling ----------------------------------------------------
+
+    def begin_slot_filling(self, intent: str, entity: str) -> None:
+        """Mark that the agent is eliciting ``entity`` for ``intent``."""
+        self.pending_intent = intent
+        self.pending_entity = entity
+
+    def end_slot_filling(self) -> None:
+        self.pending_intent = None
+        self.pending_entity = None
+
+    @property
+    def is_slot_filling(self) -> bool:
+        return self.pending_intent is not None
+
+    # -- history ------------------------------------------------------------------
+
+    def record_turn(self, record: TurnRecord) -> None:
+        self.history.append(record)
+        self.last_response = record.agent
+        if record.intent is not None:
+            self.current_intent = record.intent
+
+    @property
+    def turn_count(self) -> int:
+        return len(self.history)
+
+    def last_turn(self) -> TurnRecord | None:
+        return self.history[-1] if self.history else None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear everything except history (a topic change, not a new session)."""
+        self.current_intent = None
+        self.end_slot_filling()
+        self.entities.clear()
+        self.variables.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """A read-only view of the mutable state, for logging/testing."""
+        return {
+            "current_intent": self.current_intent,
+            "pending_intent": self.pending_intent,
+            "pending_entity": self.pending_entity,
+            "entities": dict(self.entities),
+            "turns": self.turn_count,
+        }

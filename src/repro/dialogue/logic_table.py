@@ -1,0 +1,174 @@
+"""The Dialogue Logic Table (Tables 3 and 4 of the paper).
+
+§5.2 step 1: "The intents, entities and their relationships derived from
+an ontology are represented in the form of a Dialogue Logic Table" with
+columns: intent name, intent example, required entities, agent
+elicitations, optional entities, agent response.  Step 2 generates the
+dialogue tree from this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bootstrap.intents import Intent
+from repro.bootstrap.space import ConversationSpace
+from repro.errors import LogicTableError
+
+
+def context_key(concept: str) -> str:
+    """Normalize a concept name into a template variable key
+    (``Age Group`` → ``age_group``)."""
+    return concept.lower().replace(" ", "_").replace("-", "_")
+
+
+@dataclass
+class DialogueLogicRow:
+    """One row of the dialogue logic table."""
+
+    intent_name: str
+    intent_example: str
+    required_entities: list[str] = field(default_factory=list)
+    elicitations: dict[str, str] = field(default_factory=dict)
+    optional_entities: list[str] = field(default_factory=list)
+    response_template: str = ""
+    kind: str = "lookup"
+
+    def elicitation_for(self, concept: str) -> str:
+        """The agent prompt eliciting ``concept``."""
+        for key, prompt in self.elicitations.items():
+            if key.lower() == concept.lower():
+                return prompt
+        return f"For which {concept.lower()}?"
+
+
+def default_elicitation(concept: str) -> str:
+    """The default agent prompt eliciting a required ``concept``."""
+    return f"For which {concept.lower()}?"
+
+
+def default_response_template(intent: Intent) -> str:
+    """Compose the default agent response template for a domain intent.
+
+    Templates reference ``{results}`` (filled from the KB result set) and
+    one ``{<concept>}`` variable per required entity, e.g.::
+
+        Here are the Drug that treats {indication}: {results}
+    """
+    slots = " for ".join(
+        "{" + context_key(c) + "}" for c in intent.required_entities
+    )
+    subject = intent.result_concept or intent.name
+    if intent.kind == "lookup":
+        return f"Here are the {subject} for {slots}: {{results}}"
+    if intent.kind == "direct_relationship":
+        return f"Here are the {subject} for {slots}: {{results}}"
+    if intent.kind == "indirect_relationship":
+        return f"Here is the {subject} information for {slots}: {{results}}"
+    if intent.kind == "keyword":
+        return ""
+    return f"Here is what I found for {slots}: {{results}}"
+
+
+@dataclass
+class DialogueLogicTable:
+    """The full specification the dialogue tree is generated from."""
+
+    rows: list[DialogueLogicRow] = field(default_factory=list)
+
+    def row_for(self, intent_name: str) -> DialogueLogicRow | None:
+        for row in self.rows:
+            if row.intent_name.lower() == intent_name.lower():
+                return row
+        return None
+
+    def add_row(self, row: DialogueLogicRow) -> None:
+        if self.row_for(row.intent_name) is not None:
+            raise LogicTableError(
+                f"logic table already has a row for intent {row.intent_name!r}"
+            )
+        self.rows.append(row)
+
+    def validate(self) -> None:
+        """Check internal consistency: every required entity has an
+        elicitation and appears in the response template."""
+        for row in self.rows:
+            if row.kind in ("keyword", "management"):
+                continue
+            for concept in row.required_entities:
+                placeholder = "{" + context_key(concept) + "}"
+                if row.response_template and placeholder not in row.response_template:
+                    raise LogicTableError(
+                        f"row {row.intent_name!r}: response template does not "
+                        f"reference required entity {concept!r}"
+                    )
+
+    @classmethod
+    def from_space(cls, space: ConversationSpace) -> "DialogueLogicTable":
+        """Generate the logic table from a bootstrapped conversation space."""
+        table = cls()
+        for intent in space.intents:
+            if intent.kind == "management":
+                continue
+            examples = space.examples_for(intent.name)
+            example_text = examples[0].utterance if examples else intent.name
+            elicitations = {
+                concept: intent.elicitations.get(
+                    concept, default_elicitation(concept)
+                )
+                for concept in intent.required_entities
+            }
+            row = DialogueLogicRow(
+                intent_name=intent.name,
+                intent_example=example_text,
+                required_entities=list(intent.required_entities),
+                elicitations=elicitations,
+                optional_entities=list(intent.optional_entities),
+                response_template=(
+                    intent.response_template
+                    if intent.response_template is not None
+                    else default_response_template(intent)
+                ),
+                kind=intent.kind,
+            )
+            table.add_row(row)
+        table.validate()
+        return table
+
+    def render(self, max_width: int = 36) -> str:
+        """Render the table as ASCII, mirroring Tables 3–4."""
+        headers = [
+            "Intent Name",
+            "Intent Example",
+            "Required Entities",
+            "Agent Elicitation",
+            "Optional Entities",
+            "Agent Response",
+        ]
+
+        def clip(text: str) -> str:
+            return text if len(text) <= max_width else text[: max_width - 3] + "..."
+
+        body = []
+        for row in self.rows:
+            body.append(
+                [
+                    clip(row.intent_name),
+                    clip(row.intent_example),
+                    clip(", ".join(row.required_entities)),
+                    clip(" / ".join(row.elicitations.values())),
+                    clip(", ".join(row.optional_entities)),
+                    clip(row.response_template),
+                ]
+            )
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+        return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Conversation-management patterns (Natural Conversation Framework).
+
+§5.2 step 3: the domain dialogue tree is augmented with generic,
+domain-independent conversation-management nodes.  The paper's template
+contains "32 generic patterns for sequence-level management and 39
+generic patterns for conversation-level management" from Moore & Arar's
+Natural Conversation Framework [24]; this module provides an equivalent
+catalogue plus the management *intents* (with training examples and
+response templates) that the classifier must recognize — the paper adds
+14 of these to MDX (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bootstrap.intents import Intent
+
+
+@dataclass(frozen=True)
+class ManagementPattern:
+    """One generic interaction pattern from the NCF-style catalogue.
+
+    ``level`` is ``"sequence"`` (managing one request/answer sequence,
+    e.g. repairs and acknowledgements) or ``"conversation"`` (managing
+    the encounter itself, e.g. openings and closings).  ``intent`` names
+    the management intent that triggers the pattern, when user-initiated;
+    agent-initiated patterns have no intent.
+    """
+
+    code: str
+    name: str
+    level: str
+    intent: str | None = None
+    description: str = ""
+
+
+#: Sequence-level management patterns (B-series): repairs,
+#: acknowledgements, elicitations — 32 entries, as in the paper.
+SEQUENCE_PATTERNS: tuple[ManagementPattern, ...] = tuple(
+    ManagementPattern(code, name, "sequence", intent, desc)
+    for code, name, intent, desc in [
+        ("B1.0.0", "Repeat Request", "repeat_request", "User asks the agent to repeat its prior utterance."),
+        ("B1.1.0", "Partial Repeat Request", "repeat_request", "User asks to repeat part of the prior utterance."),
+        ("B1.2.0", "Hearing Check", "repeat_request", "User signals a hearing problem ('what did you say?')."),
+        ("B2.0.0", "Paraphrase Request", "paraphrase_request", "User asks the agent to rephrase ('what do you mean?')."),
+        ("B2.1.0", "Elaboration Request", "paraphrase_request", "User asks for more detail on the prior answer."),
+        ("B2.2.0", "Example Request", "paraphrase_request", "User asks for an example of what the agent means."),
+        ("B2.5.0", "Definition Request Repair", "definition_request", "User asks what a term used by the agent means; agent provides a definition."),
+        ("B2.6.0", "Spelling Request", "definition_request", "User asks how a term is spelled."),
+        ("B3.0.0", "Self-Correction", None, "User corrects their own prior utterance ('I mean pediatric')."),
+        ("B3.1.0", "Incremental Modification", None, "User modifies one slot of the prior request."),
+        ("B3.2.0", "Entity Replacement", None, "User swaps the entity of the prior request ('how about Fluocinonide?')."),
+        ("B4.0.0", "Agent Elicitation of Missing Detail", None, "Agent elicits a required entity (slot filling)."),
+        ("B4.1.0", "Elicitation Re-Prompt", None, "Agent re-prompts after an unusable slot answer."),
+        ("B4.2.0", "Elicitation Abort", "abort", "User aborts an elicitation sequence ('never mind')."),
+        ("B5.0.0", "Disambiguation Offer", None, "Agent offers candidate interpretations of a partial entity."),
+        ("B5.1.0", "Disambiguation Selection", None, "User selects one offered candidate."),
+        ("B5.2.0", "Disambiguation Rejection", "negative", "User rejects the offered candidates."),
+        ("B6.0.0", "Positive Acknowledgement", "positive_ack", "User acknowledges the answer ('okay')."),
+        ("B6.1.0", "Appreciation", "thanks", "User thanks the agent, closing the sequence."),
+        ("B6.2.0", "Appreciation Receipt", None, "Agent receipts an appreciation and checks for a next topic."),
+        ("B7.0.0", "Confirmation Request", None, "Agent asks the user to confirm an interpretation."),
+        ("B7.1.0", "Confirmation", "affirmative", "User confirms ('yes')."),
+        ("B7.2.0", "Disconfirmation", "negative", "User disconfirms ('no')."),
+        ("B8.0.0", "Answer Complaint", "complaint", "User flags the answer as wrong or unhelpful."),
+        ("B8.1.0", "Complaint Receipt", None, "Agent apologizes and requests a reformulation."),
+        ("B9.0.0", "Sequence Closing", None, "Agent closes the sequence and offers further help."),
+        ("B10.0.0", "Repair Marker", None, "Agent marks a repair before repeating or rephrasing ('Oh.')."),
+        ("B11.0.0", "Missing Result Account", None, "Agent accounts for an empty result set."),
+        ("B12.0.0", "Low Confidence Check", None, "Agent checks understanding when classification confidence is low."),
+        ("B13.0.0", "Fallback Reformulation Request", None, "Agent asks the user to reformulate after failing to understand."),
+        ("B14.0.0", "Keyword Query Elicitation", None, "Agent proposes a query pattern for an entity-only utterance."),
+        ("B15.0.0", "Slot Carryover", None, "Agent reuses entities from the persistent context instead of re-eliciting."),
+    ]
+)
+
+#: Conversation-level management patterns (A/C-series): openings,
+#: closings, capability talk, small talk — 39 entries, as in the paper.
+CONVERSATION_PATTERNS: tuple[ManagementPattern, ...] = tuple(
+    ManagementPattern(code, name, "conversation", intent, desc)
+    for code, name, intent, desc in [
+        ("A1.0.0", "Conversation Opening", "greeting", "Agent greets, identifies the application and offers help."),
+        ("A1.1.0", "Greeting Return", "greeting", "User greets; agent returns the greeting."),
+        ("A1.2.0", "Opening Tip", None, "Agent offers a first-time usage tip."),
+        ("A1.3.0", "Welcome Back", "greeting", "Agent recognizes a returning user."),
+        ("A2.0.0", "Offer of Help", None, "Agent asks how it can help."),
+        ("A2.1.0", "Help Request", "help", "User asks for help; agent explains what it can do."),
+        ("A2.2.0", "Capability Check", "capabilities", "User asks what the agent can do."),
+        ("A2.3.0", "Capability Expansion", "capabilities", "User asks for more capability examples."),
+        ("A2.4.0", "Scope Disclaimer", None, "Agent states the limits of its knowledge."),
+        ("A3.0.0", "Topic Check", None, "Agent checks for a last topic ('Anything else?')."),
+        ("A3.1.0", "New Topic", None, "User opens a new request after a topic close."),
+        ("A3.2.0", "Topic Continuation", None, "User continues the current topic with a follow-up."),
+        ("A3.3.0", "Topic Abort", "abort", "User abandons the current topic."),
+        ("A4.0.0", "Conversation Closing", "goodbye", "Agent initiates the closing when the user indicates no more topics."),
+        ("A4.1.0", "Closing Reciprocation", "goodbye", "User reciprocates the closing ('goodbye')."),
+        ("A4.2.0", "Pre-Closing Appreciation", "thanks", "User thanks the agent before closing."),
+        ("A4.3.0", "Closing Receipt", None, "Agent thanks the user for using the application."),
+        ("A5.0.0", "Identity Query", "chitchat", "User asks who/what the agent is."),
+        ("A5.1.0", "Purpose Query", "capabilities", "User asks what the agent is for."),
+        ("A5.2.0", "Maker Query", "chitchat", "User asks who made the agent."),
+        ("A5.3.0", "Name Query", "chitchat", "User asks the agent's name."),
+        ("A6.0.0", "Well-Being Small Talk", "chitchat", "User asks 'how are you?'."),
+        ("A6.1.0", "Small Talk Deflection", None, "Agent deflects extended small talk back to the task."),
+        ("A6.2.0", "Joke Request", "chitchat", "User asks for a joke; agent declines gracefully."),
+        ("A7.0.0", "Praise Receipt", "positive_ack", "User praises the agent; agent receipts."),
+        ("A7.1.0", "Criticism Receipt", "complaint", "User criticizes the agent; agent apologizes."),
+        ("A8.0.0", "Feedback Elicitation", None, "Agent points at the feedback affordances (thumbs up/down)."),
+        ("A8.1.0", "Positive Feedback Receipt", "positive_ack", "Agent receipts explicit positive feedback."),
+        ("A8.2.0", "Negative Feedback Receipt", "complaint", "Agent receipts explicit negative feedback."),
+        ("A9.0.0", "Hold Request", None, "User asks the agent to wait."),
+        ("A9.1.0", "Resume After Hold", None, "User resumes after a hold."),
+        ("A10.0.0", "Restart Request", "abort", "User asks to start over; context is cleared."),
+        ("A10.1.0", "Context Reset Receipt", None, "Agent confirms the context was cleared."),
+        ("A11.0.0", "Human Escalation Request", "help", "User asks for a human; agent explains its nature."),
+        ("A12.0.0", "Language Check", "chitchat", "User asks what languages the agent speaks."),
+        ("A13.0.0", "Silence Re-Engagement", None, "Agent re-engages after prolonged user silence."),
+        ("A14.0.0", "Out-of-Scope Receipt", None, "Agent acknowledges a request outside the domain."),
+        ("A15.0.0", "Gratitude Return", "thanks", "Agent returns thanks and offers more help."),
+        ("A16.0.0", "Sign-Off Tip", None, "Agent leaves a parting usage tip."),
+    ]
+)
+
+
+def management_catalogue() -> list[ManagementPattern]:
+    """The full catalogue: 32 sequence-level + 39 conversation-level patterns."""
+    return list(SEQUENCE_PATTERNS) + list(CONVERSATION_PATTERNS)
+
+
+#: Canonical response templates per management intent.  Special keys the
+#: engine substitutes at run time: ``{last_response}`` and ``{definition}``.
+MANAGEMENT_RESPONSES: dict[str, str] = {
+    "greeting": (
+        "Hello. This is {agent_name}. If this is your first time, just ask "
+        "for help. How can I help you today?"
+    ),
+    "goodbye": "Thank you for using {agent_name}. Goodbye.",
+    "thanks": "You're welcome! Anything else?",
+    "help": (
+        "I can answer questions over the {domain} knowledge base — for "
+        "example: {examples}. You can also ask follow-up questions that "
+        "reuse what you already told me."
+    ),
+    "capabilities": (
+        "I understand questions about the {domain} knowledge base, such "
+        "as: {examples}. I also handle follow-ups, clarifications and "
+        "corrections."
+    ),
+    "repeat_request": "I said: {last_response}",
+    "paraphrase_request": "Let me rephrase: {last_response}",
+    "definition_request": "Oh. {definition}",
+    "positive_ack": "Great. Anything else?",
+    "abort": "OK. Please modify your search.",
+    "affirmative": "Okay.",
+    "negative": "OK. Please modify your search.",
+    "complaint": (
+        "I'm sorry about that. Could you rephrase your question? Your "
+        "feedback helps me improve."
+    ),
+    "chitchat": (
+        "I'm a conversational assistant for the {domain} knowledge base. "
+        "How can I help you today?"
+    ),
+}
+
+#: Training examples per management intent.
+MANAGEMENT_EXAMPLES: dict[str, list[str]] = {
+    "greeting": [
+        "hello", "hi", "hey there", "good morning", "hi there", "greetings",
+        "good afternoon", "good evening", "hey", "hello there", "hiya",
+        "morning", "hello assistant", "hey assistant",
+    ],
+    "goodbye": [
+        "goodbye", "bye", "see you later", "bye bye", "exit", "quit",
+        "good night", "see ya", "later", "i am done", "that is all",
+        "im leaving now", "have a good day", "signing off",
+    ],
+    "thanks": [
+        "thanks", "thank you", "thanks a lot", "thank you so much",
+        "much appreciated", "thx", "ty", "thanks for the help",
+        "appreciate it", "many thanks", "thank you very much",
+        "cheers thanks", "great thanks", "thanks so much",
+    ],
+    "help": [
+        "help", "i need help", "can you help me", "how do i use this",
+        "what should i do", "help me out", "how does this work",
+        "i am stuck", "show me how to use this", "help please",
+        "i dont know what to ask", "give me some guidance",
+        "how do i ask a question", "instructions please",
+    ],
+    "capabilities": [
+        "what can you do", "what do you know", "what questions can i ask",
+        "what are your capabilities", "what can i ask you",
+        "what kind of questions do you answer", "what topics do you cover",
+        "what information do you have", "what are you able to answer",
+        "tell me what you can do", "list your capabilities",
+        "what do you cover", "what are you good at",
+    ],
+    "repeat_request": [
+        "what did you say", "can you repeat that", "say that again",
+        "repeat please", "come again", "pardon", "sorry what was that",
+        "could you say that once more", "repeat that last answer",
+        "one more time please", "i didnt catch that", "what was that again",
+    ],
+    "paraphrase_request": [
+        "what do you mean", "can you rephrase that", "i don't understand",
+        "can you explain that differently", "huh",
+        "can you say that another way", "that was confusing",
+        "please explain that again", "i dont follow",
+        "could you clarify", "what does that mean exactly",
+        "im not sure i understand",
+    ],
+    "definition_request": [
+        "what do you mean by effective",
+        "what does contraindication mean",
+        "define adverse effect",
+        "what is a black box warning",
+        "meaning of precaution",
+        "what does dose adjustment mean",
+        "definition of pharmacokinetics",
+        "what is meant by off-label",
+        "can you define iv compatibility",
+        "what does half-life mean",
+        "explain the term contraindicated",
+        "what do you mean by that term",
+    ],
+    "positive_ack": [
+        "okay", "ok", "got it", "sounds good", "alright", "great",
+        "perfect", "cool", "understood", "that works", "makes sense",
+        "very good", "awesome", "nice",
+    ],
+    "abort": [
+        "never mind", "forget it", "cancel", "start over", "nevermind",
+        "stop", "cancel that", "forget that", "lets start over",
+        "abort", "scratch that", "reset", "clear this",
+        "drop it",
+    ],
+    "affirmative": [
+        "yes", "yeah", "yep", "sure", "correct", "that's right", "right",
+        "yes please", "exactly", "affirmative", "indeed", "of course",
+        "definitely", "that is correct",
+    ],
+    "negative": [
+        "no", "nope", "not really", "no thanks", "negative", "nah",
+        "no thank you", "not that", "definitely not", "i dont think so",
+        "not quite", "no that is wrong",
+    ],
+    "complaint": [
+        "that's wrong", "that is not what i asked", "bad answer",
+        "this is incorrect", "you misunderstood me", "not helpful",
+        "that answer is useless", "you got that wrong",
+        "this is not right", "terrible answer", "that is not correct",
+        "you are not understanding me", "wrong information",
+    ],
+    "chitchat": [
+        "how are you", "who are you", "what is your name", "are you a robot",
+        "tell me a joke", "who made you", "are you human",
+        "where do you live", "how old are you", "do you like your job",
+        "what languages do you speak", "are you real",
+        "who built you", "whats up",
+    ],
+}
+
+
+def default_management_intents() -> list[Intent]:
+    """The 14 management intents added to every conversation space (§6.1)."""
+    intents = []
+    for name in MANAGEMENT_EXAMPLES:
+        intents.append(
+            Intent(
+                name=name,
+                kind="management",
+                description=MANAGEMENT_RESPONSES.get(name, ""),
+                source="builtin",
+            )
+        )
+    return intents
+
+
+def management_training_examples() -> list[tuple[str, str]]:
+    """(utterance, intent) pairs for every management intent."""
+    pairs = []
+    for intent_name, utterances in MANAGEMENT_EXAMPLES.items():
+        for utterance in utterances:
+            pairs.append((utterance, intent_name))
+    return pairs

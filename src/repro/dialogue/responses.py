@@ -1,0 +1,111 @@
+"""Natural-language response generation.
+
+The agent answers with templated utterances whose variables come from
+the conversation context and the KB result set (§5.2, Table 3's
+"Response template variable").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import DialogueError
+
+#: Maximum values printed before eliding with "and N more".
+DEFAULT_LIST_LIMIT = 10
+
+
+def render_template(template: str, values: dict[str, Any]) -> str:
+    """Fill ``{variable}`` placeholders in ``template`` from ``values``.
+
+    Raises :class:`DialogueError` for unbound placeholders so broken
+    templates fail loudly during dialogue construction, not in front of
+    users.
+    """
+    try:
+        return template.format(**values)
+    except KeyError as exc:
+        raise DialogueError(
+            f"response template {template!r} is missing variable {exc}"
+        ) from exc
+    except IndexError as exc:
+        raise DialogueError(
+            f"response template {template!r} uses positional placeholders"
+        ) from exc
+
+
+def format_result_list(
+    values: Sequence[Any],
+    limit: int = DEFAULT_LIST_LIMIT,
+    conjunction: str = "and",
+) -> str:
+    """Format KB result values as natural prose.
+
+    Deduplicates while preserving order, joins with commas and a final
+    conjunction, and elides long lists ("..., and 12 more").
+    """
+    unique = []
+    lowered: set[str] = set()
+    for value in values:
+        if value is None:
+            continue
+        text = str(value).strip()
+        if text and text.lower() not in lowered:
+            lowered.add(text.lower())
+            unique.append(text)
+    if not unique:
+        return "no results"
+    if len(unique) == 1:
+        return unique[0]
+    if len(unique) <= limit:
+        return ", ".join(unique[:-1]) + f" {conjunction} " + unique[-1]
+    shown = unique[:limit]
+    remaining = len(unique) - limit
+    return ", ".join(shown) + f", {conjunction} {remaining} more"
+
+
+def format_grouped_rows(
+    rows: Sequence[tuple],
+    limit_per_group: int = DEFAULT_LIST_LIMIT,
+) -> str:
+    """Group rows by their first column, as in the paper's treatment
+    answers ("Effective: Acitretin, Adalimumab...").
+
+    The first column is the category label (kept in first-seen order, which
+    callers control via ORDER BY); the remaining columns of each row form
+    the member text.
+    """
+    if not rows:
+        return "no results"
+    groups: dict[str, list[str]] = {}
+    order: list[str] = []
+    for row in rows:
+        label = str(row[0]) if row[0] is not None else "Other"
+        member = " — ".join(str(v) for v in row[1:] if v is not None)
+        if not member:
+            continue
+        if label not in groups:
+            groups[label] = []
+            order.append(label)
+        if member not in groups[label]:
+            groups[label].append(member)
+    parts = []
+    for label in order:
+        members = format_result_list(groups[label], limit=limit_per_group)
+        parts.append(f"{label}: {members}")
+    return "; ".join(parts) if parts else "no results"
+
+
+def format_result_rows(rows: Sequence[tuple], limit: int = DEFAULT_LIST_LIMIT) -> str:
+    """Format result rows: single-column rows become a prose list, wider
+    rows become "a — b — c" lines."""
+    if not rows:
+        return "no results"
+    if all(len(row) == 1 for row in rows):
+        return format_result_list([row[0] for row in rows], limit=limit)
+    lines = []
+    for row in rows[:limit]:
+        lines.append(" — ".join(str(v) for v in row if v is not None))
+    if len(rows) > limit:
+        lines.append(f"(and {len(rows) - limit} more)")
+    return "; ".join(lines)

@@ -1,0 +1,293 @@
+"""The dialogue tree: structure, generation and traversal.
+
+§5: the tree defines "the space of all user utterances that the system
+can recognize and all responses that it can generate".  Nodes carry
+conditions over (intent, entities, context); traversal returns a
+:class:`NodeOutcome` that the online engine acts on (elicit a slot,
+answer from the KB, emit a management response, or fall back), matching
+the two flows of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dialogue.context import ConversationContext
+from repro.dialogue.logic_table import DialogueLogicTable, context_key
+from repro.dialogue.management import MANAGEMENT_RESPONSES
+from repro.errors import DialogueError
+
+#: Classification confidences below this trigger the fallback node
+#: (0.2 is also Watson Assistant's default irrelevance threshold).
+DEFAULT_CONFIDENCE_THRESHOLD = 0.2
+
+
+@dataclass
+class MatchState:
+    """What the tree conditions see: the NLU output merged with context."""
+
+    intent: str | None
+    confidence: float
+    entities: dict[str, str]          # recognized in the current utterance
+    merged_entities: dict[str, str]   # context entities overlaid with current
+    context: ConversationContext
+
+    def has_entity(self, concept: str) -> bool:
+        low = concept.lower()
+        return any(k.lower() == low for k in self.merged_entities)
+
+    def entity(self, concept: str) -> str | None:
+        low = concept.lower()
+        for key, value in self.merged_entities.items():
+            if key.lower() == low:
+                return value
+        return None
+
+
+@dataclass
+class NodeOutcome:
+    """What the matched node instructs the engine to do.
+
+    ``kind`` is one of:
+
+    * ``"answer"`` — run the intent's query template with ``bindings``,
+    * ``"elicit"`` — prompt for ``elicit_concept`` (slot filling),
+    * ``"management"`` — reply with the canned ``response_template``,
+    * ``"keyword"`` — entity-only utterance: propose a query pattern,
+    * ``"fallback"`` — the utterance was not understood.
+    """
+
+    kind: str
+    node_name: str
+    intent_name: str | None = None
+    elicit_concept: str | None = None
+    elicit_prompt: str | None = None
+    response_template: str | None = None
+    bindings: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class DialogueNode:
+    """One node: a condition, an optional outcome factory, and children.
+
+    A node *matches* when its condition returns True; traversal then
+    descends into its children (first matching child wins) and falls back
+    to the node's own outcome when no child matches.
+    """
+
+    name: str
+    condition: Callable[[MatchState], bool]
+    outcome: Callable[[MatchState], NodeOutcome] | None = None
+    children: list["DialogueNode"] = field(default_factory=list)
+
+    def walk(self, state: MatchState) -> NodeOutcome | None:
+        if not self.condition(state):
+            return None
+        for child in self.children:
+            result = child.walk(state)
+            if result is not None:
+                return result
+        if self.outcome is not None:
+            return self.outcome(state)
+        return None
+
+
+class DialogueTree:
+    """An ordered forest of dialogue nodes with a guaranteed fallback."""
+
+    def __init__(
+        self,
+        nodes: list[DialogueNode],
+        logic_table: DialogueLogicTable,
+        confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+    ) -> None:
+        self.nodes = nodes
+        self.logic_table = logic_table
+        self.confidence_threshold = confidence_threshold
+
+    def respond(
+        self,
+        intent: str | None,
+        confidence: float,
+        entities: dict[str, str],
+        context: ConversationContext,
+    ) -> NodeOutcome:
+        """Traverse the tree for one classified utterance.
+
+        ``entities`` maps concept → instance value recognized in the
+        current utterance; context entities persist underneath them
+        (current mentions win — incremental modification).
+        """
+        merged = dict(context.entities)
+        merged.update(entities)
+        state = MatchState(
+            intent=intent,
+            confidence=confidence,
+            entities=entities,
+            merged_entities=merged,
+            context=context,
+        )
+        for node in self.nodes:
+            result = node.walk(state)
+            if result is not None:
+                return result
+        return NodeOutcome(kind="fallback", node_name="fallback")
+
+    def node_count(self) -> int:
+        def count(node: DialogueNode) -> int:
+            return 1 + sum(count(child) for child in node.children)
+
+        return sum(count(node) for node in self.nodes)
+
+
+# ---------------------------------------------------------------------------
+# Tree generation (§5.2 steps 2 and 3)
+# ---------------------------------------------------------------------------
+
+
+def _management_node(intent_name: str, template: str) -> DialogueNode:
+    def condition(state: MatchState) -> bool:
+        return state.intent == intent_name
+
+    def outcome(state: MatchState) -> NodeOutcome:
+        return NodeOutcome(
+            kind="management",
+            node_name=f"management:{intent_name}",
+            intent_name=intent_name,
+            response_template=template,
+        )
+
+    return DialogueNode(
+        name=f"management:{intent_name}", condition=condition, outcome=outcome
+    )
+
+
+def _domain_node(row) -> DialogueNode:
+    intent_name = row.intent_name
+
+    def condition(state: MatchState) -> bool:
+        return state.intent == intent_name
+
+    children: list[DialogueNode] = []
+    for concept in row.required_entities:
+        prompt = row.elicitation_for(concept)
+
+        def make_condition(concept_name: str) -> Callable[[MatchState], bool]:
+            return lambda state: not state.has_entity(concept_name)
+
+        def make_outcome(
+            concept_name: str, prompt_text: str
+        ) -> Callable[[MatchState], NodeOutcome]:
+            def outcome(state: MatchState) -> NodeOutcome:
+                return NodeOutcome(
+                    kind="elicit",
+                    node_name=f"{intent_name}:elicit:{concept_name}",
+                    intent_name=intent_name,
+                    elicit_concept=concept_name,
+                    elicit_prompt=prompt_text,
+                    bindings=dict(state.merged_entities),
+                )
+
+            return outcome
+
+        children.append(
+            DialogueNode(
+                name=f"{intent_name}:elicit:{concept}",
+                condition=make_condition(concept),
+                outcome=make_outcome(concept, prompt),
+            )
+        )
+
+    def answer_outcome(state: MatchState) -> NodeOutcome:
+        bindings = {
+            concept: state.entity(concept) or ""
+            for concept in row.required_entities
+        }
+        for concept in row.optional_entities:
+            value = state.entity(concept)
+            if value is not None:
+                bindings[concept] = value
+        kind = "keyword" if row.kind == "keyword" else "answer"
+        return NodeOutcome(
+            kind=kind,
+            node_name=f"{intent_name}:answer",
+            intent_name=intent_name,
+            response_template=row.response_template or None,
+            bindings=bindings,
+        )
+
+    # The answer node is the default child: reached when no elicitation fires.
+    children.append(
+        DialogueNode(
+            name=f"{intent_name}:answer",
+            condition=lambda state: True,
+            outcome=answer_outcome,
+        )
+    )
+    return DialogueNode(
+        name=f"intent:{intent_name}", condition=condition, children=children
+    )
+
+
+def build_dialogue_tree(
+    logic_table: DialogueLogicTable,
+    management_responses: dict[str, str] | None = None,
+    confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+) -> DialogueTree:
+    """Generate the dialogue tree from a logic table (§5.2 step 2) and
+    augment it with conversation-management nodes (step 3).
+
+    Node order matters and mirrors the paper's design: management
+    nodes first (they must win over domain intents for utterances like
+    "thanks"), then one subtree per domain intent with elicitation
+    children before the answer node, then the fallback.
+    """
+    management_responses = (
+        MANAGEMENT_RESPONSES if management_responses is None else management_responses
+    )
+    nodes: list[DialogueNode] = []
+
+    def low_confidence(state: MatchState) -> bool:
+        return state.intent is None or state.confidence < confidence_threshold
+
+    def fallback_outcome(state: MatchState) -> NodeOutcome:
+        return NodeOutcome(kind="fallback", node_name="fallback")
+
+    nodes.append(
+        DialogueNode(
+            name="fallback:low_confidence",
+            condition=low_confidence,
+            outcome=fallback_outcome,
+        )
+    )
+    for intent_name, template in management_responses.items():
+        nodes.append(_management_node(intent_name, template))
+    for row in logic_table.rows:
+        nodes.append(_domain_node(row))
+    nodes.append(
+        DialogueNode(
+            name="fallback", condition=lambda state: True, outcome=fallback_outcome
+        )
+    )
+    return DialogueTree(
+        nodes, logic_table, confidence_threshold=confidence_threshold
+    )
+
+
+def render_bindings(bindings: dict[str, str]) -> dict[str, str]:
+    """Convert concept-keyed bindings into template-variable-keyed ones."""
+    return {context_key(concept): value for concept, value in bindings.items()}
+
+
+def validate_tree(tree: DialogueTree) -> None:
+    """Sanity-check the generated tree: a fallback exists and every logic
+    row has a subtree."""
+    names = {node.name for node in tree.nodes}
+    if "fallback" not in names:
+        raise DialogueError("dialogue tree has no fallback node")
+    for row in tree.logic_table.rows:
+        if f"intent:{row.intent_name}" not in names:
+            raise DialogueError(
+                f"dialogue tree lacks a subtree for intent {row.intent_name!r}"
+            )

@@ -1,0 +1,32 @@
+"""Online conversation engine.
+
+The online process of Figure 1(b): a user utterance is classified into
+an intent, its entities are recognized (with synonym, fuzzy and
+partial-name matching), the dialogue tree chooses an action, the
+structured query template is populated and executed against the KB, and
+a natural-language response is generated.
+"""
+
+from repro.engine.agent import AgentResponse, ConversationAgent, Session
+from repro.engine.feedback import FeedbackLog, InteractionRecord
+from repro.engine.logging import (
+    load_log,
+    mine_negative_interactions,
+    retrain_from_log,
+    save_log,
+)
+from repro.engine.recognizer import EntityRecognizer, RecognitionResult
+
+__all__ = [
+    "AgentResponse",
+    "ConversationAgent",
+    "EntityRecognizer",
+    "FeedbackLog",
+    "InteractionRecord",
+    "RecognitionResult",
+    "Session",
+    "load_log",
+    "mine_negative_interactions",
+    "retrain_from_log",
+    "save_log",
+]

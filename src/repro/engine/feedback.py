@@ -1,0 +1,76 @@
+"""User feedback capture (thumbs up / thumbs down).
+
+§7.2: success is measured from the feedback buttons — "we consider the
+negative feedback more credible" — so every interaction is logged with
+an optional feedback mark, and the evaluation harness computes success
+rates from the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class InteractionRecord:
+    """One logged user interaction."""
+
+    utterance: str
+    response: str
+    intent: str | None
+    confidence: float
+    outcome_kind: str
+    feedback: str | None = None  # "up", "down" or None
+    session_id: int = 0
+    sme_label: str | None = None  # "positive"/"negative" when SME-reviewed
+
+
+class FeedbackLog:
+    """An append-only log of interactions with feedback marks."""
+
+    def __init__(self) -> None:
+        self._records: list[InteractionRecord] = []
+
+    def record(self, record: InteractionRecord) -> InteractionRecord:
+        self._records.append(record)
+        return record
+
+    def mark_last(self, feedback: str) -> None:
+        """Attach thumbs feedback to the most recent interaction."""
+        if feedback not in ("up", "down"):
+            raise ValueError("feedback must be 'up' or 'down'")
+        if not self._records:
+            raise ValueError("no interaction to mark")
+        self._records[-1].feedback = feedback
+
+    def records(self) -> list[InteractionRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[InteractionRecord]:
+        return iter(self._records)
+
+    # -- aggregates -----------------------------------------------------------
+
+    def negative_count(self) -> int:
+        return sum(1 for r in self._records if r.feedback == "down")
+
+    def success_rate(self) -> float:
+        """Equation 1: (interactions - negative) / interactions."""
+        if not self._records:
+            return 1.0
+        return 1.0 - self.negative_count() / len(self._records)
+
+    def per_intent(self) -> dict[str, tuple[int, int]]:
+        """intent -> (total interactions, negative interactions)."""
+        out: dict[str, list[int]] = {}
+        for record in self._records:
+            key = record.intent or "<none>"
+            bucket = out.setdefault(key, [0, 0])
+            bucket[0] += 1
+            if record.feedback == "down":
+                bucket[1] += 1
+        return {k: (v[0], v[1]) for k, v in out.items()}

@@ -1,0 +1,159 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.  Subsystems
+define narrower classes here (rather than in their own packages) so that
+low-level packages never need to import from higher-level ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Knowledge-base (relational engine) errors
+# ---------------------------------------------------------------------------
+
+
+class KBError(ReproError):
+    """Base class for knowledge-base errors."""
+
+
+class SchemaError(KBError):
+    """Invalid schema definition (duplicate columns, bad foreign key, ...)."""
+
+
+class IntegrityError(KBError):
+    """A constraint (primary key, foreign key, type) would be violated."""
+
+
+class UnknownTableError(KBError):
+    """A referenced table does not exist in the database."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(KBError):
+    """A referenced column does not exist in the table or query scope."""
+
+    def __init__(self, name: str, table: str | None = None) -> None:
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column: {name!r}{where}")
+        self.name = name
+        self.table = table
+
+
+class SQLSyntaxError(KBError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SQLExecutionError(KBError):
+    """The SQL statement is well-formed but cannot be executed."""
+
+
+class BindingError(KBError):
+    """A parameterized query was executed with missing/extra parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Ontology errors
+# ---------------------------------------------------------------------------
+
+
+class OntologyError(ReproError):
+    """Base class for ontology construction and analysis errors."""
+
+
+class UnknownConceptError(OntologyError):
+    """A referenced concept is not part of the ontology."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown concept: {name!r}")
+        self.name = name
+
+
+class DuplicateElementError(OntologyError):
+    """An ontology element with the same name already exists."""
+
+
+# ---------------------------------------------------------------------------
+# Conversation-space bootstrap errors
+# ---------------------------------------------------------------------------
+
+
+class BootstrapError(ReproError):
+    """Base class for conversation-space bootstrapping errors."""
+
+
+class PatternError(BootstrapError):
+    """A query pattern is malformed or cannot be generated."""
+
+
+class TrainingDataError(BootstrapError):
+    """Training example generation failed (e.g. no instances available)."""
+
+
+# ---------------------------------------------------------------------------
+# NLQ errors
+# ---------------------------------------------------------------------------
+
+
+class NLQError(ReproError):
+    """Base class for natural-language-query interpretation errors."""
+
+
+class InterpretationError(NLQError):
+    """The utterance could not be interpreted over the ontology."""
+
+
+class JoinPathError(NLQError):
+    """No join path connects the requested concepts."""
+
+
+class TemplateError(NLQError):
+    """A structured query template is invalid or instantiated incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# Dialogue / engine errors
+# ---------------------------------------------------------------------------
+
+
+class DialogueError(ReproError):
+    """Base class for dialogue construction and execution errors."""
+
+
+class LogicTableError(DialogueError):
+    """The dialogue logic table is inconsistent."""
+
+
+class EngineError(ReproError):
+    """Base class for online conversation-engine errors."""
+
+
+# ---------------------------------------------------------------------------
+# NLP errors
+# ---------------------------------------------------------------------------
+
+
+class NLPError(ReproError):
+    """Base class for NLP substrate errors."""
+
+
+class NotFittedError(NLPError):
+    """A model/vectorizer was used before being fitted."""
+
+
+class EvaluationError(ReproError):
+    """Base class for evaluation-harness errors."""

@@ -1,0 +1,36 @@
+"""Evaluation harness for §7 of the paper.
+
+* :mod:`repro.eval.workload` — a seeded workload simulator producing the
+  7-month usage mix of Table 5 (intent frequencies, keyword-style
+  queries, misspellings, gibberish),
+* :mod:`repro.eval.simulate` — replays the workload against an agent,
+  with a user-feedback model (thumbs up/down) and an SME-judgement
+  model, yielding the interaction log of §7.2,
+* :mod:`repro.eval.success` — Equation 1 success rates, total and
+  per-intent,
+* :mod:`repro.eval.classifier_eval` — the §7.1 bootstrapping evaluation
+  (stratified split → per-intent F1, Table 5),
+* :mod:`repro.eval.reports` — ASCII renderers for the paper's tables and
+  bar figures,
+* :mod:`repro.eval.ablation` — ablations of the design choices
+  (training volume, SME augmentation, synonyms, persistent context).
+"""
+
+from repro.eval.classifier_eval import evaluate_bootstrap_classifier
+from repro.eval.reports import render_bar_figure, render_table
+from repro.eval.simulate import SimulationResult, simulate_usage
+from repro.eval.success import per_intent_success, success_rate
+from repro.eval.workload import PAPER_USAGE_MIX, SimulatedQuery, WorkloadGenerator
+
+__all__ = [
+    "PAPER_USAGE_MIX",
+    "SimulatedQuery",
+    "SimulationResult",
+    "WorkloadGenerator",
+    "evaluate_bootstrap_classifier",
+    "per_intent_success",
+    "render_bar_figure",
+    "render_table",
+    "simulate_usage",
+    "success_rate",
+]

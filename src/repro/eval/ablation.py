@@ -1,0 +1,276 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each function builds reduced variants of the MDX pipeline and returns a
+small dict of comparable numbers, so the corresponding benchmark can
+print a table: training volume vs F1, SME augmentation on/off, synonym
+dictionaries on/off, persistent context on/off, and union/inheritance
+pattern augmentation on/off.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bootstrap.space import ConversationSpace
+from repro.engine.agent import ConversationAgent
+from repro.engine.recognizer import EntityRecognizer
+from repro.eval.classifier_eval import evaluate_bootstrap_classifier
+from repro.medical.build import (
+    build_mdx_database,
+    build_mdx_ontology,
+    build_mdx_space,
+)
+from repro.medical.generator import GeneratorConfig
+from repro.medical.knowledge import PRIOR_USER_QUERIES
+
+
+def _small_database():
+    return build_mdx_database(GeneratorConfig(max_drugs=45, max_conditions=24))
+
+
+def ablate_training_volume(
+    per_pattern_values: tuple[int, ...] = (2, 4, 8, 12, 20),
+) -> dict[int, float]:
+    """Macro F1 as a function of generated examples per pattern (§4.3.1)."""
+    database = _small_database()
+    ontology = build_mdx_ontology(database)
+    results: dict[int, float] = {}
+    for per_pattern in per_pattern_values:
+        space = build_mdx_space(
+            database, ontology, per_pattern=per_pattern, with_prior_queries=False
+        )
+        evaluation = evaluate_bootstrap_classifier(space, include_management=False)
+        results[per_pattern] = evaluation.average_f1
+    return results
+
+
+def _sme_style_test_set(space: ConversationSpace) -> tuple[list[str], list[str]]:
+    """A test set phrased like real prior user queries (never used for
+    training in the ablated variant)."""
+    utterances, labels = [], []
+    intent_names = {i.name for i in space.intents}
+    for utterance, intent in PRIOR_USER_QUERIES:
+        if intent in intent_names:
+            utterances.append(utterance)
+            labels.append(intent)
+    return utterances, labels
+
+
+def ablate_sme_augmentation() -> dict[str, float]:
+    """Classifier accuracy on SME-style phrasings, with and without the
+    §4.3.2 prior-query augmentation.
+
+    The augmented classifier holds out half of the prior queries for
+    testing; the ablated one sees none of them.
+    """
+    database = _small_database()
+    ontology = build_mdx_ontology(database)
+    rng = random.Random(3)
+
+    space_plain = build_mdx_space(database, ontology, with_prior_queries=False)
+    test_x, test_y = _sme_style_test_set(space_plain)
+    indices = list(range(len(test_x)))
+    rng.shuffle(indices)
+    half = len(indices) // 2
+    train_idx, test_idx = set(indices[:half]), indices[half:]
+
+    def accuracy(space: ConversationSpace) -> float:
+        classifier = space.train_classifier()
+        xs = [test_x[i] for i in test_idx]
+        ys = [test_y[i] for i in test_idx]
+        predictions = classifier.classify_batch(xs)
+        return sum(p.intent == y for p, y in zip(predictions, ys)) / len(ys)
+
+    plain_accuracy = accuracy(space_plain)
+
+    space_augmented = build_mdx_space(database, ontology, with_prior_queries=False)
+    for i in sorted(train_idx):
+        space_augmented.add_training_examples(test_y[i], [test_x[i]])
+    augmented_accuracy = accuracy(space_augmented)
+    return {
+        "without_sme_augmentation": plain_accuracy,
+        "with_sme_augmentation": augmented_accuracy,
+    }
+
+
+def ablate_synonyms() -> dict[str, float]:
+    """Entity-recognition recall on brand-name mentions, with and without
+    the synonym dictionaries (§4.5: "crucial ... for a greater recall")."""
+    database = _small_database()
+    ontology = build_mdx_ontology(database)
+    space = build_mdx_space(database, ontology)
+
+    full = EntityRecognizer(space.entities)
+    stripped_entities = []
+    for entity in space.entities:
+        clone = type(entity)(name=entity.name, kind=entity.kind, concept=entity.concept)
+        for value in entity.values:
+            clone.values.append(type(value)(value=value.value, synonyms=[]))
+        stripped_entities.append(clone)
+    bare = EntityRecognizer(stripped_entities)
+
+    probes: list[tuple[str, str]] = []  # (utterance with brand, canonical drug)
+    for entity in space.entities:
+        if entity.kind != "instance" or entity.concept != "Drug":
+            continue
+        for value in entity.values:
+            for synonym in value.synonyms:
+                probes.append((f"side effects of {synonym}", value.value))
+    if not probes:
+        return {"with_synonyms": 1.0, "without_synonyms": 1.0}
+
+    def recall(recognizer: EntityRecognizer) -> float:
+        hits = 0
+        for utterance, canonical in probes:
+            result = recognizer.recognize(utterance)
+            if result.values.get("Drug", "").lower() == canonical.lower():
+                hits += 1
+        return hits / len(probes)
+
+    return {"with_synonyms": recall(full), "without_synonyms": recall(bare)}
+
+
+def ablate_persistent_context() -> dict[str, float]:
+    """Fraction of two-turn requests answered, with and without the
+    persistent context (§5.2: entities from prior turns are "remembered").
+
+    Scenario: the user first asks for drugs treating a condition (binding
+    condition + age group), then says only "dosage for <drug>" — the
+    paper's lines 12–13.  Without context the second turn cannot be
+    completed in one shot.
+    """
+    database = _small_database()
+    space = build_mdx_space(database)
+    agent = ConversationAgent.build(
+        space, database, agent_name="MDX", domain="drug reference"
+    )
+    # Pairs restricted to the reduced vocabulary of ``_small_database``
+    # (both the condition and the drug are within the size caps).
+    pairs = [
+        ("Fever", "Aspirin"), ("Pain", "Ibuprofen"),
+        ("Headache", "Acetaminophen"), ("Migraine", "Naproxen"),
+        ("Hypertension", "Lisinopril"), ("Heart Failure", "Metoprolol"),
+        ("Hyperlipidemia", "Atorvastatin"), ("Angina", "Amlodipine"),
+    ]
+
+    def answered_with_context() -> float:
+        hits = 0
+        for condition, drug in pairs:
+            session = agent.session()
+            session.ask(f"show me drugs that treat {condition}")
+            session.ask("adult")
+            response = session.ask(f"dosage for {drug}")
+            if response.kind in ("answer", "answer_empty"):
+                hits += 1
+        return hits / len(pairs)
+
+    def answered_without_context() -> float:
+        hits = 0
+        for condition, drug in pairs:
+            session = agent.session()
+            session.ask(f"show me drugs that treat {condition}")
+            session.ask("adult")
+            session.context.reset()  # ablate: drop the persistent context
+            response = session.ask(f"dosage for {drug}")
+            if response.kind in ("answer", "answer_empty"):
+                hits += 1
+        return hits / len(pairs)
+
+    return {
+        "with_context": answered_with_context(),
+        "without_context": answered_without_context(),
+    }
+
+
+def ablate_confidence_threshold(
+    thresholds: tuple[float, ...] = (0.05, 0.1, 0.2, 0.35, 0.5, 0.7),
+    interactions: int = 400,
+) -> dict[float, dict[str, float]]:
+    """Accuracy and fallback rate as the irrelevance threshold moves.
+
+    Too low and gibberish triggers intents; too high and correct but
+    under-confident classifications fall back.  The deployed value (0.2,
+    Watson Assistant's default) should sit near the accuracy plateau.
+    """
+    from repro.eval.simulate import simulate_usage
+    from repro.eval.workload import WorkloadGenerator
+
+    database = _small_database()
+    space = build_mdx_space(database)
+    from repro.medical.build import rename_to_paper_intents
+
+    rename_to_paper_intents(space)
+    generator = WorkloadGenerator(space, seed=13)
+    queries = generator.generate(interactions)
+
+    results: dict[float, dict[str, float]] = {}
+    for threshold in thresholds:
+        agent = ConversationAgent.build(
+            space, database, agent_name="MDX", domain="drug reference",
+            confidence_threshold=threshold,
+        )
+        sim = simulate_usage(agent, queries, seed=3)
+        fallbacks = sum(
+            1 for o in sim.outcomes if o.final_response.kind == "fallback"
+        )
+        results[threshold] = {
+            "accuracy": sim.accuracy,
+            "fallback_rate": fallbacks / len(sim.outcomes),
+        }
+    return results
+
+
+def seed_sensitivity(
+    seeds: tuple[int, ...] = (1, 2, 3),
+    interactions: int = 500,
+) -> dict[str, tuple[float, float]]:
+    """Mean and spread of the headline metrics across simulation seeds.
+
+    Returns metric -> (mean, max-min spread) for agent accuracy and the
+    Equation-1 user success rate.
+    """
+    from repro.eval.simulate import simulate_usage
+    from repro.eval.success import success_rate
+    from repro.eval.workload import WorkloadGenerator
+    from repro.medical.build import rename_to_paper_intents
+
+    database = _small_database()
+    space = build_mdx_space(database)
+    rename_to_paper_intents(space)
+    agent = ConversationAgent.build(
+        space, database, agent_name="MDX", domain="drug reference"
+    )
+    accuracies, successes = [], []
+    for seed in seeds:
+        queries = WorkloadGenerator(space, seed=seed).generate(interactions)
+        sim = simulate_usage(agent, queries, seed=seed + 100)
+        accuracies.append(sim.accuracy)
+        successes.append(success_rate(sim.records))
+
+    def stats(values: list[float]) -> tuple[float, float]:
+        return (sum(values) / len(values), max(values) - min(values))
+
+    return {
+        "accuracy": stats(accuracies),
+        "user_success": stats(successes),
+    }
+
+
+def ablate_special_semantics() -> dict[str, int]:
+    """Pattern counts with and without union/inheritance augmentation
+    (§4.2.1 Figure 4): how many query patterns the special semantics add."""
+    database = _small_database()
+    ontology = build_mdx_ontology(database)
+    space = build_mdx_space(database, ontology, apply_sme_feedback=False)
+    total = sum(len(i.patterns) for i in space.intents)
+    augmented = sum(
+        1
+        for intent in space.intents
+        for pattern in intent.patterns
+        if pattern.augmented_from is not None
+    )
+    return {
+        "patterns_with_augmentation": total,
+        "patterns_without_augmentation": total - augmented,
+        "augmentation_patterns": augmented,
+    }

@@ -1,0 +1,56 @@
+"""ASCII renderers for the paper's tables and bar figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.success import IntentSuccess
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned text table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_bar_figure(
+    successes: Sequence[IntentSuccess],
+    title: str,
+    width: int = 46,
+) -> str:
+    """Render a Figure 11/12-style horizontal bar chart.
+
+    Bar length is proportional to interaction count; the shaded tail
+    marks the negative share; the success rate is printed at the right.
+    """
+    if not successes:
+        return f"{title}\n(no interactions)"
+    label_width = max(len(s.intent) for s in successes)
+    max_count = max(s.interactions for s in successes)
+    lines = [title]
+    for s in successes:
+        bar_len = max(1, round(width * s.interactions / max_count))
+        neg_len = min(bar_len, round(bar_len * s.negative / max(s.interactions, 1)))
+        pos_len = bar_len - neg_len
+        bar = "█" * pos_len + "░" * neg_len
+        lines.append(
+            f"{s.intent.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{s.success_rate * 100:5.1f}%  (n={s.interactions})"
+        )
+    lines.append(f"{'':{label_width}}  {'█ positive  ░ negative':{width}}")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Replay a simulated workload against an agent, with feedback models.
+
+§7.2's measurement setup, reconstructed: every interaction is logged;
+*users* occasionally press thumbs down (mostly after genuinely bad
+answers, rarely by accident — the paper observed thumbs-up is rarely
+used and negative feedback is the credible signal); *SMEs* review a
+random sample and mark every interaction positive/negative, which is
+stricter than user feedback (90.8% vs 97.9% on the paper's sample).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.engine.agent import AgentResponse, ConversationAgent
+from repro.engine.feedback import InteractionRecord
+from repro.eval.workload import SimulatedQuery
+
+#: Maximum cooperative turns a simulated user spends on one query
+#: (initial utterance + elicitation answers + proposal confirmations).
+MAX_FOLLOWUPS = 4
+
+
+@dataclass
+class UserFeedbackModel:
+    """Probabilities governing thumbs-up/down behaviour."""
+
+    down_when_wrong: float = 0.55
+    down_when_empty: float = 0.15
+    down_when_correct: float = 0.004   # accidental presses (§7.2)
+    down_when_gibberish: float = 0.35  # users thumb down their own noise
+    up_when_correct: float = 0.02      # "positive feedback is rarely used"
+
+
+@dataclass
+class SMEJudgementModel:
+    """SME review: negative iff the interaction was actually mishandled,
+    with a small judgement-noise flip rate."""
+
+    sample_fraction: float = 0.10
+    noise: float = 0.02
+
+
+@dataclass
+class SimulationOutcome:
+    """The agent-side outcome of one simulated query."""
+
+    query: SimulatedQuery
+    final_response: AgentResponse
+    turns: int
+    correct: bool
+    record: InteractionRecord
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by :func:`simulate_usage`."""
+
+    outcomes: list[SimulationOutcome] = field(default_factory=list)
+
+    @property
+    def records(self) -> list[InteractionRecord]:
+        return [o.record for o in self.outcomes]
+
+    def sampled_records(self) -> list[InteractionRecord]:
+        """Records that received an SME label (the review sample)."""
+        return [o.record for o in self.outcomes if o.record.sme_label is not None]
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of interactions the agent actually handled correctly."""
+        if not self.outcomes:
+            return 1.0
+        return sum(1 for o in self.outcomes if o.correct) / len(self.outcomes)
+
+
+def _is_correct(query: SimulatedQuery, response: AgentResponse) -> bool:
+    """Ground-truth check of the agent's final behaviour for one query."""
+    if query.noise == "gibberish":
+        # Correct handling of gibberish is *not* answering: fallback or a
+        # clarification is right.
+        return response.kind in ("fallback", "management", "disambiguate")
+    if query.noise == "management":
+        return response.kind == "management" and response.intent == query.true_intent
+    if query.true_intent == "DRUG_GENERAL":
+        # Keyword-only input: proposing a query pattern (or answering a
+        # confirmed proposal) is the designed behaviour.
+        return response.kind in ("proposal", "answer", "disambiguate")
+    if response.kind not in ("answer", "answer_empty"):
+        return False
+    if response.intent != query.true_intent:
+        return False
+    # Entities the user supplied must have been bound correctly.
+    bound = {k.lower(): v.lower() for k, v in response.entities.items()}
+    for concept, value in query.entities.items():
+        got = bound.get(concept.lower())
+        if got is not None and got != value.lower():
+            return False
+    return True
+
+
+def _followup_for(
+    response: AgentResponse,
+    query: SimulatedQuery,
+    agent: ConversationAgent,
+    rng: random.Random,
+) -> str | None:
+    """What a cooperative user says next, or None to stop."""
+    if response.kind == "elicit" and response.elicit_concept:
+        concept = response.elicit_concept
+        value = query.entities.get(concept)
+        if value is None:
+            options = agent.recognizer.values_for_concept(concept)
+            value = rng.choice(options) if options else None
+        return value
+    if response.kind == "proposal":
+        return "yes" if rng.random() < 0.7 else "no"
+    if response.kind == "disambiguate":
+        # Pick the canonical value the user meant, if known.
+        for value in query.entities.values():
+            return value
+        return None
+    return None
+
+
+def simulate_usage(
+    agent: ConversationAgent,
+    queries: list[SimulatedQuery],
+    user_model: UserFeedbackModel | None = None,
+    sme_model: SMEJudgementModel | None = None,
+    seed: int = 5,
+) -> SimulationResult:
+    """Run every query through its own session and log feedback.
+
+    Each query is one *interaction*: the initial utterance plus up to
+    :data:`MAX_FOLLOWUPS` cooperative follow-up turns (elicitation
+    answers, proposal confirmations).  Feedback and SME labels are
+    attached per interaction.
+    """
+    user_model = user_model or UserFeedbackModel()
+    sme_model = sme_model or SMEJudgementModel()
+    rng = random.Random(seed)
+    result = SimulationResult()
+
+    for query in queries:
+        session = agent.session()
+        response = session.ask(query.utterance)
+        turns = 1
+        while turns < MAX_FOLLOWUPS and response.kind in (
+            "elicit",
+            "proposal",
+            "disambiguate",
+        ):
+            followup = _followup_for(response, query, agent, rng)
+            if followup is None:
+                break
+            response = session.ask(followup)
+            turns += 1
+
+        correct = _is_correct(query, response)
+        feedback = None
+        if query.noise == "gibberish":
+            if rng.random() < user_model.down_when_gibberish:
+                feedback = "down"
+        elif not correct:
+            if rng.random() < user_model.down_when_wrong:
+                feedback = "down"
+        elif response.kind == "answer_empty":
+            if rng.random() < user_model.down_when_empty:
+                feedback = "down"
+        elif rng.random() < user_model.down_when_correct:
+            feedback = "down"
+        elif rng.random() < user_model.up_when_correct:
+            feedback = "up"
+
+        sme_label = None
+        if rng.random() < sme_model.sample_fraction:
+            judged_negative = not correct
+            if rng.random() < sme_model.noise:
+                judged_negative = not judged_negative
+            sme_label = "negative" if judged_negative else "positive"
+
+        record = InteractionRecord(
+            utterance=query.utterance,
+            response=response.text,
+            intent=(
+                query.true_intent
+                if query.noise != "gibberish"
+                else "<gibberish>"
+            ),
+            confidence=response.confidence,
+            outcome_kind=response.kind,
+            feedback=feedback,
+            session_id=session.id,
+            sme_label=sme_label,
+        )
+        result.outcomes.append(
+            SimulationOutcome(
+                query=query,
+                final_response=response,
+                turns=turns,
+                correct=correct,
+                record=record,
+            )
+        )
+    return result

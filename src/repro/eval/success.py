@@ -1,0 +1,73 @@
+"""Success-rate computation (§7.2, Equation 1).
+
+    success rate = (#interactions - #negative interactions) / #interactions
+
+computed in total and per intent, from either user feedback (thumbs
+down) or SME judgement, matching Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.feedback import InteractionRecord
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class IntentSuccess:
+    """Per-intent interaction counts and success rate."""
+
+    intent: str
+    interactions: int
+    negative: int
+
+    @property
+    def success_rate(self) -> float:
+        if self.interactions == 0:
+            return 1.0
+        return 1.0 - self.negative / self.interactions
+
+
+def _is_negative(record: InteractionRecord, judge: str) -> bool:
+    if judge == "user":
+        return record.feedback == "down"
+    if judge == "sme":
+        return record.sme_label == "negative"
+    raise EvaluationError(f"unknown judge {judge!r}; use 'user' or 'sme'")
+
+
+def success_rate(records: list[InteractionRecord], judge: str = "user") -> float:
+    """Overall Equation 1 success rate over ``records``."""
+    if not records:
+        return 1.0
+    negative = sum(1 for r in records if _is_negative(r, judge))
+    return 1.0 - negative / len(records)
+
+
+def per_intent_success(
+    records: list[InteractionRecord],
+    judge: str = "user",
+    top_k: int | None = None,
+) -> list[IntentSuccess]:
+    """Per-intent success rates, ordered by descending interaction count.
+
+    ``top_k`` truncates to the most frequent intents (the paper shows the
+    top 10).  Records with no detected intent are grouped under
+    ``"<none>"``.
+    """
+    totals: dict[str, list[int]] = {}
+    for record in records:
+        key = record.intent or "<none>"
+        bucket = totals.setdefault(key, [0, 0])
+        bucket[0] += 1
+        if _is_negative(record, judge):
+            bucket[1] += 1
+    ranked = sorted(
+        (
+            IntentSuccess(intent=k, interactions=v[0], negative=v[1])
+            for k, v in totals.items()
+        ),
+        key=lambda s: (-s.interactions, s.intent),
+    )
+    return ranked[:top_k] if top_k is not None else ranked

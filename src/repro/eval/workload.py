@@ -1,0 +1,368 @@
+"""Seeded workload simulator.
+
+Substitutes the paper's 7 months of real clinician traffic (§7.2).  The
+generated mix matches Table 5's reported intent frequencies, and the
+noise channels reproduce the behaviours the paper observed: keyword-only
+queries ("cogentin"), heavy misspellings, gibberish ("apfjhd"),
+synonym-heavy phrasings ("side effects" for adverse effects), and
+management chatter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bootstrap.space import ConversationSpace
+from repro.bootstrap.training import instance_values
+
+#: Table 5 usage mix (intent name → share of interactions).  The listed
+#: top-10 account for 75%; the remainder spreads over the other intents.
+PAPER_USAGE_MIX: dict[str, float] = {
+    "Drug Dosage for Condition": 0.15,
+    "Administration of Drug": 0.12,
+    "IV Compatibility of Drug": 0.11,
+    "Drugs That Treat Condition": 0.10,
+    "Uses of Drug": 0.09,
+    "Adverse Effects of Drug": 0.05,
+    "Drug-Drug Interactions": 0.04,
+    "DRUG_GENERAL": 0.04,
+    "Dose Adjustments for Drug": 0.03,
+    "Regulatory Status for Drug": 0.02,
+}
+
+#: Paraphrase heads used by the *simulated users* — deliberately a
+#: different distribution from the training generator's initial phrases,
+#: so evaluation is not a memorization test.
+_USER_HEADS = [
+    "", "please show", "can you tell me", "i need", "looking for",
+    "what about", "need to know", "pull up", "check", "find me",
+]
+
+#: Templates per intent family, keyed by the paper intent name.  ``{drug}``
+#: / ``{condition}`` / ``{age}`` are replaced by instance values.
+_UTTERANCE_TEMPLATES: dict[str, list[str]] = {
+    "Drug Dosage for Condition": [
+        "dosage for {drug} for {condition} in {age}",
+        "{drug} dose for {condition} {age}",
+        "how much {drug} for {condition} for {age}",
+        "dosing of {drug} in {age} with {condition}",
+        "{drug} dosage {condition}",
+    ],
+    "Administration of Drug": [
+        "how to administer {drug}",
+        "administration of {drug}",
+        "how do you give {drug}",
+        "how should {drug} be taken",
+        "{drug} administration instructions",
+    ],
+    "IV Compatibility of Drug": [
+        "iv compatibility of {drug}",
+        "is {drug} compatible with normal saline",
+        "y-site compatibility for {drug}",
+        "can {drug} be mixed in dextrose",
+        "{drug} iv compatibility",
+    ],
+    "Drugs That Treat Condition": [
+        "show me drugs that treat {condition} in {age}",
+        "what treats {condition} for {age}",
+        "drugs for {condition} {age}",
+        "treatment options for {condition} in {age}",
+        "medication for {condition} for {age}",
+    ],
+    "Uses of Drug": [
+        "what is {drug} used for",
+        "uses of {drug}",
+        "what does {drug} treat",
+        "indications for {drug}",
+        "{drug} indications",
+    ],
+    "Adverse Effects of Drug": [
+        "adverse effects of {drug}",
+        "side effects of {drug}",
+        "what are the side effects of {drug}",
+        "{drug} adverse reactions",
+        "does {drug} have side effects",
+    ],
+    "Drug-Drug Interactions": [
+        "drug interactions for {drug}",
+        "what interacts with {drug}",
+        "{drug} interactions",
+        "interactions of {drug}",
+        "does anything interact with {drug}",
+    ],
+    "DRUG_GENERAL": [
+        "{drug}",
+        "{drug} info",
+        "{drug} information",
+    ],
+    "Dose Adjustments for Drug": [
+        "dose adjustment for {drug}",
+        "renal dosing for {drug}",
+        "dosing modification for {drug}",
+        "{drug} dose reduction",
+        "hepatic adjustment for {drug}",
+    ],
+    "Regulatory Status for Drug": [
+        "regulatory status for {drug}",
+        "is {drug} fda approved",
+        "approval status of {drug}",
+        "when was {drug} approved",
+    ],
+    "Pharmacokinetics": [
+        "pharmacokinetics of {drug}",
+        "half life of {drug}",
+        "how is {drug} metabolized",
+        "{drug} pk profile",
+    ],
+    "Precautions of Drug": [
+        "precautions for {drug}",
+        "is {drug} safe to give",
+        "{drug} precautions",
+        "cautions for {drug}",
+    ],
+    "Risks of Drug": [
+        "contraindications for {drug}",
+        "black box warning for {drug}",
+        "risks of {drug}",
+        "{drug} contraindications",
+    ],
+    "Toxicology of Drug": [
+        "overdose of {drug}",
+        "toxicology of {drug}",
+        "what happens with too much {drug}",
+    ],
+    "Monitoring for Drug": [
+        "what to monitor on {drug}",
+        "monitoring for {drug}",
+        "labs to check for {drug}",
+    ],
+    "Mechanism of Action": [
+        "how does {drug} work",
+        "mechanism of action of {drug}",
+        "{drug} moa",
+    ],
+    "Patient Education for Drug": [
+        "counseling points for {drug}",
+        "patient education for {drug}",
+        "what should patients know about {drug}",
+    ],
+}
+
+_GIBBERISH = ["apfjhd", "xkcd123", "qwertyuiop", "zzzz", "asdf asdf", "mmmm...", "lkjhg"]
+
+_MANAGEMENT_SAMPLES = [
+    ("thanks", "thanks"), ("thank you", "thanks"),
+    ("thanks for that", "thanks"), ("thank you kindly", "thanks"),
+    ("hello", "greeting"), ("hi assistant", "greeting"),
+    ("hey good morning", "greeting"),
+    ("goodbye", "goodbye"), ("bye now", "goodbye"),
+    ("ok bye", "goodbye"),
+    ("help", "help"), ("i could use some help", "help"),
+    ("help me with this", "help"),
+    ("ok", "positive_ack"), ("ok great", "positive_ack"),
+    ("got it thanks", "positive_ack"),
+    ("what can you do", "capabilities"),
+    ("what else can you do", "capabilities"),
+    ("what kinds of things can i ask", "capabilities"),
+    ("can you repeat that", "repeat_request"),
+    ("say again", "repeat_request"),
+    ("what do you mean", "paraphrase_request"),
+    ("i did not understand that", "paraphrase_request"),
+    ("what does contraindication mean", "definition_request"),
+    ("define black box warning", "definition_request"),
+    ("never mind", "abort"), ("cancel this", "abort"),
+    ("yes", "affirmative"), ("yes that one", "affirmative"),
+    ("no", "negative"), ("no not that", "negative"),
+    ("that is wrong", "complaint"), ("bad response", "complaint"),
+    ("who are you", "chitchat"), ("are you a bot", "chitchat"),
+]
+
+
+@dataclass(frozen=True)
+class SimulatedQuery:
+    """One simulated user query with its ground truth."""
+
+    utterance: str
+    true_intent: str
+    entities: dict[str, str] = field(default_factory=dict)
+    noise: str = "clean"  # clean | misspelled | keyword | gibberish | management
+
+
+def _misspell(text: str, rng: random.Random) -> str:
+    """Introduce one realistic typo into a word of length >= 5."""
+    words = text.split()
+    candidates = [i for i, w in enumerate(words) if len(w) >= 5 and w.isalpha()]
+    if not candidates:
+        return text
+    idx = rng.choice(candidates)
+    word = words[idx]
+    pos = rng.randint(1, len(word) - 2)
+    kind = rng.random()
+    if kind < 0.4:  # drop a character
+        word = word[:pos] + word[pos + 1 :]
+    elif kind < 0.8:  # swap two adjacent characters
+        word = word[:pos] + word[pos + 1] + word[pos] + word[pos + 2 :]
+    else:  # duplicate a character
+        word = word[:pos] + word[pos] + word[pos:]
+    words[idx] = word
+    return " ".join(words)
+
+
+class WorkloadGenerator:
+    """Generates a deterministic stream of simulated user queries.
+
+    Parameters
+    ----------
+    space:
+        The (MDX) conversation space — instance values come from its KB.
+    usage_mix:
+        Intent share of traffic; defaults to the Table 5 mix, with the
+        residual 25% spread uniformly over the other known templates.
+    misspelling_rate / gibberish_rate / management_rate:
+        Noise channel probabilities (gibberish and management replace the
+        domain query; misspelling perturbs it).
+    """
+
+    def __init__(
+        self,
+        space: ConversationSpace,
+        usage_mix: dict[str, float] | None = None,
+        misspelling_rate: float = 0.08,
+        gibberish_rate: float = 0.01,
+        management_rate: float = 0.05,
+        seed: int = 99,
+    ) -> None:
+        self.space = space
+        self.misspelling_rate = misspelling_rate
+        self.gibberish_rate = gibberish_rate
+        self.management_rate = management_rate
+        self._rng = random.Random(seed)
+
+        mix = dict(usage_mix or PAPER_USAGE_MIX)
+        available = {i.name for i in space.intents}
+        mix = {name: share for name, share in mix.items() if name in available}
+        residual_intents = [
+            name
+            for name in _UTTERANCE_TEMPLATES
+            if name in available and name not in mix
+        ]
+        residual = max(0.0, 1.0 - sum(mix.values()))
+        for name in residual_intents:
+            mix[name] = residual / max(len(residual_intents), 1)
+        total = sum(mix.values())
+        self.usage_mix = {name: share / total for name, share in mix.items()}
+
+        self._drugs = instance_values(space.ontology, space.database, "Drug")
+        self._conditions = instance_values(space.ontology, space.database, "Indication")
+        self._ages = ["adults", "children", "adult", "pediatric"]
+        self._drug_synonyms = space.instance_synonyms
+        # Clinicians overwhelmingly ask about real treatment pairs; sample
+        # (drug, condition) from the KB's treats relationship, with a small
+        # incoherent tail.
+        self._treat_pairs: list[tuple[str, str]] = []
+        if space.database is not None and space.database.has_table("treats"):
+            result = space.database.query(
+                "SELECT d.name, i.name AS condition FROM treats t "
+                "INNER JOIN drug d ON t.drug_id = d.drug_id "
+                "INNER JOIN indication i ON t.indication_id = i.indication_id"
+            )
+            self._treat_pairs = [(row[0], row[1]) for row in result.rows]
+        # IV-compatibility questions are asked about drugs that are
+        # actually given intravenously.
+        self._iv_drugs: list[str] = []
+        if space.database is not None and space.database.has_table("iv_compatibility"):
+            result = space.database.query(
+                "SELECT DISTINCT d.name FROM iv_compatibility c "
+                "INNER JOIN drug d ON c.drug_id = d.drug_id"
+            )
+            self._iv_drugs = [row[0] for row in result.rows]
+
+    def _drug_surface(self) -> tuple[str, str]:
+        """A drug mention (possibly a brand/salt synonym) and its canonical
+        name."""
+        canonical = self._rng.choice(self._drugs)
+        synonyms = self._drug_synonyms.synonyms_of(canonical)
+        if synonyms and self._rng.random() < 0.3:
+            return self._rng.choice(synonyms), canonical
+        return canonical, canonical
+
+    def _age_binding(self, surface: str) -> str:
+        return {
+            "adults": "Adult", "adult": "Adult",
+            "children": "Pediatric", "pediatric": "Pediatric",
+        }[surface]
+
+    def generate(self, count: int) -> list[SimulatedQuery]:
+        """Generate ``count`` simulated queries."""
+        queries = []
+        intents = list(self.usage_mix)
+        weights = [self.usage_mix[i] for i in intents]
+        for _ in range(count):
+            roll = self._rng.random()
+            if roll < self.gibberish_rate:
+                queries.append(
+                    SimulatedQuery(
+                        utterance=self._rng.choice(_GIBBERISH),
+                        true_intent="<gibberish>",
+                        noise="gibberish",
+                    )
+                )
+                continue
+            if roll < self.gibberish_rate + self.management_rate:
+                utterance, intent = self._rng.choice(_MANAGEMENT_SAMPLES)
+                queries.append(
+                    SimulatedQuery(
+                        utterance=utterance, true_intent=intent, noise="management"
+                    )
+                )
+                continue
+            intent = self._rng.choices(intents, weights=weights, k=1)[0]
+            queries.append(self._domain_query(intent))
+        return queries
+
+    def _domain_query(self, intent: str) -> SimulatedQuery:
+        rng = self._rng
+        template = rng.choice(_UTTERANCE_TEMPLATES[intent])
+        entities: dict[str, str] = {}
+        utterance = template
+        needs_pair = "{drug}" in template and "{condition}" in template
+        if needs_pair and self._treat_pairs and rng.random() < 0.9:
+            canonical, condition = rng.choice(self._treat_pairs)
+            surface = canonical
+            synonyms = self._drug_synonyms.synonyms_of(canonical)
+            if synonyms and rng.random() < 0.3:
+                surface = rng.choice(synonyms)
+            utterance = utterance.replace("{drug}", surface)
+            utterance = utterance.replace("{condition}", condition)
+            entities["Drug"] = canonical
+            entities["Indication"] = condition
+        if "{drug}" in utterance:
+            if intent == "IV Compatibility of Drug" and self._iv_drugs and rng.random() < 0.85:
+                canonical = rng.choice(self._iv_drugs)
+                surface = canonical
+                synonyms = self._drug_synonyms.synonyms_of(canonical)
+                if synonyms and rng.random() < 0.3:
+                    surface = rng.choice(synonyms)
+            else:
+                surface, canonical = self._drug_surface()
+            utterance = utterance.replace("{drug}", surface)
+            entities["Drug"] = canonical
+        if "{condition}" in utterance:
+            condition = rng.choice(self._conditions)
+            utterance = utterance.replace("{condition}", condition)
+            entities["Indication"] = condition
+        if "{age}" in template:
+            age = rng.choice(self._ages)
+            utterance = utterance.replace("{age}", age)
+            entities["Age Group"] = self._age_binding(age)
+        head = rng.choice(_USER_HEADS)
+        if head and intent != "DRUG_GENERAL":
+            utterance = f"{head} {utterance}"
+        noise = "keyword" if intent == "DRUG_GENERAL" else "clean"
+        if noise == "clean" and rng.random() < self.misspelling_rate:
+            utterance = _misspell(utterance, rng)
+            noise = "misspelled"
+        return SimulatedQuery(
+            utterance=utterance, true_intent=intent, entities=entities, noise=noise
+        )

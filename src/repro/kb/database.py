@@ -1,0 +1,135 @@
+"""The database catalog: tables, constraint enforcement, query entry point."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import IntegrityError, SchemaError, UnknownTableError
+from repro.kb.schema import ForeignKey, TableSchema
+from repro.kb.statistics import TableStatistics, compute_table_statistics
+from repro.kb.table import Table
+from repro.kb.sql.result import ResultSet
+
+
+class Database:
+    """An in-memory relational database.
+
+    A :class:`Database` owns a set of :class:`~repro.kb.table.Table` objects,
+    enforces foreign keys on insert, computes the statistics that the
+    ontology-generation step consumes, and executes SQL via
+    :func:`repro.kb.sql.execute`.
+    """
+
+    def __init__(self, name: str = "kb") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- catalog ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from ``schema`` and register it."""
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            self._validate_foreign_key(schema, fk)
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def _validate_foreign_key(self, schema: TableSchema, fk: ForeignKey) -> None:
+        # Self-references are allowed; other targets must already exist.
+        if fk.referenced_table.lower() == schema.name.lower():
+            target_schema = schema
+        else:
+            target = self._tables.get(fk.referenced_table.lower())
+            if target is None:
+                raise SchemaError(
+                    f"table {schema.name!r}: foreign key references unknown "
+                    f"table {fk.referenced_table!r}"
+                )
+            target_schema = target.schema
+        if not target_schema.has_column(fk.referenced_column):
+            raise SchemaError(
+                f"table {schema.name!r}: foreign key references unknown column "
+                f"{fk.referenced_table}.{fk.referenced_column}"
+            )
+        if target_schema.primary_key is None or (
+            target_schema.primary_key.lower() != fk.referenced_column.lower()
+        ):
+            raise SchemaError(
+                f"table {schema.name!r}: foreign key must reference the "
+                f"primary key of {fk.referenced_table!r}"
+            )
+
+    def has_table(self, name: str) -> bool:
+        """Return True if a table named ``name`` exists (case-insensitive)."""
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name`` or raise :class:`UnknownTableError`."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def tables(self) -> list[Table]:
+        """All tables, in creation order."""
+        return list(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        """Declared table names, in creation order."""
+        return [t.name for t in self._tables.values()]
+
+    # -- data ----------------------------------------------------------------
+
+    def insert(
+        self, table_name: str, values: dict[str, Any] | Iterable[Any]
+    ) -> tuple[Any, ...]:
+        """Insert one row, enforcing foreign keys against referenced tables."""
+        table = self.table(table_name)
+        row = table._build_row(values)
+        for fk in table.schema.foreign_keys:
+            idx = table.schema.column_index(fk.column)
+            value = row[idx]
+            if value is None:
+                continue
+            target = self.table(fk.referenced_table)
+            if not target.has_pk(value):
+                raise IntegrityError(
+                    f"table {table.name!r}: foreign key violation — "
+                    f"{fk.column}={value!r} not found in "
+                    f"{fk.referenced_table}.{fk.referenced_column}"
+                )
+        return table.insert(row)
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[dict[str, Any] | Iterable[Any]]
+    ) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(self, sql: str, params: dict[str, Any] | None = None) -> ResultSet:
+        """Parse and execute ``sql`` with optional named parameters."""
+        from repro.kb.sql.executor import execute
+
+        return execute(self, sql, params)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """Compute statistics for one table."""
+        return compute_table_statistics(self.table(table_name))
+
+    def all_statistics(self) -> dict[str, TableStatistics]:
+        """Compute statistics for every table, keyed by lowercase name."""
+        return {
+            name: compute_table_statistics(table)
+            for name, table in self._tables.items()
+        }

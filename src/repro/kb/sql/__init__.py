@@ -1,0 +1,21 @@
+"""SQL subset engine: lexer, parser and executor.
+
+Supports the statement shape used by the paper's structured query
+templates (Figure 9) and the surrounding tooling::
+
+    SELECT [DISTINCT] cols | aggregates
+    FROM table [alias]
+    [INNER|LEFT] JOIN table [alias] ON <expr> ...
+    [WHERE <expr>]
+    [GROUP BY cols]
+    [ORDER BY col [ASC|DESC], ...]
+    [LIMIT n]
+
+with named parameters written ``:name`` (the template layer binds these).
+"""
+
+from repro.kb.sql.executor import execute
+from repro.kb.sql.parser import parse
+from repro.kb.sql.result import ResultSet
+
+__all__ = ["execute", "parse", "ResultSet"]

@@ -1,0 +1,211 @@
+"""Abstract syntax tree for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value: number, string, boolean or NULL."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``alias.column`` or ``column``)."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named parameter ``:name`` bound at execution time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison: =, <>, <, >, <=, >=."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """``expr LIKE pattern`` with % and _ wildcards (case-insensitive)."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``expr IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullPredicate:
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class And:
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Or:
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: Expression
+
+
+Expression = Union[
+    Literal,
+    ColumnRef,
+    Parameter,
+    Comparison,
+    LikePredicate,
+    InPredicate,
+    IsNullPredicate,
+    And,
+    Or,
+    Not,
+]
+
+
+# ---------------------------------------------------------------------------
+# Select structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: COUNT/SUM/AVG/MIN/MAX over a column or ``*``."""
+
+    function: str  # COUNT, SUM, AVG, MIN, MAX
+    argument: ColumnRef | None  # None means COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projected output: a column reference or an aggregate, with alias."""
+
+    expression: ColumnRef | Aggregate
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        """The column name used for this item in the result set."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.column
+        agg = self.expression
+        arg = str(agg.argument) if agg.argument else "*"
+        return f"{agg.function.lower()}({arg})"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in FROM/JOIN with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the query scope."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join clause."""
+
+    kind: str  # "inner" or "left"
+    table: TableRef
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A parsed SELECT statement."""
+
+    items: tuple[SelectItem, ...]  # empty tuple means SELECT *
+    source: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+    def is_star(self) -> bool:
+        """True for ``SELECT *``."""
+        return not self.items
+
+    def parameters(self) -> list[str]:
+        """Names of all :name parameters, in first-appearance order."""
+        out: list[str] = []
+        seen: set[str] = set()
+
+        def walk(node: Any) -> None:
+            if isinstance(node, Parameter):
+                if node.name not in seen:
+                    seen.add(node.name)
+                    out.append(node.name)
+            elif isinstance(node, (And, Or, Comparison)):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, Not):
+                walk(node.operand)
+            elif isinstance(node, LikePredicate):
+                walk(node.operand)
+                walk(node.pattern)
+            elif isinstance(node, InPredicate):
+                walk(node.operand)
+                for value in node.values:
+                    walk(value)
+            elif isinstance(node, IsNullPredicate):
+                walk(node.operand)
+
+        for join in self.joins:
+            walk(join.condition)
+        if self.where is not None:
+            walk(self.where)
+        return out

@@ -1,0 +1,512 @@
+"""SQL executor: evaluates a parsed SELECT against a database.
+
+The evaluation strategy is intentionally simple and predictable:
+
+* FROM/JOIN build an intermediate row list; equality joins use a hash
+  join on the join key, everything else falls back to a nested loop.
+* WHERE filters, GROUP BY + aggregates reduce, then DISTINCT,
+  ORDER BY, LIMIT/OFFSET shape the output.
+
+NULL semantics are simplified two-valued logic: any comparison against
+NULL is false (matching what the paper's lookup/relationship templates
+need, without implementing full SQL three-valued logic).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    BindingError,
+    SQLExecutionError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.kb.sql import ast
+from repro.kb.sql.parser import parse
+from repro.kb.sql.result import ResultSet
+from repro.kb.types import is_comparable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kb.database import Database
+
+
+class _Scope:
+    """Maps column references to positions in the combined join row."""
+
+    def __init__(self) -> None:
+        self._bindings: list[str] = []          # binding names, lowering preserved
+        self._widths: list[int] = []
+        self._qualified: dict[tuple[str, str], int] = {}
+        self._unqualified: dict[str, list[int]] = {}
+
+    def add_table(self, binding: str, column_names: list[str]) -> None:
+        base = sum(self._widths)
+        low_binding = binding.lower()
+        if any(b == low_binding for b in self._bindings):
+            raise SQLExecutionError(f"duplicate table binding {binding!r}")
+        self._bindings.append(low_binding)
+        self._widths.append(len(column_names))
+        for offset, col in enumerate(column_names):
+            pos = base + offset
+            self._qualified[(low_binding, col.lower())] = pos
+            self._unqualified.setdefault(col.lower(), []).append(pos)
+
+    @property
+    def width(self) -> int:
+        return sum(self._widths)
+
+    def resolve(self, ref: ast.ColumnRef) -> int:
+        """Return the combined-row index for ``ref``."""
+        if ref.table is not None:
+            key = (ref.table.lower(), ref.column.lower())
+            if key not in self._qualified:
+                raise UnknownColumnError(ref.column, table=ref.table)
+            return self._qualified[key]
+        positions = self._unqualified.get(ref.column.lower())
+        if not positions:
+            raise UnknownColumnError(ref.column)
+        if len(positions) > 1:
+            raise SQLExecutionError(f"ambiguous column reference {ref.column!r}")
+        return positions[0]
+
+
+def _eval_operand(
+    node: ast.Expression, row: tuple, scope: _Scope, params: dict[str, Any]
+) -> Any:
+    if isinstance(node, ast.Literal):
+        return node.value
+    if isinstance(node, ast.ColumnRef):
+        return row[scope.resolve(node)]
+    if isinstance(node, ast.Parameter):
+        if node.name not in params:
+            raise BindingError(f"missing parameter :{node.name}")
+        return params[node.name]
+    raise SQLExecutionError(f"expected a value operand, got {type(node).__name__}")
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if isinstance(left, str) and isinstance(right, str):
+        return left.lower() == right.lower()
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    return left == right
+
+
+def _like_match(value: Any, pattern: Any) -> bool:
+    if value is None or pattern is None:
+        return False
+    text = str(value).lower()
+    pat = str(pattern).lower()
+    # Translate SQL wildcards into a simple backtracking match.
+    return _wildcard_match(text, pat)
+
+
+def _wildcard_match(text: str, pattern: str) -> bool:
+    """Match SQL LIKE semantics: % = any run, _ = any single char."""
+    ti = pi = 0
+    star_pi = -1
+    star_ti = 0
+    while ti < len(text):
+        if pi < len(pattern) and (pattern[pi] == "_" or pattern[pi] == text[ti]):
+            ti += 1
+            pi += 1
+        elif pi < len(pattern) and pattern[pi] == "%":
+            star_pi = pi
+            star_ti = ti
+            pi += 1
+        elif star_pi >= 0:
+            star_ti += 1
+            ti = star_ti
+            pi = star_pi + 1
+        else:
+            return False
+    while pi < len(pattern) and pattern[pi] == "%":
+        pi += 1
+    return pi == len(pattern)
+
+
+def _eval_predicate(
+    node: ast.Expression, row: tuple, scope: _Scope, params: dict[str, Any]
+) -> bool:
+    if isinstance(node, ast.And):
+        return _eval_predicate(node.left, row, scope, params) and _eval_predicate(
+            node.right, row, scope, params
+        )
+    if isinstance(node, ast.Or):
+        return _eval_predicate(node.left, row, scope, params) or _eval_predicate(
+            node.right, row, scope, params
+        )
+    if isinstance(node, ast.Not):
+        return not _eval_predicate(node.operand, row, scope, params)
+    if isinstance(node, ast.Comparison):
+        left = _eval_operand(node.left, row, scope, params)
+        right = _eval_operand(node.right, row, scope, params)
+        if node.op == "=":
+            return _values_equal(left, right)
+        if node.op == "<>":
+            if left is None or right is None:
+                return False
+            return not _values_equal(left, right)
+        if not is_comparable(left, right):
+            return False
+        if isinstance(left, str) and isinstance(right, str):
+            left = left.lower()
+            right = right.lower()
+        if node.op == "<":
+            return left < right
+        if node.op == ">":
+            return left > right
+        if node.op == "<=":
+            return left <= right
+        if node.op == ">=":
+            return left >= right
+        raise SQLExecutionError(f"unknown comparison operator {node.op!r}")
+    if isinstance(node, ast.LikePredicate):
+        matched = _like_match(
+            _eval_operand(node.operand, row, scope, params),
+            _eval_operand(node.pattern, row, scope, params),
+        )
+        return not matched if node.negated else matched
+    if isinstance(node, ast.InPredicate):
+        value = _eval_operand(node.operand, row, scope, params)
+        found = any(
+            _values_equal(value, _eval_operand(item, row, scope, params))
+            for item in node.values
+        )
+        return not found if node.negated else found
+    if isinstance(node, ast.IsNullPredicate):
+        value = _eval_operand(node.operand, row, scope, params)
+        return (value is not None) if node.negated else (value is None)
+    raise SQLExecutionError(f"cannot evaluate {type(node).__name__} as predicate")
+
+
+def _split_equi_join(
+    condition: ast.Expression, left_scope: _Scope, right_scope: _Scope
+) -> tuple[int, int] | None:
+    """If ``condition`` is ``left.col = right.col``, return their indices.
+
+    Returns (index_into_left_row, index_into_right_row) or None when the
+    condition is not a simple cross-side equality.
+    """
+    if not isinstance(condition, ast.Comparison) or condition.op != "=":
+        return None
+    if not isinstance(condition.left, ast.ColumnRef):
+        return None
+    if not isinstance(condition.right, ast.ColumnRef):
+        return None
+    for first, second in (
+        (condition.left, condition.right),
+        (condition.right, condition.left),
+    ):
+        try:
+            left_idx = left_scope.resolve(first)
+        except (UnknownColumnError, SQLExecutionError):
+            continue
+        try:
+            right_idx = right_scope.resolve(second)
+        except (UnknownColumnError, SQLExecutionError):
+            continue
+        return left_idx, right_idx
+    return None
+
+
+def _norm_key(value: Any) -> Any:
+    return value.lower() if isinstance(value, str) else value
+
+
+def _execute_joins(
+    database: "Database",
+    select: ast.Select,
+    params: dict[str, Any],
+) -> tuple[_Scope, list[tuple]]:
+    scope = _Scope()
+    base = database.table(select.source.table)
+    scope.add_table(select.source.binding, base.schema.column_names())
+    rows: list[tuple] = list(base.rows)
+
+    for join in select.joins:
+        right = database.table(join.table.table)
+        right_scope = _Scope()
+        right_scope.add_table(join.table.binding, right.schema.column_names())
+        right_width = right_scope.width
+
+        combined = _Scope()
+        combined_bindings: list[tuple[str, list[str]]] = []
+        # Re-register prior tables plus the new one in the combined scope.
+        for binding, cols in _scope_layout(scope, database, select, join):
+            combined.add_table(binding, cols)
+            combined_bindings.append((binding, cols))
+
+        equi = _split_equi_join(join.condition, scope, right_scope)
+        new_rows: list[tuple] = []
+        if equi is not None:
+            left_idx, right_idx = equi
+            index: dict[Any, list[tuple]] = {}
+            for rrow in right.rows:
+                key = _norm_key(rrow[right_idx])
+                if key is not None:
+                    index.setdefault(key, []).append(rrow)
+            for lrow in rows:
+                key = _norm_key(lrow[left_idx])
+                matches = index.get(key, []) if key is not None else []
+                if matches:
+                    for rrow in matches:
+                        new_rows.append(lrow + rrow)
+                elif join.kind == "left":
+                    new_rows.append(lrow + (None,) * right_width)
+        else:
+            for lrow in rows:
+                matched = False
+                for rrow in right.rows:
+                    candidate = lrow + rrow
+                    if _eval_predicate(join.condition, candidate, combined, params):
+                        new_rows.append(candidate)
+                        matched = True
+                if not matched and join.kind == "left":
+                    new_rows.append(lrow + (None,) * right_width)
+        scope = combined
+        rows = new_rows
+    return scope, rows
+
+
+def _scope_layout(
+    scope: _Scope,
+    database: "Database",
+    select: ast.Select,
+    upto_join: ast.Join,
+) -> list[tuple[str, list[str]]]:
+    """Rebuild (binding, columns) pairs for tables up to and including a join."""
+    layout = [
+        (
+            select.source.binding,
+            database.table(select.source.table).schema.column_names(),
+        )
+    ]
+    for join in select.joins:
+        layout.append(
+            (join.table.binding, database.table(join.table.table).schema.column_names())
+        )
+        if join is upto_join:
+            break
+    return layout
+
+
+def _final_scope(database: "Database", select: ast.Select) -> _Scope:
+    scope = _Scope()
+    scope.add_table(
+        select.source.binding, database.table(select.source.table).schema.column_names()
+    )
+    for join in select.joins:
+        scope.add_table(
+            join.table.binding, database.table(join.table.table).schema.column_names()
+        )
+    return scope
+
+
+def _aggregate_value(agg: ast.Aggregate, rows: list[tuple], scope: _Scope) -> Any:
+    if agg.argument is None:  # COUNT(*)
+        return len(rows)
+    idx = scope.resolve(agg.argument)
+    values = [row[idx] for row in rows if row[idx] is not None]
+    if agg.distinct:
+        seen: dict[Any, Any] = {}
+        for value in values:
+            seen.setdefault(_norm_key(value), value)
+        values = list(seen.values())
+    func = agg.function
+    if func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if func == "SUM":
+        return sum(values)
+    if func == "AVG":
+        return sum(values) / len(values)
+    if func == "MIN":
+        return min(values)
+    if func == "MAX":
+        return max(values)
+    raise SQLExecutionError(f"unknown aggregate {func!r}")
+
+
+def _sort_key(value: Any) -> tuple:
+    # NULLs sort first; strings case-insensitively.
+    if value is None:
+        return (0, "")
+    if isinstance(value, str):
+        return (1, value.lower())
+    if isinstance(value, bool):
+        return (1, int(value))
+    return (1, value)
+
+
+def execute(
+    database: "Database",
+    query: str | ast.Select,
+    params: dict[str, Any] | None = None,
+) -> ResultSet:
+    """Execute ``query`` (SQL text or a parsed Select) against ``database``.
+
+    ``params`` binds named ``:name`` parameters.  Unused parameters are
+    ignored; missing ones raise :class:`~repro.errors.BindingError`.
+    """
+    select = parse(query) if isinstance(query, str) else query
+    params = params or {}
+
+    # Validate tables up front for a clear error.
+    for table_ref in [select.source] + [j.table for j in select.joins]:
+        if not database.has_table(table_ref.table):
+            raise UnknownTableError(table_ref.table)
+
+    scope, rows = _execute_joins(database, select, params)
+    if select.where is not None:
+        rows = [
+            row for row in rows if _eval_predicate(select.where, row, scope, params)
+        ]
+
+    has_aggregates = any(
+        isinstance(item.expression, ast.Aggregate) for item in select.items
+    )
+
+    if select.group_by or has_aggregates:
+        result_columns, out_rows = _project_grouped(select, rows, scope)
+    else:
+        result_columns, out_rows = _project_plain(select, rows, scope, database)
+
+    if select.distinct:
+        seen: set = set()
+        deduped = []
+        kept_source_rows = []
+        for position, row in enumerate(out_rows):
+            key = tuple(_norm_key(v) for v in row)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(row)
+                if position < len(rows):
+                    kept_source_rows.append(rows[position])
+        out_rows = deduped
+        # Keep ORDER BY's source rows aligned with the deduplicated output.
+        if len(kept_source_rows) == len(out_rows):
+            rows = kept_source_rows
+
+    if select.order_by:
+        if select.group_by or has_aggregates:
+            # ORDER BY must reference output columns after grouping.
+            lowered = [c.lower() for c in result_columns]
+
+            def grouped_key(row: tuple) -> tuple:
+                parts = []
+                for item in select.order_by:
+                    name = item.column.column.lower()
+                    if name not in lowered:
+                        raise UnknownColumnError(item.column.column)
+                    value = row[lowered.index(name)]
+                    parts.append(_sort_key(value))
+                return tuple(parts)
+
+            # Sort ascending first, then apply per-key direction via stable sorts.
+            for item in reversed(select.order_by):
+                name = item.column.column.lower()
+                if name not in lowered:
+                    raise UnknownColumnError(item.column.column)
+                idx = lowered.index(name)
+                out_rows.sort(key=lambda r: _sort_key(r[idx]), reverse=item.descending)
+        else:
+            for item in reversed(select.order_by):
+                idx = scope.resolve(item.column)
+                paired = sorted(
+                    zip(rows, out_rows),
+                    key=lambda pair: _sort_key(pair[0][idx]),
+                    reverse=item.descending,
+                )
+                rows = [p[0] for p in paired]
+                out_rows = [p[1] for p in paired]
+
+    if select.offset:
+        out_rows = out_rows[select.offset :]
+    if select.limit is not None:
+        out_rows = out_rows[: select.limit]
+
+    return ResultSet(columns=result_columns, rows=out_rows)
+
+
+def _project_plain(
+    select: ast.Select,
+    rows: list[tuple],
+    scope: _Scope,
+    database: "Database",
+) -> tuple[list[str], list[tuple]]:
+    if select.is_star():
+        columns: list[str] = []
+        for table_ref in [select.source] + [j.table for j in select.joins]:
+            table = database.table(table_ref.table)
+            columns.extend(table.schema.column_names())
+        return columns, list(rows)
+    indices = []
+    names = []
+    for item in select.items:
+        assert isinstance(item.expression, ast.ColumnRef)
+        indices.append(scope.resolve(item.expression))
+        names.append(item.output_name())
+    projected = [tuple(row[i] for i in indices) for row in rows]
+    return names, projected
+
+
+def _project_grouped(
+    select: ast.Select, rows: list[tuple], scope: _Scope
+) -> tuple[list[str], list[tuple]]:
+    if select.is_star():
+        raise SQLExecutionError("SELECT * cannot be combined with GROUP BY/aggregates")
+    group_indices = [scope.resolve(col) for col in select.group_by]
+    group_names = {idx for idx in group_indices}
+
+    # Non-aggregate select items must be grouping columns.
+    plan: list[tuple[str, Any]] = []  # ("col", index) or ("agg", Aggregate)
+    names: list[str] = []
+    for item in select.items:
+        names.append(item.output_name())
+        if isinstance(item.expression, ast.Aggregate):
+            plan.append(("agg", item.expression))
+        else:
+            idx = scope.resolve(item.expression)
+            if select.group_by and idx not in group_names:
+                raise SQLExecutionError(
+                    f"column {item.expression} must appear in GROUP BY"
+                )
+            if not select.group_by:
+                raise SQLExecutionError(
+                    f"column {item.expression} mixed with aggregates "
+                    "requires GROUP BY"
+                )
+            plan.append(("col", idx))
+
+    groups: dict[tuple, list[tuple]] = {}
+    if select.group_by:
+        order: list[tuple] = []
+        for row in rows:
+            key = tuple(_norm_key(row[i]) for i in group_indices)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        keys = order
+    else:
+        groups[()] = list(rows)
+        keys = [()]
+
+    out_rows: list[tuple] = []
+    for key in keys:
+        group_rows = groups[key]
+        values = []
+        for kind, payload in plan:
+            if kind == "col":
+                values.append(group_rows[0][payload])
+            else:
+                values.append(_aggregate_value(payload, group_rows, scope))
+        out_rows.append(tuple(values))
+    return names, out_rows

@@ -1,0 +1,117 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT", "AS",
+    "INNER", "LEFT", "OUTER", "JOIN", "ON", "GROUP", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "LIKE", "IN", "IS", "NULL", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "TRUE", "FALSE", "OFFSET",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    PARAMETER = "parameter"  # :name
+    OPERATOR = "operator"    # = <> != < > <= >=
+    PUNCT = "punct"          # ( ) , . *
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL ``text`` into a list of tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote ''
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot followed by a non-digit is a qualifier, not a decimal.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        if ch == ":":
+            j = i + 1
+            if j >= n or not (text[j].isalpha() or text[j] == "_"):
+                raise SQLSyntaxError("expected parameter name after ':'", i)
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenType.PARAMETER, text[i + 1 : j], i))
+            i = j
+            continue
+        if ch in "<>!=":
+            two = text[i : i + 2]
+            if two in ("<=", ">=", "<>", "!="):
+                tokens.append(Token(TokenType.OPERATOR, two, i))
+                i += 2
+                continue
+            if ch == "!":
+                raise SQLSyntaxError("unexpected '!'", i)
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in "(),.*":
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

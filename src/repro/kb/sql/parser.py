@@ -1,0 +1,312 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.kb.sql import ast
+from repro.kb.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise SQLSyntaxError(
+                f"expected {' or '.join(names)}, got {token.value or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise SQLSyntaxError(
+                f"expected {value!r}, got {token.value or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _match_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, *names: str) -> Token | None:
+        token = self._peek()
+        if token.is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect_identifier(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SQLSyntaxError(
+                f"expected identifier, got {token.value or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT") is not None
+        items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        source = self._parse_table_ref()
+        joins: list[ast.Join] = []
+        while True:
+            join = self._parse_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self._parse_expression()
+        group_by: tuple[ast.ColumnRef, ...] = ()
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = tuple(self._parse_column_ref_list())
+        order_by: list[ast.OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            while True:
+                col = self._parse_column_ref()
+                descending = False
+                if self._match_keyword("DESC"):
+                    descending = True
+                else:
+                    self._match_keyword("ASC")
+                order_by.append(ast.OrderItem(col, descending))
+                if not self._match_punct(","):
+                    break
+        limit = offset = None
+        if self._match_keyword("LIMIT"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._match_keyword("OFFSET"):
+                offset = self._parse_nonnegative_int("OFFSET")
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {token.value!r}", token.position
+            )
+        return ast.Select(
+            items=items,
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise SQLSyntaxError(f"{clause} expects an integer", token.position)
+        self._advance()
+        return int(token.value)
+
+    def _parse_select_list(self) -> tuple[ast.SelectItem, ...]:
+        if self._match_punct("*"):
+            return ()
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        expression: ast.ColumnRef | ast.Aggregate
+        if token.is_keyword(*_AGGREGATES):
+            expression = self._parse_aggregate()
+        else:
+            expression = self._parse_column_ref()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier().value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expression, alias)
+
+    def _parse_aggregate(self) -> ast.Aggregate:
+        func = self._advance().value
+        self._expect_punct("(")
+        distinct = self._match_keyword("DISTINCT") is not None
+        if self._match_punct("*"):
+            if func != "COUNT":
+                raise SQLSyntaxError(f"{func}(*) is not valid", self._peek().position)
+            argument = None
+        else:
+            argument = self._parse_column_ref()
+        self._expect_punct(")")
+        return ast.Aggregate(func, argument, distinct)
+
+    def _parse_column_ref_list(self) -> list[ast.ColumnRef]:
+        cols = [self._parse_column_ref()]
+        while self._match_punct(","):
+            cols.append(self._parse_column_ref())
+        return cols
+
+    def _parse_column_ref(self) -> ast.ColumnRef:
+        first = self._expect_identifier().value
+        if self._match_punct("."):
+            second = self._expect_identifier().value
+            return ast.ColumnRef(column=second, table=first)
+        return ast.ColumnRef(column=first)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        table = self._expect_identifier().value
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier().value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.TableRef(table, alias)
+
+    def _parse_join(self) -> ast.Join | None:
+        token = self._peek()
+        if token.is_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            kind = "inner"
+        elif token.is_keyword("LEFT"):
+            self._advance()
+            self._match_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            kind = "left"
+        elif token.is_keyword("JOIN"):
+            self._advance()
+            kind = "inner"
+        else:
+            return None
+        table = self._parse_table_ref()
+        self._expect_keyword("ON")
+        condition = self._parse_expression()
+        return ast.Join(kind, table, condition)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            left = ast.Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            left = ast.And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._match_keyword("NOT"):
+            return ast.Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        if self._match_punct("("):
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        operand = self._parse_operand()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._parse_operand()
+            return ast.Comparison(op, operand, right)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern = self._parse_operand()
+            return ast.LikePredicate(operand, pattern)
+        if token.is_keyword("NOT"):
+            self._advance()
+            next_token = self._peek()
+            if next_token.is_keyword("LIKE"):
+                self._advance()
+                pattern = self._parse_operand()
+                return ast.LikePredicate(operand, pattern, negated=True)
+            if next_token.is_keyword("IN"):
+                self._advance()
+                values = self._parse_value_list()
+                return ast.InPredicate(operand, values, negated=True)
+            raise SQLSyntaxError("expected LIKE or IN after NOT", next_token.position)
+        if token.is_keyword("IN"):
+            self._advance()
+            values = self._parse_value_list()
+            return ast.InPredicate(operand, values)
+        if token.is_keyword("IS"):
+            self._advance()
+            negated = self._match_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return ast.IsNullPredicate(operand, negated)
+        raise SQLSyntaxError(
+            f"expected comparison after operand, got {token.value or 'end of input'!r}",
+            token.position,
+        )
+
+    def _parse_value_list(self) -> tuple[ast.Expression, ...]:
+        self._expect_punct("(")
+        values = [self._parse_operand()]
+        while self._match_punct(","):
+            values.append(self._parse_operand())
+        self._expect_punct(")")
+        return tuple(values)
+
+    def _parse_operand(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return ast.Literal(float(text) if "." in text else int(text))
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return ast.Parameter(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column_ref()
+        raise SQLSyntaxError(
+            f"expected value or column, got {token.value or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse(sql: str) -> ast.Select:
+    """Parse ``sql`` into a :class:`repro.kb.sql.ast.Select` tree."""
+    return _Parser(tokenize(sql)).parse_select()

@@ -1,0 +1,55 @@
+"""Query result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import SQLExecutionError
+
+
+@dataclass
+class ResultSet:
+    """An executed query's output: column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def first(self) -> tuple[Any, ...] | None:
+        """Return the first row, or None when empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """Return the single value of a one-column result's first row.
+
+        Raises :class:`SQLExecutionError` when the result is empty or has
+        more than one column.
+        """
+        if not self.rows:
+            raise SQLExecutionError("scalar() on empty result")
+        if len(self.columns) != 1:
+            raise SQLExecutionError(
+                f"scalar() needs exactly one column, result has {len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        """Return every value of the named output column."""
+        try:
+            idx = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise SQLExecutionError(f"result has no column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Return rows as a list of column->value dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]

@@ -1,0 +1,102 @@
+"""Column and table statistics.
+
+The bootstrapping process (paper §4.2.1) gathers "data statistics from the
+underlying knowledge base" to decide which neighbouring concepts are
+*categorical attributes* — i.e. dependent concepts — based on their number
+of distinct data values.  This module computes those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.table import Table
+from repro.kb.types import DataType
+
+#: Default ceiling on the distinct-value ratio for a column to count as
+#: categorical.  A column whose distinct/total ratio is below this (or whose
+#: absolute distinct count is small) behaves like a category label rather
+#: than free text.
+DEFAULT_CATEGORICAL_RATIO = 0.5
+
+#: Absolute distinct-count ceiling under which a column is always categorical.
+DEFAULT_CATEGORICAL_MAX_DISTINCT = 64
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics for one column of one table."""
+
+    table: str
+    column: str
+    data_type: DataType
+    row_count: int
+    distinct_count: int
+    null_count: int
+
+    @property
+    def distinct_ratio(self) -> float:
+        """Distinct non-null values divided by non-null row count (0 if empty)."""
+        non_null = self.row_count - self.null_count
+        if non_null == 0:
+            return 0.0
+        return self.distinct_count / non_null
+
+    def is_categorical(
+        self,
+        max_ratio: float = DEFAULT_CATEGORICAL_RATIO,
+        max_distinct: int = DEFAULT_CATEGORICAL_MAX_DISTINCT,
+    ) -> bool:
+        """Return True if the column behaves like a categorical attribute.
+
+        A column is categorical when its distinct count is small in
+        absolute terms, or when it repeats values often enough that the
+        distinct ratio falls below ``max_ratio``.  Boolean columns are
+        always categorical.
+        """
+        if self.data_type is DataType.BOOLEAN:
+            return True
+        non_null = self.row_count - self.null_count
+        if non_null == 0:
+            return False
+        if self.distinct_count <= max_distinct:
+            return True
+        return self.distinct_ratio <= max_ratio
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for every column of one table."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStatistics]
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Return statistics for column ``name`` (case-insensitive)."""
+        return self.columns[name.lower()]
+
+
+def compute_table_statistics(table: Table) -> TableStatistics:
+    """Compute :class:`TableStatistics` for ``table`` in one pass per column."""
+    stats: dict[str, ColumnStatistics] = {}
+    row_count = len(table)
+    for col in table.schema.columns:
+        idx = table.schema.column_index(col.name)
+        distinct: set = set()
+        nulls = 0
+        for row in table.rows:
+            value = row[idx]
+            if value is None:
+                nulls += 1
+            else:
+                distinct.add(value)
+        stats[col.name.lower()] = ColumnStatistics(
+            table=table.name,
+            column=col.name,
+            data_type=col.data_type,
+            row_count=row_count,
+            distinct_count=len(distinct),
+            null_count=nulls,
+        )
+    return TableStatistics(table=table.name, row_count=row_count, columns=stats)

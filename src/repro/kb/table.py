@@ -1,0 +1,131 @@
+"""Row storage with constraint enforcement."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import IntegrityError
+from repro.kb.schema import TableSchema
+from repro.kb.types import coerce_value
+
+
+class Table:
+    """An in-memory table: a schema plus a list of row tuples.
+
+    Rows are stored as tuples in column-declaration order.  A primary-key
+    index (value -> row position) is maintained when the schema declares a
+    primary key, giving O(1) point lookups for foreign-key validation and
+    for the SQL executor's hash joins.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+        self._pk_index: dict[Any, int] | None = (
+            {} if schema.primary_key is not None else None
+        )
+        self._pk_pos = (
+            schema.column_index(schema.primary_key)
+            if schema.primary_key is not None
+            else None
+        )
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The table name from the schema."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        """The stored rows (do not mutate)."""
+        return self._rows
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: dict[str, Any] | Iterable[Any]) -> tuple[Any, ...]:
+        """Insert one row given as a column->value dict or positional iterable.
+
+        Returns the stored (coerced) row tuple.  Raises
+        :class:`IntegrityError` on type, nullability or primary-key
+        violations.  Foreign keys are validated by the owning
+        :class:`~repro.kb.database.Database`, which can see other tables.
+        """
+        row = self._build_row(values)
+        if self._pk_index is not None:
+            key = row[self._pk_pos]
+            if key is None:
+                raise IntegrityError(
+                    f"table {self.name!r}: primary key must not be NULL"
+                )
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"table {self.name!r}: duplicate primary key {key!r}"
+                )
+            self._pk_index[key] = len(self._rows)
+        self._rows.append(row)
+        return row
+
+    def _build_row(self, values: dict[str, Any] | Iterable[Any]) -> tuple[Any, ...]:
+        columns = self.schema.columns
+        if isinstance(values, dict):
+            unknown = [k for k in values if not self.schema.has_column(k)]
+            if unknown:
+                raise IntegrityError(
+                    f"table {self.name!r}: unknown columns {unknown!r}"
+                )
+            lowered = {k.lower(): v for k, v in values.items()}
+            raw = [lowered.get(col.name.lower()) for col in columns]
+        else:
+            raw = list(values)
+            if len(raw) != len(columns):
+                raise IntegrityError(
+                    f"table {self.name!r}: expected {len(columns)} values, "
+                    f"got {len(raw)}"
+                )
+        out = []
+        for col, value in zip(columns, raw):
+            coerced = coerce_value(value, col.data_type, column=col.name)
+            if coerced is None and not col.nullable:
+                raise IntegrityError(
+                    f"table {self.name!r}: column {col.name!r} is NOT NULL"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def lookup_pk(self, key: Any) -> tuple[Any, ...] | None:
+        """Return the row whose primary key equals ``key``, or None."""
+        if self._pk_index is None:
+            raise IntegrityError(f"table {self.name!r} has no primary key")
+        pos = self._pk_index.get(key)
+        return self._rows[pos] if pos is not None else None
+
+    def has_pk(self, key: Any) -> bool:
+        """Return True if a row with primary key ``key`` exists."""
+        if self._pk_index is None:
+            raise IntegrityError(f"table {self.name!r} has no primary key")
+        return key in self._pk_index
+
+    def column_values(self, column: str) -> list[Any]:
+        """Return all values of ``column`` in row order (including NULLs)."""
+        idx = self.schema.column_index(column)
+        return [row[idx] for row in self._rows]
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Return the distinct non-NULL values of ``column``, in first-seen order."""
+        idx = self.schema.column_index(column)
+        seen: dict[Any, None] = {}
+        for row in self._rows:
+            value = row[idx]
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)

@@ -1,0 +1,98 @@
+"""Column data types and value coercion for the relational engine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import IntegrityError
+
+
+class DataType(enum.Enum):
+    """Supported column data types.
+
+    The paper's KB stores reference text (descriptions, dosing notes),
+    identifiers, names and a handful of numeric attributes; four scalar
+    types cover all of it.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def python_type(self) -> type:
+        """Return the Python type used to store values of this data type."""
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.TEXT: str,
+    DataType.BOOLEAN: bool,
+}
+
+
+def coerce_value(value: Any, data_type: DataType, column: str = "?") -> Any:
+    """Coerce ``value`` to ``data_type``, or raise :class:`IntegrityError`.
+
+    ``None`` is passed through unchanged; nullability is enforced by the
+    schema layer, not here.  Coercions are conservative: we accept exact
+    types, int→float widening, and numeric strings only for numeric types
+    when they parse cleanly.
+    """
+    if value is None:
+        return None
+
+    if data_type is DataType.INTEGER:
+        # bool is a subclass of int; reject it to avoid silent surprises.
+        if isinstance(value, bool):
+            raise IntegrityError(f"column {column!r}: expected integer, got bool")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                pass
+        raise IntegrityError(f"column {column!r}: cannot coerce {value!r} to integer")
+
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise IntegrityError(f"column {column!r}: expected float, got bool")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        raise IntegrityError(f"column {column!r}: cannot coerce {value!r} to float")
+
+    if data_type is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise IntegrityError(f"column {column!r}: expected text, got {type(value).__name__}")
+
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise IntegrityError(f"column {column!r}: cannot coerce {value!r} to boolean")
+
+    raise IntegrityError(f"unsupported data type: {data_type}")
+
+
+def is_comparable(left: Any, right: Any) -> bool:
+    """Return True if ``left`` and ``right`` can be ordered against each other."""
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return type(left) is type(right)

@@ -1,0 +1,41 @@
+"""The Micromedex (MDX) use case — §6 of the paper.
+
+The paper deploys the ontology-driven pipeline over IBM Micromedex, a
+proprietary evidence-based drug-reference KB.  We substitute a
+deterministic, seeded synthetic medical KB built from public drug and
+condition names, with the same structural features: a drug-centric
+schema with PK/FK constraints, union semantics (Risk = Contra Indication
+∪ Black Box Warning; Dose Adjustment = Renal ∪ Hepatic), inheritance
+(Drug Interaction ⊃ drug-drug / drug-food / drug-lab), junction-table
+relationships (treats, prevents, ...), brand/base-salt synonyms, and
+categorical attribute tables.
+
+* :mod:`repro.medical.vocabulary` — public drug/condition/etc. name lists,
+* :mod:`repro.medical.schema` — the MDX relational schema (≥59 concepts),
+* :mod:`repro.medical.generator` — the seeded data generator,
+* :mod:`repro.medical.knowledge` — SME artifacts: synonyms, glossary,
+  prior user queries, intent renames,
+* :mod:`repro.medical.build` — one-call constructors for the KB, the
+  ontology, the conversation space and the Conversational MDX agent.
+"""
+
+from repro.medical.build import (
+    build_mdx_agent,
+    build_mdx_database,
+    build_mdx_ontology,
+    build_mdx_space,
+    rename_to_paper_intents,
+)
+from repro.medical.generator import GeneratorConfig, populate_mdx
+from repro.medical.schema import create_mdx_schema
+
+__all__ = [
+    "GeneratorConfig",
+    "build_mdx_agent",
+    "build_mdx_database",
+    "build_mdx_ontology",
+    "build_mdx_space",
+    "create_mdx_schema",
+    "rename_to_paper_intents",
+    "populate_mdx",
+]

@@ -1,0 +1,729 @@
+"""Seeded synthetic data generator for the MDX knowledge base.
+
+Deterministic given its seed.  Free-text fields draw from bounded pools
+(reference text in a real drug KB is curated and repetitive), which also
+makes the categorical-attribute statistics of §4.2.1 meaningful: the
+label columns of dependent concepts have low distinct counts, while key
+concepts (drugs, indications) have high-cardinality name columns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.kb.database import Database
+from repro.medical import vocabulary as vocab
+from repro.medical.schema import create_mdx_schema
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the synthetic KB size."""
+
+    seed: int = 42
+    max_drugs: int | None = None          # None = full vocabulary
+    max_conditions: int | None = None
+    adverse_effects_per_drug: tuple[int, int] = (2, 5)
+    precautions_per_drug: tuple[int, int] = (1, 3)
+    interactions_per_drug: tuple[int, int] = (1, 3)
+
+
+_PRECAUTION_POOL = [
+    "Use with caution in patients with renal impairment.",
+    "Use with caution in patients with hepatic impairment.",
+    "May cause drowsiness; caution when driving.",
+    "Monitor blood pressure during initiation.",
+    "Take with food to reduce gastrointestinal upset.",
+    "Avoid abrupt discontinuation; taper gradually.",
+    "Use with caution in the elderly.",
+    "May increase risk of bleeding with anticoagulants.",
+    "Caution in patients with a history of seizures.",
+    "Assess cardiac function before initiating therapy.",
+    "Maintain adequate hydration during therapy.",
+    "Use with caution in patients with asthma.",
+    "May impair glucose control in diabetic patients.",
+    "Avoid prolonged sun exposure during therapy.",
+    "Use lowest effective dose for the shortest duration.",
+    "Not recommended during the first trimester of pregnancy.",
+]
+
+_POPULATIONS = ["General", "Elderly", "Renal impairment", "Hepatic impairment", "Pregnancy", "Pediatric"]
+
+_AE_FREQUENCIES = ["common", "uncommon", "rare", "very rare"]
+
+_RISK_NOTES = [
+    "Do not use in patients with known hypersensitivity.",
+    "Avoid use in severe hepatic disease.",
+    "Avoid use in severe renal failure.",
+    "Do not combine with MAO inhibitors.",
+    "Avoid in patients with active bleeding.",
+    "Do not use during pregnancy.",
+    "Avoid in children under 2 years of age.",
+    "Do not use with concurrent live vaccines.",
+]
+
+_BBW_TEXTS = [
+    "Increased risk of serious cardiovascular thrombotic events.",
+    "Risk of severe hepatotoxicity; monitor liver function.",
+    "May cause fetal harm when administered to pregnant women.",
+    "Risk of life-threatening respiratory depression.",
+    "Increased mortality in elderly patients with dementia-related psychosis.",
+    "Serious infections leading to hospitalization may occur.",
+    "Risk of suicidal thoughts and behaviors in young adults.",
+    "Severe neutropenia may occur; monitor blood counts.",
+]
+
+_DOSAGE_TEMPLATES = [
+    "initial, {amount} {unit} {route} {freq}; titrate to response",
+    "{amount} {unit} {route} {freq}",
+    "maintenance, {amount} {unit} {route} {freq}; maximum {maximum} {unit}/day",
+]
+
+#: Frequencies used for dosage rows (bounded so dosage descriptions stay
+#: categorical, as curated dosing text is in a real drug reference).
+_DOSAGE_FREQ_COUNT = 6
+_DOSAGE_DURATIONS = ["ongoing", "7 days", "14 days", "until resolution", "as directed"]
+
+_ADJ_DESCRIPTIONS = [
+    "Reduce dose by 50% in severe impairment.",
+    "Extend dosing interval to every 24 hours.",
+    "Avoid use when clearance is severely reduced.",
+    "No adjustment required for mild impairment.",
+    "Reduce initial dose and titrate slowly.",
+    "Maximum daily dose should not be exceeded.",
+]
+
+_CRCL_THRESHOLDS = ["CrCl < 30 mL/min", "CrCl 30-60 mL/min", "CrCl < 15 mL/min", "CrCl < 50 mL/min"]
+_CHILD_PUGH = ["Child-Pugh A", "Child-Pugh B", "Child-Pugh C"]
+
+_INTERACTION_DESCRIPTIONS = [
+    "Concurrent use may increase plasma concentrations.",
+    "Concurrent use may decrease therapeutic effect.",
+    "Combination increases risk of bleeding.",
+    "Combination may prolong the QT interval.",
+    "Concurrent use may increase CNS depression.",
+    "Combination increases risk of hyperkalemia.",
+    "Absorption is reduced when taken together.",
+    "Combination may increase risk of myopathy.",
+]
+
+_MECHANISMS = [
+    "CYP3A4 inhibition", "CYP2D6 inhibition", "CYP450 induction",
+    "additive pharmacodynamic effect", "chelation in the gut",
+    "protein-binding displacement", "reduced renal clearance",
+    "P-glycoprotein inhibition",
+]
+
+_LAB_EFFECTS = [
+    "may increase the measured value", "may decrease the measured value",
+    "may interfere with the assay", "requires more frequent monitoring",
+]
+
+_IV_COMPATIBILITY = ["Compatible", "Incompatible", "Variable", "Not tested"]
+
+_IV_NOTES = [
+    "Stable for 24 hours at room temperature.",
+    "Precipitation observed within 4 hours.",
+    "Compatible via Y-site administration only.",
+    "Protect admixture from light.",
+    "Use within 6 hours of preparation.",
+]
+
+_ADMIN_INSTRUCTIONS = [
+    "Administer with a full glass of water.",
+    "Administer on an empty stomach.",
+    "Infuse over 30 to 60 minutes.",
+    "Apply a thin layer to the affected area.",
+    "Shake well before use.",
+    "Administer at the same time each day.",
+    "Do not crush or chew.",
+    "Rotate injection sites.",
+    "Rinse mouth after inhalation.",
+    "Administer with food to reduce stomach upset.",
+]
+
+_REG_STATUSES = ["Approved", "Approved (OTC available)", "Approved (Rx only)", "Discontinued"]
+
+_ABSORPTION = [
+    "Rapidly absorbed; peak in 1-2 hours.",
+    "Slowly absorbed; peak in 4-6 hours.",
+    "Poor oral bioavailability; given parenterally.",
+    "Well absorbed; food delays absorption.",
+    "Minimal systemic absorption after topical use.",
+]
+_METABOLISM = [
+    "Hepatic via CYP3A4.", "Hepatic via CYP2D6.", "Hepatic glucuronidation.",
+    "Minimal hepatic metabolism.", "Extensive first-pass metabolism.",
+]
+_HALF_LIFE = ["2-4 hours", "4-6 hours", "6-12 hours", "12-24 hours", "24-48 hours", "over 48 hours"]
+_EXCRETION = ["Renal, mostly unchanged.", "Renal as metabolites.", "Biliary/fecal.", "Mixed renal and fecal."]
+
+_TOX_MANAGEMENT = [
+    "Supportive care; monitor vital signs.",
+    "Gastric decontamination if recent ingestion.",
+    "Hemodialysis may enhance elimination.",
+    "Administer specific antidote and monitor.",
+    "Continuous cardiac monitoring is recommended.",
+]
+
+_MONITORING_NOTES = [
+    "at baseline and every 3 months", "weekly during initiation",
+    "at every visit", "annually", "after each dose change",
+]
+
+_MOA_BY_TC = {
+    "Cardiovascular Agent": "Modulates vascular tone and cardiac workload.",
+    "Central Nervous System Agent": "Alters neurotransmitter signaling in the CNS.",
+    "Anti-Infective Agent": "Inhibits growth or survival of the pathogen.",
+    "Dermatologic Agent": "Normalizes epidermal proliferation and inflammation.",
+    "Gastrointestinal Agent": "Modifies gastric secretion or GI motility.",
+    "Endocrine-Metabolic Agent": "Modulates hormonal or metabolic pathways.",
+    "Respiratory Agent": "Relaxes airway smooth muscle or reduces inflammation.",
+    "Musculoskeletal Agent": "Reduces inflammation in joints and muscles.",
+    "Ophthalmic Agent": "Reduces intraocular pressure or ocular inflammation.",
+    "Genitourinary Agent": "Modulates urogenital smooth muscle tone.",
+    "Hematologic Agent": "Alters coagulation or blood cell production.",
+    "Immunologic Agent": "Modulates immune system activity.",
+}
+
+_TARGETS = [
+    "Cyclooxygenase", "Beta-adrenergic receptor", "Angiotensin system",
+    "HMG-CoA reductase", "Serotonin transporter", "GABA-A receptor",
+    "Proton pump", "Histamine receptor", "Sodium channel",
+    "Bacterial cell wall synthesis", "DNA gyrase", "Retinoid receptor",
+]
+
+_EDUCATION = [
+    "Take exactly as prescribed; do not skip doses.",
+    "Report any unusual bleeding or bruising.",
+    "Avoid alcohol while taking this medication.",
+    "Do not stop taking without consulting your provider.",
+    "Store out of reach of children.",
+    "Report rash or difficulty breathing immediately.",
+    "Use sun protection while on this medication.",
+    "Keep a list of all your medications with you.",
+]
+
+_EVIDENCE_SUMMARIES = [
+    "Randomized trials demonstrate significant benefit.",
+    "Meta-analysis shows moderate effect size.",
+    "Open-label studies suggest benefit.",
+    "Evidence limited to observational cohorts.",
+    "Guideline-endorsed first-line therapy.",
+    "Second-line option when first-line fails.",
+]
+
+_TRIAL_PHASES = ["Phase I", "Phase II", "Phase III", "Phase IV"]
+_TRIAL_OUTCOMES = [
+    "Met primary endpoint.", "Failed primary endpoint.",
+    "Showed non-inferiority.", "Stopped early for benefit.",
+    "Ongoing; interim results favorable.",
+]
+
+_WARNING_TEXTS = [
+    "May cause dizziness; do not operate machinery.",
+    "Keep out of reach of children.",
+    "Do not use after the expiration date.",
+    "Consult a physician before use if pregnant.",
+    "Discontinue and seek help if allergic reaction occurs.",
+]
+
+_LACTATION_LEVELS = ["Compatible", "Use caution", "Avoid", "No data"]
+
+_ICD_PREFIXES = ["A", "B", "E", "F", "G", "I", "J", "K", "L", "M", "N", "R"]
+
+_CONDITION_DESCRIPTIONS = [
+    "Common condition managed in primary care.",
+    "Chronic condition requiring long-term therapy.",
+    "Acute condition; short-course therapy is typical.",
+    "Condition with significant quality-of-life impact.",
+    "Condition requiring specialist management.",
+]
+
+_DRUG_DESCRIPTIONS = [
+    "Widely used agent with a well-characterized profile.",
+    "Established therapy with decades of clinical use.",
+    "Newer agent with growing clinical experience.",
+    "Agent reserved for refractory cases.",
+    "First-line option in current guidelines.",
+]
+
+
+def populate_mdx(
+    database: Database | None = None,
+    config: GeneratorConfig | None = None,
+) -> Database:
+    """Create the schema (when needed) and fill it with synthetic data."""
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    db = database or create_mdx_schema()
+
+    # -- reference data -----------------------------------------------------
+    drugs = vocab.DRUGS[: config.max_drugs] if config.max_drugs else vocab.DRUGS
+    conditions = (
+        vocab.CONDITIONS[: config.max_conditions]
+        if config.max_conditions
+        else vocab.CONDITIONS
+    )
+    class_names = sorted({d[2] for d in drugs})
+    class_ids = {}
+    for i, name in enumerate(class_names, start=1):
+        db.insert("drug_class", {"class_id": i, "name": name, "description": f"Drugs of the {name} class."})
+        class_ids[name] = i
+    tc_ids = {}
+    for i, name in enumerate(vocab.THERAPEUTIC_CLASSES, start=1):
+        db.insert("therapeutic_class", {"tc_id": i, "name": name, "description": f"{name}s."})
+        tc_ids[name] = i
+    for i, (name, country) in enumerate(vocab.MANUFACTURERS, start=1):
+        db.insert("manufacturer", {"mfr_id": i, "name": name, "country": country})
+    age_bounds = {"Adult": (18.0, 64.0), "Pediatric": (2.0, 17.0), "Geriatric": (65.0, 120.0), "Neonatal": (0.0, 0.1)}
+    for i, name in enumerate(vocab.AGE_GROUPS, start=1):
+        low, high = age_bounds[name]
+        db.insert("age_group", {"age_group_id": i, "name": name, "description": f"{name} patients.", "min_age_years": low, "max_age_years": high})
+    route_ids = {}
+    for i, name in enumerate(vocab.ROUTES, start=1):
+        db.insert("route", {"route_id": i, "name": name, "description": f"{name} administration.", "abbreviation": name[:2].upper()})
+        route_ids[name] = i
+    for i, name in enumerate(vocab.SEVERITIES, start=1):
+        db.insert("severity", {"severity_id": i, "name": name, "rank": i, "description": f"{name} severity."})
+    for i, name in enumerate(vocab.EFFICACIES, start=1):
+        db.insert("efficacy", {"efficacy_id": i, "name": name, "description": f"Evidence rating: {name}.", "rank": i})
+    for i, (name, desc) in enumerate(vocab.PREGNANCY_CATEGORIES, start=1):
+        db.insert("pregnancy_category", {"pc_id": i, "name": name, "description": desc})
+    for i, name in enumerate(vocab.IV_SOLUTIONS, start=1):
+        db.insert("iv_solution", {"solution_id": i, "name": name, "concentration": name.split()[-1]})
+    specimen_names = sorted({s for _, s, _ in vocab.LAB_TESTS})
+    specimen_ids = {}
+    for i, name in enumerate(specimen_names, start=1):
+        db.insert("specimen_type", {"specimen_id": i, "name": name, "description": f"{name} specimen."})
+        specimen_ids[name] = i
+    for i, (name, specimen, units) in enumerate(vocab.LAB_TESTS, start=1):
+        db.insert("lab_test", {"lab_test_id": i, "name": name, "units": units, "specimen_id": specimen_ids[specimen]})
+    for i, name in enumerate(vocab.FOOD_ITEMS, start=1):
+        db.insert("food_item", {"food_id": i, "name": name, "category": "Dietary"})
+    for i, name in enumerate(vocab.MONITOR_PARAMETERS, start=1):
+        db.insert("monitor_parameter", {"param_id": i, "name": name, "description": f"Monitor {name.lower()}."})
+    for i, name in enumerate(vocab.ALLERGENS, start=1):
+        db.insert("allergen", {"allergen_id": i, "name": name, "cross_reactivity": "Possible cross-reactivity within the class."})
+    for i, name in enumerate(vocab.STORAGE_CONDITIONS, start=1):
+        db.insert("storage_condition", {"storage_id": i, "name": name, "instructions": name + "."})
+    form_ids = {}
+    for i, name in enumerate(vocab.DOSAGE_FORMS, start=1):
+        db.insert("dosage_form", {"form_id": i, "name": name, "description": f"{name} dosage form."})
+        form_ids[name] = i
+    for i, (code, meaning) in enumerate(vocab.FREQUENCIES, start=1):
+        times = {"QD": 1.0, "BID": 2.0, "TID": 3.0, "QID": 4.0, "Q4H": 6.0, "Q6H": 4.0, "Q8H": 3.0, "QHS": 1.0, "PRN": 0.0, "QWK": 1.0 / 7.0}
+        db.insert("frequency_schedule", {"freq_id": i, "name": code, "meaning": meaning, "times_per_day": times.get(code)})
+    unit_ids = {}
+    for i, name in enumerate(vocab.DOSE_UNITS, start=1):
+        db.insert("dose_unit", {"unit_id": i, "name": name, "description": f"Dose expressed in {name}."})
+        unit_ids[name] = i
+    schedule_ids = {}
+    for i, (name, desc) in enumerate(vocab.SCHEDULE_CLASSES, start=1):
+        db.insert("schedule_class", {"schedule_id": i, "name": name, "description": desc})
+        schedule_ids[name] = i
+    for i, name in enumerate(vocab.EVIDENCE_STRENGTHS, start=1):
+        db.insert("evidence_strength", {"strength_id": i, "name": name, "description": f"Strength of evidence: {name}.", "rank": i})
+    for i, name in enumerate(vocab.DOCUMENTATION_LEVELS, start=1):
+        db.insert("documentation_level", {"doc_level_id": i, "name": name, "description": f"Documentation: {name}.", "rank": i})
+    for i, name in enumerate(vocab.REFERENCE_SOURCES, start=1):
+        db.insert("reference_source", {"source_id": i, "name": name, "publisher": "Various"})
+    for i, (name, desc) in enumerate(vocab.PRICE_TIERS, start=1):
+        db.insert("price_tier", {"tier_id": i, "name": name, "description": desc})
+    for i, name in enumerate(vocab.OVERDOSE_SYMPTOMS, start=1):
+        db.insert("overdose_symptom", {"symptom_id": i, "name": name, "description": f"{name} after overdose."})
+    for i, (name, used_for) in enumerate(vocab.ANTIDOTES, start=1):
+        db.insert("antidote", {"antidote_id": i, "name": name, "used_for": used_for})
+    for i, name in enumerate(vocab.GUIDELINES, start=1):
+        db.insert("guideline", {"guideline_id": i, "name": name, "organization": name.split()[0], "year": 2010 + (i % 10)})
+
+    # -- drugs -------------------------------------------------------------------
+    tc_by_class = _therapeutic_class_for
+    drug_ids: dict[str, int] = {}
+    for i, (generic, brand, drug_class, base_salt) in enumerate(drugs, start=1):
+        schedule = "Rx"
+        if drug_class in ("Opioid Analgesic",):
+            schedule = "C-II"
+        elif drug_class in ("Benzodiazepine", "Sedative-Hypnotic"):
+            schedule = "C-IV"
+        elif drug_class in ("Antacid", "Antihistamine", "Analgesic", "NSAID", "Expectorant", "Keratolytic") and rng.random() < 0.6:
+            schedule = "OTC"
+        db.insert(
+            "drug",
+            {
+                "drug_id": i,
+                "name": generic,
+                "base_salt": base_salt,
+                "description": rng.choice(_DRUG_DESCRIPTIONS),
+                "class_id": class_ids[drug_class],
+                "tc_id": tc_ids[tc_by_class(drug_class)],
+                "mfr_id": rng.randint(1, len(vocab.MANUFACTURERS)),
+                "pc_id": rng.randint(1, len(vocab.PREGNANCY_CATEGORIES)),
+                "schedule_id": schedule_ids[schedule],
+                "tier_id": rng.randint(1, len(vocab.PRICE_TIERS)),
+            },
+        )
+        drug_ids[generic] = i
+        db.insert("brand", {"brand_id": i, "drug_id": i, "name": brand, "country": "United States"})
+
+    # -- indications & findings ---------------------------------------------------
+    indication_ids: dict[str, int] = {}
+    for i, (name, _classes) in enumerate(conditions, start=1):
+        db.insert(
+            "indication",
+            {
+                "indication_id": i,
+                "name": name,
+                "icd_code": f"{rng.choice(_ICD_PREFIXES)}{rng.randint(10, 99)}.{rng.randint(0, 9)}",
+                "description": rng.choice(_CONDITION_DESCRIPTIONS),
+            },
+        )
+        indication_ids[name] = i
+    for i, name in enumerate(vocab.FINDINGS, start=1):
+        db.insert("finding", {"finding_id": i, "name": name, "description": f"Clinical finding: {name.lower()}."})
+
+    # -- treats / prevents / off-label junctions ------------------------------------
+    class_of = {d[0]: d[2] for d in drugs}
+    treat_pairs: list[tuple[int, int]] = []
+    for cond_name, classes in conditions:
+        cond_id = indication_ids[cond_name]
+        for generic, drug_id in drug_ids.items():
+            if class_of[generic] in classes:
+                db.insert("treats", {"drug_id": drug_id, "indication_id": cond_id})
+                treat_pairs.append((drug_id, cond_id))
+    all_cond_ids = list(indication_ids.values())
+    seen_off_label: set[tuple[int, int]] = set(treat_pairs)
+    for generic, drug_id in drug_ids.items():
+        if rng.random() < 0.35:
+            cond_id = rng.choice(all_cond_ids)
+            if (drug_id, cond_id) not in seen_off_label:
+                seen_off_label.add((drug_id, cond_id))
+                db.insert("off_label_treats", {"drug_id": drug_id, "indication_id": cond_id})
+    prevent_classes = {"Statin", "Anticoagulant", "Antiplatelet", "Bisphosphonate", "Triptan"}
+    seen_prevents: set[tuple[int, int]] = set()
+    for generic, drug_id in drug_ids.items():
+        if class_of[generic] in prevent_classes:
+            cond_id = rng.choice(all_cond_ids)
+            if (drug_id, cond_id) not in seen_prevents:
+                seen_prevents.add((drug_id, cond_id))
+                db.insert("prevents", {"drug_id": drug_id, "indication_id": cond_id})
+    n_findings = len(vocab.FINDINGS)
+    seen_causes: set[tuple[int, int]] = set()
+    for generic, drug_id in drug_ids.items():
+        for _ in range(rng.randint(0, 2)):
+            pair = (drug_id, rng.randint(1, n_findings))
+            if pair not in seen_causes:
+                seen_causes.add(pair)
+                db.insert("causes_finding", {"drug_id": pair[0], "finding_id": pair[1]})
+    seen_presents: set[tuple[int, int]] = set()
+    for cond_id in all_cond_ids:
+        for _ in range(rng.randint(1, 3)):
+            pair = (cond_id, rng.randint(1, n_findings))
+            if pair not in seen_presents:
+                seen_presents.add(pair)
+                db.insert("presents_with", {"indication_id": pair[0], "finding_id": pair[1]})
+
+    # -- per-drug information ----------------------------------------------------------
+    counters = {"precaution": 0, "ae": 0, "risk": 0, "adjustment": 0,
+                "interaction": 0, "compat": 0, "admin": 0, "formulation": 0,
+                "monitoring": 0, "cross": 0, "trial": 0, "evidence": 0}
+
+    def next_id(key: str) -> int:
+        counters[key] += 1
+        return counters[key]
+
+    topical_classes = {
+        "Topical Retinoid", "Topical Corticosteroid", "Topical Antibacterial",
+        "Keratolytic", "Topical Antibiotic", "Vitamin D Analog",
+    }
+    iv_classes = {
+        "Glycopeptide Antibiotic", "Aminoglycoside Antibiotic",
+        "Cephalosporin Antibiotic", "Opioid Analgesic", "Antiemetic",
+        "Loop Diuretic", "Antiarrhythmic", "Systemic Corticosteroid",
+    }
+    all_drug_ids = list(drug_ids.values())
+    n_units = len(vocab.DOSE_UNITS)
+    n_freqs = len(vocab.FREQUENCIES)
+    n_severities = len(vocab.SEVERITIES)
+    n_doc_levels = len(vocab.DOCUMENTATION_LEVELS)
+
+    dosage_id = 0
+    for generic, drug_id in drug_ids.items():
+        drug_class = class_of[generic]
+        route = "Topical" if drug_class in topical_classes else (
+            "Intravenous" if drug_class in iv_classes and rng.random() < 0.5 else "Oral"
+        )
+
+        for _ in range(rng.randint(*config.precautions_per_drug)):
+            db.insert("precaution", {
+                "precaution_id": next_id("precaution"), "drug_id": drug_id,
+                "description": rng.choice(_PRECAUTION_POOL),
+                "population": rng.choice(_POPULATIONS),
+            })
+        for name in rng.sample(vocab.ADVERSE_EFFECTS, rng.randint(*config.adverse_effects_per_drug)):
+            db.insert("adverse_effect", {
+                "ae_id": next_id("ae"), "drug_id": drug_id, "name": name,
+                "frequency": rng.choice(_AE_FREQUENCIES),
+                "severity_id": rng.randint(1, n_severities),
+            })
+        for _ in range(rng.randint(0, 2)):
+            risk_id = next_id("risk")
+            is_bbw = rng.random() < 0.35
+            db.insert("risk", {
+                "risk_id": risk_id, "drug_id": drug_id,
+                "name": "Black Box Warning" if is_bbw else "Contraindication",
+                "description": rng.choice(_RISK_NOTES),
+            })
+            if is_bbw:
+                db.insert("black_box_warning", {"risk_id": risk_id, "warning_text": rng.choice(_BBW_TEXTS)})
+            else:
+                db.insert("contra_indication", {"risk_id": risk_id, "note": rng.choice(_RISK_NOTES)})
+        for _ in range(rng.randint(0, 2)):
+            adj_id = next_id("adjustment")
+            db.insert("dose_adjustment", {
+                "adjustment_id": adj_id, "drug_id": drug_id,
+                "description": rng.choice(_ADJ_DESCRIPTIONS),
+            })
+            if rng.random() < 0.5:
+                db.insert("renal_adjustment", {
+                    "adjustment_id": adj_id,
+                    "crcl_threshold": rng.choice(_CRCL_THRESHOLDS),
+                    "recommendation": rng.choice(_ADJ_DESCRIPTIONS),
+                })
+            else:
+                db.insert("hepatic_adjustment", {
+                    "adjustment_id": adj_id,
+                    "child_pugh_class": rng.choice(_CHILD_PUGH),
+                    "recommendation": rng.choice(_ADJ_DESCRIPTIONS),
+                })
+        for _ in range(rng.randint(*config.interactions_per_drug)):
+            interaction_id = next_id("interaction")
+            flavor = rng.random()
+            name = "Drug-Drug Interaction" if flavor < 0.5 else (
+                "Drug-Food Interaction" if flavor < 0.75 else (
+                    "Drug-Lab Interaction" if flavor < 0.9 else "General Interaction"
+                )
+            )
+            db.insert("drug_interaction", {
+                "interaction_id": interaction_id, "drug_id": drug_id,
+                "name": name,
+                "description": rng.choice(_INTERACTION_DESCRIPTIONS),
+                "severity_id": rng.randint(1, n_severities),
+                "doc_level_id": rng.randint(1, n_doc_levels),
+            })
+            if flavor < 0.5:
+                other = rng.choice(all_drug_ids)
+                db.insert("drug_drug_interaction", {
+                    "interaction_id": interaction_id,
+                    "interacting_drug_id": other,
+                    "mechanism": rng.choice(_MECHANISMS),
+                })
+            elif flavor < 0.75:
+                db.insert("drug_food_interaction", {
+                    "interaction_id": interaction_id,
+                    "food_id": rng.randint(1, len(vocab.FOOD_ITEMS)),
+                    "mechanism": rng.choice(_MECHANISMS),
+                })
+            elif flavor < 0.9:
+                db.insert("drug_lab_interaction", {
+                    "interaction_id": interaction_id,
+                    "lab_test_id": rng.randint(1, len(vocab.LAB_TESTS)),
+                    "effect": rng.choice(_LAB_EFFECTS),
+                })
+            # flavor >= 0.9: parent-only row → inheritance, not union.
+        if route == "Intravenous" or drug_class in iv_classes:
+            for solution_id in rng.sample(range(1, len(vocab.IV_SOLUTIONS) + 1), rng.randint(1, 3)):
+                db.insert("iv_compatibility", {
+                    "compat_id": next_id("compat"), "drug_id": drug_id,
+                    "solution_id": solution_id,
+                    "compatibility": rng.choice(_IV_COMPATIBILITY),
+                    "notes": rng.choice(_IV_NOTES),
+                })
+        db.insert("administration", {
+            "admin_id": next_id("admin"), "drug_id": drug_id,
+            "route_id": route_ids[route],
+            "instructions": rng.choice(_ADMIN_INSTRUCTIONS),
+        })
+        db.insert("regulatory_status", {
+            "status_id": drug_id, "drug_id": drug_id,
+            "status": rng.choice(_REG_STATUSES),
+            "approval_year": rng.randint(1950, 2018), "region": "United States",
+        })
+        db.insert("pharmacokinetics", {
+            "pk_id": drug_id, "drug_id": drug_id,
+            "absorption": rng.choice(_ABSORPTION),
+            "metabolism": rng.choice(_METABOLISM),
+            "half_life": rng.choice(_HALF_LIFE),
+            "excretion": rng.choice(_EXCRETION),
+            "protein_binding": rng.choice(["< 20%", "20-50%", "50-90%", "> 90%"]),
+            "bioavailability": rng.choice(["10-30%", "30-60%", "60-90%", "> 90%"]),
+        })
+        db.insert("toxicology", {
+            "tox_id": drug_id, "drug_id": drug_id,
+            "symptom_id": rng.randint(1, len(vocab.OVERDOSE_SYMPTOMS)),
+            "management": rng.choice(_TOX_MANAGEMENT),
+            "antidote_id": rng.randint(1, len(vocab.ANTIDOTES)) if rng.random() < 0.4 else None,
+        })
+        for _ in range(rng.randint(1, 2)):
+            db.insert("monitoring", {
+                "monitoring_id": next_id("monitoring"), "drug_id": drug_id,
+                "param_id": rng.randint(1, len(vocab.MONITOR_PARAMETERS)),
+                "frequency_note": rng.choice(_MONITORING_NOTES),
+            })
+        db.insert("storage", {
+            "storage_rec_id": drug_id, "drug_id": drug_id,
+            "storage_id": rng.randint(1, len(vocab.STORAGE_CONDITIONS)),
+            "note": "See label for full storage details.",
+        })
+        db.insert("mechanism_of_action", {
+            "moa_id": drug_id, "drug_id": drug_id,
+            "description": _MOA_BY_TC[tc_by_class(drug_class)],
+            "target": rng.choice(_TARGETS),
+        })
+        db.insert("patient_education", {
+            "edu_id": drug_id, "drug_id": drug_id,
+            "instructions": rng.choice(_EDUCATION),
+        })
+        if rng.random() < 0.3:
+            db.insert("allergy_cross_sensitivity", {
+                "cross_id": next_id("cross"), "drug_id": drug_id,
+                "allergen_id": rng.randint(1, len(vocab.ALLERGENS)),
+                "note": "Screen for allergy history before administration.",
+            })
+        db.insert("dialysis_guidance", {
+            "dialysis_id": drug_id, "drug_id": drug_id,
+            "dialyzable": rng.random() < 0.4,
+            "note": "Consider supplemental dose after hemodialysis."
+            if rng.random() < 0.5 else "No supplemental dose required.",
+        })
+        db.insert("warning_label", {
+            "label_id": drug_id, "drug_id": drug_id,
+            "text": rng.choice(_WARNING_TEXTS), "region": "United States",
+        })
+        db.insert("lactation_risk", {
+            "lact_id": drug_id, "drug_id": drug_id,
+            "risk_level": rng.choice(_LACTATION_LEVELS),
+            "note": "Weigh benefits against potential infant exposure.",
+        })
+        if rng.random() < 0.5:
+            db.insert("strength_formulation", {
+                "formulation_id": next_id("formulation"), "drug_id": drug_id,
+                "form_id": form_ids["Cream" if route == "Topical" else ("Injection Solution" if route == "Intravenous" else "Tablet")],
+                "strength": float(rng.choice([0.05, 0.1, 5, 10, 20, 25, 50, 100, 250, 500])),
+                "unit_id": unit_ids["%" if route == "Topical" else "mg"],
+            })
+
+    # -- dosage rows per treat edge ------------------------------------------------------
+    age_adult, age_pediatric = 1, 2
+    for drug_id, cond_id in treat_pairs:
+        for age_group_id in ([age_adult, age_pediatric] if rng.random() < 0.7 else [age_adult]):
+            dosage_id += 1
+            generic = next(g for g, i in drug_ids.items() if i == drug_id)
+            drug_class = class_of[generic]
+            is_topical = drug_class in topical_classes
+            amount = rng.choice([0.05, 0.1] if is_topical else [10, 25, 50, 100])
+            unit = "%" if is_topical else "mg"
+            freq_idx = rng.randint(1, min(_DOSAGE_FREQ_COUNT, n_freqs))
+            freq_meaning = vocab.FREQUENCIES[freq_idx - 1][1]
+            route_name = "TOPICALLY" if is_topical else "ORALLY"
+            template = rng.choice(_DOSAGE_TEMPLATES)
+            description = template.format(
+                amount=amount, unit=unit, route=route_name, freq=freq_meaning,
+                maximum=amount * 2,
+            )
+            db.insert("dosage", {
+                "dosage_id": dosage_id, "drug_id": drug_id,
+                "indication_id": cond_id, "age_group_id": age_group_id,
+                "route_id": route_ids["Topical" if is_topical else "Oral"],
+                "description": description, "amount": float(amount),
+                "max_daily": float(amount) * 2,
+                "duration": rng.choice(_DOSAGE_DURATIONS),
+                "unit_id": unit_ids[unit], "freq_id": freq_idx,
+            })
+
+    # -- clinical evidence / trials / guideline recommendations -----------------------------
+    for drug_id, cond_id in treat_pairs:
+        db.insert("clinical_evidence", {
+            "evidence_id": next_id("evidence"), "drug_id": drug_id,
+            "indication_id": cond_id,
+            "efficacy_id": rng.randint(1, len(vocab.EFFICACIES)),
+            "strength_id": rng.randint(1, len(vocab.EVIDENCE_STRENGTHS)),
+            "source_id": rng.randint(1, len(vocab.REFERENCE_SOURCES)),
+            "summary": rng.choice(_EVIDENCE_SUMMARIES),
+        })
+        if rng.random() < 0.15:
+            db.insert("clinical_trial", {
+                "trial_id": next_id("trial"), "drug_id": drug_id,
+                "indication_id": cond_id,
+                "phase": rng.choice(_TRIAL_PHASES),
+                "outcome": rng.choice(_TRIAL_OUTCOMES),
+            })
+    for rec_id, guideline_idx in enumerate(range(1, len(vocab.GUIDELINES) + 1), start=1):
+        drug_id, cond_id = rng.choice(treat_pairs)
+        db.insert("guideline_recommendation", {
+            "rec_id": rec_id, "guideline_id": guideline_idx,
+            "drug_id": drug_id, "indication_id": cond_id,
+            "recommendation": "Recommended as part of standard therapy.",
+        })
+    return db
+
+
+def _therapeutic_class_for(drug_class: str) -> str:
+    """Map a pharmacologic class to its broad therapeutic class."""
+    mapping = {
+        "Cardiovascular Agent": {
+            "ACE Inhibitor", "ARB", "Beta Blocker", "Calcium Channel Blocker",
+            "Statin", "Cardiac Glycoside", "Antiarrhythmic", "Loop Diuretic",
+            "Thiazide Diuretic", "Potassium-Sparing Diuretic", "Nitrate",
+        },
+        "Hematologic Agent": {"Anticoagulant", "Antiplatelet", "Iron Supplement"},
+        "Central Nervous System Agent": {
+            "Opioid Analgesic", "Analgesic", "SSRI", "SNRI",
+            "Atypical Antidepressant", "Benzodiazepine", "Sedative-Hypnotic",
+            "Anticonvulsant", "Anticholinergic", "Nootropic", "Triptan",
+            "Atypical Antipsychotic", "Mood Stabilizer", "Cholinesterase Inhibitor",
+        },
+        "Anti-Infective Agent": {
+            "Penicillin Antibiotic", "Macrolide Antibiotic",
+            "Fluoroquinolone Antibiotic", "Tetracycline Antibiotic",
+            "Cephalosporin Antibiotic", "Lincosamide Antibiotic",
+            "Nitroimidazole Antibiotic", "Glycopeptide Antibiotic",
+            "Aminoglycoside Antibiotic", "Urinary Anti-infective",
+            "Azole Antifungal", "Antiviral", "Antimalarial", "Topical Antibiotic",
+        },
+        "Dermatologic Agent": {
+            "Topical Retinoid", "Topical Corticosteroid", "Vitamin D Analog",
+            "Oral Retinoid", "Topical Antibacterial", "Keratolytic",
+        },
+        "Gastrointestinal Agent": {
+            "Proton Pump Inhibitor", "H2 Blocker", "Antiemetic", "Prokinetic",
+            "Antidiarrheal", "Antacid", "Mucosal Protectant", "Stool Softener",
+            "Osmotic Laxative", "Pancreatic Enzyme",
+        },
+        "Endocrine-Metabolic Agent": {
+            "Biguanide", "Sulfonylurea", "Long-Acting Insulin",
+            "DPP-4 Inhibitor", "SGLT2 Inhibitor", "Thyroid Hormone",
+            "Systemic Corticosteroid", "Bisphosphonate", "Calcium Supplement",
+            "Electrolyte Supplement", "Vitamin",
+        },
+        "Respiratory Agent": {
+            "Beta-2 Agonist", "Leukotriene Antagonist", "Inhaled Corticosteroid",
+            "Anticholinergic Bronchodilator", "Antihistamine", "Expectorant",
+        },
+        "Musculoskeletal Agent": {
+            "NSAID", "Xanthine Oxidase Inhibitor", "Anti-Gout Agent",
+            "Antimetabolite",
+        },
+        "Ophthalmic Agent": {
+            "Cycloplegic", "Prostaglandin Analog", "Ophthalmic Beta Blocker",
+        },
+        "Genitourinary Agent": {
+            "Alpha Blocker", "5-Alpha-Reductase Inhibitor", "PDE5 Inhibitor",
+        },
+        "Immunologic Agent": {"TNF Inhibitor", "Immunosuppressant"},
+    }
+    for tc, classes in mapping.items():
+        if drug_class in classes:
+            return tc
+    return "Central Nervous System Agent"

@@ -1,0 +1,183 @@
+"""SME artifacts for the MDX use case.
+
+Everything a subject-matter expert contributes in §4.2.2/§4.3.2/§6.1:
+instance synonyms (brand names, base-with-salt descriptions), prior user
+queries labelled with intents, business-friendly intent renames (Table
+5's names), and pruning of query patterns unlikely to occur in the real
+workload.
+"""
+
+from __future__ import annotations
+
+from repro.bootstrap.synonyms import SynonymDictionary
+from repro.medical import vocabulary as vocab
+
+#: Generated intent name -> the paper's business name (Table 5 / §6.2).
+INTENT_RENAMES: dict[str, str] = {
+    "Drug Dosage for Indication": "Drug Dosage for Condition",
+    "Administration of Drug": "Administration of Drug",
+    "Iv Compatibility of Drug": "IV Compatibility of Drug",
+    "Drug that treats Indication": "Drugs That Treat Condition",
+    "Indication that Drug treats": "Uses of Drug",
+    "Adverse Effect of Drug": "Adverse Effects of Drug",
+    "Drug Interaction of Drug": "Drug-Drug Interactions",
+    "Dose Adjustment of Drug": "Dose Adjustments for Drug",
+    "Regulatory Status of Drug": "Regulatory Status for Drug",
+    "Pharmacokinetics of Drug": "Pharmacokinetics",
+    "Precaution of Drug": "Precautions of Drug",
+    "Risk of Drug": "Risks of Drug",
+    "Drug that off label treats Indication": "Off-Label Uses for Condition",
+    "Indication that Drug off label treats": "Off-Label Uses of Drug",
+    "Drug that prevents Indication": "Drugs That Prevent Condition",
+    "Indication that Drug prevents": "Prevention Uses of Drug",
+    "Drug Clinical Evidence for Indication": "Clinical Evidence for Condition",
+    "Toxicology of Drug": "Toxicology of Drug",
+    "Mechanism Of Action of Drug": "Mechanism of Action",
+    "Monitoring of Drug": "Monitoring for Drug",
+    "Patient Education of Drug": "Patient Education for Drug",
+}
+
+#: Intents pruned by SMEs (§4.2.2: "unlikely to be part of a real world
+#: workload against the knowledge base").
+PRUNED_INTENTS: list[str] = [
+    # The generated "Dosage of Drug" lookup duplicates the Dosage Request
+    # (Table 4) realized by "Drug Dosage for Indication"; SMEs keep one.
+    "Dosage of Drug",
+    "Price Tier of Drug",
+    "Schedule Class of Drug",
+    "Therapeutic Class of Drug",
+    "Manufacturer of Drug",
+    "Warning Label of Drug",
+    "Strength Formulation of Drug",
+    "Clinical Trial of Drug",
+    "Guideline Recommendation of Drug",
+    "Storage of Drug",
+    "Dialysis Guidance of Drug",
+    "Allergy Cross Sensitivity of Drug",
+    "Drug Drug Interaction of Drug",
+    "Brand of Drug",
+    "Drug Class of Drug",
+    "Pregnancy Category of Drug",
+    "Finding of Drug",
+    "Finding of Indication",
+    "Clinical Evidence of Drug",
+    "Clinical Evidence of Indication",
+    "Clinical Trial of Indication",
+    "Guideline Recommendation of Indication",
+    "Dosage of Indication",
+    "Drug Clinical Trial for Indication",
+    "Drug Guideline Recommendation for Indication",
+    "Drug Finding for Indication",
+    "INDICATION_GENERAL",
+]
+
+#: Prior user queries labelled by SMEs (§4.3.2 and Figure 8) — these use
+#: phrasings the automatic generator does not produce.
+PRIOR_USER_QUERIES: list[tuple[str, str]] = [
+    ("Find Dose Adjustment for Aspirin?", "Dose Adjustment of Drug"),
+    ("Give me the increased dosage for Aspirin?", "Dose Adjustment of Drug"),
+    ("How do I perform a Dose Adjustment for Aspirin?", "Dose Adjustment of Drug"),
+    ("I want to see the modifications to dosing for Warfarin?", "Dose Adjustment of Drug"),
+    ("renal dosing for gentamicin", "Dose Adjustment of Drug"),
+    ("what are the side effects of cogentin", "Adverse Effect of Drug"),
+    ("side effects of lisinopril", "Adverse Effect of Drug"),
+    ("cogentin adverse effects", "Adverse Effect of Drug"),
+    ("does ibuprofen cause stomach problems", "Adverse Effect of Drug"),
+    ("is it safe to give aspirin to children", "Precaution of Drug"),
+    ("warnings for warfarin", "Precaution of Drug"),
+    ("how much tylenol can I give", "Drug Dosage for Indication"),
+    ("tylenol dosing", "Drug Dosage for Indication"),
+    ("pediatric dose of amoxicillin", "Drug Dosage for Indication"),
+    ("max daily dose of ibuprofen", "Drug Dosage for Indication"),
+    ("what is amoxicillin used for", "Indication that Drug treats"),
+    ("what does metformin treat", "Indication that Drug treats"),
+    ("uses of prednisone", "Indication that Drug treats"),
+    ("indications for atorvastatin", "Indication that Drug treats"),
+    ("what can I take for a headache", "Drug that treats Indication"),
+    ("best medication for high blood pressure", "Drug that treats Indication"),
+    ("treatment options for psoriasis", "Drug that treats Indication"),
+    ("drugs for type 2 diabetes", "Drug that treats Indication"),
+    ("does warfarin interact with aspirin", "Drug Interaction of Drug"),
+    ("interactions for amiodarone", "Drug Interaction of Drug"),
+    ("can I take ibuprofen with lisinopril", "Drug Interaction of Drug"),
+    ("is vancomycin compatible with normal saline", "Iv Compatibility of Drug"),
+    ("y-site compatibility for furosemide", "Iv Compatibility of Drug"),
+    ("how do you give ceftriaxone", "Administration of Drug"),
+    ("how should metformin be taken", "Administration of Drug"),
+    ("is alprazolam a controlled substance", "Regulatory Status of Drug"),
+    ("when was warfarin approved", "Regulatory Status of Drug"),
+    ("half life of digoxin", "Pharmacokinetics of Drug"),
+    ("how is morphine metabolized", "Pharmacokinetics of Drug"),
+    ("overdose of acetaminophen", "Toxicology of Drug"),
+    ("what happens if you take too much aspirin", "Toxicology of Drug"),
+    ("contraindications for metoprolol", "Risk of Drug"),
+    ("black box warning for warfarin", "Risk of Drug"),
+    ("how does omeprazole work", "Mechanism Of Action of Drug"),
+    ("what labs to check on lithium", "Monitoring of Drug"),
+    ("counseling points for warfarin", "Patient Education of Drug"),
+    ("what should patients know about metformin", "Patient Education of Drug"),
+    ("patient teaching for insulin glargine", "Patient Education of Drug"),
+    ("what to tell patients starting sertraline", "Patient Education of Drug"),
+    ("education points for albuterol inhaler", "Patient Education of Drug"),
+    ("drug and dose that treats fever", "Drug Dosage for Indication"),
+    ("dosage for tazarotene for acne", "Drug Dosage for Indication"),
+    ("can vancomycin be mixed in dextrose", "Iv Compatibility of Drug"),
+    ("can gentamicin be mixed with lactated ringers", "Iv Compatibility of Drug"),
+    ("is it ok to run furosemide with normal saline", "Iv Compatibility of Drug"),
+    ("ceftriaxone indications", "Indication that Drug treats"),
+    ("approved indications of sertraline", "Indication that Drug treats"),
+    ("what conditions does lisinopril treat", "Indication that Drug treats"),
+    ("indications of carvedilol", "Indication that Drug treats"),
+    ("list the indications for naproxen", "Indication that Drug treats"),
+    ("labeled indications of fluoxetine", "Indication that Drug treats"),
+    ("what are the indications for metoprolol", "Indication that Drug treats"),
+    ("looking for digoxin indications", "Indication that Drug treats"),
+    ("how is albuterol given", "Administration of Drug"),
+    ("route of administration for ondansetron", "Administration of Drug"),
+    ("dosing of metformin in adults with type 2 diabetes", "Drug Dosage for Indication"),
+    ("how much aspirin for fever for adults", "Drug Dosage for Indication"),
+    ("how much ibuprofen for pain in children", "Drug Dosage for Indication"),
+    ("dose of amoxicillin for sinusitis pediatric", "Drug Dosage for Indication"),
+    ("show me drugs that treat psoriasis in children", "Drug that treats Indication"),
+    ("drugs that treat hypertension for adults", "Drug that treats Indication"),
+    ("what treats acne in kids", "Drug that treats Indication"),
+    ("give me the dosage for tazarotene for acne in adults", "Drug Dosage for Indication"),
+    ("pediatric dosing of amoxicillin for strep throat", "Drug Dosage for Indication"),
+    ("adult dose of ibuprofen for fever", "Drug Dosage for Indication"),
+]
+
+
+def mdx_concept_synonyms() -> SynonymDictionary:
+    """The concept-level synonym dictionary (Table 2)."""
+    synonyms = SynonymDictionary()
+    for concept, values in vocab.CONCEPT_SYNONYMS.items():
+        synonyms.add(concept, values)
+    return synonyms
+
+
+def mdx_instance_synonyms() -> SynonymDictionary:
+    """Instance-level synonyms: brand names and base-with-salt
+    descriptions for every drug (§6.1)."""
+    synonyms = SynonymDictionary()
+    for generic, brand, _class, base_salt in vocab.DRUGS:
+        values = [brand]
+        if base_salt:
+            values.append(base_salt)
+        synonyms.add(generic, values)
+    # A few common lay synonyms for conditions.
+    synonyms.add("Hypertension", ["high blood pressure"])
+    synonyms.add("Hyperlipidemia", ["high cholesterol"])
+    synonyms.add("Type 2 Diabetes", ["diabetes", "T2DM"])
+    synonyms.add("GERD", ["acid reflux", "gastroesophageal reflux"])
+    synonyms.add("Urinary Tract Infection", ["UTI", "bladder infection"])
+    synonyms.add("Atrial Fibrillation", ["afib", "a-fib"])
+    synonyms.add("Benign Prostatic Hyperplasia", ["BPH", "enlarged prostate"])
+    synonyms.add("Influenza", ["flu"])
+    synonyms.add("Deep Vein Thrombosis", ["DVT"])
+    synonyms.add("Erectile Dysfunction", ["ED", "impotence"])
+    return synonyms
+
+
+def mdx_glossary() -> dict[str, str]:
+    """Glossary served by the definition-request repair."""
+    return dict(vocab.GLOSSARY)

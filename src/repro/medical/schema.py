@@ -1,0 +1,285 @@
+"""The MDX relational schema.
+
+§6.1 reports that the generated MDX ontology "consists of 59 concepts,
+178 properties, and 58 relationships ... includ[ing] functional,
+inheritance, and union".  This schema reaches the same scale with the
+same structural features:
+
+* **union** semantics — ``risk`` is partitioned by ``contra_indication``
+  and ``black_box_warning``; ``dose_adjustment`` by ``renal_adjustment``
+  and ``hepatic_adjustment`` (children's PKs are FKs to the parent and
+  the generator keeps them disjoint + covering),
+* **inheritance** — ``drug_interaction`` has children ``drug_drug_``,
+  ``drug_food_`` and ``drug_lab_interaction`` but also keeps
+  uncategorized rows, so it is inferred as plain isA, not union,
+* **functional** relationships — every plain foreign key,
+* **many-to-many** junction tables — ``treats``, ``off_label_treats``,
+  ``prevents``, ``causes_finding``, ``presents_with``.
+
+Several descriptive columns are optional (nullable) and sparsely
+populated, as in a real curated drug reference.
+"""
+
+from __future__ import annotations
+
+from repro.kb.database import Database
+from repro.kb.schema import Column, ForeignKey, TableSchema
+from repro.kb.types import DataType
+
+_T = DataType.TEXT
+_I = DataType.INTEGER
+_F = DataType.FLOAT
+_B = DataType.BOOLEAN
+
+
+def _table(
+    db: Database,
+    name: str,
+    columns: list[tuple],
+    pk: str | None = None,
+    fks: list[tuple[str, str, str]] | None = None,
+) -> None:
+    db.create_table(
+        TableSchema(
+            name=name,
+            columns=[
+                Column(col[0], col[1], nullable=(len(col) < 3 or col[2]))
+                for col in columns
+            ],
+            primary_key=pk,
+            foreign_keys=[ForeignKey(*fk) for fk in (fks or [])],
+        )
+    )
+
+
+def create_mdx_schema(db: Database | None = None) -> Database:
+    """Create (or extend) a database with the full MDX schema."""
+    db = db or Database("mdx")
+
+    # -- reference / category tables -------------------------------------
+    _table(db, "drug_class", [("class_id", _I, False), ("name", _T), ("description", _T), ("atc_prefix", _T)], pk="class_id")
+    _table(db, "therapeutic_class", [("tc_id", _I, False), ("name", _T), ("description", _T), ("code", _T)], pk="tc_id")
+    _table(db, "manufacturer", [("mfr_id", _I, False), ("name", _T), ("country", _T), ("founded_year", _I)], pk="mfr_id")
+    _table(db, "age_group", [("age_group_id", _I, False), ("name", _T), ("description", _T), ("min_age_years", _F), ("max_age_years", _F)], pk="age_group_id")
+    _table(db, "route", [("route_id", _I, False), ("name", _T), ("description", _T), ("abbreviation", _T)], pk="route_id")
+    _table(db, "severity", [("severity_id", _I, False), ("name", _T), ("rank", _I), ("description", _T)], pk="severity_id")
+    _table(db, "efficacy", [("efficacy_id", _I, False), ("name", _T), ("description", _T), ("rank", _I)], pk="efficacy_id")
+    _table(db, "pregnancy_category", [("pc_id", _I, False), ("name", _T), ("description", _T), ("source", _T)], pk="pc_id")
+    _table(db, "iv_solution", [("solution_id", _I, False), ("name", _T), ("concentration", _T), ("osmolarity", _T), ("ph", _F)], pk="solution_id")
+    _table(db, "specimen_type", [("specimen_id", _I, False), ("name", _T), ("description", _T), ("collection_note", _T)], pk="specimen_id")
+    _table(db, "lab_test", [("lab_test_id", _I, False), ("name", _T), ("units", _T), ("reference_range", _T), ("specimen_id", _I)], pk="lab_test_id", fks=[("specimen_id", "specimen_type", "specimen_id")])
+    _table(db, "food_item", [("food_id", _I, False), ("name", _T), ("category", _T), ("interaction_note", _T)], pk="food_id")
+    _table(db, "monitor_parameter", [("param_id", _I, False), ("name", _T), ("description", _T), ("units", _T)], pk="param_id")
+    _table(db, "allergen", [("allergen_id", _I, False), ("name", _T), ("cross_reactivity", _T), ("category", _T)], pk="allergen_id")
+    _table(db, "storage_condition", [("storage_id", _I, False), ("name", _T), ("instructions", _T), ("temperature_range", _T)], pk="storage_id")
+    _table(db, "dosage_form", [("form_id", _I, False), ("name", _T), ("description", _T), ("route_note", _T)], pk="form_id")
+    _table(db, "frequency_schedule", [("freq_id", _I, False), ("name", _T), ("meaning", _T), ("times_per_day", _F)], pk="freq_id")
+    _table(db, "dose_unit", [("unit_id", _I, False), ("name", _T), ("description", _T), ("unit_system", _T)], pk="unit_id")
+    _table(db, "schedule_class", [("schedule_id", _I, False), ("name", _T), ("description", _T), ("refill_limit", _T)], pk="schedule_id")
+    _table(db, "evidence_strength", [("strength_id", _I, False), ("name", _T), ("description", _T), ("rank", _I)], pk="strength_id")
+    _table(db, "documentation_level", [("doc_level_id", _I, False), ("name", _T), ("description", _T), ("rank", _I)], pk="doc_level_id")
+    _table(db, "reference_source", [("source_id", _I, False), ("name", _T), ("publisher", _T), ("url", _T)], pk="source_id")
+    _table(db, "price_tier", [("tier_id", _I, False), ("name", _T), ("description", _T), ("copay_note", _T)], pk="tier_id")
+    _table(db, "overdose_symptom", [("symptom_id", _I, False), ("name", _T), ("description", _T), ("system_affected", _T)], pk="symptom_id")
+    _table(db, "antidote", [("antidote_id", _I, False), ("name", _T), ("used_for", _T), ("route_note", _T)], pk="antidote_id")
+    _table(db, "guideline", [("guideline_id", _I, False), ("name", _T), ("organization", _T), ("year", _I), ("url", _T)], pk="guideline_id")
+
+    # -- core entities -----------------------------------------------------
+    _table(
+        db,
+        "drug",
+        [
+            ("drug_id", _I, False), ("name", _T, False), ("base_salt", _T),
+            ("description", _T), ("atc_code", _T), ("pronunciation", _T),
+            ("class_id", _I), ("tc_id", _I),
+            ("mfr_id", _I), ("pc_id", _I), ("schedule_id", _I), ("tier_id", _I),
+        ],
+        pk="drug_id",
+        fks=[
+            ("class_id", "drug_class", "class_id"),
+            ("tc_id", "therapeutic_class", "tc_id"),
+            ("mfr_id", "manufacturer", "mfr_id"),
+            ("pc_id", "pregnancy_category", "pc_id"),
+            ("schedule_id", "schedule_class", "schedule_id"),
+            ("tier_id", "price_tier", "tier_id"),
+        ],
+    )
+    _table(db, "indication", [("indication_id", _I, False), ("name", _T, False), ("icd_code", _T), ("description", _T), ("category", _T), ("chronicity", _T)], pk="indication_id")
+    _table(db, "finding", [("finding_id", _I, False), ("name", _T, False), ("description", _T), ("loinc_code", _T)], pk="finding_id")
+    _table(db, "brand", [("brand_id", _I, False), ("drug_id", _I, False), ("name", _T), ("country", _T), ("launched_year", _I)], pk="brand_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(
+        db,
+        "strength_formulation",
+        [("formulation_id", _I, False), ("drug_id", _I, False), ("form_id", _I), ("strength", _F), ("unit_id", _I), ("package_size", _T), ("shelf_life", _T)],
+        pk="formulation_id",
+        fks=[("drug_id", "drug", "drug_id"), ("form_id", "dosage_form", "form_id"), ("unit_id", "dose_unit", "unit_id")],
+    )
+
+    # -- drug-dependent information tables -------------------------------------
+    _table(db, "precaution", [("precaution_id", _I, False), ("drug_id", _I, False), ("description", _T), ("population", _T), ("source_note", _T)], pk="precaution_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(
+        db,
+        "adverse_effect",
+        [("ae_id", _I, False), ("drug_id", _I, False), ("name", _T), ("frequency", _T), ("onset", _T), ("management_note", _T), ("severity_id", _I)],
+        pk="ae_id",
+        fks=[("drug_id", "drug", "drug_id"), ("severity_id", "severity", "severity_id")],
+    )
+    _table(db, "risk", [("risk_id", _I, False), ("drug_id", _I, False), ("name", _T), ("description", _T), ("evidence_note", _T)], pk="risk_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(db, "contra_indication", [("risk_id", _I, False), ("note", _T), ("severity_note", _T)], pk="risk_id", fks=[("risk_id", "risk", "risk_id")])
+    _table(db, "black_box_warning", [("risk_id", _I, False), ("warning_text", _T), ("issued_year", _I)], pk="risk_id", fks=[("risk_id", "risk", "risk_id")])
+    _table(
+        db,
+        "dosage",
+        [
+            ("dosage_id", _I, False), ("drug_id", _I, False),
+            ("indication_id", _I), ("age_group_id", _I), ("route_id", _I),
+            ("description", _T), ("amount", _F), ("max_daily", _F),
+            ("duration", _T), ("unit_id", _I), ("freq_id", _I),
+        ],
+        pk="dosage_id",
+        fks=[
+            ("drug_id", "drug", "drug_id"),
+            ("indication_id", "indication", "indication_id"),
+            ("age_group_id", "age_group", "age_group_id"),
+            ("route_id", "route", "route_id"),
+            ("unit_id", "dose_unit", "unit_id"),
+            ("freq_id", "frequency_schedule", "freq_id"),
+        ],
+    )
+    _table(db, "dose_adjustment", [("adjustment_id", _I, False), ("drug_id", _I, False), ("description", _T)], pk="adjustment_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(db, "renal_adjustment", [("adjustment_id", _I, False), ("crcl_threshold", _T), ("recommendation", _T), ("dialysis_note", _T)], pk="adjustment_id", fks=[("adjustment_id", "dose_adjustment", "adjustment_id")])
+    _table(db, "hepatic_adjustment", [("adjustment_id", _I, False), ("child_pugh_class", _T), ("recommendation", _T), ("monitoring_note", _T)], pk="adjustment_id", fks=[("adjustment_id", "dose_adjustment", "adjustment_id")])
+    _table(
+        db,
+        "drug_interaction",
+        [("interaction_id", _I, False), ("drug_id", _I, False), ("name", _T), ("description", _T), ("onset", _T), ("clinical_management", _T), ("severity_id", _I), ("doc_level_id", _I)],
+        pk="interaction_id",
+        fks=[
+            ("drug_id", "drug", "drug_id"),
+            ("severity_id", "severity", "severity_id"),
+            ("doc_level_id", "documentation_level", "doc_level_id"),
+        ],
+    )
+    _table(
+        db,
+        "drug_drug_interaction",
+        [("interaction_id", _I, False), ("interacting_drug_id", _I), ("mechanism", _T), ("effect_direction", _T)],
+        pk="interaction_id",
+        fks=[("interaction_id", "drug_interaction", "interaction_id"), ("interacting_drug_id", "drug", "drug_id")],
+    )
+    _table(
+        db,
+        "drug_food_interaction",
+        [("interaction_id", _I, False), ("food_id", _I), ("mechanism", _T), ("timing_advice", _T)],
+        pk="interaction_id",
+        fks=[("interaction_id", "drug_interaction", "interaction_id"), ("food_id", "food_item", "food_id")],
+    )
+    _table(
+        db,
+        "drug_lab_interaction",
+        [("interaction_id", _I, False), ("lab_test_id", _I), ("effect", _T), ("magnitude", _T)],
+        pk="interaction_id",
+        fks=[("interaction_id", "drug_interaction", "interaction_id"), ("lab_test_id", "lab_test", "lab_test_id")],
+    )
+    _table(
+        db,
+        "iv_compatibility",
+        [("compat_id", _I, False), ("drug_id", _I, False), ("solution_id", _I), ("compatibility", _T), ("notes", _T), ("study_reference", _T)],
+        pk="compat_id",
+        fks=[("drug_id", "drug", "drug_id"), ("solution_id", "iv_solution", "solution_id")],
+    )
+    _table(
+        db,
+        "administration",
+        [("admin_id", _I, False), ("drug_id", _I, False), ("route_id", _I), ("instructions", _T), ("preparation_note", _T)],
+        pk="admin_id",
+        fks=[("drug_id", "drug", "drug_id"), ("route_id", "route", "route_id")],
+    )
+    _table(db, "regulatory_status", [("status_id", _I, False), ("drug_id", _I, False), ("status", _T), ("approval_year", _I), ("region", _T), ("review_priority", _T)], pk="status_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(
+        db,
+        "pharmacokinetics",
+        [("pk_id", _I, False), ("drug_id", _I, False), ("absorption", _T), ("metabolism", _T), ("half_life", _T), ("excretion", _T), ("protein_binding", _T), ("bioavailability", _T)],
+        pk="pk_id",
+        fks=[("drug_id", "drug", "drug_id")],
+    )
+    _table(
+        db,
+        "toxicology",
+        [("tox_id", _I, False), ("drug_id", _I, False), ("symptom_id", _I), ("management", _T), ("onset_note", _T), ("antidote_id", _I)],
+        pk="tox_id",
+        fks=[
+            ("drug_id", "drug", "drug_id"),
+            ("symptom_id", "overdose_symptom", "symptom_id"),
+            ("antidote_id", "antidote", "antidote_id"),
+        ],
+    )
+    _table(
+        db,
+        "monitoring",
+        [("monitoring_id", _I, False), ("drug_id", _I, False), ("param_id", _I), ("frequency_note", _T), ("target_range", _T)],
+        pk="monitoring_id",
+        fks=[("drug_id", "drug", "drug_id"), ("param_id", "monitor_parameter", "param_id")],
+    )
+    _table(
+        db,
+        "storage",
+        [("storage_rec_id", _I, False), ("drug_id", _I, False), ("storage_id", _I), ("note", _T), ("shelf_life", _T)],
+        pk="storage_rec_id",
+        fks=[("drug_id", "drug", "drug_id"), ("storage_id", "storage_condition", "storage_id")],
+    )
+    _table(db, "mechanism_of_action", [("moa_id", _I, False), ("drug_id", _I, False), ("description", _T), ("target", _T), ("onset_of_action", _T)], pk="moa_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(db, "patient_education", [("edu_id", _I, False), ("drug_id", _I, False), ("instructions", _T), ("missed_dose_advice", _T)], pk="edu_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(
+        db,
+        "allergy_cross_sensitivity",
+        [("cross_id", _I, False), ("drug_id", _I, False), ("allergen_id", _I), ("note", _T), ("alternative_note", _T)],
+        pk="cross_id",
+        fks=[("drug_id", "drug", "drug_id"), ("allergen_id", "allergen", "allergen_id")],
+    )
+    _table(db, "dialysis_guidance", [("dialysis_id", _I, False), ("drug_id", _I, False), ("dialyzable", _B), ("note", _T), ("method_note", _T)], pk="dialysis_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(
+        db,
+        "clinical_evidence",
+        [
+            ("evidence_id", _I, False), ("drug_id", _I, False),
+            ("indication_id", _I), ("efficacy_id", _I), ("strength_id", _I),
+            ("source_id", _I), ("summary", _T), ("population_note", _T),
+        ],
+        pk="evidence_id",
+        fks=[
+            ("drug_id", "drug", "drug_id"),
+            ("indication_id", "indication", "indication_id"),
+            ("efficacy_id", "efficacy", "efficacy_id"),
+            ("strength_id", "evidence_strength", "strength_id"),
+            ("source_id", "reference_source", "source_id"),
+        ],
+    )
+    _table(
+        db,
+        "clinical_trial",
+        [("trial_id", _I, False), ("drug_id", _I, False), ("indication_id", _I), ("phase", _T), ("outcome", _T), ("enrollment", _I), ("comparator", _T)],
+        pk="trial_id",
+        fks=[("drug_id", "drug", "drug_id"), ("indication_id", "indication", "indication_id")],
+    )
+    _table(db, "warning_label", [("label_id", _I, False), ("drug_id", _I, False), ("text", _T), ("region", _T), ("language", _T)], pk="label_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(db, "lactation_risk", [("lact_id", _I, False), ("drug_id", _I, False), ("risk_level", _T), ("note", _T), ("relative_infant_dose", _T)], pk="lact_id", fks=[("drug_id", "drug", "drug_id")])
+    _table(
+        db,
+        "guideline_recommendation",
+        [("rec_id", _I, False), ("guideline_id", _I, False), ("drug_id", _I), ("indication_id", _I), ("recommendation", _T), ("strength_of_recommendation", _T)],
+        pk="rec_id",
+        fks=[
+            ("guideline_id", "guideline", "guideline_id"),
+            ("drug_id", "drug", "drug_id"),
+            ("indication_id", "indication", "indication_id"),
+        ],
+    )
+
+    # -- junction (many-to-many) tables ---------------------------------------
+    _table(db, "treats", [("drug_id", _I, False), ("indication_id", _I, False)], fks=[("drug_id", "drug", "drug_id"), ("indication_id", "indication", "indication_id")])
+    _table(db, "off_label_treats", [("drug_id", _I, False), ("indication_id", _I, False)], fks=[("drug_id", "drug", "drug_id"), ("indication_id", "indication", "indication_id")])
+    _table(db, "prevents", [("drug_id", _I, False), ("indication_id", _I, False)], fks=[("drug_id", "drug", "drug_id"), ("indication_id", "indication", "indication_id")])
+    _table(db, "causes_finding", [("drug_id", _I, False), ("finding_id", _I, False)], fks=[("drug_id", "drug", "drug_id"), ("finding_id", "finding", "finding_id")])
+    _table(db, "presents_with", [("indication_id", _I, False), ("finding_id", _I, False)], fks=[("indication_id", "indication", "indication_id"), ("finding_id", "finding", "finding_id")])
+    return db

@@ -1,0 +1,478 @@
+"""Public medical vocabulary for the synthetic MDX knowledge base.
+
+All names are public-domain drug, brand and condition names (the kind a
+real drug reference covers); the *combinations* generated from them are
+synthetic.  Each drug entry is ``(generic name, brand name, drug class,
+base-with-salt description or None)``; the base-with-salt descriptions
+reproduce the §6.1 synonym behaviour ("Cyclogel also has a brand name
+Cylate and a base and salt description Cyclopentolate Hydrochloride").
+"""
+
+from __future__ import annotations
+
+#: (generic, brand, class, base_with_salt or None)
+DRUGS: list[tuple[str, str, str, str | None]] = [
+    # Analgesics / anti-inflammatories
+    ("Aspirin", "Bayer", "NSAID", "Acetylsalicylic Acid"),
+    ("Ibuprofen", "Advil", "NSAID", None),
+    ("Acetaminophen", "Tylenol", "Analgesic", None),
+    ("Naproxen", "Aleve", "NSAID", "Naproxen Sodium"),
+    ("Celecoxib", "Celebrex", "NSAID", None),
+    ("Diclofenac", "Voltaren", "NSAID", "Diclofenac Sodium"),
+    ("Indomethacin", "Indocin", "NSAID", None),
+    ("Meloxicam", "Mobic", "NSAID", None),
+    ("Ketorolac", "Toradol", "NSAID", "Ketorolac Tromethamine"),
+    ("Tramadol", "Ultram", "Opioid Analgesic", "Tramadol Hydrochloride"),
+    ("Morphine", "MS Contin", "Opioid Analgesic", "Morphine Sulfate"),
+    ("Oxycodone", "OxyContin", "Opioid Analgesic", "Oxycodone Hydrochloride"),
+    ("Codeine", "Tuzistra", "Opioid Analgesic", "Codeine Phosphate"),
+    ("Hydromorphone", "Dilaudid", "Opioid Analgesic", "Hydromorphone Hydrochloride"),
+    # Antibiotics / anti-infectives
+    ("Amoxicillin", "Amoxil", "Penicillin Antibiotic", None),
+    ("Azithromycin", "Zithromax", "Macrolide Antibiotic", None),
+    ("Ciprofloxacin", "Cipro", "Fluoroquinolone Antibiotic", "Ciprofloxacin Hydrochloride"),
+    ("Levofloxacin", "Levaquin", "Fluoroquinolone Antibiotic", None),
+    ("Doxycycline", "Vibramycin", "Tetracycline Antibiotic", "Doxycycline Hyclate"),
+    ("Cephalexin", "Keflex", "Cephalosporin Antibiotic", None),
+    ("Ceftriaxone", "Rocephin", "Cephalosporin Antibiotic", "Ceftriaxone Sodium"),
+    ("Clindamycin", "Cleocin", "Lincosamide Antibiotic", "Clindamycin Hydrochloride"),
+    ("Metronidazole", "Flagyl", "Nitroimidazole Antibiotic", None),
+    ("Vancomycin", "Vancocin", "Glycopeptide Antibiotic", "Vancomycin Hydrochloride"),
+    ("Gentamicin", "Garamycin", "Aminoglycoside Antibiotic", "Gentamicin Sulfate"),
+    ("Nitrofurantoin", "Macrobid", "Urinary Anti-infective", None),
+    ("Fluconazole", "Diflucan", "Azole Antifungal", None),
+    ("Acyclovir", "Zovirax", "Antiviral", None),
+    ("Oseltamivir", "Tamiflu", "Antiviral", "Oseltamivir Phosphate"),
+    ("Hydroxychloroquine", "Plaquenil", "Antimalarial", "Hydroxychloroquine Sulfate"),
+    # Cardiovascular
+    ("Benazepril", "Lotensin", "ACE Inhibitor", "Benazepril Hydrochloride"),
+    ("Lisinopril", "Prinivil", "ACE Inhibitor", None),
+    ("Enalapril", "Vasotec", "ACE Inhibitor", "Enalapril Maleate"),
+    ("Losartan", "Cozaar", "ARB", "Losartan Potassium"),
+    ("Valsartan", "Diovan", "ARB", None),
+    ("Metoprolol", "Lopressor", "Beta Blocker", "Metoprolol Tartrate"),
+    ("Atenolol", "Tenormin", "Beta Blocker", None),
+    ("Carvedilol", "Coreg", "Beta Blocker", None),
+    ("Propranolol", "Inderal", "Beta Blocker", "Propranolol Hydrochloride"),
+    ("Amlodipine", "Norvasc", "Calcium Channel Blocker", "Amlodipine Besylate"),
+    ("Diltiazem", "Cardizem", "Calcium Channel Blocker", "Diltiazem Hydrochloride"),
+    ("Verapamil", "Calan", "Calcium Channel Blocker", "Verapamil Hydrochloride"),
+    ("Atorvastatin", "Lipitor", "Statin", "Atorvastatin Calcium"),
+    ("Simvastatin", "Zocor", "Statin", None),
+    ("Rosuvastatin", "Crestor", "Statin", "Rosuvastatin Calcium"),
+    ("Warfarin", "Coumadin", "Anticoagulant", "Warfarin Sodium"),
+    ("Apixaban", "Eliquis", "Anticoagulant", None),
+    ("Rivaroxaban", "Xarelto", "Anticoagulant", None),
+    ("Clopidogrel", "Plavix", "Antiplatelet", "Clopidogrel Bisulfate"),
+    ("Digoxin", "Lanoxin", "Cardiac Glycoside", None),
+    ("Amiodarone", "Cordarone", "Antiarrhythmic", "Amiodarone Hydrochloride"),
+    ("Furosemide", "Lasix", "Loop Diuretic", None),
+    ("Hydrochlorothiazide", "Microzide", "Thiazide Diuretic", None),
+    ("Spironolactone", "Aldactone", "Potassium-Sparing Diuretic", None),
+    ("Nitroglycerin", "Nitrostat", "Nitrate", None),
+    # Dermatology
+    ("Tazarotene", "Tazorac", "Topical Retinoid", None),
+    ("Fluocinonide", "Lidex", "Topical Corticosteroid", None),
+    ("Hydrocortisone", "Cortaid", "Topical Corticosteroid", "Hydrocortisone Acetate"),
+    ("Clobetasol", "Temovate", "Topical Corticosteroid", "Clobetasol Propionate"),
+    ("Calcipotriene", "Dovonex", "Vitamin D Analog", None),
+    ("Isotretinoin", "Accutane", "Oral Retinoid", None),
+    ("Benzoyl Peroxide", "Clearasil", "Topical Antibacterial", None),
+    ("Salicylic Acid", "Compound W", "Keratolytic", None),
+    ("Acitretin", "Soriatane", "Oral Retinoid", None),
+    ("Adalimumab", "Humira", "TNF Inhibitor", None),
+    ("Etanercept", "Enbrel", "TNF Inhibitor", None),
+    ("Mupirocin", "Bactroban", "Topical Antibiotic", "Mupirocin Calcium"),
+    ("Tretinoin", "Retin-A", "Topical Retinoid", None),
+    # Gastrointestinal
+    ("Omeprazole", "Prilosec", "Proton Pump Inhibitor", "Omeprazole Magnesium"),
+    ("Pantoprazole", "Protonix", "Proton Pump Inhibitor", "Pantoprazole Sodium"),
+    ("Esomeprazole", "Nexium", "Proton Pump Inhibitor", "Esomeprazole Magnesium"),
+    ("Famotidine", "Pepcid", "H2 Blocker", None),
+    ("Ondansetron", "Zofran", "Antiemetic", "Ondansetron Hydrochloride"),
+    ("Metoclopramide", "Reglan", "Prokinetic", "Metoclopramide Hydrochloride"),
+    ("Loperamide", "Imodium", "Antidiarrheal", "Loperamide Hydrochloride"),
+    ("Calcium Carbonate", "Tums", "Antacid", None),
+    ("Calcium Citrate", "Citracal", "Calcium Supplement", None),
+    ("Sucralfate", "Carafate", "Mucosal Protectant", None),
+    ("Docusate", "Colace", "Stool Softener", "Docusate Sodium"),
+    ("Polyethylene Glycol", "MiraLAX", "Osmotic Laxative", None),
+    ("Pancreatin", "Creon", "Pancreatic Enzyme", None),
+    # Neurology / psychiatry
+    ("Sertraline", "Zoloft", "SSRI", "Sertraline Hydrochloride"),
+    ("Fluoxetine", "Prozac", "SSRI", "Fluoxetine Hydrochloride"),
+    ("Escitalopram", "Lexapro", "SSRI", "Escitalopram Oxalate"),
+    ("Venlafaxine", "Effexor", "SNRI", "Venlafaxine Hydrochloride"),
+    ("Duloxetine", "Cymbalta", "SNRI", "Duloxetine Hydrochloride"),
+    ("Bupropion", "Wellbutrin", "Atypical Antidepressant", "Bupropion Hydrochloride"),
+    ("Alprazolam", "Xanax", "Benzodiazepine", None),
+    ("Diazepam", "Valium", "Benzodiazepine", None),
+    ("Lorazepam", "Ativan", "Benzodiazepine", None),
+    ("Zolpidem", "Ambien", "Sedative-Hypnotic", "Zolpidem Tartrate"),
+    ("Gabapentin", "Neurontin", "Anticonvulsant", None),
+    ("Pregabalin", "Lyrica", "Anticonvulsant", None),
+    ("Levetiracetam", "Keppra", "Anticonvulsant", None),
+    ("Phenytoin", "Dilantin", "Anticonvulsant", "Phenytoin Sodium"),
+    ("Carbamazepine", "Tegretol", "Anticonvulsant", None),
+    ("Lamotrigine", "Lamictal", "Anticonvulsant", None),
+    ("Valproate", "Depakote", "Anticonvulsant", "Valproate Sodium"),
+    ("Topiramate", "Topamax", "Anticonvulsant", None),
+    ("Benztropine Mesylate", "Cogentin", "Anticholinergic", None),
+    ("Citicoline", "Cognizin", "Nootropic", "Citicoline Sodium"),
+    ("Sumatriptan", "Imitrex", "Triptan", "Sumatriptan Succinate"),
+    ("Quetiapine", "Seroquel", "Atypical Antipsychotic", "Quetiapine Fumarate"),
+    ("Risperidone", "Risperdal", "Atypical Antipsychotic", None),
+    ("Lithium", "Lithobid", "Mood Stabilizer", "Lithium Carbonate"),
+    ("Donepezil", "Aricept", "Cholinesterase Inhibitor", "Donepezil Hydrochloride"),
+    # Endocrine
+    ("Metformin", "Glucophage", "Biguanide", "Metformin Hydrochloride"),
+    ("Glipizide", "Glucotrol", "Sulfonylurea", None),
+    ("Insulin Glargine", "Lantus", "Long-Acting Insulin", None),
+    ("Sitagliptin", "Januvia", "DPP-4 Inhibitor", "Sitagliptin Phosphate"),
+    ("Empagliflozin", "Jardiance", "SGLT2 Inhibitor", None),
+    ("Levothyroxine", "Synthroid", "Thyroid Hormone", "Levothyroxine Sodium"),
+    ("Prednisone", "Deltasone", "Systemic Corticosteroid", None),
+    ("Methylprednisolone", "Medrol", "Systemic Corticosteroid", None),
+    ("Alendronate", "Fosamax", "Bisphosphonate", "Alendronate Sodium"),
+    # Respiratory / allergy
+    ("Albuterol", "Ventolin", "Beta-2 Agonist", "Albuterol Sulfate"),
+    ("Montelukast", "Singulair", "Leukotriene Antagonist", "Montelukast Sodium"),
+    ("Fluticasone", "Flonase", "Inhaled Corticosteroid", "Fluticasone Propionate"),
+    ("Budesonide", "Pulmicort", "Inhaled Corticosteroid", None),
+    ("Tiotropium", "Spiriva", "Anticholinergic Bronchodilator", "Tiotropium Bromide"),
+    ("Cetirizine", "Zyrtec", "Antihistamine", "Cetirizine Hydrochloride"),
+    ("Loratadine", "Claritin", "Antihistamine", None),
+    ("Diphenhydramine", "Benadryl", "Antihistamine", "Diphenhydramine Hydrochloride"),
+    ("Guaifenesin", "Mucinex", "Expectorant", None),
+    # Miscellaneous
+    ("Allopurinol", "Zyloprim", "Xanthine Oxidase Inhibitor", None),
+    ("Colchicine", "Colcrys", "Anti-Gout Agent", None),
+    ("Cyclopentolate Hydrochloride", "Cyclogel", "Cycloplegic", None),
+    ("Tamsulosin", "Flomax", "Alpha Blocker", "Tamsulosin Hydrochloride"),
+    ("Finasteride", "Proscar", "5-Alpha-Reductase Inhibitor", None),
+    ("Sildenafil", "Viagra", "PDE5 Inhibitor", "Sildenafil Citrate"),
+    ("Methotrexate", "Trexall", "Antimetabolite", "Methotrexate Sodium"),
+    ("Azathioprine", "Imuran", "Immunosuppressant", None),
+    ("Cyclosporine", "Neoral", "Immunosuppressant", None),
+    ("Tacrolimus", "Prograf", "Immunosuppressant", None),
+    ("Ferrous Sulfate", "Feosol", "Iron Supplement", None),
+    ("Folic Acid", "Folvite", "Vitamin", None),
+    ("Potassium Chloride", "K-Dur", "Electrolyte Supplement", None),
+    ("Latanoprost", "Xalatan", "Prostaglandin Analog", None),
+    ("Timolol", "Timoptic", "Ophthalmic Beta Blocker", "Timolol Maleate"),
+]
+
+#: Condition names with the drug classes that plausibly treat them.
+CONDITIONS: list[tuple[str, list[str]]] = [
+    ("Fever", ["NSAID", "Analgesic"]),
+    ("Pain", ["NSAID", "Analgesic", "Opioid Analgesic"]),
+    ("Chronic Pain", ["Opioid Analgesic", "Anticonvulsant", "SNRI"]),
+    ("Headache", ["NSAID", "Analgesic"]),
+    ("Migraine", ["Triptan", "NSAID", "Anticonvulsant"]),
+    ("Psoriasis", ["Topical Retinoid", "Topical Corticosteroid", "Vitamin D Analog", "Oral Retinoid", "TNF Inhibitor", "Keratolytic"]),
+    ("Plaque Psoriasis", ["Topical Retinoid", "Topical Corticosteroid", "Oral Retinoid"]),
+    ("Acne", ["Topical Retinoid", "Topical Antibacterial", "Oral Retinoid", "Keratolytic", "Tetracycline Antibiotic"]),
+    ("Eczema", ["Topical Corticosteroid"]),
+    ("Dermatitis", ["Topical Corticosteroid"]),
+    ("Hypertension", ["ACE Inhibitor", "ARB", "Beta Blocker", "Calcium Channel Blocker", "Thiazide Diuretic", "Loop Diuretic"]),
+    ("Heart Failure", ["ACE Inhibitor", "Beta Blocker", "Loop Diuretic", "Potassium-Sparing Diuretic", "Cardiac Glycoside"]),
+    ("Atrial Fibrillation", ["Anticoagulant", "Beta Blocker", "Antiarrhythmic", "Cardiac Glycoside", "Calcium Channel Blocker"]),
+    ("Angina", ["Beta Blocker", "Calcium Channel Blocker", "Nitrate"]),
+    ("Hyperlipidemia", ["Statin"]),
+    ("Stroke Prevention", ["Anticoagulant", "Antiplatelet", "Statin"]),
+    ("Deep Vein Thrombosis", ["Anticoagulant"]),
+    ("Edema", ["Loop Diuretic", "Thiazide Diuretic", "Potassium-Sparing Diuretic"]),
+    ("Type 2 Diabetes", ["Biguanide", "Sulfonylurea", "DPP-4 Inhibitor", "SGLT2 Inhibitor", "Long-Acting Insulin"]),
+    ("Hypothyroidism", ["Thyroid Hormone"]),
+    ("Osteoporosis", ["Bisphosphonate", "Calcium Supplement"]),
+    ("Asthma", ["Beta-2 Agonist", "Inhaled Corticosteroid", "Leukotriene Antagonist"]),
+    ("COPD", ["Beta-2 Agonist", "Inhaled Corticosteroid", "Anticholinergic Bronchodilator"]),
+    ("Allergic Rhinitis", ["Antihistamine", "Inhaled Corticosteroid", "Leukotriene Antagonist"]),
+    ("Urticaria", ["Antihistamine"]),
+    ("Cough", ["Expectorant", "Antihistamine"]),
+    ("Pneumonia", ["Macrolide Antibiotic", "Fluoroquinolone Antibiotic", "Cephalosporin Antibiotic"]),
+    ("Bronchitis", ["Macrolide Antibiotic", "Tetracycline Antibiotic", "Expectorant"]),
+    ("Sinusitis", ["Penicillin Antibiotic", "Macrolide Antibiotic"]),
+    ("Strep Throat", ["Penicillin Antibiotic", "Cephalosporin Antibiotic"]),
+    ("Urinary Tract Infection", ["Fluoroquinolone Antibiotic", "Urinary Anti-infective", "Cephalosporin Antibiotic"]),
+    ("Skin Infection", ["Cephalosporin Antibiotic", "Lincosamide Antibiotic", "Topical Antibiotic", "Glycopeptide Antibiotic"]),
+    ("Anaerobic Infection", ["Nitroimidazole Antibiotic", "Lincosamide Antibiotic"]),
+    ("Sepsis", ["Glycopeptide Antibiotic", "Aminoglycoside Antibiotic", "Cephalosporin Antibiotic"]),
+    ("Influenza", ["Antiviral"]),
+    ("Herpes Simplex", ["Antiviral"]),
+    ("Candidiasis", ["Azole Antifungal"]),
+    ("Malaria", ["Antimalarial"]),
+    ("Depression", ["SSRI", "SNRI", "Atypical Antidepressant"]),
+    ("Anxiety", ["SSRI", "SNRI", "Benzodiazepine"]),
+    ("Panic Disorder", ["SSRI", "Benzodiazepine"]),
+    ("Insomnia", ["Sedative-Hypnotic", "Benzodiazepine", "Antihistamine"]),
+    ("Epilepsy", ["Anticonvulsant"]),
+    ("Seizure Disorder", ["Anticonvulsant", "Benzodiazepine"]),
+    ("Neuropathic Pain", ["Anticonvulsant", "SNRI"]),
+    ("Bipolar Disorder", ["Mood Stabilizer", "Anticonvulsant", "Atypical Antipsychotic"]),
+    ("Schizophrenia", ["Atypical Antipsychotic"]),
+    ("Parkinsonism", ["Anticholinergic"]),
+    ("Alzheimer Disease", ["Cholinesterase Inhibitor", "Nootropic"]),
+    ("GERD", ["Proton Pump Inhibitor", "H2 Blocker", "Antacid"]),
+    ("Peptic Ulcer", ["Proton Pump Inhibitor", "H2 Blocker", "Mucosal Protectant"]),
+    ("Heartburn", ["Antacid", "H2 Blocker", "Proton Pump Inhibitor"]),
+    ("Nausea", ["Antiemetic", "Prokinetic", "Antihistamine"]),
+    ("Diarrhea", ["Antidiarrheal"]),
+    ("Constipation", ["Stool Softener", "Osmotic Laxative"]),
+    ("Pancreatic Insufficiency", ["Pancreatic Enzyme"]),
+    ("Gout", ["Xanthine Oxidase Inhibitor", "Anti-Gout Agent", "NSAID"]),
+    ("Rheumatoid Arthritis", ["Antimetabolite", "TNF Inhibitor", "NSAID", "Immunosuppressant", "Antimalarial"]),
+    ("Osteoarthritis", ["NSAID", "Analgesic"]),
+    ("Lupus", ["Antimalarial", "Systemic Corticosteroid", "Immunosuppressant"]),
+    ("Inflammation", ["Systemic Corticosteroid", "NSAID"]),
+    ("Organ Transplant Rejection", ["Immunosuppressant"]),
+    ("Benign Prostatic Hyperplasia", ["Alpha Blocker", "5-Alpha-Reductase Inhibitor"]),
+    ("Erectile Dysfunction", ["PDE5 Inhibitor"]),
+    ("Glaucoma", ["Prostaglandin Analog", "Ophthalmic Beta Blocker"]),
+    ("Iron Deficiency Anemia", ["Iron Supplement"]),
+    ("Folate Deficiency", ["Vitamin"]),
+    ("Hypokalemia", ["Electrolyte Supplement", "Potassium-Sparing Diuretic"]),
+    ("Mydriasis Induction", ["Cycloplegic"]),
+]
+
+FINDINGS: list[str] = [
+    "Elevated Blood Pressure", "Tachycardia", "Bradycardia", "Rash",
+    "Jaundice", "Elevated INR", "Hyperkalemia", "Hyponatremia",
+    "Elevated Liver Enzymes", "Proteinuria", "QT Prolongation",
+    "Weight Gain", "Weight Loss", "Tremor", "Fatigue", "Dehydration",
+]
+
+ADVERSE_EFFECTS: list[str] = [
+    "Nausea", "Vomiting", "Dizziness", "Drowsiness", "Headache",
+    "Diarrhea", "Constipation", "Dry Mouth", "Rash", "Pruritus",
+    "Insomnia", "Fatigue", "Abdominal Pain", "Blurred Vision",
+    "Hypotension", "Bradycardia", "Tachycardia", "Hyperkalemia",
+    "Hepatotoxicity", "Nephrotoxicity", "Photosensitivity", "Tinnitus",
+    "Peripheral Edema", "Weight Gain", "Tremor", "Anxiety", "Cough",
+]
+
+FOOD_ITEMS: list[str] = [
+    "Grapefruit Juice", "Dairy Products", "Alcohol", "High-Fat Meals",
+    "Leafy Green Vegetables", "Caffeine", "Tyramine-Rich Foods",
+    "Calcium-Fortified Juice", "Licorice", "Salt Substitutes",
+]
+
+LAB_TESTS: list[tuple[str, str, str]] = [
+    ("INR", "Plasma", "ratio"),
+    ("Serum Potassium", "Serum", "mmol/L"),
+    ("Serum Creatinine", "Serum", "mg/dL"),
+    ("ALT", "Serum", "U/L"),
+    ("AST", "Serum", "U/L"),
+    ("Blood Glucose", "Whole Blood", "mg/dL"),
+    ("TSH", "Serum", "mIU/L"),
+    ("Digoxin Level", "Serum", "ng/mL"),
+    ("Lithium Level", "Serum", "mmol/L"),
+    ("Phenytoin Level", "Serum", "mcg/mL"),
+    ("Complete Blood Count", "Whole Blood", "cells/uL"),
+    ("Uric Acid", "Serum", "mg/dL"),
+]
+
+ROUTES: list[str] = [
+    "Oral", "Topical", "Intravenous", "Intramuscular", "Subcutaneous",
+    "Inhalation", "Ophthalmic", "Rectal", "Transdermal", "Sublingual",
+]
+
+AGE_GROUPS: list[str] = ["Adult", "Pediatric", "Geriatric", "Neonatal"]
+
+SEVERITIES: list[str] = ["Mild", "Moderate", "Severe", "Contraindicated"]
+
+EFFICACIES: list[str] = [
+    "Effective", "Possibly Effective", "Evidence Favors Efficacy",
+    "Evidence Inconclusive", "Ineffective",
+]
+
+PREGNANCY_CATEGORIES: list[tuple[str, str]] = [
+    ("A", "controlled studies show no risk"),
+    ("B", "no evidence of risk in humans"),
+    ("C", "risk cannot be ruled out"),
+    ("D", "positive evidence of risk"),
+    ("X", "contraindicated in pregnancy"),
+]
+
+IV_SOLUTIONS: list[str] = [
+    "Normal Saline 0.9%", "Dextrose 5% in Water", "Lactated Ringer's",
+    "Half Normal Saline 0.45%", "Dextrose 5% in Normal Saline",
+    "Sterile Water for Injection",
+]
+
+MANUFACTURERS: list[tuple[str, str]] = [
+    ("Pfizer", "United States"), ("Novartis", "Switzerland"),
+    ("Roche", "Switzerland"), ("Merck", "United States"),
+    ("GlaxoSmithKline", "United Kingdom"), ("Sanofi", "France"),
+    ("AstraZeneca", "United Kingdom"), ("Johnson & Johnson", "United States"),
+    ("AbbVie", "United States"), ("Teva", "Israel"),
+    ("Bayer AG", "Germany"), ("Eli Lilly", "United States"),
+]
+
+DOSAGE_FORMS: list[str] = [
+    "Tablet", "Capsule", "Oral Solution", "Cream", "Gel", "Ointment",
+    "Injection Solution", "Inhaler", "Patch", "Suppository", "Eye Drops",
+]
+
+FREQUENCIES: list[tuple[str, str]] = [
+    ("QD", "once daily"), ("BID", "twice daily"), ("TID", "three times daily"),
+    ("QID", "four times daily"), ("Q4H", "every 4 hours"),
+    ("Q6H", "every 6 hours"), ("Q8H", "every 8 hours"),
+    ("QHS", "every night at bedtime"), ("PRN", "as needed"),
+    ("QWK", "once weekly"),
+]
+
+DOSE_UNITS: list[str] = ["mg", "mcg", "g", "mL", "units", "mg/kg", "%"]
+
+MONITOR_PARAMETERS: list[str] = [
+    "Blood Pressure", "Heart Rate", "Renal Function", "Liver Function",
+    "Serum Electrolytes", "Blood Glucose", "Complete Blood Count",
+    "Therapeutic Drug Level", "Weight", "Mental Status",
+]
+
+ALLERGENS: list[str] = [
+    "Penicillins", "Sulfonamides", "Cephalosporins", "Aspirin/NSAIDs",
+    "Macrolides", "Latex", "Iodinated Contrast", "Eggs", "Soy",
+]
+
+STORAGE_CONDITIONS: list[str] = [
+    "Store at room temperature (20-25 C)", "Refrigerate (2-8 C)",
+    "Protect from light", "Store in original container",
+    "Do not freeze", "Keep container tightly closed",
+]
+
+OVERDOSE_SYMPTOMS: list[str] = [
+    "Respiratory Depression", "Seizures", "Cardiac Arrhythmia",
+    "Severe Hypotension", "Coma", "Metabolic Acidosis",
+    "Hepatic Failure", "Acute Kidney Injury", "Severe Bleeding",
+    "Serotonin Syndrome",
+]
+
+ANTIDOTES: list[tuple[str, str]] = [
+    ("Naloxone", "opioid overdose"),
+    ("N-Acetylcysteine", "acetaminophen overdose"),
+    ("Vitamin K", "warfarin over-anticoagulation"),
+    ("Flumazenil", "benzodiazepine overdose"),
+    ("Digoxin Immune Fab", "digoxin toxicity"),
+    ("Protamine Sulfate", "heparin overdose"),
+    ("Activated Charcoal", "recent oral ingestion"),
+    ("Calcium Gluconate", "calcium channel blocker overdose"),
+]
+
+SCHEDULE_CLASSES: list[tuple[str, str]] = [
+    ("Rx", "prescription only"),
+    ("OTC", "over the counter"),
+    ("C-II", "schedule II controlled substance"),
+    ("C-III", "schedule III controlled substance"),
+    ("C-IV", "schedule IV controlled substance"),
+    ("C-V", "schedule V controlled substance"),
+]
+
+THERAPEUTIC_CLASSES: list[str] = [
+    "Cardiovascular Agent", "Central Nervous System Agent",
+    "Anti-Infective Agent", "Dermatologic Agent",
+    "Gastrointestinal Agent", "Endocrine-Metabolic Agent",
+    "Respiratory Agent", "Musculoskeletal Agent",
+    "Ophthalmic Agent", "Genitourinary Agent", "Hematologic Agent",
+    "Immunologic Agent",
+]
+
+EVIDENCE_STRENGTHS: list[str] = [
+    "Category A", "Category B", "Category C", "Expert Opinion",
+]
+
+DOCUMENTATION_LEVELS: list[str] = [
+    "Excellent", "Good", "Fair", "Unknown",
+]
+
+REFERENCE_SOURCES: list[str] = [
+    "AHFS Drug Information", "Clinical Pharmacology Compendium",
+    "Cochrane Systematic Review", "FDA Label", "Primary Literature",
+    "WHO Model Formulary",
+]
+
+GUIDELINES: list[str] = [
+    "JNC 8 Hypertension Guideline", "ADA Standards of Medical Care",
+    "GOLD COPD Strategy", "GINA Asthma Strategy",
+    "ACC/AHA Heart Failure Guideline", "IDSA Pneumonia Guideline",
+    "EULAR Rheumatoid Arthritis Recommendations",
+    "AAD Psoriasis Guideline", "ACG GERD Guideline",
+    "KDIGO Chronic Kidney Disease Guideline",
+]
+
+PRICE_TIERS: list[tuple[str, str]] = [
+    ("Tier 1", "preferred generic"),
+    ("Tier 2", "non-preferred generic"),
+    ("Tier 3", "preferred brand"),
+    ("Tier 4", "non-preferred brand"),
+    ("Tier 5", "specialty"),
+]
+
+#: Concept-level synonyms: the domain vocabulary of Table 2.
+CONCEPT_SYNONYMS: dict[str, list[str]] = {
+    "Adverse Effect": ["side effect", "adverse reaction", "AE", "side effects"],
+    "Indication": [
+        "condition", "disease", "disorder", "diagnosis",
+        "uses", "use", "indications", "used for",
+    ],
+    "Drug": ["medicine", "meds", "medication", "substance", "agent"],
+    "Precaution": ["caution", "safe to give", "warnings to consider"],
+    "Dose Adjustment": ["dosing modification", "dose reduction", "dosage adjustment", "modifications to dosing"],
+    "Dosage": ["dose", "dosing", "dose amount", "how much to give"],
+    "Contra Indication": ["contraindication", "do not use with"],
+    "Black Box Warning": ["boxed warning", "serious warning"],
+    "Drug Interaction": ["interaction", "interactions"],
+    "Iv Compatibility": ["IV compatibility", "intravenous compatibility", "y-site compatibility"],
+    "Administration": ["how to give", "how to administer", "administration instructions"],
+    "Regulatory Status": ["FDA status", "approval status", "regulatory"],
+    "Pharmacokinetics": ["PK", "kinetics", "absorption and metabolism"],
+    "Mechanism Of Action": ["MOA", "how it works", "mechanism"],
+    "Patient Education": ["counseling points", "patient counseling"],
+    "Toxicology": ["overdose information", "poisoning", "toxicity"],
+    "Monitoring": ["what to monitor", "follow-up labs"],
+    "Age Group": ["population", "age range"],
+    "Lab Test": ["laboratory test", "lab", "test"],
+    "Risk": ["risks", "safety risks"],
+}
+
+#: Glossary entries served by the definition-request repair (§6.3 line 09).
+GLOSSARY: dict[str, str] = {
+    "effective": (
+        "the capacity for beneficial change (or therapeutic effect) of a "
+        "given intervention."
+    ),
+    "contraindication": (
+        "a specific situation in which a drug should not be used because "
+        "it may be harmful to the patient."
+    ),
+    "black box warning": (
+        "the strongest warning the FDA requires, indicating a serious or "
+        "life-threatening risk."
+    ),
+    "adverse effect": (
+        "an undesired harmful effect resulting from a medication at "
+        "normal doses."
+    ),
+    "precaution": (
+        "a condition under which a drug should be used with special care."
+    ),
+    "pharmacokinetics": (
+        "the movement of a drug through the body: absorption, "
+        "distribution, metabolism and excretion."
+    ),
+    "dose adjustment": (
+        "a modification of the usual dose, typically for renal or "
+        "hepatic impairment."
+    ),
+    "off-label": (
+        "use of a drug for an indication not approved by the regulator."
+    ),
+    "iv compatibility": (
+        "whether two products can be mixed or co-administered "
+        "intravenously without degradation or precipitation."
+    ),
+    "half-life": (
+        "the time required for the drug concentration to fall to half "
+        "its initial value."
+    ),
+}

@@ -1,0 +1,59 @@
+"""Stratified train/test splitting.
+
+§7.1: "we split the augmented set of training examples into training and
+test sets ... we ensure that the distribution of the training and test
+sets are similar to the real intent statistics".  A stratified split
+preserves per-intent proportions exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import EvaluationError
+
+T = TypeVar("T")
+
+
+def stratified_split(
+    examples: Sequence[T],
+    labels: Sequence[str],
+    test_fraction: float = 0.25,
+    seed: int = 7,
+) -> tuple[list[T], list[str], list[T], list[str]]:
+    """Split (examples, labels) preserving per-label proportions.
+
+    Returns ``(train_x, train_y, test_x, test_y)``.  Every label keeps at
+    least one training example; labels with a single example contribute
+    it to training only.
+    """
+    if len(examples) != len(labels):
+        raise EvaluationError("examples and labels must have equal length")
+    if not 0.0 < test_fraction < 1.0:
+        raise EvaluationError("test_fraction must be in (0, 1)")
+
+    rng = random.Random(seed)
+    by_label: dict[str, list[int]] = {}
+    for i, label in enumerate(labels):
+        by_label.setdefault(label, []).append(i)
+
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in sorted(by_label):
+        indices = by_label[label][:]
+        rng.shuffle(indices)
+        n_test = int(round(len(indices) * test_fraction))
+        # Keep at least one example on each side when possible.
+        n_test = min(n_test, len(indices) - 1)
+        n_test = max(n_test, 1 if len(indices) > 1 else 0)
+        test_idx.extend(indices[:n_test])
+        train_idx.extend(indices[n_test:])
+
+    rng.shuffle(train_idx)
+    rng.shuffle(test_idx)
+    train_x = [examples[i] for i in train_idx]
+    train_y = [labels[i] for i in train_idx]
+    test_x = [examples[i] for i in test_idx]
+    test_y = [labels[i] for i in test_idx]
+    return train_x, train_y, test_x, test_y

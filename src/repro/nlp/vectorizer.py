@@ -1,0 +1,154 @@
+"""TF-IDF featurization over word and character n-grams."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import NotFittedError
+from repro.nlp.tokenizer import Tokenizer, normalize
+
+
+class TfidfVectorizer:
+    """TF-IDF vectorizer producing L2-normalized sparse feature matrices.
+
+    Features combine word n-grams (robust to unseen orderings) and
+    character n-grams (robust to misspellings such as "presciptions"),
+    mirroring what commercial intent classifiers rely on for short,
+    noisy queries.
+
+    Parameters
+    ----------
+    word_ngrams:
+        Inclusive (min, max) range of word n-gram sizes.
+    char_ngrams:
+        Inclusive (min, max) range of character n-gram sizes, applied to
+        the normalized text with word-boundary padding.  ``None`` disables
+        character features.
+    min_df:
+        Minimum number of training documents a feature must appear in.
+    tokenizer:
+        Tokenizer used for word features.
+    """
+
+    def __init__(
+        self,
+        word_ngrams: tuple[int, int] = (1, 2),
+        char_ngrams: tuple[int, int] | None = (3, 4),
+        min_df: int = 1,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        if word_ngrams[0] < 1 or word_ngrams[0] > word_ngrams[1]:
+            raise ValueError(f"invalid word_ngrams range: {word_ngrams}")
+        if char_ngrams is not None and (
+            char_ngrams[0] < 1 or char_ngrams[0] > char_ngrams[1]
+        ):
+            raise ValueError(f"invalid char_ngrams range: {char_ngrams}")
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        self.word_ngrams = word_ngrams
+        self.char_ngrams = char_ngrams
+        self.min_df = min_df
+        self.tokenizer = tokenizer or Tokenizer()
+        self.vocabulary_: dict[str, int] | None = None
+        self.idf_: np.ndarray | None = None
+
+    # -- feature extraction ---------------------------------------------------
+
+    def _features(self, text: str) -> Counter:
+        counts: Counter = Counter()
+        lo, hi = self.word_ngrams
+        for n in range(lo, hi + 1):
+            for gram in self.tokenizer.ngrams(text, n):
+                counts[f"w:{gram}"] += 1
+        if self.char_ngrams is not None:
+            padded = f" {normalize(text)} "
+            clo, chi = self.char_ngrams
+            for n in range(clo, chi + 1):
+                for i in range(len(padded) - n + 1):
+                    counts[f"c:{padded[i : i + n]}"] += 1
+        return counts
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights from ``documents``."""
+        doc_freq: Counter = Counter()
+        all_features: list[Counter] = []
+        for doc in documents:
+            feats = self._features(doc)
+            all_features.append(feats)
+            doc_freq.update(feats.keys())
+        vocabulary = {
+            feature: index
+            for index, feature in enumerate(
+                sorted(f for f, df in doc_freq.items() if df >= self.min_df)
+            )
+        }
+        n_docs = max(len(documents), 1)
+        idf = np.ones(len(vocabulary), dtype=np.float64)
+        for feature, index in vocabulary.items():
+            # Smoothed IDF, as in standard TF-IDF practice.
+            idf[index] = math.log((1 + n_docs) / (1 + doc_freq[feature])) + 1.0
+        self.vocabulary_ = vocabulary
+        self.idf_ = idf
+        return self
+
+    def fit_transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
+        """Fit on ``documents`` and return their feature matrix."""
+        self.fit(documents)
+        return self.transform(documents)
+
+    def transform(self, documents: Iterable[str]) -> sparse.csr_matrix:
+        """Vectorize ``documents`` using the fitted vocabulary."""
+        if self.vocabulary_ is None or self.idf_ is None:
+            raise NotFittedError("TfidfVectorizer.transform called before fit")
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        n_seen = 0
+        for doc in documents:
+            n_seen += 1
+            feats = self._features(doc)
+            row: dict[int, float] = {}
+            for feature, count in feats.items():
+                idx = self.vocabulary_.get(feature)
+                if idx is not None:
+                    # Sublinear TF dampens repeated tokens in long queries.
+                    row[idx] = (1.0 + math.log(count)) * self.idf_[idx]
+            norm = math.sqrt(sum(v * v for v in row.values()))
+            if norm > 0:
+                for idx in sorted(row):
+                    indices.append(idx)
+                    data.append(row[idx] / norm)
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (np.asarray(data), np.asarray(indices, dtype=np.int64), indptr),
+            shape=(n_seen, len(self.vocabulary_)),
+        )
+
+    def known_word_fraction(self, text: str) -> float:
+        """Fraction of word tokens with a known unigram feature.
+
+        A cheap out-of-vocabulary detector: gibberish ("apfjhd") scores
+        near 0, in-domain text near 1.  Empty input counts as fully
+        unknown.
+        """
+        if self.vocabulary_ is None:
+            raise NotFittedError("vectorizer is not fitted")
+        tokens = self.tokenizer(text)
+        if not tokens:
+            return 0.0
+        known = sum(1 for t in tokens if f"w:{t}" in self.vocabulary_)
+        return known / len(tokens)
+
+    @property
+    def n_features(self) -> int:
+        """Size of the fitted vocabulary."""
+        if self.vocabulary_ is None:
+            raise NotFittedError("vectorizer is not fitted")
+        return len(self.vocabulary_)

@@ -1,0 +1,36 @@
+"""Ontology-driven natural-language-query (NLQ) service.
+
+The paper uses the Athena NLQ system [29] to turn one natural-language
+example per intent into a SQL query, which is then parameterized into a
+*structured query template* (§4.4, Figure 9).  This package provides the
+same capability:
+
+* :mod:`repro.nlq.join_path` — join-path discovery over the ontology's
+  relational bindings,
+* :mod:`repro.nlq.sql_generator` — SQL generation for concept queries,
+* :mod:`repro.nlq.templates` — :class:`StructuredQueryTemplate` and
+  per-intent template generation,
+* :mod:`repro.nlq.interpreter` — free-text interpretation over the
+  ontology (utterance → concepts/instances → SQL).
+"""
+
+from repro.nlq.interpreter import Interpretation, interpret
+from repro.nlq.join_path import find_join_path, table_join_graph
+from repro.nlq.sql_generator import ConceptQuery, build_concept_query
+from repro.nlq.templates import (
+    StructuredQueryTemplate,
+    template_for_intent,
+    templates_for_intent,
+)
+
+__all__ = [
+    "ConceptQuery",
+    "Interpretation",
+    "StructuredQueryTemplate",
+    "build_concept_query",
+    "find_join_path",
+    "interpret",
+    "table_join_graph",
+    "template_for_intent",
+    "templates_for_intent",
+]

@@ -1,0 +1,165 @@
+"""Free-text interpretation over the ontology (Athena-style, simplified).
+
+Maps an utterance to the concepts and instance values it mentions, then
+generates a SQL query: mentioned concepts become the SELECT side, and
+mentioned instances become filter conditions on their concepts — the
+paper's "interprets it over the domain ontology to produce a structured
+query" (§2, reference [29]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bootstrap.entities import Entity
+from repro.bootstrap.training import instance_values
+from repro.errors import InterpretationError
+from repro.kb.database import Database
+from repro.nlp.tokenizer import stem, tokenize
+from repro.nlq.sql_generator import ConceptQuery, build_concept_query
+from repro.ontology.model import Ontology
+
+
+#: Phrasings that turn a concept query into a count query.
+_COUNT_MARKERS = ("how many", "number of", "count of", "total number")
+
+
+@dataclass
+class Interpretation:
+    """The outcome of interpreting an utterance over the ontology."""
+
+    utterance: str
+    result_concepts: list[str] = field(default_factory=list)
+    filters: dict[str, str] = field(default_factory=dict)  # concept -> value
+    aggregate: str | None = None  # "count" for "how many ..." questions
+    query: ConceptQuery | None = None
+
+    @property
+    def sql(self) -> str | None:
+        return self.query.sql if self.query else None
+
+
+def _surface_index(
+    ontology: Ontology,
+    database: Database | None,
+    entities: list[Entity] | None,
+) -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
+    """Build lookup maps: surface → concept, and surface → (concept, value).
+
+    Multi-word surfaces are keyed by their token join, so matching can
+    run over utterance token n-grams.
+    """
+    concept_surfaces: dict[str, str] = {}
+    for concept in ontology.concepts():
+        for form in [concept.name] + list(concept.synonyms):
+            concept_surfaces[" ".join(tokenize(form))] = concept.name
+            # Inflection-tolerant: "Precautions" must hit "Precaution".
+            stemmed = " ".join(stem(t) for t in tokenize(form))
+            concept_surfaces.setdefault(stemmed, concept.name)
+
+    instance_surfaces: dict[str, tuple[str, str]] = {}
+    if entities is not None:
+        for entity in entities:
+            if entity.kind != "instance" or not entity.concept:
+                continue
+            for value in entity.values:
+                for form in value.surface_forms():
+                    instance_surfaces.setdefault(
+                        " ".join(tokenize(form)), (entity.concept, value.value)
+                    )
+    elif database is not None:
+        for concept in ontology.concepts():
+            for value in instance_values(ontology, database, concept.name):
+                instance_surfaces.setdefault(
+                    " ".join(tokenize(value)), (concept.name, value)
+                )
+    concept_surfaces.pop("", None)
+    instance_surfaces.pop("", None)
+    return concept_surfaces, instance_surfaces
+
+
+def _match_spans(
+    tokens: list[str],
+    concept_surfaces: dict[str, str],
+    instance_surfaces: dict[str, tuple[str, str]],
+    max_len: int = 5,
+) -> tuple[list[str], dict[str, str]]:
+    """Greedy longest-first matching of token n-grams against surfaces.
+
+    Instance matches win over concept matches of the same span (a drug
+    named like a concept should filter, not project).
+    """
+    concepts: list[str] = []
+    filters: dict[str, str] = {}
+    used = [False] * len(tokens)
+    for length in range(min(max_len, len(tokens)), 0, -1):
+        for start in range(len(tokens) - length + 1):
+            if any(used[start : start + length]):
+                continue
+            gram = " ".join(tokens[start : start + length])
+            stemmed_gram = " ".join(
+                stem(t) for t in tokens[start : start + length]
+            )
+            if gram in instance_surfaces:
+                concept, value = instance_surfaces[gram]
+                filters.setdefault(concept, value)
+                for i in range(start, start + length):
+                    used[i] = True
+            elif gram in concept_surfaces or stemmed_gram in concept_surfaces:
+                concept = concept_surfaces.get(
+                    gram, concept_surfaces.get(stemmed_gram)
+                )
+                if concept not in concepts:
+                    concepts.append(concept)
+                for i in range(start, start + length):
+                    used[i] = True
+    return concepts, filters
+
+
+def interpret(
+    utterance: str,
+    ontology: Ontology,
+    database: Database | None = None,
+    entities: list[Entity] | None = None,
+    generate_sql: bool = True,
+) -> Interpretation:
+    """Interpret ``utterance`` over the ontology and generate SQL.
+
+    Mentioned concepts (not also filtered by an instance) become result
+    concepts; mentioned instance values become filters on their concepts.
+    When no concept is mentioned but instances are, the filtered concepts'
+    related information cannot be inferred — an
+    :class:`~repro.errors.InterpretationError` is raised, matching the
+    paper's observation that entity-only utterances ("cogentin") are
+    "inadequate for the conversation space" (§6.3).
+    """
+    tokens = tokenize(utterance)
+    concept_surfaces, instance_surfaces = _surface_index(ontology, database, entities)
+    concepts, filters = _match_spans(tokens, concept_surfaces, instance_surfaces)
+
+    lowered = " ".join(tokens)
+    aggregate = (
+        "count" if any(marker in lowered for marker in _COUNT_MARKERS) else None
+    )
+    result_concepts = [c for c in concepts if c not in filters]
+    interpretation = Interpretation(
+        utterance=utterance,
+        result_concepts=result_concepts,
+        filters=dict(filters),
+        aggregate=aggregate,
+    )
+    if not result_concepts:
+        raise InterpretationError(
+            f"utterance {utterance!r} mentions no result concept "
+            f"(filters found: {sorted(filters) or 'none'})"
+        )
+    if generate_sql:
+        interpretation.query = build_concept_query(
+            ontology,
+            result_concepts=result_concepts,
+            filter_concepts=sorted(filters),
+            database=database,
+            filter_values=filters,
+            aggregate=aggregate,
+        )
+    return interpretation

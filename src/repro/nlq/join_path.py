@@ -1,0 +1,89 @@
+"""Join-path discovery over the ontology's relational bindings.
+
+The NLQ service must connect the tables of the concepts mentioned in a
+query.  Every object property contributes its bound equi-join steps, and
+every isA edge contributes a primary-key-to-primary-key step (a child
+concept's rows are identified by parent keys).  A shortest path over the
+resulting table graph yields the JOIN chain.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import JoinPathError
+from repro.kb.database import Database
+from repro.ontology.model import JoinStep, Ontology
+
+
+def table_join_graph(ontology: Ontology, database: Database | None = None) -> nx.Graph:
+    """Build an undirected graph of tables; edges carry a normalized
+    :class:`JoinStep` (attribute ``step``, oriented left→right as stored)."""
+    graph = nx.Graph()
+    for concept in ontology.concepts():
+        if concept.table:
+            graph.add_node(concept.table.lower(), concept=concept.name)
+    for prop in ontology.object_properties():
+        for step in prop.join_path:
+            graph.add_edge(
+                step.left_table.lower(), step.right_table.lower(), step=step
+            )
+    # isA edges: child PK == parent PK (requires schema access for PK names).
+    if database is not None:
+        for child_name, parent_name in ontology.isa_edges():
+            child = ontology.concept(child_name)
+            parent = ontology.concept(parent_name)
+            if not child.table or not parent.table:
+                continue
+            if not database.has_table(child.table) or not database.has_table(
+                parent.table
+            ):
+                continue
+            child_pk = database.table(child.table).schema.primary_key
+            parent_pk = database.table(parent.table).schema.primary_key
+            if child_pk is None or parent_pk is None:
+                continue
+            graph.add_edge(
+                child.table.lower(),
+                parent.table.lower(),
+                step=JoinStep(child.table, child_pk, parent.table, parent_pk),
+            )
+    return graph
+
+
+def find_join_path(
+    ontology: Ontology,
+    from_table: str,
+    to_table: str,
+    database: Database | None = None,
+    graph: nx.Graph | None = None,
+) -> list[JoinStep]:
+    """Shortest chain of join steps from ``from_table`` to ``to_table``.
+
+    Steps are oriented along the walk (each step's ``left_table`` is the
+    table already reached).  Returns an empty list when source and target
+    are the same table.  Raises :class:`JoinPathError` when no path exists.
+    """
+    graph = graph if graph is not None else table_join_graph(ontology, database)
+    src = from_table.lower()
+    dst = to_table.lower()
+    if src == dst:
+        return []
+    if src not in graph or dst not in graph:
+        raise JoinPathError(
+            f"no join path: table {from_table!r} or {to_table!r} is not bound "
+            "in the ontology"
+        )
+    try:
+        node_path = nx.shortest_path(graph, src, dst)
+    except nx.NetworkXNoPath:
+        raise JoinPathError(
+            f"no join path between {from_table!r} and {to_table!r}"
+        ) from None
+    steps: list[JoinStep] = []
+    for left, right in zip(node_path, node_path[1:]):
+        step: JoinStep = graph.edges[left, right]["step"]
+        if step.left_table.lower() != left:
+            step = step.reversed()
+        steps.append(step)
+    return steps

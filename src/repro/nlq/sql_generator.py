@@ -1,0 +1,322 @@
+"""SQL generation for concept queries over the ontology bindings.
+
+Produces the paper's Figure 9 shape::
+
+    SELECT oPrecautions.description
+    FROM precautions oPrecautions INNER JOIN drug oDrug ON ...
+    WHERE oDrug.name = :drug
+
+A *concept query* asks for the display columns of one or more concepts,
+filtered by instance values (or parameter markers) of other concepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NLQError
+from repro.kb.database import Database
+from repro.kb.types import DataType
+from repro.nlq.join_path import find_join_path, table_join_graph
+from repro.ontology.model import Concept, JoinStep, Ontology
+
+
+@dataclass
+class ConceptQuery:
+    """A generated SQL query with its parameter map.
+
+    ``parameters`` maps parameter name → filter concept name, so callers
+    can bind recognized entity values to the right markers.
+    """
+
+    sql: str
+    parameters: dict[str, str] = field(default_factory=dict)
+    select_columns: list[str] = field(default_factory=list)
+    result_concepts: list[str] = field(default_factory=list)
+
+
+def _alias_for(table: str) -> str:
+    return "o" + "".join(part.capitalize() for part in table.split("_"))
+
+
+def display_columns(concept: Concept) -> list[str]:
+    """The columns shown when a concept answers a query.
+
+    Label column first, then the remaining bound TEXT properties; falls
+    back to every bound property when no TEXT ones exist.
+    """
+    label = concept.label_column()
+    text_cols = [
+        p.column
+        for p in concept.data_properties.values()
+        if p.column and p.data_type is DataType.TEXT and p.column != label
+    ]
+    if label:
+        return [label] + text_cols
+    if text_cols:
+        return text_cols
+    return [p.column for p in concept.data_properties.values() if p.column]
+
+
+def _require_table(concept: Concept) -> str:
+    if not concept.table:
+        raise NLQError(f"concept {concept.name!r} has no relational binding")
+    return concept.table
+
+
+def _param_name(concept_name: str, used: set[str]) -> str:
+    base = concept_name.lower().replace(" ", "_")
+    name = base
+    suffix = 2
+    while name in used:
+        name = f"{base}_{suffix}"
+        suffix += 1
+    used.add(name)
+    return name
+
+
+def build_relationship_query(
+    ontology: Ontology,
+    relationship: str,
+    source: str,
+    target: str,
+    inverse: bool = False,
+    filter_value: str | None = None,
+) -> ConceptQuery:
+    """Generate SQL for a direct relationship pattern along the property's
+    own join path (never an alternative route between the same concepts).
+
+    Forward reading returns the *source* concept filtered by a *target*
+    instance ("What Drug treats <@Indication>?"); the inverse reading
+    swaps the roles.  ``filter_value`` inlines a literal; otherwise a
+    parameter marker is emitted.
+    """
+    prop = None
+    for candidate in ontology.properties_between(source, target):
+        if candidate.name.lower() == relationship.lower():
+            prop = candidate
+            break
+    if prop is None:
+        raise NLQError(
+            f"no object property {relationship!r} from {source!r} to {target!r}"
+        )
+    if not prop.join_path:
+        raise NLQError(f"object property {relationship!r} has no join binding")
+
+    result = ontology.concept(target if inverse else source)
+    filter_concept = ontology.concept(source if inverse else target)
+    steps = list(prop.reversed_path() if inverse else prop.join_path)
+
+    anchor_table = _require_table(result)
+    if steps[0].left_table.lower() != anchor_table.lower():
+        raise NLQError(
+            f"join path of {relationship!r} does not start at "
+            f"{result.name!r}'s table"
+        )
+    aliases: dict[str, str] = {anchor_table.lower(): _alias_for(anchor_table)}
+    join_clauses = []
+    for step in steps:
+        right_low = step.right_table.lower()
+        if right_low in aliases:
+            continue
+        alias = _alias_for(step.right_table)
+        existing = set(aliases.values())
+        counter = 2
+        candidate_alias = alias
+        while candidate_alias in existing:
+            candidate_alias = f"{alias}{counter}"
+            counter += 1
+        aliases[right_low] = candidate_alias
+        join_clauses.append(
+            f"INNER JOIN {step.right_table} {candidate_alias} "
+            f"ON {aliases[step.left_table.lower()]}.{step.left_column} = "
+            f"{candidate_alias}.{step.right_column}"
+        )
+
+    columns = display_columns(result)
+    if not columns:
+        raise NLQError(f"concept {result.name!r} has no displayable columns")
+    anchor_alias = aliases[anchor_table.lower()]
+    select_parts = [f"{anchor_alias}.{col}" for col in columns]
+
+    label = filter_concept.label_column()
+    if label is None:
+        raise NLQError(
+            f"filter concept {filter_concept.name!r} has no label column"
+        )
+    filter_table = _require_table(filter_concept)
+    filter_alias = aliases.get(filter_table.lower())
+    if filter_alias is None:
+        raise NLQError(
+            f"join path of {relationship!r} does not reach "
+            f"{filter_concept.name!r}'s table"
+        )
+    parameters: dict[str, str] = {}
+    if filter_value is not None:
+        escaped = filter_value.replace("'", "''")
+        where = f"{filter_alias}.{label} = '{escaped}'"
+    else:
+        param = filter_concept.name.lower().replace(" ", "_")
+        parameters[param] = filter_concept.name
+        where = f"{filter_alias}.{label} = :{param}"
+
+    sql = f"SELECT DISTINCT {', '.join(select_parts)} FROM {anchor_table} {anchor_alias}"
+    if join_clauses:
+        sql += " " + " ".join(join_clauses)
+    sql += f" WHERE {where}"
+    return ConceptQuery(
+        sql=sql,
+        parameters=parameters,
+        select_columns=columns,
+        result_concepts=[result.name],
+    )
+
+
+def build_concept_query(
+    ontology: Ontology,
+    result_concepts: list[str],
+    filter_concepts: list[str],
+    database: Database | None = None,
+    filter_values: dict[str, str] | None = None,
+    aggregate: str | None = None,
+) -> ConceptQuery:
+    """Generate a SQL query answering a concept query.
+
+    Parameters
+    ----------
+    result_concepts:
+        Concepts whose display columns form the SELECT list (order kept).
+    filter_concepts:
+        Concepts filtered by their label column.  With ``filter_values``
+        given, literal values are inlined; otherwise ``:param`` markers
+        are emitted (template mode).
+    database:
+        Used for isA join steps (primary-key metadata).
+    aggregate:
+        ``"count"`` replaces the SELECT list with a distinct count of the
+        first result concept's label ("how many drugs treat fever").
+
+    Raises :class:`NLQError` for unbound concepts and
+    :class:`~repro.errors.JoinPathError` when tables cannot be connected.
+    """
+    if aggregate is not None and aggregate != "count":
+        raise NLQError(f"unsupported aggregate {aggregate!r}")
+    if not result_concepts:
+        raise NLQError("a concept query needs at least one result concept")
+    graph = table_join_graph(ontology, database)
+    resolved_results = [ontology.concept(name) for name in result_concepts]
+    resolved_filters = [ontology.concept(name) for name in filter_concepts]
+
+    anchor = resolved_results[0]
+    anchor_table = _require_table(anchor)
+
+    joined: dict[str, str] = {anchor_table.lower(): _alias_for(anchor_table)}
+    join_clauses: list[str] = []
+
+    def ensure_joined(table: str) -> str:
+        """Join ``table`` into the query if needed; return its alias."""
+        low = table.lower()
+        if low in joined:
+            return joined[low]
+        # Walk from the nearest already-joined table.
+        best_steps: list[JoinStep] | None = None
+        for source in joined:
+            try:
+                steps = find_join_path(ontology, source, table, database, graph=graph)
+            except Exception:
+                continue
+            if best_steps is None or len(steps) < len(best_steps):
+                best_steps = steps
+        if best_steps is None:
+            raise NLQError(
+                f"cannot connect table {table!r} to the query join tree"
+            )
+        for step in best_steps:
+            right_low = step.right_table.lower()
+            if right_low in joined:
+                continue
+            left_alias = joined[step.left_table.lower()]
+            right_alias = _alias_for(step.right_table)
+            # Guard against alias collision from different tables.
+            existing = set(joined.values())
+            candidate = right_alias
+            counter = 2
+            while candidate in existing:
+                candidate = f"{right_alias}{counter}"
+                counter += 1
+            joined[right_low] = candidate
+            join_clauses.append(
+                f"INNER JOIN {step.right_table} {candidate} "
+                f"ON {left_alias}.{step.left_column} = "
+                f"{candidate}.{step.right_column}"
+            )
+        return joined[low]
+
+    # SELECT list from all result concepts.
+    select_parts: list[str] = []
+    select_columns: list[str] = []
+    if aggregate == "count":
+        anchor_alias = ensure_joined(anchor_table)
+        count_column = anchor.label_column() or (
+            database.table(anchor_table).schema.primary_key
+            if database is not None and database.has_table(anchor_table)
+            else None
+        )
+        if count_column is None:
+            raise NLQError(
+                f"concept {anchor.name!r} has no countable column"
+            )
+        select_parts.append(
+            f"COUNT(DISTINCT {anchor_alias}.{count_column}) AS n"
+        )
+        select_columns.append("n")
+    else:
+        for concept in resolved_results:
+            table = _require_table(concept)
+            alias = ensure_joined(table)
+            columns = display_columns(concept)
+            if not columns:
+                raise NLQError(
+                    f"concept {concept.name!r} has no displayable columns"
+                )
+            for column in columns:
+                select_parts.append(f"{alias}.{column}")
+                select_columns.append(column)
+
+    # WHERE clauses from filter concepts.
+    where_parts: list[str] = []
+    parameters: dict[str, str] = {}
+    used_params: set[str] = set()
+    for concept in resolved_filters:
+        table = _require_table(concept)
+        alias = ensure_joined(table)
+        label = concept.label_column()
+        if label is None:
+            raise NLQError(
+                f"filter concept {concept.name!r} has no label column to filter on"
+            )
+        if filter_values is not None:
+            value = filter_values.get(concept.name)
+            if value is None:
+                raise NLQError(f"no filter value provided for {concept.name!r}")
+            escaped = value.replace("'", "''")
+            where_parts.append(f"{alias}.{label} = '{escaped}'")
+        else:
+            param = _param_name(concept.name, used_params)
+            parameters[param] = concept.name
+            where_parts.append(f"{alias}.{label} = :{param}")
+
+    keyword = "SELECT" if aggregate == "count" else "SELECT DISTINCT"
+    sql = f"{keyword} {', '.join(select_parts)} FROM {anchor_table} " + joined[
+        anchor_table.lower()
+    ]
+    if join_clauses:
+        sql += " " + " ".join(join_clauses)
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    return ConceptQuery(
+        sql=sql,
+        parameters=parameters,
+        select_columns=select_columns,
+        result_concepts=[c.name for c in resolved_results],
+    )

@@ -1,0 +1,56 @@
+"""Domain ontology: model, construction, inference and analysis.
+
+The ontology is the core of the paper's system (§3): an OWL-like data
+model with concepts (classes), data properties, object properties
+(relationships) and the special *isA* (inheritance) and *unionOf*
+semantics.  This package provides:
+
+* :mod:`repro.ontology.model` — the ontology object model with optional
+  relational bindings (concept ↔ table, property ↔ column, relationship ↔
+  join path) used by the NLQ service,
+* :mod:`repro.ontology.builder` — a fluent construction API (the "manual /
+  SME" creation path),
+* :mod:`repro.ontology.inference` — data-driven ontology generation from a
+  :class:`repro.kb.Database` using PK/FK constraints and data statistics
+  (the approach of reference [18]),
+* :mod:`repro.ontology.graph` — graph views and centrality analysis,
+* :mod:`repro.ontology.key_concepts` — key/dependent-concept identification
+  via centrality + statistical segregation (reference [25]),
+* :mod:`repro.ontology.serialization` — JSON round-tripping.
+"""
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import centrality_scores, ontology_graph
+from repro.ontology.inference import generate_ontology
+from repro.ontology.key_concepts import (
+    ConceptClassification,
+    identify_dependent_concepts,
+    identify_key_concepts,
+)
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    JoinStep,
+    ObjectProperty,
+    Ontology,
+)
+from repro.ontology.owl import ontology_from_owl, ontology_to_owl
+from repro.ontology.serialization import ontology_from_dict, ontology_to_dict
+
+__all__ = [
+    "Concept",
+    "ConceptClassification",
+    "DataProperty",
+    "JoinStep",
+    "ObjectProperty",
+    "Ontology",
+    "OntologyBuilder",
+    "centrality_scores",
+    "generate_ontology",
+    "identify_dependent_concepts",
+    "identify_key_concepts",
+    "ontology_from_dict",
+    "ontology_from_owl",
+    "ontology_to_dict",
+    "ontology_to_owl",
+]

@@ -1,0 +1,113 @@
+"""Fluent construction API for ontologies.
+
+This is the "manual / SME" path of the paper's hybrid ontology-creation
+process: a subject-matter expert (or a test) declares concepts and
+relationships directly.
+"""
+
+from __future__ import annotations
+
+from repro.kb.types import DataType
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    JoinStep,
+    ObjectProperty,
+    Ontology,
+)
+
+
+class OntologyBuilder:
+    """Builds an :class:`~repro.ontology.model.Ontology` step by step.
+
+    Example
+    -------
+    >>> onto = (
+    ...     OntologyBuilder("medical")
+    ...     .concept("Drug", properties=["name", "brand"], label="name")
+    ...     .concept("Indication", properties=["name"], label="name")
+    ...     .relationship("treats", "Drug", "Indication",
+    ...                   inverse="is treated by")
+    ...     .build()
+    ... )
+    >>> onto.summary()["concepts"]
+    2
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self._ontology = Ontology(name)
+
+    def concept(
+        self,
+        name: str,
+        properties: list[str | tuple[str, DataType]] | None = None,
+        label: str | None = None,
+        table: str | None = None,
+        synonyms: list[str] | None = None,
+        description: str = "",
+    ) -> "OntologyBuilder":
+        """Add a concept with simple property declarations.
+
+        ``properties`` entries are either a property name (TEXT assumed)
+        or a ``(name, DataType)`` pair.  When ``table`` is given, each
+        property is bound to a same-named column.
+        """
+        concept = Concept(
+            name=name,
+            table=table,
+            label_property=label,
+            synonyms=list(synonyms or []),
+            description=description,
+        )
+        for entry in properties or []:
+            if isinstance(entry, tuple):
+                prop_name, data_type = entry
+            else:
+                prop_name, data_type = entry, DataType.TEXT
+            concept.add_data_property(
+                DataProperty(
+                    name=prop_name,
+                    data_type=data_type,
+                    column=prop_name if table else None,
+                )
+            )
+        self._ontology.add_concept(concept)
+        return self
+
+    def relationship(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        inverse: str | None = None,
+        functional: bool = False,
+        join_path: list[JoinStep] | None = None,
+        description: str = "",
+    ) -> "OntologyBuilder":
+        """Add an object property between two declared concepts."""
+        self._ontology.add_object_property(
+            ObjectProperty(
+                name=name,
+                source=source,
+                target=target,
+                inverse_name=inverse,
+                functional=functional,
+                join_path=tuple(join_path or ()),
+                description=description,
+            )
+        )
+        return self
+
+    def isa(self, child: str, parent: str) -> "OntologyBuilder":
+        """Declare an inheritance edge."""
+        self._ontology.add_isa(child, parent)
+        return self
+
+    def union(self, parent: str, members: list[str]) -> "OntologyBuilder":
+        """Declare a union concept."""
+        self._ontology.add_union(parent, members)
+        return self
+
+    def build(self) -> Ontology:
+        """Return the constructed ontology."""
+        return self._ontology

@@ -1,0 +1,87 @@
+"""Graph views of an ontology and centrality analysis.
+
+§4.2.1: "To determine these key concepts, we run a centrality analysis of
+the ontology graph, and rank the concepts according to a centrality
+score."  The graph here treats every concept as a node and every
+object-property / isA / unionOf edge as an (undirected, for centrality
+purposes) connection.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.ontology.model import Ontology
+
+
+def ontology_graph(ontology: Ontology) -> nx.MultiDiGraph:
+    """Build a directed multigraph: nodes = concepts, edges = relationships.
+
+    Edge attribute ``kind`` is one of ``"object_property"``, ``"isa"`` or
+    ``"union"``; object-property edges also carry ``name``.
+    """
+    graph = nx.MultiDiGraph(name=ontology.name)
+    for concept in ontology.concepts():
+        graph.add_node(
+            concept.name,
+            n_properties=len(concept.data_properties),
+            table=concept.table,
+        )
+    for prop in ontology.object_properties():
+        graph.add_edge(
+            ontology.concept(prop.source).name,
+            ontology.concept(prop.target).name,
+            kind="object_property",
+            name=prop.name,
+        )
+    for child, parent in ontology.isa_edges():
+        graph.add_edge(child, parent, kind="isa")
+    for member, parent in ontology.union_edges():
+        graph.add_edge(member, parent, kind="union")
+    return graph
+
+
+def centrality_scores(
+    ontology: Ontology, method: str = "degree"
+) -> dict[str, float]:
+    """Centrality score per concept name.
+
+    ``method`` selects the measure:
+
+    * ``"degree"`` — degree centrality over the undirected view (default;
+      key concepts are the hubs with many attached relationships),
+    * ``"pagerank"`` — PageRank over the undirected view,
+    * ``"betweenness"`` — betweenness centrality.
+    """
+    graph = ontology_graph(ontology)
+    undirected = nx.Graph()
+    undirected.add_nodes_from(graph.nodes)
+    undirected.add_edges_from((u, v) for u, v, _ in graph.edges(keys=True))
+    if method == "degree":
+        # Count parallel relationships: use the multigraph degree, normalized.
+        n = max(len(graph) - 1, 1)
+        totals: dict[str, float] = {node: 0.0 for node in graph.nodes}
+        for u, v, _ in graph.edges(keys=True):
+            totals[u] += 1.0
+            totals[v] += 1.0
+        return {node: total / n for node, total in totals.items()}
+    if method == "pagerank":
+        if undirected.number_of_edges() == 0:
+            return {node: 1.0 / max(len(undirected), 1) for node in undirected}
+        return dict(nx.pagerank(undirected))
+    if method == "betweenness":
+        return dict(nx.betweenness_centrality(undirected))
+    raise ValueError(f"unknown centrality method: {method!r}")
+
+
+def neighbors(ontology: Ontology, concept: str) -> list[str]:
+    """Concept names in the immediate (undirected) neighborhood of ``concept``."""
+    graph = ontology_graph(ontology)
+    name = ontology.concept(concept).name
+    out: dict[str, None] = {}
+    for _, v, _ in graph.out_edges(name, keys=True):
+        out.setdefault(v)
+    for u, _, _ in graph.in_edges(name, keys=True):
+        out.setdefault(u)
+    out.pop(name, None)
+    return list(out)

@@ -1,0 +1,258 @@
+"""Data-driven ontology generation from a relational knowledge base.
+
+Implements the automated creation path of §3 ("Ontology Creation",
+approach 2, following reference [18]): concepts, data properties and
+relationships are inferred from schema constraints (primary/foreign
+keys) and data statistics:
+
+* every non-junction table becomes a concept; its non-key columns become
+  data properties,
+* a foreign key becomes a functional object property from the referencing
+  concept to the referenced concept,
+* a *junction* table (every column is a key) becomes a many-to-many
+  object property routed through the junction,
+* a table whose primary key is itself a foreign key yields an *isA* edge
+  (the child's instances are identified by parent instances),
+* an isA family whose children *partition* the parent's instances
+  (disjoint and covering, checked against the data) is promoted to a
+  *unionOf* relationship.
+
+The output ontology carries full relational bindings, so the NLQ service
+can generate SQL against the same database.
+"""
+
+from __future__ import annotations
+
+from repro.kb.database import Database
+from repro.kb.schema import TableSchema
+from repro.kb.table import Table
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    JoinStep,
+    ObjectProperty,
+    Ontology,
+)
+
+_LABEL_CANDIDATES = ("name", "title", "label")
+
+
+def concept_name_for_table(table_name: str) -> str:
+    """Derive a concept name from a table name: ``drug_interaction`` →
+    ``Drug Interaction``."""
+    return " ".join(part.capitalize() for part in table_name.split("_"))
+
+
+def _property_name_for_column(column: str) -> str:
+    return column.replace("_", " ")
+
+
+def _relationship_name(fk_column: str, target_concept: str) -> str:
+    """Derive a readable relationship name from a foreign-key column."""
+    base = fk_column
+    for suffix in ("_id", "id"):
+        if base.lower().endswith(suffix) and len(base) > len(suffix):
+            base = base[: -len(suffix)]
+            break
+    base = base.strip("_").replace("_", " ").strip()
+    if not base or base.lower() == target_concept.lower():
+        return f"has {target_concept.lower()}"
+    return base
+
+
+def _is_junction(schema: TableSchema) -> bool:
+    """A junction table realizes a many-to-many relationship: it has at
+    least two foreign keys and no descriptive columns of its own."""
+    if len(schema.foreign_keys) < 2:
+        return False
+    fk_columns = {fk.column.lower() for fk in schema.foreign_keys}
+    for col in schema.columns:
+        low = col.name.lower()
+        if low in fk_columns:
+            continue
+        if schema.primary_key and low == schema.primary_key.lower():
+            continue
+        return False
+    return True
+
+
+def _pick_label_column(table: Table) -> str | None:
+    schema = table.schema
+    key_columns = {fk.column.lower() for fk in schema.foreign_keys}
+    if schema.primary_key:
+        key_columns.add(schema.primary_key.lower())
+    for candidate in _LABEL_CANDIDATES:
+        if schema.has_column(candidate) and candidate not in key_columns:
+            return schema.column(candidate).name
+    for col in schema.columns:
+        if col.name.lower() in key_columns:
+            continue
+        if col.data_type.value == "text":
+            return col.name
+    return None
+
+
+def _isa_parent(schema: TableSchema) -> str | None:
+    """If the table's primary key is also a foreign key, return the
+    referenced (parent) table name."""
+    if schema.primary_key is None:
+        return None
+    fk = schema.foreign_key_for(schema.primary_key)
+    return fk.referenced_table if fk else None
+
+
+def _children_partition_parent(
+    database: Database, parent_table: str, child_tables: list[str]
+) -> bool:
+    """Check that the child PK sets are disjoint and cover the parent."""
+    parent = database.table(parent_table)
+    if parent.schema.primary_key is None:
+        return False
+    parent_keys = set(parent.column_values(parent.schema.primary_key))
+    if not parent_keys:
+        return False
+    seen: set = set()
+    for child_name in child_tables:
+        child = database.table(child_name)
+        if child.schema.primary_key is None:
+            return False
+        child_keys = set(child.column_values(child.schema.primary_key))
+        if child_keys & seen:
+            return False  # overlapping members: plain inheritance, not union
+        seen |= child_keys
+    return seen == parent_keys
+
+
+def generate_ontology(database: Database, name: str | None = None) -> Ontology:
+    """Generate a fully-bound ontology from ``database``.
+
+    The result is the starting point of the paper's *hybrid* approach:
+    SMEs subsequently refine names, add synonyms and prune via
+    :class:`~repro.ontology.builder.OntologyBuilder`-style mutation or
+    :mod:`repro.bootstrap.sme` feedback.
+    """
+    ontology = Ontology(name or f"{database.name}-ontology")
+    junctions: list[Table] = []
+
+    # Pass 1: concepts with data properties.
+    for table in database.tables():
+        schema = table.schema
+        if _is_junction(schema):
+            junctions.append(table)
+            continue
+        concept = Concept(
+            name=concept_name_for_table(schema.name),
+            table=schema.name,
+        )
+        key_columns = {fk.column.lower() for fk in schema.foreign_keys}
+        if schema.primary_key:
+            key_columns.add(schema.primary_key.lower())
+        for col in schema.columns:
+            if col.name.lower() in key_columns:
+                continue
+            concept.add_data_property(
+                DataProperty(
+                    name=_property_name_for_column(col.name),
+                    data_type=col.data_type,
+                    column=col.name,
+                )
+            )
+        label_column = _pick_label_column(table)
+        if label_column is not None:
+            concept.label_property = _property_name_for_column(label_column)
+        ontology.add_concept(concept)
+
+    table_to_concept = {
+        c.table.lower(): c.name for c in ontology.concepts() if c.table
+    }
+
+    # Pass 2: isA edges from PK-as-FK tables.
+    isa_children: dict[str, list[str]] = {}
+    for table in database.tables():
+        schema = table.schema
+        if _is_junction(schema):
+            continue
+        parent_table = _isa_parent(schema)
+        if parent_table and parent_table.lower() in table_to_concept:
+            child_concept = table_to_concept[schema.name.lower()]
+            parent_concept = table_to_concept[parent_table.lower()]
+            if child_concept != parent_concept:
+                ontology.add_isa(child_concept, parent_concept)
+                isa_children.setdefault(parent_table.lower(), []).append(schema.name)
+
+    # Pass 3: promote partitioning isA families to unions.
+    for parent_table, children in isa_children.items():
+        if len(children) >= 2 and _children_partition_parent(
+            database, parent_table, children
+        ):
+            parent_concept = table_to_concept[parent_table]
+            member_concepts = [table_to_concept[c.lower()] for c in children]
+            ontology.add_union(parent_concept, member_concepts)
+
+    # Pass 4: foreign keys → functional object properties.
+    for table in database.tables():
+        schema = table.schema
+        if _is_junction(schema):
+            continue
+        source_concept = table_to_concept[schema.name.lower()]
+        for fk in schema.foreign_keys:
+            if schema.primary_key and fk.column.lower() == schema.primary_key.lower():
+                continue  # isA edge, already handled
+            target_table = fk.referenced_table.lower()
+            if target_table not in table_to_concept:
+                continue
+            target_concept = table_to_concept[target_table]
+            rel_name = _relationship_name(fk.column, target_concept)
+            prop = ObjectProperty(
+                name=rel_name,
+                source=source_concept,
+                target=target_concept,
+                inverse_name=f"has {source_concept.lower()}",
+                functional=True,
+                join_path=(
+                    JoinStep(
+                        schema.name,
+                        fk.column,
+                        fk.referenced_table,
+                        fk.referenced_column,
+                    ),
+                ),
+            )
+            ontology.add_object_property(prop)
+
+    # Pass 5: junction tables → many-to-many object properties.
+    for junction in junctions:
+        schema = junction.schema
+        fks = schema.foreign_keys
+        left_fk, right_fk = fks[0], fks[1]
+        left_table = left_fk.referenced_table.lower()
+        right_table = right_fk.referenced_table.lower()
+        if left_table not in table_to_concept or right_table not in table_to_concept:
+            continue
+        source_concept = table_to_concept[left_table]
+        target_concept = table_to_concept[right_table]
+        rel_name = schema.name.replace("_", " ")
+        prop = ObjectProperty(
+            name=rel_name,
+            source=source_concept,
+            target=target_concept,
+            inverse_name=f"{rel_name} (inverse)",
+            functional=False,
+            join_path=(
+                JoinStep(
+                    left_fk.referenced_table,
+                    left_fk.referenced_column,
+                    schema.name,
+                    left_fk.column,
+                ),
+                JoinStep(
+                    schema.name,
+                    right_fk.column,
+                    right_fk.referenced_table,
+                    right_fk.referenced_column,
+                ),
+            ),
+        )
+        ontology.add_object_property(prop)
+
+    return ontology

@@ -1,0 +1,160 @@
+"""Key- and dependent-concept identification.
+
+§4.2.1: key concepts "can stand on their own and usually represent the
+domain entities that a common user would be interested in"; they are
+found by ranking concepts on a graph-centrality score and applying
+*statistical segregation* to split the ranked list (reference [25]).
+Dependent concepts are non-key concepts in a key concept's immediate
+neighborhood that behave like categorical attributes in the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kb.database import Database
+from repro.kb.statistics import (
+    DEFAULT_CATEGORICAL_MAX_DISTINCT,
+    DEFAULT_CATEGORICAL_RATIO,
+)
+from repro.ontology.graph import centrality_scores, neighbors
+from repro.ontology.model import Ontology
+
+
+def segregate_scores(scores: dict[str, float], top_k: int | None = None) -> list[str]:
+    """Split ranked scores at their largest gap and return the upper tier.
+
+    With ``top_k`` given, exactly the ``top_k`` highest-scoring names are
+    returned instead.  Without it, names are sorted by descending score
+    and the cut is placed at the largest absolute drop between adjacent
+    scores (never before the first element, never cutting an empty top).
+    """
+    if not scores:
+        return []
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    if top_k is not None:
+        return [name for name, _ in ranked[: max(top_k, 0)]]
+    if len(ranked) == 1:
+        return [ranked[0][0]]
+    gaps = [
+        (ranked[i][1] - ranked[i + 1][1], i) for i in range(len(ranked) - 1)
+    ]
+    best_gap, cut = max(gaps, key=lambda pair: (pair[0], -pair[1]))
+    if best_gap <= 0.0:
+        # All scores equal: everything is equally central, keep all.
+        return [name for name, _ in ranked]
+    return [name for name, _ in ranked[: cut + 1]]
+
+
+def identify_key_concepts(
+    ontology: Ontology,
+    database: Database | None = None,
+    method: str = "degree",
+    top_k: int | None = None,
+    min_instances: int = 2,
+) -> list[str]:
+    """Return the key-concept names of ``ontology``.
+
+    Centrality ranking + statistical segregation; when ``database`` is
+    given, concepts whose bound table holds fewer than ``min_instances``
+    rows are excluded (a key concept must have instances users ask about).
+    """
+    scores = centrality_scores(ontology, method=method)
+    if database is not None:
+        eligible = {}
+        for name, score in scores.items():
+            table = ontology.concept(name).table
+            if table and database.has_table(table):
+                if len(database.table(table)) < min_instances:
+                    continue
+            eligible[name] = score
+        scores = eligible
+    return segregate_scores(scores, top_k=top_k)
+
+
+@dataclass
+class ConceptClassification:
+    """The outcome of key/dependent concept analysis over an ontology."""
+
+    key_concepts: list[str]
+    #: key concept -> its dependent concepts (paper: the per-key-concept
+    #: lists passed to the dialogue for query completion).
+    dependents_of: dict[str, list[str]] = field(default_factory=dict)
+    #: dependent concept -> key concepts it describes (reverse map).
+    keys_of: dict[str, list[str]] = field(default_factory=dict)
+    #: dependent concepts that are union parents.
+    union_dependents: set[str] = field(default_factory=set)
+    #: dependent concepts that are inheritance parents.
+    inheritance_dependents: set[str] = field(default_factory=set)
+
+    def all_dependents(self) -> list[str]:
+        """Every dependent concept, deduplicated, in first-seen order."""
+        seen: dict[str, None] = {}
+        for dependents in self.dependents_of.values():
+            for name in dependents:
+                seen.setdefault(name)
+        return list(seen)
+
+
+def _is_categorical_concept(
+    ontology: Ontology,
+    database: Database | None,
+    concept_name: str,
+    max_distinct: int,
+    max_ratio: float,
+) -> bool:
+    """Decide whether a concept behaves like a categorical attribute.
+
+    Uses the distinct-value statistics of the concept's label column when
+    a database is available (paper §4.2.1); otherwise falls back to
+    treating every non-key neighbor as dependent.
+    """
+    if database is None:
+        return True
+    concept = ontology.concept(concept_name)
+    if not concept.table or not database.has_table(concept.table):
+        return True
+    table = database.table(concept.table)
+    label_column = concept.label_column()
+    if label_column is None:
+        # No label column: a pure description/attribute table. Dependent.
+        return True
+    stats = database.statistics(concept.table).column(label_column)
+    return stats.is_categorical(max_ratio=max_ratio, max_distinct=max_distinct)
+
+
+def identify_dependent_concepts(
+    ontology: Ontology,
+    key_concepts: list[str],
+    database: Database | None = None,
+    max_distinct: int = DEFAULT_CATEGORICAL_MAX_DISTINCT,
+    max_ratio: float = DEFAULT_CATEGORICAL_RATIO,
+) -> ConceptClassification:
+    """Classify every key concept's immediate neighborhood.
+
+    For each key concept, non-key neighbors that pass the categorical
+    test become its dependent concepts; union and inheritance parents
+    among them are flagged (they trigger pattern augmentation in
+    :mod:`repro.bootstrap.patterns`).
+    """
+    key_set = {k.lower() for k in key_concepts}
+    result = ConceptClassification(key_concepts=list(key_concepts))
+    for key_name in key_concepts:
+        dependents: list[str] = []
+        for neighbor in neighbors(ontology, key_name):
+            if neighbor.lower() in key_set:
+                continue
+            if not _is_categorical_concept(
+                ontology, database, neighbor, max_distinct, max_ratio
+            ):
+                continue
+            dependents.append(neighbor)
+            result.keys_of.setdefault(neighbor, [])
+            if key_name not in result.keys_of[neighbor]:
+                result.keys_of[neighbor].append(key_name)
+            if ontology.is_union(neighbor):
+                result.union_dependents.add(neighbor)
+            elif ontology.is_inheritance_parent(neighbor):
+                result.inheritance_dependents.add(neighbor)
+        result.dependents_of[key_name] = dependents
+    return result

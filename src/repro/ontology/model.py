@@ -1,0 +1,298 @@
+"""The ontology object model.
+
+Follows the OWL vocabulary used in §3 of the paper: a *concept* is a
+class, a *data property* is a typed attribute of a concept, an *object
+property* is a named relationship between two concepts, and the special
+*isA* (subsumption/inheritance) and *unionOf* semantics relate concepts
+to each other.
+
+Each element optionally carries a **relational binding** that records how
+it is realized in the knowledge base (concept → table, data property →
+column, object property → a sequence of equi-join steps).  The NLQ
+service uses these bindings to generate SQL; a purely conceptual ontology
+without bindings is also valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateElementError, OntologyError, UnknownConceptError
+from repro.kb.types import DataType
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One equi-join step: ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def reversed(self) -> "JoinStep":
+        """The same step read in the opposite direction."""
+        return JoinStep(
+            self.right_table, self.right_column, self.left_table, self.left_column
+        )
+
+
+@dataclass
+class DataProperty:
+    """A typed attribute of a concept (OWL data property)."""
+
+    name: str
+    data_type: DataType = DataType.TEXT
+    column: str | None = None  # relational binding
+    description: str = ""
+
+
+@dataclass
+class Concept:
+    """An ontology class.
+
+    Parameters
+    ----------
+    name:
+        Human-readable concept name, e.g. ``"Drug"`` or
+        ``"Black Box Warning"``.  Unique within the ontology.
+    data_properties:
+        The concept's typed attributes, keyed by property name.
+    table:
+        Relational binding: the KB table storing this concept's instances.
+    label_property:
+        The data property whose values name instances (used to harvest
+        entity examples, e.g. ``Drug.name`` → "Aspirin").
+    synonyms:
+        Domain vocabulary for this concept ("medication" for "Drug").
+    description:
+        One-line documentation, surfaced by definition-request repair.
+    """
+
+    name: str
+    data_properties: dict[str, DataProperty] = field(default_factory=dict)
+    table: str | None = None
+    label_property: str | None = None
+    synonyms: list[str] = field(default_factory=list)
+    description: str = ""
+
+    def add_data_property(self, prop: DataProperty) -> None:
+        key = prop.name.lower()
+        if key in {p.lower() for p in self.data_properties}:
+            raise DuplicateElementError(
+                f"concept {self.name!r} already has data property {prop.name!r}"
+            )
+        self.data_properties[prop.name] = prop
+
+    def property(self, name: str) -> DataProperty:
+        for prop_name, prop in self.data_properties.items():
+            if prop_name.lower() == name.lower():
+                return prop
+        raise OntologyError(
+            f"concept {self.name!r} has no data property {name!r}"
+        )
+
+    def label_column(self) -> str | None:
+        """The bound column of the label property, if both are set."""
+        if self.label_property is None:
+            return None
+        prop = self.data_properties.get(self.label_property)
+        return prop.column if prop else None
+
+
+@dataclass
+class ObjectProperty:
+    """A named relationship between two concepts (OWL object property).
+
+    ``name`` reads in the forward direction (Drug —treats→ Indication);
+    ``inverse_name`` reads backwards ("is treated by").  ``functional``
+    marks many-to-one relationships.  ``join_path`` is the relational
+    binding: the equi-join steps leading from the source concept's table
+    to the target concept's table.
+    """
+
+    name: str
+    source: str
+    target: str
+    inverse_name: str | None = None
+    functional: bool = False
+    join_path: tuple[JoinStep, ...] = ()
+    description: str = ""
+
+    def reversed_path(self) -> tuple[JoinStep, ...]:
+        """The join path read from target back to source."""
+        return tuple(step.reversed() for step in reversed(self.join_path))
+
+
+class Ontology:
+    """A domain ontology: concepts, object properties, isA and unionOf.
+
+    All lookups are case-insensitive on concept names.  Structural
+    mutation goes through the ``add_*`` methods, which validate
+    referential integrity.
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self._concepts: dict[str, Concept] = {}
+        self._object_properties: list[ObjectProperty] = []
+        self._isa: dict[str, str] = {}          # child -> parent (lowercase keys)
+        self._unions: dict[str, list[str]] = {}  # parent -> member names
+
+    # -- concepts -----------------------------------------------------------
+
+    def add_concept(self, concept: Concept) -> Concept:
+        key = concept.name.lower()
+        if key in self._concepts:
+            raise DuplicateElementError(f"concept {concept.name!r} already exists")
+        self._concepts[key] = concept
+        return concept
+
+    def has_concept(self, name: str) -> bool:
+        return name.lower() in self._concepts
+
+    def concept(self, name: str) -> Concept:
+        try:
+            return self._concepts[name.lower()]
+        except KeyError:
+            raise UnknownConceptError(name) from None
+
+    def concepts(self) -> list[Concept]:
+        """All concepts in insertion order."""
+        return list(self._concepts.values())
+
+    def concept_names(self) -> list[str]:
+        return [c.name for c in self._concepts.values()]
+
+    # -- object properties -----------------------------------------------------
+
+    def add_object_property(self, prop: ObjectProperty) -> ObjectProperty:
+        if not self.has_concept(prop.source):
+            raise UnknownConceptError(prop.source)
+        if not self.has_concept(prop.target):
+            raise UnknownConceptError(prop.target)
+        for existing in self._object_properties:
+            if (
+                existing.name.lower() == prop.name.lower()
+                and existing.source.lower() == prop.source.lower()
+                and existing.target.lower() == prop.target.lower()
+            ):
+                raise DuplicateElementError(
+                    f"object property {prop.name!r} from {prop.source!r} "
+                    f"to {prop.target!r} already exists"
+                )
+        self._object_properties.append(prop)
+        return prop
+
+    def object_properties(self) -> list[ObjectProperty]:
+        return list(self._object_properties)
+
+    def properties_between(self, source: str, target: str) -> list[ObjectProperty]:
+        """Object properties from ``source`` to ``target`` (forward only)."""
+        src = source.lower()
+        tgt = target.lower()
+        return [
+            p
+            for p in self._object_properties
+            if p.source.lower() == src and p.target.lower() == tgt
+        ]
+
+    def properties_of(self, concept: str) -> list[ObjectProperty]:
+        """Object properties where ``concept`` is source or target."""
+        key = concept.lower()
+        return [
+            p
+            for p in self._object_properties
+            if p.source.lower() == key or p.target.lower() == key
+        ]
+
+    # -- isA / union semantics ---------------------------------------------------
+
+    def add_isa(self, child: str, parent: str) -> None:
+        """Declare ``child`` isA ``parent``."""
+        if not self.has_concept(child):
+            raise UnknownConceptError(child)
+        if not self.has_concept(parent):
+            raise UnknownConceptError(parent)
+        if child.lower() == parent.lower():
+            raise OntologyError(f"concept {child!r} cannot be its own parent")
+        # Reject cycles: walk up from the proposed parent.
+        cursor: str | None = parent.lower()
+        while cursor is not None:
+            if cursor == child.lower():
+                raise OntologyError(
+                    f"isA cycle: {child!r} is already an ancestor of {parent!r}"
+                )
+            cursor = self._isa.get(cursor)
+        self._isa[child.lower()] = parent.lower()
+
+    def add_union(self, parent: str, members: list[str]) -> None:
+        """Declare ``parent`` as the union of ``members`` (mutually exclusive)."""
+        if not self.has_concept(parent):
+            raise UnknownConceptError(parent)
+        if len(members) < 2:
+            raise OntologyError("a union needs at least two members")
+        for member in members:
+            if not self.has_concept(member):
+                raise UnknownConceptError(member)
+            if member.lower() == parent.lower():
+                raise OntologyError("a union cannot contain its own parent")
+        self._unions[parent.lower()] = [m for m in members]
+
+    def parent_of(self, child: str) -> str | None:
+        """The isA parent concept name of ``child``, or None."""
+        parent_key = self._isa.get(child.lower())
+        return self._concepts[parent_key].name if parent_key else None
+
+    def children_of(self, parent: str) -> list[str]:
+        """Concept names declared isA ``parent``."""
+        key = parent.lower()
+        return [
+            self._concepts[child].name
+            for child, par in self._isa.items()
+            if par == key
+        ]
+
+    def union_members(self, parent: str) -> list[str]:
+        """Member concept names when ``parent`` is a union, else empty."""
+        members = self._unions.get(parent.lower(), [])
+        return [self.concept(m).name for m in members]
+
+    def is_union(self, name: str) -> bool:
+        return name.lower() in self._unions
+
+    def is_inheritance_parent(self, name: str) -> bool:
+        return bool(self.children_of(name))
+
+    def isa_edges(self) -> list[tuple[str, str]]:
+        """(child, parent) concept-name pairs."""
+        return [
+            (self._concepts[c].name, self._concepts[p].name)
+            for c, p in self._isa.items()
+        ]
+
+    def union_edges(self) -> list[tuple[str, str]]:
+        """(member, parent) concept-name pairs for every union."""
+        out = []
+        for parent, members in self._unions.items():
+            for member in members:
+                out.append((self.concept(member).name, self._concepts[parent].name))
+        return out
+
+    # -- summary ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Element counts, comparable to §6.1's "59 concepts, 178 properties,
+        58 relationships"."""
+        n_props = sum(len(c.data_properties) for c in self._concepts.values())
+        n_relationships = (
+            len(self._object_properties) + len(self._isa) + len(self.union_edges())
+        )
+        return {
+            "concepts": len(self._concepts),
+            "data_properties": n_props,
+            "relationships": n_relationships,
+            "object_properties": len(self._object_properties),
+            "isa_edges": len(self._isa),
+            "union_edges": len(self.union_edges()),
+        }

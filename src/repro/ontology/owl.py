@@ -1,0 +1,254 @@
+"""OWL (RDF/XML) serialization of ontologies.
+
+§3: "OWL is a popular language to describe ontologies" and the SME
+tooling annotates "the OWL description" of the ontology.  This module
+writes a standards-shaped OWL document — ``owl:Class``,
+``owl:DatatypeProperty``, ``owl:ObjectProperty``, ``rdfs:subClassOf``,
+``owl:unionOf`` — and reads it back.  Relational bindings (tables,
+columns, join paths), which OWL has no vocabulary for, ride along as
+custom annotation properties in the ``repro:`` namespace so the round
+trip is lossless.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.errors import OntologyError
+from repro.kb.types import DataType
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    JoinStep,
+    ObjectProperty,
+    Ontology,
+)
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+OWL_NS = "http://www.w3.org/2002/07/owl#"
+XSD_NS = "http://www.w3.org/2001/XMLSchema#"
+REPRO_NS = "http://repro.example.org/ontology#"
+
+_XSD_BY_TYPE = {
+    DataType.TEXT: f"{XSD_NS}string",
+    DataType.INTEGER: f"{XSD_NS}integer",
+    DataType.FLOAT: f"{XSD_NS}double",
+    DataType.BOOLEAN: f"{XSD_NS}boolean",
+}
+_TYPE_BY_XSD = {v: k for k, v in _XSD_BY_TYPE.items()}
+
+
+def _iri(name: str) -> str:
+    return REPRO_NS + name.replace(" ", "_")
+
+
+def _local(iri: str) -> str:
+    return iri.rsplit("#", 1)[-1].replace("_", " ")
+
+
+def _q(ns: str, tag: str) -> str:
+    return f"{{{ns}}}{tag}"
+
+
+def ontology_to_owl(ontology: Ontology) -> str:
+    """Serialize ``ontology`` to an OWL RDF/XML document string."""
+    ET.register_namespace("rdf", RDF_NS)
+    ET.register_namespace("rdfs", RDFS_NS)
+    ET.register_namespace("owl", OWL_NS)
+    ET.register_namespace("repro", REPRO_NS)
+    root = ET.Element(_q(RDF_NS, "RDF"))
+
+    header = ET.SubElement(root, _q(OWL_NS, "Ontology"))
+    header.set(_q(RDF_NS, "about"), REPRO_NS + ontology.name.replace(" ", "_"))
+    name_el = ET.SubElement(header, _q(RDFS_NS, "label"))
+    name_el.text = ontology.name
+
+    for concept in ontology.concepts():
+        cls = ET.SubElement(root, _q(OWL_NS, "Class"))
+        cls.set(_q(RDF_NS, "about"), _iri(concept.name))
+        label = ET.SubElement(cls, _q(RDFS_NS, "label"))
+        label.text = concept.name
+        if concept.description:
+            comment = ET.SubElement(cls, _q(RDFS_NS, "comment"))
+            comment.text = concept.description
+        parent = ontology.parent_of(concept.name)
+        if parent:
+            sub = ET.SubElement(cls, _q(RDFS_NS, "subClassOf"))
+            sub.set(_q(RDF_NS, "resource"), _iri(parent))
+        if ontology.is_union(concept.name):
+            # owl:unionOf with an rdf:parseType="Collection" member list.
+            equivalent = ET.SubElement(cls, _q(OWL_NS, "equivalentClass"))
+            union_class = ET.SubElement(equivalent, _q(OWL_NS, "Class"))
+            union_of = ET.SubElement(union_class, _q(OWL_NS, "unionOf"))
+            union_of.set(_q(RDF_NS, "parseType"), "Collection")
+            for member in ontology.union_members(concept.name):
+                desc = ET.SubElement(union_of, _q(RDF_NS, "Description"))
+                desc.set(_q(RDF_NS, "about"), _iri(member))
+        if concept.table:
+            table = ET.SubElement(cls, _q(REPRO_NS, "table"))
+            table.text = concept.table
+        if concept.label_property:
+            label_prop = ET.SubElement(cls, _q(REPRO_NS, "labelProperty"))
+            label_prop.text = concept.label_property
+        for synonym in concept.synonyms:
+            alt = ET.SubElement(cls, _q(REPRO_NS, "synonym"))
+            alt.text = synonym
+
+        for prop in concept.data_properties.values():
+            dp = ET.SubElement(root, _q(OWL_NS, "DatatypeProperty"))
+            dp.set(
+                _q(RDF_NS, "about"),
+                _iri(f"{concept.name}.{prop.name}"),
+            )
+            dp_label = ET.SubElement(dp, _q(RDFS_NS, "label"))
+            dp_label.text = prop.name
+            domain = ET.SubElement(dp, _q(RDFS_NS, "domain"))
+            domain.set(_q(RDF_NS, "resource"), _iri(concept.name))
+            range_el = ET.SubElement(dp, _q(RDFS_NS, "range"))
+            range_el.set(_q(RDF_NS, "resource"), _XSD_BY_TYPE[prop.data_type])
+            if prop.column:
+                column = ET.SubElement(dp, _q(REPRO_NS, "column"))
+                column.text = prop.column
+            if prop.description:
+                comment = ET.SubElement(dp, _q(RDFS_NS, "comment"))
+                comment.text = prop.description
+
+    for index, prop in enumerate(ontology.object_properties()):
+        op = ET.SubElement(root, _q(OWL_NS, "ObjectProperty"))
+        op.set(_q(RDF_NS, "about"), _iri(f"op{index}.{prop.name}"))
+        op_label = ET.SubElement(op, _q(RDFS_NS, "label"))
+        op_label.text = prop.name
+        domain = ET.SubElement(op, _q(RDFS_NS, "domain"))
+        domain.set(_q(RDF_NS, "resource"), _iri(prop.source))
+        range_el = ET.SubElement(op, _q(RDFS_NS, "range"))
+        range_el.set(_q(RDF_NS, "resource"), _iri(prop.target))
+        if prop.inverse_name:
+            inverse = ET.SubElement(op, _q(REPRO_NS, "inverseName"))
+            inverse.text = prop.inverse_name
+        if prop.functional:
+            type_el = ET.SubElement(op, _q(RDF_NS, "type"))
+            type_el.set(
+                _q(RDF_NS, "resource"), f"{OWL_NS}FunctionalProperty"
+            )
+        if prop.join_path:
+            join = ET.SubElement(op, _q(REPRO_NS, "joinPath"))
+            join.text = json.dumps([
+                [s.left_table, s.left_column, s.right_table, s.right_column]
+                for s in prop.join_path
+            ])
+        if prop.description:
+            comment = ET.SubElement(op, _q(RDFS_NS, "comment"))
+            comment.text = prop.description
+
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def ontology_from_owl(document: str) -> Ontology:
+    """Reconstruct an ontology from :func:`ontology_to_owl` output."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise OntologyError(f"invalid OWL document: {exc}") from exc
+
+    header = root.find(_q(OWL_NS, "Ontology"))
+    name = "ontology"
+    if header is not None:
+        label = header.find(_q(RDFS_NS, "label"))
+        if label is not None and label.text:
+            name = label.text
+    ontology = Ontology(name)
+
+    subclass_edges: list[tuple[str, str]] = []
+    unions: dict[str, list[str]] = {}
+
+    for cls in root.findall(_q(OWL_NS, "Class")):
+        label = cls.find(_q(RDFS_NS, "label"))
+        if label is None or not label.text:
+            continue
+        concept = Concept(name=label.text)
+        comment = cls.find(_q(RDFS_NS, "comment"))
+        if comment is not None and comment.text:
+            concept.description = comment.text
+        table = cls.find(_q(REPRO_NS, "table"))
+        if table is not None and table.text:
+            concept.table = table.text
+        label_prop = cls.find(_q(REPRO_NS, "labelProperty"))
+        if label_prop is not None and label_prop.text:
+            concept.label_property = label_prop.text
+        for synonym in cls.findall(_q(REPRO_NS, "synonym")):
+            if synonym.text:
+                concept.synonyms.append(synonym.text)
+        ontology.add_concept(concept)
+
+        sub = cls.find(_q(RDFS_NS, "subClassOf"))
+        if sub is not None:
+            parent = sub.get(_q(RDF_NS, "resource"))
+            if parent:
+                subclass_edges.append((concept.name, _local(parent)))
+        union_of = cls.find(
+            f"{_q(OWL_NS, 'equivalentClass')}/{_q(OWL_NS, 'Class')}/"
+            f"{_q(OWL_NS, 'unionOf')}"
+        )
+        if union_of is not None:
+            members = [
+                _local(d.get(_q(RDF_NS, "about"), ""))
+                for d in union_of.findall(_q(RDF_NS, "Description"))
+            ]
+            unions[concept.name] = [m for m in members if m]
+
+    for dp in root.findall(_q(OWL_NS, "DatatypeProperty")):
+        label = dp.find(_q(RDFS_NS, "label"))
+        domain = dp.find(_q(RDFS_NS, "domain"))
+        if label is None or not label.text or domain is None:
+            continue
+        concept_name = _local(domain.get(_q(RDF_NS, "resource"), ""))
+        if not ontology.has_concept(concept_name):
+            continue
+        range_el = dp.find(_q(RDFS_NS, "range"))
+        xsd = range_el.get(_q(RDF_NS, "resource"), "") if range_el is not None else ""
+        column = dp.find(_q(REPRO_NS, "column"))
+        comment = dp.find(_q(RDFS_NS, "comment"))
+        ontology.concept(concept_name).add_data_property(DataProperty(
+            name=label.text,
+            data_type=_TYPE_BY_XSD.get(xsd, DataType.TEXT),
+            column=column.text if column is not None else None,
+            description=(comment.text or "") if comment is not None else "",
+        ))
+
+    for op in root.findall(_q(OWL_NS, "ObjectProperty")):
+        label = op.find(_q(RDFS_NS, "label"))
+        domain = op.find(_q(RDFS_NS, "domain"))
+        range_el = op.find(_q(RDFS_NS, "range"))
+        if label is None or not label.text or domain is None or range_el is None:
+            continue
+        inverse = op.find(_q(REPRO_NS, "inverseName"))
+        join = op.find(_q(REPRO_NS, "joinPath"))
+        join_path: tuple[JoinStep, ...] = ()
+        if join is not None and join.text:
+            join_path = tuple(JoinStep(*step) for step in json.loads(join.text))
+        functional = any(
+            t.get(_q(RDF_NS, "resource")) == f"{OWL_NS}FunctionalProperty"
+            for t in op.findall(_q(RDF_NS, "type"))
+        )
+        comment = op.find(_q(RDFS_NS, "comment"))
+        ontology.add_object_property(ObjectProperty(
+            name=label.text,
+            source=_local(domain.get(_q(RDF_NS, "resource"), "")),
+            target=_local(range_el.get(_q(RDF_NS, "resource"), "")),
+            inverse_name=inverse.text if inverse is not None else None,
+            functional=functional,
+            join_path=join_path,
+            description=(comment.text or "") if comment is not None else "",
+        ))
+
+    for child, parent in subclass_edges:
+        if ontology.has_concept(parent):
+            ontology.add_isa(child, parent)
+    for parent, members in unions.items():
+        if len(members) >= 2:
+            ontology.add_union(parent, members)
+    return ontology

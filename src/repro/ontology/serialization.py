@@ -1,0 +1,112 @@
+"""JSON (de)serialization of ontologies.
+
+The paper's SME tooling annotates "the OWL description" of the ontology;
+we use a JSON document with the same information content so ontologies
+can be stored, diffed and annotated without an OWL parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import OntologyError
+from repro.kb.types import DataType
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    JoinStep,
+    ObjectProperty,
+    Ontology,
+)
+
+
+def ontology_to_dict(ontology: Ontology) -> dict[str, Any]:
+    """Serialize ``ontology`` to a plain JSON-compatible dict."""
+    return {
+        "name": ontology.name,
+        "concepts": [
+            {
+                "name": c.name,
+                "table": c.table,
+                "label_property": c.label_property,
+                "synonyms": list(c.synonyms),
+                "description": c.description,
+                "data_properties": [
+                    {
+                        "name": p.name,
+                        "data_type": p.data_type.value,
+                        "column": p.column,
+                        "description": p.description,
+                    }
+                    for p in c.data_properties.values()
+                ],
+            }
+            for c in ontology.concepts()
+        ],
+        "object_properties": [
+            {
+                "name": p.name,
+                "source": p.source,
+                "target": p.target,
+                "inverse_name": p.inverse_name,
+                "functional": p.functional,
+                "description": p.description,
+                "join_path": [
+                    [s.left_table, s.left_column, s.right_table, s.right_column]
+                    for s in p.join_path
+                ],
+            }
+            for p in ontology.object_properties()
+        ],
+        "isa": [[child, parent] for child, parent in ontology.isa_edges()],
+        "unions": {
+            c.name: ontology.union_members(c.name)
+            for c in ontology.concepts()
+            if ontology.is_union(c.name)
+        },
+    }
+
+
+def ontology_from_dict(data: dict[str, Any]) -> Ontology:
+    """Reconstruct an ontology serialized by :func:`ontology_to_dict`."""
+    try:
+        ontology = Ontology(data.get("name", "ontology"))
+        for cdata in data["concepts"]:
+            concept = Concept(
+                name=cdata["name"],
+                table=cdata.get("table"),
+                label_property=cdata.get("label_property"),
+                synonyms=list(cdata.get("synonyms", [])),
+                description=cdata.get("description", ""),
+            )
+            for pdata in cdata.get("data_properties", []):
+                concept.add_data_property(
+                    DataProperty(
+                        name=pdata["name"],
+                        data_type=DataType(pdata.get("data_type", "text")),
+                        column=pdata.get("column"),
+                        description=pdata.get("description", ""),
+                    )
+                )
+            ontology.add_concept(concept)
+        for pdata in data.get("object_properties", []):
+            ontology.add_object_property(
+                ObjectProperty(
+                    name=pdata["name"],
+                    source=pdata["source"],
+                    target=pdata["target"],
+                    inverse_name=pdata.get("inverse_name"),
+                    functional=pdata.get("functional", False),
+                    description=pdata.get("description", ""),
+                    join_path=tuple(
+                        JoinStep(*step) for step in pdata.get("join_path", [])
+                    ),
+                )
+            )
+        for child, parent in data.get("isa", []):
+            ontology.add_isa(child, parent)
+        for parent, members in data.get("unions", {}).items():
+            ontology.add_union(parent, members)
+    except KeyError as exc:
+        raise OntologyError(f"malformed ontology document: missing {exc}") from exc
+    return ontology

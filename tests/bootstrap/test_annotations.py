@@ -1,0 +1,125 @@
+"""Tests for SME pattern annotations on the ontology (§4.2.2)."""
+
+import pytest
+
+from repro.bootstrap import (
+    AnnotationStore,
+    PatternAnnotation,
+    apply_annotations,
+    bootstrap_conversation_space,
+)
+from repro.errors import OntologyError
+
+
+@pytest.fixture
+def space(toy_ontology, toy_db):
+    return bootstrap_conversation_space(
+        toy_ontology, toy_db, key_concepts=["Drug", "Indication"]
+    )
+
+
+class TestAnnotationStore:
+    def test_annotate_concept(self):
+        store = AnnotationStore()
+        annotation = store.annotate_concept(
+            "Precaution", "is <@Drug> safe", note="safety"
+        )
+        assert annotation.target_kind == "concept"
+        assert store.annotations_for("precaution") == [annotation]
+        assert len(store) == 1
+
+    def test_annotate_relationship(self):
+        store = AnnotationStore()
+        store.annotate_relationship("treats", "what helps with <@Indication>")
+        assert store.all()[0].target == "treats"
+
+    def test_slot_extraction(self):
+        annotation = PatternAnnotation(
+            target="Drug", target_kind="concept",
+            utterance_pattern="compare <@Drug> with <@Indication>",
+        )
+        assert annotation.slot_concepts() == ["Drug", "Indication"]
+
+    def test_duplicates_ignored(self):
+        store = AnnotationStore()
+        store.annotate_concept("Drug", "x <@Drug>")
+        store.annotate_concept("Drug", "x <@Drug>")
+        assert len(store) == 1
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(OntologyError):
+            AnnotationStore().add(PatternAnnotation(
+                target="x", target_kind="nonsense", utterance_pattern="y",
+            ))
+
+    def test_round_trip(self):
+        store = AnnotationStore()
+        store.annotate_concept("Precaution", "is <@Drug> safe", note="n")
+        store.annotate_relationship("treats", "what treats <@Indication>")
+        restored = AnnotationStore.from_dict(store.to_dict())
+        assert restored.to_dict() == store.to_dict()
+
+
+class TestApplyAnnotations:
+    def test_concept_annotation_maps_to_lookup_intent(self, space):
+        store = AnnotationStore()
+        store.annotate_concept("Precaution", "is <@Drug> safe to take")
+        placements = apply_annotations(space, store)
+        assert placements["is <@Drug> safe to take"] == "Precaution of Drug"
+        examples = space.examples_for("Precaution of Drug")
+        assert any(
+            e.source == "sme" and "safe to take" in e.utterance
+            for e in examples
+        )
+
+    def test_relationship_annotation_maps_to_relationship_intent(self, space):
+        store = AnnotationStore()
+        store.annotate_relationship("treats", "what can I take for <@Indication>")
+        placements = apply_annotations(space, store)
+        assert placements[
+            "what can I take for <@Indication>"
+        ] == "Drug that treats Indication"
+
+    def test_unmatched_annotation_creates_custom_intent(self, space):
+        store = AnnotationStore()
+        store.annotate_concept("Drug", "compare <@Drug> against others")
+        placements = apply_annotations(space, store)
+        name = placements["compare <@Drug> against others"]
+        intent = space.intent(name)
+        assert intent.kind == "custom"
+        assert intent.source == "sme"
+        assert space.examples_for(name)
+
+    def test_examples_use_kb_instances(self, space):
+        store = AnnotationStore()
+        store.annotate_concept("Precaution", "is <@Drug> safe to take")
+        apply_annotations(space, store, per_annotation=10)
+        examples = [
+            e.utterance for e in space.examples_for("Precaution of Drug")
+            if "safe to take" in e.utterance
+        ]
+        drugs = {"aspirin", "ibuprofen", "tazarotene", "fluocinonide",
+                 "benazepril", "calcium carbonate", "calcium citrate"}
+        assert any(any(d in e.lower() for d in drugs) for e in examples)
+
+    def test_deterministic(self, toy_ontology, toy_db):
+        store = AnnotationStore()
+        store.annotate_concept("Precaution", "is <@Drug> safe to take")
+        results = []
+        for _ in range(2):
+            space = bootstrap_conversation_space(
+                toy_ontology, toy_db, key_concepts=["Drug", "Indication"]
+            )
+            apply_annotations(space, store, seed=7)
+            results.append([
+                e.utterance for e in space.examples_for("Precaution of Drug")
+            ])
+        assert results[0] == results[1]
+
+    def test_annotated_classifier_understands_new_phrasing(self, space):
+        store = AnnotationStore()
+        store.annotate_concept("Precaution", "is <@Drug> safe to take")
+        apply_annotations(space, store, per_annotation=8)
+        classifier = space.train_classifier()
+        prediction = classifier.classify("is Benazepril safe to take")
+        assert prediction.intent == "Precaution of Drug"

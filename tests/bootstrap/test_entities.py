@@ -1,0 +1,110 @@
+"""Tests for entity extraction (§4.5, Table 1)."""
+
+import pytest
+
+from repro.bootstrap.entities import Entity, EntityValue, extract_entities
+from repro.bootstrap.synonyms import SynonymDictionary
+from repro.ontology.key_concepts import identify_dependent_concepts
+
+
+@pytest.fixture(scope="module")
+def entities(toy_ontology, toy_db):
+    classification = identify_dependent_concepts(
+        toy_ontology, ["Drug", "Indication"], toy_db
+    )
+    concept_syn = SynonymDictionary()
+    concept_syn.add("Drug", ["medication", "meds"])
+    instance_syn = SynonymDictionary()
+    instance_syn.add("Aspirin", ["Bayer", "Acetylsalicylic Acid"])
+    return extract_entities(
+        toy_ontology, toy_db, classification,
+        concept_synonyms=concept_syn, instance_synonyms=instance_syn,
+    )
+
+
+def entity_by_name(entities, name):
+    return next(e for e in entities if e.name == name)
+
+
+class TestStep1Concepts:
+    def test_concept_entity_first(self, entities):
+        assert entities[0].name == "concept"
+        assert entities[0].kind == "concept"
+
+    def test_all_concepts_listed(self, entities, toy_ontology):
+        values = set(entities[0].value_names())
+        assert values == set(toy_ontology.concept_names())
+
+    def test_concept_synonyms_attached(self, entities):
+        drug = entities[0].find_value("Drug")
+        assert "medication" in drug.synonyms
+        assert "meds" in drug.synonyms
+
+
+class TestStep1Groups:
+    def test_union_group_entity(self, entities):
+        risk = entity_by_name(entities, "Risk")
+        group = [e for e in entities if e.name == "Risk" and e.kind == "group"]
+        assert group, "Risk should also appear as a group entity"
+        assert set(group[0].value_names()) == {
+            "Contra Indication", "Black Box Warning"
+        }
+        assert risk is not None
+
+
+class TestStep2Instances:
+    def test_key_concept_instances(self, entities):
+        drug_instances = [
+            e for e in entities if e.name == "Drug" and e.kind == "instance"
+        ]
+        assert drug_instances
+        assert "Aspirin" in drug_instances[0].value_names()
+
+    def test_dependent_concept_instances(self, entities):
+        precaution = [
+            e for e in entities
+            if e.name == "Precaution" and e.kind == "instance"
+        ]
+        assert precaution
+        assert len(precaution[0].values) == 2  # two distinct descriptions
+
+
+class TestStep3Synonyms:
+    def test_instance_synonyms_attached(self, entities):
+        drug_instances = next(
+            e for e in entities if e.name == "Drug" and e.kind == "instance"
+        )
+        aspirin = drug_instances.find_value("Aspirin")
+        assert "Bayer" in aspirin.synonyms
+
+    def test_find_value_matches_synonym(self, entities):
+        drug_instances = next(
+            e for e in entities if e.name == "Drug" and e.kind == "instance"
+        )
+        assert drug_instances.find_value("bayer").value == "Aspirin"
+
+    def test_find_value_missing(self, entities):
+        assert entities[0].find_value("nonexistent") is None
+
+
+class TestHelpers:
+    def test_surface_forms(self):
+        value = EntityValue(value="Aspirin", synonyms=["Bayer"])
+        assert value.surface_forms() == ["Aspirin", "Bayer"]
+
+    def test_max_instances_cap(self, toy_ontology, toy_db):
+        classification = identify_dependent_concepts(
+            toy_ontology, ["Drug"], toy_db
+        )
+        capped = extract_entities(
+            toy_ontology, toy_db, classification, max_instances=2
+        )
+        drug = next(
+            e for e in capped if e.name == "Drug" and e.kind == "instance"
+        )
+        assert len(drug.values) == 2
+
+    def test_entity_dataclass_defaults(self):
+        entity = Entity(name="x", kind="instance")
+        assert entity.values == []
+        assert entity.concept is None

@@ -1,0 +1,98 @@
+"""Tests for intent generation (§4.2)."""
+
+import pytest
+
+from repro.bootstrap.intents import generate_intents, keyword_intent_name
+from repro.ontology.key_concepts import identify_dependent_concepts
+
+
+@pytest.fixture(scope="module")
+def intents(toy_ontology, toy_db):
+    classification = identify_dependent_concepts(
+        toy_ontology, ["Drug", "Indication"], toy_db
+    )
+    return generate_intents(toy_ontology, classification)
+
+
+def by_name(intents, name):
+    return next(i for i in intents if i.name == name)
+
+
+class TestLookupIntents:
+    def test_intent_per_dependent(self, intents):
+        names = {i.name for i in intents}
+        assert "Precaution of Drug" in names
+        assert "Risk of Drug" in names
+
+    def test_required_entity_is_key_concept(self, intents):
+        intent = by_name(intents, "Precaution of Drug")
+        assert intent.required_entities == ["Drug"]
+        assert intent.kind == "lookup"
+        assert intent.result_concept == "Precaution"
+
+    def test_union_intent_has_augmented_patterns(self, intents):
+        intent = by_name(intents, "Risk of Drug")
+        assert len(intent.patterns) == 3
+        assert intent.pattern_for_member("Contra Indication") is not None
+        assert intent.primary_pattern().result_concept == "Risk"
+
+
+class TestRelationshipIntents:
+    def test_forward_and_inverse_are_distinct_intents(self, intents):
+        names = {i.name for i in intents}
+        assert "Drug that treats Indication" in names
+        assert "Indication that Drug treats" in names
+
+    def test_forward_requirements(self, intents):
+        forward = by_name(intents, "Drug that treats Indication")
+        assert forward.required_entities == ["Indication"]
+        assert forward.result_concept == "Drug"
+
+    def test_inverse_requirements(self, intents):
+        inverse = by_name(intents, "Indication that Drug treats")
+        assert inverse.required_entities == ["Drug"]
+        assert inverse.result_concept == "Indication"
+
+    def test_indirect_intent(self, intents):
+        indirect = by_name(intents, "Drug Dosage for Indication")
+        assert indirect.kind == "indirect_relationship"
+        assert indirect.required_entities == ["Indication"]
+        assert indirect.optional_entities == ["Drug"]
+        assert len(indirect.patterns) == 2
+
+
+class TestKeywordIntents:
+    def test_keyword_intent_per_key_concept(self, intents):
+        names = {i.name for i in intents}
+        assert "DRUG_GENERAL" in names
+        assert "INDICATION_GENERAL" in names
+
+    def test_keyword_naming(self):
+        assert keyword_intent_name("Drug") == "DRUG_GENERAL"
+        assert keyword_intent_name("Lab Test") == "LAB_TEST_GENERAL"
+
+    def test_keyword_intents_can_be_disabled(self, toy_ontology, toy_db):
+        classification = identify_dependent_concepts(
+            toy_ontology, ["Drug"], toy_db
+        )
+        intents = generate_intents(
+            toy_ontology, classification, include_keyword_intents=False
+        )
+        assert not any(i.kind == "keyword" for i in intents)
+
+
+class TestDeterminism:
+    def test_generation_is_deterministic(self, toy_ontology, toy_db):
+        classification = identify_dependent_concepts(
+            toy_ontology, ["Drug", "Indication"], toy_db
+        )
+        first = [i.name for i in generate_intents(toy_ontology, classification)]
+        second = [i.name for i in generate_intents(toy_ontology, classification)]
+        assert first == second
+
+    def test_names_unique(self, intents):
+        names = [i.name for i in intents]
+        assert len(names) == len(set(names))
+
+    def test_every_domain_intent_has_description(self, intents):
+        assert all(i.description for i in intents)

@@ -1,0 +1,137 @@
+"""Tests for query-pattern enumeration (§4.2.1, Figures 3–6)."""
+
+import pytest
+
+from repro.bootstrap.patterns import (
+    PatternKind,
+    QueryPattern,
+    direct_relationship_patterns,
+    indirect_relationship_patterns,
+    lookup_patterns,
+    render_pattern,
+    slot,
+)
+from repro.errors import PatternError
+from repro.ontology.key_concepts import identify_dependent_concepts
+
+
+@pytest.fixture(scope="module")
+def classification(toy_ontology, toy_db):
+    return identify_dependent_concepts(toy_ontology, ["Drug", "Indication"], toy_db)
+
+
+@pytest.fixture(scope="module")
+def toy_lookups(toy_ontology, classification):
+    return lookup_patterns(toy_ontology, classification)
+
+
+class TestLookupPatterns:
+    def test_pair_per_key_dependent(self, toy_lookups):
+        assert ("Drug", "Precaution") in toy_lookups
+
+    def test_figure3_template_shape(self, toy_lookups):
+        pattern = toy_lookups[("Drug", "Precaution")][0]
+        assert pattern.template == "Show me the Precaution for <@Drug>?"
+        assert pattern.kind is PatternKind.LOOKUP
+        assert pattern.filter_concepts == ("Drug",)
+        assert pattern.result_concept == "Precaution"
+
+    def test_union_dependent_augmented(self, toy_lookups):
+        """Figure 4: the Risk lookup is augmented with one pattern per
+        union member, all under the same intent key."""
+        patterns = toy_lookups[("Drug", "Risk")]
+        results = {p.result_concept for p in patterns}
+        assert results == {"Risk", "Contra Indication", "Black Box Warning"}
+        augmented = [p for p in patterns if p.augmented_from == "Risk"]
+        assert len(augmented) == 2
+
+    def test_base_pattern_not_augmented(self, toy_lookups):
+        base = toy_lookups[("Drug", "Risk")][0]
+        assert base.augmented_from is None
+
+
+class TestDirectRelationshipPatterns:
+    def test_forward_and_inverse(self, toy_ontology):
+        patterns = direct_relationship_patterns(
+            toy_ontology, ["Drug", "Indication"]
+        )
+        treats = patterns[("Drug", "treats", "Indication")]
+        forward, inverse = treats
+        # Figure 5: forward asks for the source, filtering on the target.
+        assert forward.result_concept == "Drug"
+        assert forward.filter_concepts == ("Indication",)
+        assert not forward.inverse
+        assert inverse.result_concept == "Indication"
+        assert inverse.filter_concepts == ("Drug",)
+        assert inverse.inverse
+
+    def test_non_key_relationships_excluded(self, toy_ontology):
+        patterns = direct_relationship_patterns(toy_ontology, ["Drug"])
+        # Precaution→Drug exists in the ontology but Precaution is not key.
+        assert all("Precaution" not in key for key in patterns)
+
+    def test_slot_in_template(self, toy_ontology):
+        patterns = direct_relationship_patterns(
+            toy_ontology, ["Drug", "Indication"]
+        )
+        forward = patterns[("Drug", "treats", "Indication")][0]
+        assert slot("Indication") in forward.template
+
+
+class TestIndirectRelationshipPatterns:
+    def test_two_hop_path_found(self, toy_ontology):
+        patterns = indirect_relationship_patterns(
+            toy_ontology, ["Drug", "Indication"]
+        )
+        assert any("Dosage" in key for key in patterns)
+
+    def test_two_patterns_per_path(self, toy_ontology):
+        patterns = indirect_relationship_patterns(
+            toy_ontology, ["Drug", "Indication"]
+        )
+        key = next(k for k in patterns if k[1] == "Dosage")
+        pattern1, pattern2 = patterns[key]
+        # Figure 6: pattern 1 filters on the far key concept only.
+        assert len(pattern1.filter_concepts) == 1
+        # Pattern 2 filters on both key concepts.
+        assert len(pattern2.filter_concepts) == 2
+        assert pattern1.intermediate_concepts == ("Dosage",)
+
+    def test_symmetric_paths_deduplicated(self, toy_ontology):
+        patterns = indirect_relationship_patterns(
+            toy_ontology, ["Drug", "Indication"]
+        )
+        dosage_keys = [k for k in patterns if k[1] == "Dosage"]
+        assert len(dosage_keys) == 1
+
+
+class TestRenderPattern:
+    def test_fills_slots(self):
+        pattern = QueryPattern(
+            kind=PatternKind.LOOKUP,
+            template="Show me the Precaution for <@Drug>?",
+            result_concept="Precaution",
+            filter_concepts=("Drug",),
+        )
+        rendered = render_pattern(pattern, {"Drug": "Benazepril"})
+        assert rendered == "Show me the Precaution for Benazepril?"
+
+    def test_missing_binding_rejected(self):
+        pattern = QueryPattern(
+            kind=PatternKind.LOOKUP,
+            template="Show me the X for <@Drug>?",
+            result_concept="X",
+            filter_concepts=("Drug",),
+        )
+        with pytest.raises(PatternError):
+            render_pattern(pattern, {})
+
+    def test_template_without_slot_rejected(self):
+        pattern = QueryPattern(
+            kind=PatternKind.LOOKUP,
+            template="No slot here",
+            result_concept="X",
+            filter_concepts=("Drug",),
+        )
+        with pytest.raises(PatternError):
+            render_pattern(pattern, {"Drug": "Aspirin"})

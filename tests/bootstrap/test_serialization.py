@@ -1,0 +1,95 @@
+"""Tests for conversation-space (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.bootstrap import (
+    bootstrap_conversation_space,
+    space_from_dict,
+    space_to_dict,
+)
+from repro.errors import BootstrapError
+
+
+@pytest.fixture(scope="module")
+def exported(toy_space):
+    return space_to_dict(toy_space)
+
+
+class TestExport:
+    def test_json_serializable(self, exported):
+        assert json.loads(json.dumps(exported))["format_version"] == 1
+
+    def test_contains_all_artifact_kinds(self, exported):
+        assert exported["ontology"]["concepts"]
+        assert exported["intents"]
+        assert exported["entities"]
+        assert exported["training_examples"]
+        assert exported["classification"]["key_concepts"] == [
+            "Drug", "Indication"
+        ]
+
+
+class TestRoundTrip:
+    def test_summary_preserved(self, toy_space, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        assert restored.summary() == toy_space.summary()
+
+    def test_intents_fully_preserved(self, toy_space, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        original = toy_space.intent("Risk of Drug")
+        copied = restored.intent("Risk of Drug")
+        assert copied.kind == original.kind
+        assert copied.required_entities == original.required_entities
+        assert len(copied.patterns) == len(original.patterns)
+        assert copied.patterns[1].augmented_from == "Risk"
+
+    def test_entities_and_synonyms_preserved(self, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        assert restored.entity("Drug").find_value("Aspirin")
+
+    def test_training_examples_preserved(self, toy_space, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        assert len(restored.training_examples) == len(
+            toy_space.training_examples
+        )
+
+    def test_double_round_trip_stable(self, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        assert space_to_dict(restored) == exported
+
+    def test_restored_space_trains_classifier(self, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        classifier = restored.train_classifier()
+        assert classifier.classify(
+            "show me the precaution for Aspirin"
+        ).intent == "Precaution of Drug"
+
+    def test_database_reattached(self, exported, toy_db):
+        restored = space_from_dict(exported, database=toy_db)
+        assert restored.database is toy_db
+        detached = space_from_dict(exported)
+        assert detached.database is None
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, exported):
+        bad = dict(exported)
+        bad["format_version"] = 99
+        with pytest.raises(BootstrapError, match="format version"):
+            space_from_dict(bad)
+
+    def test_missing_section_rejected(self, exported):
+        bad = {k: v for k, v in exported.items() if k != "intents"}
+        with pytest.raises(BootstrapError, match="malformed"):
+            space_from_dict(bad)
+
+
+def test_custom_templates_round_trip(mdx_small_space, mdx_small_db):
+    exported = space_to_dict(mdx_small_space)
+    restored = space_from_dict(exported, database=mdx_small_db)
+    treats = restored.intent("Drug that treats Indication")
+    assert treats.custom_templates
+    assert treats.custom_templates[0].grouped
+    assert treats.elicitations["Age Group"] == "Adult or pediatric?"

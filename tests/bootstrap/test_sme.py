@@ -1,0 +1,116 @@
+"""Tests for the SME feedback workflow (§4.2.2, §4.3.2, §6.1)."""
+
+import pytest
+
+from repro.bootstrap import SMEFeedback, bootstrap_conversation_space
+
+
+@pytest.fixture
+def space(toy_ontology, toy_db):
+    return bootstrap_conversation_space(
+        toy_ontology, toy_db, key_concepts=["Drug", "Indication"]
+    )
+
+
+class TestAnnotation:
+    def test_annotation_maps_to_existing_intent(self, space):
+        SMEFeedback().annotate_pattern(
+            ["is aspirin safe for kids"], "Precaution of Drug"
+        ).apply(space)
+        examples = space.examples_for("Precaution of Drug")
+        assert any(e.utterance == "is aspirin safe for kids" for e in examples)
+        assert any(e.source == "sme" for e in examples)
+
+    def test_annotation_creates_new_intent(self, space):
+        SMEFeedback().annotate_pattern(
+            ["compare aspirin and ibuprofen"], "Drug Comparison"
+        ).apply(space)
+        intent = space.intent("Drug Comparison")
+        assert intent.kind == "custom"
+        assert intent.source == "sme"
+        assert space.examples_for("Drug Comparison")
+
+
+class TestPruneAndRename:
+    def test_prune(self, space):
+        SMEFeedback().prune_intent("INDICATION_GENERAL").apply(space)
+        assert not space.has_intent("INDICATION_GENERAL")
+
+    def test_rename(self, space):
+        SMEFeedback().rename_intent(
+            "Indication that Drug treats", "Uses of Drug"
+        ).apply(space)
+        assert space.has_intent("Uses of Drug")
+        assert space.examples_for("Uses of Drug")
+
+
+class TestSynonyms:
+    def test_concept_synonyms_propagate(self, space):
+        SMEFeedback().add_concept_synonyms(
+            "Precaution", ["caution", "safe to give"]
+        ).apply(space)
+        assert "caution" in space.concept_synonyms.synonyms_of("Precaution")
+        assert "caution" in space.ontology.concept("Precaution").synonyms
+        value = space.entity("concept").find_value("Precaution")
+        assert "caution" in value.synonyms
+
+    def test_instance_synonyms_propagate(self, space):
+        SMEFeedback().add_instance_synonyms("Aspirin", ["Bayer"]).apply(space)
+        drug_entity = next(
+            e for e in space.entities
+            if e.name == "Drug" and e.kind == "instance"
+        )
+        assert "Bayer" in drug_entity.find_value("Aspirin").synonyms
+
+    def test_duplicate_synonyms_not_added_twice(self, space):
+        feedback = SMEFeedback()
+        feedback.add_concept_synonyms("Precaution", ["caution"])
+        feedback.add_concept_synonyms("Precaution", ["caution"])
+        feedback.apply(space)
+        synonyms = space.ontology.concept("Precaution").synonyms
+        assert synonyms.count("caution") == 1
+
+
+class TestEntityRequirements:
+    def test_add_required_entity(self, space):
+        SMEFeedback().add_required_entity(
+            "Drug that treats Indication", "Age Group"
+        ).apply(space)
+        intent = space.intent("Drug that treats Indication")
+        assert "Age Group" in intent.required_entities
+
+    def test_add_optional_entity(self, space):
+        SMEFeedback().add_optional_entity(
+            "Precaution of Drug", "Severity"
+        ).apply(space)
+        assert "Severity" in space.intent("Precaution of Drug").optional_entities
+
+    def test_idempotent(self, space):
+        feedback = SMEFeedback()
+        feedback.add_required_entity("Precaution of Drug", "Age Group")
+        feedback.add_required_entity("Precaution of Drug", "Age Group")
+        feedback.apply(space)
+        required = space.intent("Precaution of Drug").required_entities
+        assert required.count("Age Group") == 1
+
+
+class TestReplayability:
+    def test_operations_applied_in_order(self, space):
+        feedback = (
+            SMEFeedback()
+            .annotate_pattern(["x"], "Temp Intent")
+            .rename_intent("Temp Intent", "Final Intent")
+            .prune_intent("Final Intent")
+        )
+        feedback.apply(space)
+        assert not space.has_intent("Temp Intent")
+        assert not space.has_intent("Final Intent")
+
+    def test_same_feedback_applies_to_fresh_space(self, toy_ontology, toy_db):
+        feedback = SMEFeedback().annotate_pattern(["q"], "New Intent")
+        for _ in range(2):
+            space = bootstrap_conversation_space(
+                toy_ontology, toy_db, key_concepts=["Drug"]
+            )
+            feedback.apply(space)
+            assert space.has_intent("New Intent")

@@ -1,0 +1,112 @@
+"""Tests for the conversation space and the bootstrap pipeline (§4)."""
+
+import pytest
+
+from repro.bootstrap import bootstrap_conversation_space
+from repro.bootstrap.intents import Intent
+from repro.errors import BootstrapError
+
+
+@pytest.fixture
+def space(toy_ontology, toy_db):
+    """A fresh space per test (tests mutate it)."""
+    return bootstrap_conversation_space(
+        toy_ontology, toy_db, key_concepts=["Drug", "Indication"]
+    )
+
+
+class TestBootstrapPipeline:
+    def test_summary_counts(self, space):
+        summary = space.summary()
+        assert summary["lookup_intents"] >= 3
+        assert summary["relationship_intents"] >= 3
+        assert summary["keyword_intents"] == 2
+        assert summary["entities"] >= 4
+        assert summary["training_examples"] > 50
+
+    def test_auto_key_concepts_when_unspecified(self, toy_ontology, toy_db):
+        auto = bootstrap_conversation_space(toy_ontology, toy_db, top_k=2)
+        assert len(auto.classification.key_concepts) == 2
+
+    def test_prior_queries_augment(self, toy_ontology, toy_db):
+        with_priors = bootstrap_conversation_space(
+            toy_ontology, toy_db, key_concepts=["Drug", "Indication"],
+            prior_queries=[("careful with aspirin?", "Precaution of Drug")],
+        )
+        examples = with_priors.examples_for("Precaution of Drug")
+        assert any(e.source == "sme" for e in examples)
+
+    def test_prior_queries_with_unknown_intent_rejected(self, toy_ontology, toy_db):
+        with pytest.raises(BootstrapError, match="unknown intents"):
+            bootstrap_conversation_space(
+                toy_ontology, toy_db, key_concepts=["Drug"],
+                prior_queries=[("x", "No Such Intent")],
+            )
+
+
+class TestIntentManagement:
+    def test_lookup_case_insensitive(self, space):
+        assert space.intent("precaution of drug").name == "Precaution of Drug"
+
+    def test_unknown_intent(self, space):
+        with pytest.raises(BootstrapError):
+            space.intent("ghost")
+
+    def test_add_duplicate_rejected(self, space):
+        with pytest.raises(BootstrapError):
+            space.add_intent(Intent(name="PRECAUTION OF DRUG", kind="custom"))
+
+    def test_remove_intent_drops_examples(self, space):
+        before = len(space.training_examples)
+        removed = space.remove_intent("Precaution of Drug")
+        assert removed.name == "Precaution of Drug"
+        assert not space.has_intent("Precaution of Drug")
+        assert len(space.training_examples) < before
+
+    def test_rename_intent_relabels_examples(self, space):
+        space.rename_intent("Precaution of Drug", "Precautions")
+        assert space.has_intent("Precautions")
+        assert space.examples_for("Precautions")
+        assert not space.examples_for("Precaution of Drug")
+
+    def test_case_only_rename_allowed(self, space):
+        space.rename_intent("Precaution of Drug", "PRECAUTION OF DRUG")
+        assert "PRECAUTION OF DRUG" in space.intent_names()
+
+    def test_rename_onto_other_intent_rejected(self, space):
+        with pytest.raises(BootstrapError):
+            space.rename_intent("Precaution of Drug", "Risk of Drug")
+
+
+class TestTraining:
+    def test_add_training_examples(self, space):
+        space.add_training_examples("Precaution of Drug", ["is aspirin safe"])
+        examples = space.examples_for("Precaution of Drug")
+        assert any(e.utterance == "is aspirin safe" for e in examples)
+
+    def test_add_to_unknown_intent_rejected(self, space):
+        with pytest.raises(BootstrapError):
+            space.add_training_examples("ghost", ["x"])
+
+    def test_train_classifier(self, space):
+        classifier = space.train_classifier()
+        prediction = classifier.classify("show me the precaution for Aspirin")
+        assert prediction.intent == "Precaution of Drug"
+
+    def test_train_on_empty_space_rejected(self, toy_ontology, toy_db):
+        space = bootstrap_conversation_space(
+            toy_ontology, toy_db, key_concepts=["Drug"]
+        )
+        space.training_examples = []
+        with pytest.raises(BootstrapError):
+            space.train_classifier()
+
+
+class TestEntityAccess:
+    def test_entity_lookup(self, space):
+        assert space.entity("drug").name == "Drug"
+        assert space.has_entity("concept")
+
+    def test_unknown_entity(self, space):
+        with pytest.raises(BootstrapError):
+            space.entity("ghost")

@@ -1,0 +1,75 @@
+"""Tests for the synonym dictionary (§4.5, Table 2)."""
+
+from repro.bootstrap.synonyms import SynonymDictionary
+
+
+def make_dictionary() -> SynonymDictionary:
+    synonyms = SynonymDictionary()
+    synonyms.add("Adverse Effect", ["side effect", "adverse reaction", "AE"])
+    synonyms.add("Drug", ["medicine", "meds", "medication"])
+    return synonyms
+
+
+class TestAdd:
+    def test_synonyms_retrievable(self):
+        d = make_dictionary()
+        assert d.synonyms_of("adverse effect") == [
+            "side effect", "adverse reaction", "AE"
+        ]
+
+    def test_append_deduplicates(self):
+        d = make_dictionary()
+        d.add("Drug", ["MEDS", "substance"])
+        assert d.synonyms_of("Drug") == [
+            "medicine", "meds", "medication", "substance"
+        ]
+
+    def test_self_synonym_ignored(self):
+        d = SynonymDictionary()
+        d.add("Drug", ["drug", "medication"])
+        assert d.synonyms_of("Drug") == ["medication"]
+
+    def test_unknown_term_empty(self):
+        assert make_dictionary().synonyms_of("ghost") == []
+
+
+class TestCanonical:
+    def test_synonym_resolves_to_term(self):
+        assert make_dictionary().canonical("side effect") == "Adverse Effect"
+
+    def test_term_resolves_to_itself(self):
+        assert make_dictionary().canonical("DRUG") == "Drug"
+
+    def test_unknown_returns_none(self):
+        assert make_dictionary().canonical("nothing") is None
+
+    def test_original_spelling_preserved(self):
+        assert make_dictionary().canonical("ae") == "Adverse Effect"
+
+
+class TestContainerProtocol:
+    def test_contains(self):
+        d = make_dictionary()
+        assert "drug" in d
+        assert "ghost" not in d
+
+    def test_len(self):
+        assert len(make_dictionary()) == 2
+
+    def test_iter(self):
+        items = dict(make_dictionary())
+        assert set(items) == {"Adverse Effect", "Drug"}
+
+    def test_terms(self):
+        assert make_dictionary().terms() == ["Adverse Effect", "Drug"]
+
+
+class TestMerge:
+    def test_merge_adds_terms_and_synonyms(self):
+        d1 = make_dictionary()
+        d2 = SynonymDictionary()
+        d2.add("Drug", ["agent"])
+        d2.add("Precaution", ["caution"])
+        d1.merge(d2)
+        assert "agent" in d1.synonyms_of("Drug")
+        assert d1.canonical("caution") == "Precaution"

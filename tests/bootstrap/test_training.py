@@ -1,0 +1,117 @@
+"""Tests for automatic training-example generation (§4.3, Figures 7–8)."""
+
+import pytest
+
+from repro.bootstrap.training import (
+    LOOKUP_PHRASES,
+    augment_with_prior_queries,
+    generate_training_examples,
+    instance_values,
+)
+from repro.nlp.tokenizer import tokenize
+
+
+@pytest.fixture(scope="module")
+def examples(toy_space):
+    return toy_space.training_examples
+
+
+class TestInstanceValues:
+    def test_values_from_label_column(self, toy_ontology, toy_db):
+        values = instance_values(toy_ontology, toy_db, "Drug")
+        assert "Aspirin" in values
+        assert "Tazarotene" in values
+
+    def test_limit(self, toy_ontology, toy_db):
+        assert len(instance_values(toy_ontology, toy_db, "Drug", limit=2)) == 2
+
+    def test_no_database_gives_empty(self, toy_ontology):
+        assert instance_values(toy_ontology, None, "Drug") == []
+
+
+class TestGeneration:
+    def test_every_intent_covered(self, toy_space, examples):
+        labelled = {e.intent for e in examples}
+        expected = {i.name for i in toy_space.intents if i.kind != "management"}
+        assert expected <= labelled
+
+    def test_lookup_examples_use_kb_instances(self, examples):
+        lookups = [e for e in examples if e.intent == "Precaution of Drug"]
+        drugs = {"aspirin", "ibuprofen", "tazarotene", "fluocinonide",
+                 "benazepril", "calcium carbonate", "calcium citrate"}
+        assert any(
+            any(d in e.utterance.lower() for d in drugs) for e in lookups
+        )
+
+    def test_lookup_examples_start_with_initial_phrases(self, examples):
+        lookups = [e for e in examples if e.intent == "Precaution of Drug"]
+        heads = {p.lower() for p in LOOKUP_PHRASES}
+        for example in lookups:
+            assert any(example.utterance.lower().startswith(h) for h in heads)
+
+    def test_keyword_examples_are_short(self, examples):
+        keywords = [e for e in examples if e.intent == "DRUG_GENERAL"]
+        assert keywords
+        assert all(len(tokenize(e.utterance)) <= 4 for e in keywords)
+
+    def test_no_duplicate_examples_within_intent(self, examples):
+        seen = set()
+        for e in examples:
+            key = (e.utterance.lower(), e.intent)
+            assert key not in seen
+            seen.add(key)
+
+    def test_deterministic_given_seed(self, toy_space, toy_ontology, toy_db):
+        first = generate_training_examples(
+            toy_space.intents, toy_ontology, toy_db, seed=3
+        )
+        second = generate_training_examples(
+            toy_space.intents, toy_ontology, toy_db, seed=3
+        )
+        assert first == second
+
+    def test_seed_changes_output(self, toy_space, toy_ontology, toy_db):
+        first = generate_training_examples(
+            toy_space.intents, toy_ontology, toy_db, seed=3
+        )
+        second = generate_training_examples(
+            toy_space.intents, toy_ontology, toy_db, seed=4
+        )
+        assert first != second
+
+    def test_per_pattern_scales_volume(self, toy_space, toy_ontology, toy_db):
+        small = generate_training_examples(
+            toy_space.intents, toy_ontology, toy_db, per_pattern=2
+        )
+        large = generate_training_examples(
+            toy_space.intents, toy_ontology, toy_db, per_pattern=10
+        )
+        assert len(large) > len(small)
+
+    def test_all_examples_marked_auto(self, examples):
+        assert all(e.source == "auto" for e in examples)
+
+    def test_synonyms_add_linguistic_variability(self, examples):
+        """Concept synonyms ("medication" for Drug) appear in relationship
+        examples."""
+        text = " ".join(e.utterance.lower() for e in examples)
+        assert "medication" in text or "medicine" in text or "meds" in text
+
+
+class TestAugmentation:
+    def test_sme_examples_appended(self, examples):
+        augmented = augment_with_prior_queries(
+            list(examples), [("renal dosing for aspirin", "Dosage of Drug")]
+        )
+        assert len(augmented) == len(examples) + 1
+        assert augmented[-1].source == "sme"
+
+    def test_duplicates_skipped(self, examples):
+        pair = (examples[0].utterance, examples[0].intent)
+        augmented = augment_with_prior_queries(list(examples), [pair])
+        assert len(augmented) == len(examples)
+
+    def test_original_list_not_mutated(self, examples):
+        before = len(examples)
+        augment_with_prior_queries(examples, [("new query", "Precaution of Drug")])
+        assert len(examples) == before

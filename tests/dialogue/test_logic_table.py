@@ -1,0 +1,111 @@
+"""Tests for the dialogue logic table (§5.2 step 1, Tables 3–4)."""
+
+import pytest
+
+from repro.dialogue.logic_table import (
+    DialogueLogicRow,
+    DialogueLogicTable,
+    context_key,
+    default_response_template,
+)
+from repro.errors import LogicTableError
+
+
+class TestContextKey:
+    def test_normalization(self):
+        assert context_key("Age Group") == "age_group"
+        assert context_key("Drug") == "drug"
+        assert context_key("Drug-Drug") == "drug_drug"
+
+
+class TestFromSpace:
+    @pytest.fixture(scope="class")
+    def table(self, toy_space):
+        return DialogueLogicTable.from_space(toy_space)
+
+    def test_row_per_domain_intent(self, table, toy_space):
+        domain = [i for i in toy_space.intents if i.kind != "management"]
+        assert len(table.rows) == len(domain)
+
+    def test_row_contents(self, table):
+        row = table.row_for("Precaution of Drug")
+        assert row.required_entities == ["Drug"]
+        assert row.elicitation_for("Drug") == "For which drug?"
+        assert "{drug}" in row.response_template
+        assert "{results}" in row.response_template
+        assert row.intent_example  # populated from training examples
+
+    def test_lookup_case_insensitive(self, table):
+        assert table.row_for("PRECAUTION OF DRUG") is not None
+        assert table.row_for("ghost") is None
+
+    def test_keyword_row_has_no_response(self, table):
+        row = table.row_for("DRUG_GENERAL")
+        assert row.response_template == ""
+
+    def test_intent_elicitation_overrides_used(self, toy_space):
+        intent = toy_space.intent("Precaution of Drug")
+        original = dict(intent.elicitations)
+        intent.elicitations = {"Drug": "Which medication?"}
+        try:
+            table = DialogueLogicTable.from_space(toy_space)
+            assert table.row_for(intent.name).elicitation_for("Drug") == (
+                "Which medication?"
+            )
+        finally:
+            intent.elicitations = original
+
+    def test_intent_response_override_used(self, toy_space):
+        intent = toy_space.intent("Precaution of Drug")
+        intent.response_template = "Custom for {drug}: {results}"
+        try:
+            table = DialogueLogicTable.from_space(toy_space)
+            assert table.row_for(intent.name).response_template.startswith("Custom")
+        finally:
+            intent.response_template = None
+
+
+class TestValidation:
+    def test_duplicate_rows_rejected(self):
+        table = DialogueLogicTable()
+        table.add_row(DialogueLogicRow("a", "example"))
+        with pytest.raises(LogicTableError):
+            table.add_row(DialogueLogicRow("A", "example"))
+
+    def test_response_must_reference_required_entities(self):
+        table = DialogueLogicTable()
+        table.add_row(DialogueLogicRow(
+            intent_name="bad",
+            intent_example="x",
+            required_entities=["Drug"],
+            response_template="no placeholder: {results}",
+        ))
+        with pytest.raises(LogicTableError, match="does not reference"):
+            table.validate()
+
+    def test_default_elicitation_fallback(self):
+        row = DialogueLogicRow("a", "ex", required_entities=["Age Group"])
+        assert row.elicitation_for("Age Group") == "For which age group?"
+
+
+class TestRender:
+    def test_render_contains_headers_and_rows(self, toy_space):
+        text = DialogueLogicTable.from_space(toy_space).render()
+        assert "Intent Name" in text
+        assert "Agent Elicitation" in text
+        assert "Precaution of Drug" in text
+
+    def test_long_cells_clipped(self, toy_space):
+        # Cells are clipped to max_width; padding to the header width may
+        # re-extend them with spaces, so compare stripped content.
+        text = DialogueLogicTable.from_space(toy_space).render(max_width=10)
+        for line in text.splitlines()[2:]:
+            for cell in line.split(" | "):
+                assert len(cell.strip()) <= 10
+
+
+def test_default_response_templates_by_kind(toy_space):
+    lookup = toy_space.intent("Precaution of Drug")
+    assert "Here are the" in default_response_template(lookup)
+    keyword = toy_space.intent("DRUG_GENERAL")
+    assert default_response_template(keyword) == ""

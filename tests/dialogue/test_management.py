@@ -1,0 +1,84 @@
+"""Tests for the conversation-management catalogue (§5.2 step 3)."""
+
+from repro.dialogue.management import (
+    CONVERSATION_PATTERNS,
+    MANAGEMENT_EXAMPLES,
+    MANAGEMENT_RESPONSES,
+    SEQUENCE_PATTERNS,
+    default_management_intents,
+    management_catalogue,
+    management_training_examples,
+)
+
+
+class TestCatalogueScale:
+    def test_paper_pattern_counts(self):
+        """The paper's template has 32 sequence-level and 39
+        conversation-level generic patterns."""
+        assert len(SEQUENCE_PATTERNS) == 32
+        assert len(CONVERSATION_PATTERNS) == 39
+        assert len(management_catalogue()) == 71
+
+    def test_codes_unique(self):
+        codes = [p.code for p in management_catalogue()]
+        assert len(codes) == len(set(codes))
+
+    def test_levels_consistent(self):
+        assert all(p.level == "sequence" for p in SEQUENCE_PATTERNS)
+        assert all(p.level == "conversation" for p in CONVERSATION_PATTERNS)
+
+    def test_definition_request_repair_present(self):
+        """Pattern B2.5.0 is the paper's worked example."""
+        pattern = next(p for p in management_catalogue() if p.code == "B2.5.0")
+        assert pattern.intent == "definition_request"
+        assert "definition" in pattern.description.lower()
+
+    def test_every_pattern_documented(self):
+        assert all(p.description for p in management_catalogue())
+
+    def test_user_initiated_patterns_reference_known_intents(self):
+        known = set(MANAGEMENT_EXAMPLES)
+        for pattern in management_catalogue():
+            if pattern.intent is not None:
+                assert pattern.intent in known
+
+
+class TestManagementIntents:
+    def test_paper_intent_count(self):
+        """§6.1: 14 intents for conversation management."""
+        assert len(default_management_intents()) == 14
+
+    def test_intents_marked_management(self):
+        assert all(i.kind == "management" for i in default_management_intents())
+
+    def test_every_intent_has_response(self):
+        for intent in default_management_intents():
+            assert intent.name in MANAGEMENT_RESPONSES
+
+    def test_every_intent_has_enough_examples(self):
+        for name, examples in MANAGEMENT_EXAMPLES.items():
+            assert len(examples) >= 10, name
+
+    def test_training_pairs(self):
+        pairs = management_training_examples()
+        assert ("never mind", "abort") in pairs
+        labels = {intent for _, intent in pairs}
+        assert labels == set(MANAGEMENT_EXAMPLES)
+
+    def test_no_duplicate_utterances_within_intent(self):
+        for name, examples in MANAGEMENT_EXAMPLES.items():
+            lowered = [e.lower() for e in examples]
+            assert len(lowered) == len(set(lowered)), name
+
+
+class TestResponseTemplates:
+    def test_templates_reference_known_variables(self):
+        allowed = {"agent_name", "domain", "last_response", "definition",
+                   "examples"}
+        import string
+        formatter = string.Formatter()
+        for name, template in MANAGEMENT_RESPONSES.items():
+            fields = {
+                field for _, field, _, _ in formatter.parse(template) if field
+            }
+            assert fields <= allowed, name

@@ -1,0 +1,113 @@
+"""Tests for response templating and result formatting."""
+
+import pytest
+
+from repro.dialogue.responses import (
+    format_grouped_rows,
+    format_result_list,
+    format_result_rows,
+    render_template,
+)
+from repro.errors import DialogueError
+
+
+class TestRenderTemplate:
+    def test_fills_variables(self):
+        text = render_template("Hello {name}", {"name": "world"})
+        assert text == "Hello world"
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(DialogueError, match="missing variable"):
+            render_template("Hello {name}", {})
+
+    def test_positional_placeholders_rejected(self):
+        with pytest.raises(DialogueError):
+            render_template("Hello {}", {})
+
+    def test_extra_values_ignored(self):
+        assert render_template("x", {"unused": 1}) == "x"
+
+
+class TestFormatResultList:
+    def test_empty(self):
+        assert format_result_list([]) == "no results"
+
+    def test_single(self):
+        assert format_result_list(["Aspirin"]) == "Aspirin"
+
+    def test_two_with_conjunction(self):
+        assert format_result_list(["A", "B"]) == "A and B"
+
+    def test_many_with_commas(self):
+        assert format_result_list(["A", "B", "C"]) == "A, B and C"
+
+    def test_deduplication_case_insensitive(self):
+        assert format_result_list(["A", "a", "B"]) == "A and B"
+
+    def test_nones_and_blanks_skipped(self):
+        assert format_result_list([None, " ", "A"]) == "A"
+
+    def test_elision_beyond_limit(self):
+        values = [f"v{i}" for i in range(15)]
+        text = format_result_list(values, limit=10)
+        assert "5 more" in text
+
+    def test_custom_conjunction(self):
+        assert format_result_list(["A", "B"], conjunction="or") == "A or B"
+
+
+class TestFormatGroupedRows:
+    ROWS = [
+        ("Effective", "Acitretin"),
+        ("Effective", "Adalimumab"),
+        ("Possibly Effective", "Fluocinonide"),
+    ]
+
+    def test_groups_by_first_column(self):
+        text = format_grouped_rows(self.ROWS)
+        assert text == (
+            "Effective: Acitretin and Adalimumab; "
+            "Possibly Effective: Fluocinonide"
+        )
+
+    def test_order_of_first_appearance_kept(self):
+        rows = [("B", "x"), ("A", "y"), ("B", "z")]
+        text = format_grouped_rows(rows)
+        assert text.startswith("B:")
+
+    def test_duplicate_members_collapsed(self):
+        rows = [("E", "a"), ("E", "a")]
+        assert format_grouped_rows(rows) == "E: a"
+
+    def test_none_label_becomes_other(self):
+        assert format_grouped_rows([(None, "a")]) == "Other: a"
+
+    def test_multi_column_members_joined(self):
+        rows = [("E", "Aspirin", "Bayer")]
+        assert format_grouped_rows(rows) == "E: Aspirin — Bayer"
+
+    def test_empty(self):
+        assert format_grouped_rows([]) == "no results"
+
+    def test_rows_without_members_skipped(self):
+        assert format_grouped_rows([("E", None)]) == "no results"
+
+
+class TestFormatResultRows:
+    def test_empty(self):
+        assert format_result_rows([]) == "no results"
+
+    def test_single_column_rows_become_list(self):
+        assert format_result_rows([("A",), ("B",)]) == "A and B"
+
+    def test_wide_rows_use_dashes(self):
+        text = format_result_rows([("Aspirin", "Bayer")])
+        assert text == "Aspirin — Bayer"
+
+    def test_wide_rows_skip_nulls(self):
+        assert format_result_rows([("Aspirin", None)]) == "Aspirin"
+
+    def test_wide_rows_elided(self):
+        rows = [(f"a{i}", f"b{i}") for i in range(12)]
+        text = format_result_rows(rows, limit=10)
+        assert "and 2 more" in text

@@ -1,0 +1,113 @@
+"""Tests for dialogue-tree generation and traversal (§5, Figure 10)."""
+
+import pytest
+
+from repro.dialogue.context import ConversationContext
+from repro.dialogue.logic_table import DialogueLogicTable
+from repro.dialogue.tree import build_dialogue_tree, render_bindings, validate_tree
+
+
+@pytest.fixture(scope="module")
+def tree(toy_space):
+    return build_dialogue_tree(DialogueLogicTable.from_space(toy_space))
+
+
+class TestFigure10Flows:
+    def test_missing_entity_triggers_elicitation(self, tree):
+        """Figure 10(a): intent matched, required entity absent."""
+        outcome = tree.respond(
+            "Precaution of Drug", 0.9, {}, ConversationContext()
+        )
+        assert outcome.kind == "elicit"
+        assert outcome.elicit_concept == "Drug"
+        assert outcome.elicit_prompt == "For which drug?"
+
+    def test_present_entity_triggers_answer(self, tree):
+        """Figure 10(b): intent matched, required entity present."""
+        outcome = tree.respond(
+            "Precaution of Drug", 0.9, {"Drug": "Aspirin"}, ConversationContext()
+        )
+        assert outcome.kind == "answer"
+        assert outcome.bindings == {"Drug": "Aspirin"}
+        assert outcome.response_template
+
+    def test_context_entity_satisfies_requirement(self, tree):
+        """Entities from prior turns are 'remembered' (persistent context)."""
+        context = ConversationContext()
+        context.remember_entity("Drug", "Aspirin")
+        outcome = tree.respond("Precaution of Drug", 0.9, {}, context)
+        assert outcome.kind == "answer"
+        assert outcome.bindings["Drug"] == "Aspirin"
+
+    def test_current_mention_wins_over_context(self, tree):
+        """Incremental modification: the new mention overrides the old."""
+        context = ConversationContext()
+        context.remember_entity("Drug", "Aspirin")
+        outcome = tree.respond(
+            "Precaution of Drug", 0.9, {"Drug": "Ibuprofen"}, context
+        )
+        assert outcome.bindings["Drug"] == "Ibuprofen"
+
+
+class TestManagementAndFallback:
+    def test_management_intent_wins(self, tree):
+        outcome = tree.respond("thanks", 0.95, {}, ConversationContext())
+        assert outcome.kind == "management"
+        assert "welcome" in outcome.response_template.lower()
+
+    def test_low_confidence_falls_back(self, tree):
+        outcome = tree.respond(
+            "Precaution of Drug", 0.05, {"Drug": "Aspirin"}, ConversationContext()
+        )
+        assert outcome.kind == "fallback"
+
+    def test_no_intent_falls_back(self, tree):
+        assert tree.respond(None, 1.0, {}, ConversationContext()).kind == "fallback"
+
+    def test_unknown_intent_falls_back(self, tree):
+        outcome = tree.respond("Ghost Intent", 0.99, {}, ConversationContext())
+        assert outcome.kind == "fallback"
+
+    def test_keyword_intent_outcome(self, tree):
+        outcome = tree.respond(
+            "DRUG_GENERAL", 0.9, {"Drug": "Aspirin"}, ConversationContext()
+        )
+        assert outcome.kind == "keyword"
+
+
+class TestStructure:
+    def test_tree_has_subtree_per_row(self, tree):
+        validate_tree(tree)  # raises on missing subtrees or fallback
+
+    def test_node_count_exceeds_row_count(self, tree):
+        # management nodes + per-intent subtrees + fallback
+        assert tree.node_count() > len(tree.logic_table.rows)
+
+    def test_custom_threshold(self, toy_space):
+        table = DialogueLogicTable.from_space(toy_space)
+        strict = build_dialogue_tree(table, confidence_threshold=0.99)
+        outcome = strict.respond(
+            "Precaution of Drug", 0.9, {"Drug": "Aspirin"}, ConversationContext()
+        )
+        assert outcome.kind == "fallback"
+
+    def test_multiple_required_entities_elicited_in_order(self, toy_space):
+        intent = toy_space.intent("Drug Dosage for Indication")
+        original = list(intent.required_entities)
+        intent.required_entities = ["Indication", "Drug"]
+        try:
+            tree = build_dialogue_tree(DialogueLogicTable.from_space(toy_space))
+            context = ConversationContext()
+            first = tree.respond("Drug Dosage for Indication", 0.9, {}, context)
+            assert first.elicit_concept == "Indication"
+            second = tree.respond(
+                "Drug Dosage for Indication", 0.9,
+                {"Indication": "Fever"}, context,
+            )
+            assert second.elicit_concept == "Drug"
+        finally:
+            intent.required_entities = original
+
+
+def test_render_bindings():
+    assert render_bindings({"Age Group": "Adult"}) == {"age_group": "Adult"}

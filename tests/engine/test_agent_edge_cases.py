@@ -1,0 +1,99 @@
+"""Edge-case behaviour of the conversation agent."""
+
+import pytest
+
+
+class TestAbortAndReset:
+    def test_abort_clears_context(self, toy_agent):
+        session = toy_agent.session()
+        session.ask("precaution for Aspirin")
+        assert session.context.entity("Drug") == "Aspirin"
+        session.ask("never mind")
+        assert session.context.entity("Drug") is None
+        assert not session.context.is_slot_filling
+
+    def test_after_abort_no_stale_carryover(self, toy_agent):
+        session = toy_agent.session()
+        session.ask("precaution for Aspirin")
+        session.ask("start over")
+        response = session.ask("show me the precaution")
+        assert response.kind == "elicit"  # context drug was forgotten
+
+
+class TestProposalEdges:
+    def test_unrelated_query_abandons_proposal(self, toy_agent):
+        session = toy_agent.session()
+        first = session.ask("Benazepril")
+        assert first.kind == "proposal"
+        response = session.ask("what drug treats Psoriasis")
+        assert response.kind == "answer"
+        assert "Ibuprofen" in response.text
+        assert "proposal" not in session.context.variables
+
+    def test_proposal_answer_uses_proposed_entity(self, toy_agent):
+        session = toy_agent.session()
+        session.ask("Benazepril")
+        response = session.ask("yes")
+        assert response.kind == "answer"
+        assert response.entities.get("Drug") == "Benazepril"
+
+
+class TestDisambiguationEdges:
+    def test_unresolvable_reply_processed_normally(self, toy_agent):
+        session = toy_agent.session()
+        session.ask("Calcium")
+        response = session.ask("thanks")
+        assert response.kind == "management"
+        assert "disambiguation" not in session.context.variables
+
+    def test_full_name_reply_resolves(self, toy_agent):
+        session = toy_agent.session()
+        session.ask("precaution for Calcium")
+        response = session.ask("Calcium Carbonate")
+        assert response.kind in ("answer", "proposal")
+
+
+class TestSlotFillingEdges:
+    def test_wrong_type_answer_reprompts_or_redirects(self, toy_agent):
+        session = toy_agent.session()
+        first = session.ask("show me the precaution")
+        assert first.kind == "elicit"
+        # The user answers with a condition, not a drug.
+        response = session.ask("Psoriasis")
+        # Either a re-prompt or a reinterpretation — never a crash, and
+        # never an answer claiming a drug named Psoriasis.
+        assert response.kind in ("elicit", "answer", "fallback", "proposal",
+                                 "answer_empty")
+        if response.kind == "answer":
+            assert "psoriasis" not in str(response.entities.get("Drug", "")).lower()
+
+    def test_slot_filling_state_cleared_after_answer(self, toy_agent):
+        session = toy_agent.session()
+        session.ask("show me the precaution")
+        session.ask("Aspirin")
+        assert not session.context.is_slot_filling
+
+
+class TestKeywordEdges:
+    def test_brand_only_utterance(self, toy_agent):
+        # The toy space has no brand synonyms, so a brand name is OOV.
+        session = toy_agent.session()
+        response = session.ask("Brand1 Brand9")
+        assert response.kind in ("fallback", "disambiguate", "proposal")
+
+    def test_multiword_drug_keyword(self, toy_agent):
+        session = toy_agent.session()
+        response = session.ask("Calcium Carbonate")
+        assert response.kind == "proposal"
+        assert "Calcium Carbonate" in response.text
+
+
+class TestLongSessions:
+    def test_twenty_turn_session_stays_consistent(self, toy_agent):
+        session = toy_agent.session()
+        for turn in range(5):
+            assert session.ask("precaution for Aspirin").kind == "answer"
+            assert session.ask("what about Ibuprofen?").kind == "answer"
+            assert session.ask("thanks").kind == "management"
+            session.ask("never mind")
+        assert session.context.turn_count == 20

@@ -1,0 +1,77 @@
+"""Property-based tests for the entity recognizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bootstrap.entities import Entity, EntityValue
+from repro.engine.recognizer import EntityRecognizer
+
+_names = st.lists(
+    st.from_regex(r"[A-Z][a-z]{3,8}(in|ol|ide|ate)", fullmatch=True),
+    min_size=1, max_size=8, unique_by=str.lower,
+)
+
+_heads = st.sampled_from([
+    "", "show me", "what about", "tell me about", "info on",
+])
+
+
+@given(_names, st.data())
+@settings(max_examples=40, deadline=None)
+def test_every_registered_value_is_recognized_in_context(names, data):
+    """Any registered instance value is found inside a carrier phrase."""
+    entity = Entity(name="Drug", kind="instance", concept="Drug", values=[
+        EntityValue(name) for name in names
+    ])
+    recognizer = EntityRecognizer([entity], enable_fuzzy=False)
+    target = data.draw(st.sampled_from(names))
+    head = data.draw(_heads)
+    utterance = f"{head} {target} please".strip()
+    result = recognizer.recognize(utterance)
+    assert result.values.get("Drug", "").lower() == target.lower()
+
+
+@given(_names)
+@settings(max_examples=40, deadline=None)
+def test_unrelated_text_matches_nothing(names):
+    entity = Entity(name="Drug", kind="instance", concept="Drug", values=[
+        EntityValue(name) for name in names
+    ])
+    recognizer = EntityRecognizer(
+        [entity], enable_fuzzy=False, enable_partial=False
+    )
+    result = recognizer.recognize("zzzz qqqq wwww")
+    assert result.values == {}
+    assert result.ambiguous == {}
+
+
+@given(_names)
+@settings(max_examples=30, deadline=None)
+def test_recognition_is_deterministic(names):
+    entity = Entity(name="Drug", kind="instance", concept="Drug", values=[
+        EntityValue(name) for name in names
+    ])
+    recognizer = EntityRecognizer([entity])
+    utterance = f"precautions for {names[0]}"
+    first = recognizer.recognize(utterance)
+    second = recognizer.recognize(utterance)
+    assert first.values == second.values
+    assert first.concepts == second.concepts
+
+
+@given(
+    # One deletion keeps similarity >= 1 - 1/7 ≈ 0.857, above the 0.84
+    # fuzzy threshold, only for names of 7+ characters.
+    st.from_regex(r"[A-Z][a-z]{6,10}", fullmatch=True),
+    st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_single_character_typos_recovered(name, position):
+    """Dropping one inner character of a long value still matches fuzzily."""
+    entity = Entity(name="Drug", kind="instance", concept="Drug",
+                    values=[EntityValue(name)])
+    recognizer = EntityRecognizer([entity])
+    position = min(position, len(name) - 2)
+    typo = name[:position] + name[position + 1:]
+    result = recognizer.recognize(f"dose of {typo}")
+    assert result.values.get("Drug") == name

@@ -1,0 +1,54 @@
+"""Tests for the repair behaviours: repeat, paraphrase, help examples."""
+
+import pytest
+
+
+@pytest.fixture
+def session(toy_agent):
+    return toy_agent.session()
+
+
+class TestParaphraseRepair:
+    def test_paraphrase_is_compact_rerender(self, session):
+        """B2.0.0: a paraphrase reformulates, it does not replay verbatim."""
+        first = session.ask("what drug treats Psoriasis")
+        assert first.kind == "answer"
+        paraphrase = session.ask("what do you mean")
+        assert paraphrase.intent == "paraphrase_request"
+        assert paraphrase.text.startswith("Let me rephrase:")
+        # The compact form carries the key result without the template prose.
+        assert "Ibuprofen" in paraphrase.text
+        assert "Here are the" not in paraphrase.text
+
+    def test_paraphrase_without_prior_answer_falls_back_to_last(self, session):
+        response = session.ask("can you rephrase that")
+        assert response.intent == "paraphrase_request"
+        assert "nothing yet" in response.text
+
+
+class TestRepeatRepair:
+    def test_repeat_replays_verbatim(self, session):
+        first = session.ask("precaution for Aspirin")
+        repeat = session.ask("can you repeat that")
+        assert repeat.intent == "repeat_request"
+        assert first.text in repeat.text
+
+
+class TestDynamicHelp:
+    def test_help_lists_real_examples(self, session):
+        response = session.ask("help")
+        assert response.intent == "help"
+        assert "'" in response.text  # quoted example utterances
+
+    def test_capabilities_lists_real_examples(self, toy_agent):
+        session = toy_agent.session()
+        response = session.ask("what can you do")
+        assert response.intent == "capabilities"
+        # Examples come from the actual training set of domain intents.
+        domain_examples = {
+            e.utterance
+            for e in toy_agent.space.training_examples
+            if toy_agent.space.intent(e.intent).kind not in
+            ("management", "keyword")
+        }
+        assert any(f"'{ex}'" in response.text for ex in domain_examples)

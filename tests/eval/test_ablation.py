@@ -1,0 +1,37 @@
+"""Unit tests for the ablation harness (smaller configs than the benches)."""
+
+import pytest
+
+from repro.eval.ablation import (
+    ablate_persistent_context,
+    ablate_special_semantics,
+    ablate_synonyms,
+)
+
+
+@pytest.mark.slow
+class TestSynonymAblation:
+    def test_synonyms_dominant_for_brand_recall(self):
+        results = ablate_synonyms()
+        assert results["with_synonyms"] >= 0.95
+        assert results["without_synonyms"] < results["with_synonyms"]
+
+
+@pytest.mark.slow
+class TestContextAblation:
+    def test_context_enables_two_turn_requests(self):
+        results = ablate_persistent_context()
+        assert results["with_context"] >= 0.8
+        assert results["without_context"] <= 0.2
+
+
+@pytest.mark.slow
+class TestSpecialSemanticsAblation:
+    def test_augmentation_adds_patterns(self):
+        results = ablate_special_semantics()
+        assert results["augmentation_patterns"] > 0
+        assert (
+            results["patterns_with_augmentation"]
+            - results["patterns_without_augmentation"]
+            == results["augmentation_patterns"]
+        )

@@ -1,0 +1,74 @@
+"""Tests for the §7.1 bootstrap-classifier evaluation."""
+
+import pytest
+
+from repro.eval.classifier_eval import evaluate_bootstrap_classifier
+
+
+@pytest.fixture(scope="module")
+def evaluation(toy_space):
+    return evaluate_bootstrap_classifier(toy_space)
+
+
+class TestEvaluation:
+    def test_split_sizes(self, evaluation):
+        assert evaluation.n_train > evaluation.n_test > 0
+
+    def test_intent_universe_includes_management(self, evaluation, toy_space):
+        domain = len({i.name for i in toy_space.intents})
+        assert evaluation.n_intents == domain + 14
+
+    def test_excluding_management(self, toy_space):
+        evaluation = evaluate_bootstrap_classifier(
+            toy_space, include_management=False
+        )
+        assert evaluation.n_intents == len(toy_space.intents)
+
+    def test_average_f1_high_on_toy_space(self, evaluation):
+        assert evaluation.average_f1 > 0.6
+
+    def test_f1_lookup(self, evaluation):
+        assert 0.0 <= evaluation.f1_for("Precaution of Drug") <= 1.0
+
+    def test_predictions_align_with_report(self, evaluation):
+        correct = sum(1 for _, t, p in evaluation.predictions if t == p)
+        assert correct / len(evaluation.predictions) == pytest.approx(
+            evaluation.report.accuracy
+        )
+
+    def test_deterministic(self, toy_space):
+        e1 = evaluate_bootstrap_classifier(toy_space, seed=5)
+        e2 = evaluate_bootstrap_classifier(toy_space, seed=5)
+        assert e1.average_f1 == e2.average_f1
+
+
+class TestUsageTestSet:
+    def test_usage_examples_extend_test_side(self, toy_space):
+        base = evaluate_bootstrap_classifier(toy_space)
+        extended = evaluate_bootstrap_classifier(
+            toy_space,
+            usage_test_set=[
+                ("precautions of tazarotene please", "Precaution of Drug"),
+                ("which drug treats fever", "Drug that treats Indication"),
+            ],
+        )
+        assert extended.n_test == base.n_test + 2
+
+    def test_unknown_intents_skipped(self, toy_space):
+        base = evaluate_bootstrap_classifier(toy_space)
+        extended = evaluate_bootstrap_classifier(
+            toy_space, usage_test_set=[("x", "No Such Intent")]
+        )
+        assert extended.n_test == base.n_test
+
+    def test_training_duplicates_skipped(self, toy_space):
+        base = evaluate_bootstrap_classifier(toy_space)
+        training_utterance = toy_space.training_examples[0]
+        extended = evaluate_bootstrap_classifier(
+            toy_space,
+            usage_test_set=[
+                (training_utterance.utterance, training_utterance.intent)
+            ],
+        )
+        # It may land in test only if it was not in the training half.
+        assert extended.n_test <= base.n_test + 1

@@ -1,0 +1,56 @@
+"""Tests for the ASCII table/figure renderers."""
+
+from repro.eval.reports import render_bar_figure, render_table
+from repro.eval.success import IntentSuccess
+
+
+class TestRenderTable:
+    def test_headers_and_rows(self):
+        text = render_table(
+            ["Intent", "F1"], [["Uses of Drug", 0.99], ["X", 0.5]],
+            title="Table 5",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 5"
+        assert "Intent" in lines[1]
+        assert "Uses of Drug" in text
+
+    def test_alignment(self):
+        text = render_table(["A", "B"], [["xx", "y"], ["x", "yy"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestRenderBarFigure:
+    SUCCESSES = [
+        IntentSuccess("Drug Dosage for Condition", 100, 3),
+        IntentSuccess("Uses of Drug", 50, 1),
+    ]
+
+    def test_title_and_labels(self):
+        text = render_bar_figure(self.SUCCESSES, "Figure 11")
+        assert text.splitlines()[0] == "Figure 11"
+        assert "Drug Dosage for Condition" in text
+
+    def test_rates_shown(self):
+        text = render_bar_figure(self.SUCCESSES, "F")
+        assert "97.0%" in text
+        assert "98.0%" in text
+
+    def test_bar_length_proportional_to_volume(self):
+        text = render_bar_figure(self.SUCCESSES, "F", width=40)
+        lines = text.splitlines()
+        big = lines[1].split("|")[1].strip()
+        small = lines[2].split("|")[1].strip()
+        assert len(big) > len(small)
+
+    def test_negative_share_shaded(self):
+        text = render_bar_figure(self.SUCCESSES, "F")
+        assert "░" in text
+
+    def test_empty(self):
+        assert "no interactions" in render_bar_figure([], "F")

@@ -1,0 +1,97 @@
+"""Tests for the usage simulation (§7.2 reconstruction)."""
+
+import pytest
+
+from repro.eval.simulate import (
+    SMEJudgementModel,
+    UserFeedbackModel,
+    simulate_usage,
+)
+from repro.eval.success import success_rate
+from repro.eval.workload import SimulatedQuery, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def result(mdx_agent):
+    generator = WorkloadGenerator(mdx_agent.space, seed=21)
+    return simulate_usage(mdx_agent, generator.generate(400), seed=2)
+
+
+class TestSimulation:
+    def test_one_record_per_query(self, result):
+        assert len(result.records) == 400
+
+    def test_agent_accuracy_reasonable(self, result):
+        assert result.accuracy > 0.85
+
+    def test_user_success_above_sme(self, mdx_agent):
+        """The paper's headline asymmetry: user-reported success exceeds
+        the SME-judged rate on the reviewed sample."""
+        generator = WorkloadGenerator(mdx_agent.space, seed=33)
+        sim = simulate_usage(
+            mdx_agent, generator.generate(600),
+            sme_model=SMEJudgementModel(sample_fraction=1.0), seed=3,
+        )
+        user = success_rate(sim.records, "user")
+        sme = success_rate(sim.records, "sme")
+        assert user > sme
+
+    def test_sample_fraction_controls_sme_labels(self, result):
+        sampled = result.sampled_records()
+        assert 0 < len(sampled) < len(result.records)
+
+    def test_elicitations_answered(self, result):
+        multi_turn = [o for o in result.outcomes if o.turns > 1]
+        assert multi_turn  # dosage queries elicit the age group etc.
+
+    def test_deterministic(self, mdx_agent):
+        generator = WorkloadGenerator(mdx_agent.space, seed=77)
+        queries = generator.generate(60)
+        r1 = simulate_usage(mdx_agent, queries, seed=9)
+        r2 = simulate_usage(mdx_agent, queries, seed=9)
+        assert [o.correct for o in r1.outcomes] == [o.correct for o in r2.outcomes]
+        assert [o.record.feedback for o in r1.outcomes] == [
+            o.record.feedback for o in r2.outcomes
+        ]
+
+
+class TestFeedbackModels:
+    def test_no_negatives_when_models_silent(self, mdx_agent):
+        generator = WorkloadGenerator(mdx_agent.space, seed=5, gibberish_rate=0.0)
+        quiet = UserFeedbackModel(
+            down_when_wrong=0.0, down_when_empty=0.0,
+            down_when_correct=0.0, down_when_gibberish=0.0,
+        )
+        sim = simulate_usage(
+            mdx_agent, generator.generate(80), user_model=quiet, seed=1
+        )
+        assert success_rate(sim.records) == 1.0
+
+    def test_always_down_when_wrong(self, mdx_agent):
+        generator = WorkloadGenerator(mdx_agent.space, seed=5)
+        harsh = UserFeedbackModel(down_when_wrong=1.0, down_when_correct=0.0,
+                                  down_when_empty=0.0)
+        sim = simulate_usage(
+            mdx_agent, generator.generate(200), user_model=harsh, seed=1
+        )
+        wrong = sum(1 for o in sim.outcomes if not o.correct and
+                    o.query.noise != "gibberish")
+        downs = sum(1 for r in sim.records if r.feedback == "down")
+        assert downs >= wrong
+
+    def test_gibberish_marked_as_its_own_intent(self, mdx_agent):
+        queries = [SimulatedQuery(utterance="apfjhd", true_intent="<gibberish>",
+                                  noise="gibberish")]
+        sim = simulate_usage(mdx_agent, queries, seed=1)
+        assert sim.records[0].intent == "<gibberish>"
+
+    def test_sme_noise_flips_labels(self, mdx_agent):
+        generator = WorkloadGenerator(mdx_agent.space, seed=5)
+        noisy = SMEJudgementModel(sample_fraction=1.0, noise=1.0)
+        sim = simulate_usage(
+            mdx_agent, generator.generate(50), sme_model=noisy, seed=1
+        )
+        # With noise=1.0 every correct interaction is judged negative.
+        for outcome in sim.outcomes:
+            expected = "positive" if not outcome.correct else "negative"
+            assert outcome.record.sme_label == expected

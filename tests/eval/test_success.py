@@ -1,0 +1,65 @@
+"""Tests for Equation 1 success rates."""
+
+import pytest
+
+from repro.engine.feedback import InteractionRecord
+from repro.errors import EvaluationError
+from repro.eval.success import per_intent_success, success_rate
+
+
+def record(intent="A", feedback=None, sme=None) -> InteractionRecord:
+    return InteractionRecord(
+        utterance="u", response="r", intent=intent, confidence=0.9,
+        outcome_kind="answer", feedback=feedback, sme_label=sme,
+    )
+
+
+class TestOverallRate:
+    def test_equation_one(self):
+        records = [record(), record(feedback="down"), record(), record()]
+        assert success_rate(records) == 0.75
+
+    def test_thumbs_up_not_negative(self):
+        assert success_rate([record(feedback="up")]) == 1.0
+
+    def test_empty_is_perfect(self):
+        assert success_rate([]) == 1.0
+
+    def test_sme_judge(self):
+        records = [record(sme="negative"), record(sme="positive"), record()]
+        assert success_rate(records, judge="sme") == pytest.approx(2 / 3)
+
+    def test_unknown_judge_rejected(self):
+        with pytest.raises(EvaluationError):
+            success_rate([record()], judge="nobody")
+
+
+class TestPerIntent:
+    def test_ordering_by_volume(self):
+        records = [record("A")] * 5 + [record("B")] * 3
+        ordered = per_intent_success(records)
+        assert [s.intent for s in ordered] == ["A", "B"]
+        assert ordered[0].interactions == 5
+
+    def test_rates(self):
+        records = [record("A"), record("A", feedback="down")]
+        success = per_intent_success(records)[0]
+        assert success.negative == 1
+        assert success.success_rate == 0.5
+
+    def test_top_k(self):
+        records = [record("A"), record("B"), record("C")]
+        assert len(per_intent_success(records, top_k=2)) == 2
+
+    def test_intentless_bucket(self):
+        ordered = per_intent_success([record(intent=None)])
+        assert ordered[0].intent == "<none>"
+
+    def test_zero_interactions_rate(self):
+        from repro.eval.success import IntentSuccess
+        assert IntentSuccess("x", 0, 0).success_rate == 1.0
+
+    def test_ties_broken_by_name(self):
+        records = [record("B"), record("A")]
+        ordered = per_intent_success(records)
+        assert [s.intent for s in ordered] == ["A", "B"]

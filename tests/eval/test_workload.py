@@ -1,0 +1,121 @@
+"""Tests for the workload simulator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.eval.workload import (
+    PAPER_USAGE_MIX,
+    WorkloadGenerator,
+    _misspell,
+)
+import random
+
+
+@pytest.fixture(scope="module")
+def renamed_space(mdx_small_db, mdx_small_ontology):
+    """A fresh space with the paper intent names (never the shared one —
+    renaming mutates)."""
+    from repro.medical import build_mdx_space, rename_to_paper_intents
+
+    space = build_mdx_space(mdx_small_db, mdx_small_ontology)
+    rename_to_paper_intents(space)
+    return space
+
+
+@pytest.fixture(scope="module")
+def generator(renamed_space):
+    return WorkloadGenerator(renamed_space, seed=11)
+
+
+class TestPaperMix:
+    def test_top_shares(self):
+        assert PAPER_USAGE_MIX["Drug Dosage for Condition"] == 0.15
+        assert abs(sum(PAPER_USAGE_MIX.values()) - 0.75) < 1e-9
+
+    def test_generated_distribution_tracks_mix(self, generator):
+        queries = generator.generate(3000)
+        counts = Counter(q.true_intent for q in queries)
+        share = counts["Drug Dosage for Condition"] / len(queries)
+        assert 0.10 < share < 0.20
+
+    def test_deterministic(self, renamed_space):
+        q1 = WorkloadGenerator(renamed_space, seed=5).generate(50)
+        q2 = WorkloadGenerator(renamed_space, seed=5).generate(50)
+        assert q1 == q2
+
+
+class TestQueries:
+    def test_entities_recorded(self, generator):
+        queries = [
+            q for q in generator.generate(300)
+            if q.true_intent == "Adverse Effects of Drug"
+        ]
+        assert queries
+        assert all("Drug" in q.entities for q in queries)
+
+    def test_keyword_queries_are_bare(self, generator):
+        keywords = [
+            q for q in generator.generate(500)
+            if q.true_intent == "DRUG_GENERAL"
+        ]
+        assert keywords
+        assert all(q.noise == "keyword" for q in keywords)
+
+    def test_gibberish_channel(self, renamed_space):
+        generator = WorkloadGenerator(
+            renamed_space, seed=1, gibberish_rate=0.5
+        )
+        queries = generator.generate(100)
+        assert any(q.noise == "gibberish" for q in queries)
+
+    def test_management_channel(self, renamed_space):
+        generator = WorkloadGenerator(
+            renamed_space, seed=1, management_rate=0.5
+        )
+        queries = generator.generate(200)
+        management = [q for q in queries if q.noise == "management"]
+        assert management
+        assert all(q.true_intent for q in management)
+
+    def test_misspelling_channel(self, generator):
+        queries = generator.generate(800)
+        assert any(q.noise == "misspelled" for q in queries)
+
+    def test_dosage_queries_use_treat_pairs(self, generator, mdx_small_db):
+        treat_pairs = {
+            (r[0].lower(), r[1].lower())
+            for r in mdx_small_db.query(
+                "SELECT d.name, i.name FROM treats t "
+                "INNER JOIN drug d ON t.drug_id = d.drug_id "
+                "INNER JOIN indication i ON t.indication_id = i.indication_id"
+            ).rows
+        }
+        dosage = [
+            q for q in generator.generate(600)
+            if q.true_intent == "Drug Dosage for Condition"
+            and "Drug" in q.entities and "Indication" in q.entities
+        ]
+        coherent = sum(
+            1 for q in dosage
+            if (q.entities["Drug"].lower(), q.entities["Indication"].lower())
+            in treat_pairs
+        )
+        assert coherent / len(dosage) > 0.7
+
+
+class TestMisspell:
+    def test_one_word_perturbed(self):
+        rng = random.Random(0)
+        original = "dosage for aspirin"
+        mutated = _misspell(original, rng)
+        assert mutated != original
+        # Only one word changed.
+        diff = [
+            (a, b) for a, b in zip(original.split(), mutated.split()) if a != b
+        ]
+        assert len(diff) <= 1
+
+    def test_short_text_unchanged(self):
+        rng = random.Random(0)
+        assert _misspell("ok no", rng) == "ok no"

@@ -1,0 +1,122 @@
+"""Domain-agnosticism: the same pipeline over a movie knowledge base.
+
+"Our techniques are domain agnostic, and work with any knowledge base"
+(§9) — build a conversation agent for movies with zero medical code.
+"""
+
+import pytest
+
+from repro.bootstrap import bootstrap_conversation_space
+from repro.engine import ConversationAgent
+from repro.kb import Column, Database, DataType, ForeignKey, TableSchema
+from repro.ontology import generate_ontology
+
+MOVIES = [
+    ("Alien Dawn", "Science Fiction", 1979),
+    ("Midnight Run", "Comedy", 1988),
+    ("The Long Winter", "Drama", 1993),
+    ("Steel Harbor", "Action", 2001),
+    ("Quiet Rivers", "Drama", 2010),
+    ("Laugh Lines", "Comedy", 2015),
+]
+DIRECTORS = ["Ana Torres", "Ben Chu", "Carla Novak"]
+ACTORS = ["Dana Reed", "Eli Stone", "Fay Wong", "Gus Marsh"]
+
+
+@pytest.fixture(scope="module")
+def movie_db() -> Database:
+    db = Database("movies")
+    db.create_table(TableSchema(
+        "director",
+        [Column("director_id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT)],
+        primary_key="director_id",
+    ))
+    db.create_table(TableSchema(
+        "movie",
+        [Column("movie_id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT),
+         Column("genre", DataType.TEXT),
+         Column("year", DataType.INTEGER),
+         Column("director_id", DataType.INTEGER)],
+        primary_key="movie_id",
+        foreign_keys=[ForeignKey("director_id", "director", "director_id")],
+    ))
+    db.create_table(TableSchema(
+        "actor",
+        [Column("actor_id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT)],
+        primary_key="actor_id",
+    ))
+    db.create_table(TableSchema(
+        "review",
+        [Column("review_id", DataType.INTEGER, nullable=False),
+         Column("movie_id", DataType.INTEGER),
+         Column("summary", DataType.TEXT)],
+        primary_key="review_id",
+        foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+    ))
+    db.create_table(TableSchema(
+        "stars_in",
+        [Column("actor_id", DataType.INTEGER, nullable=False),
+         Column("movie_id", DataType.INTEGER, nullable=False)],
+        foreign_keys=[ForeignKey("actor_id", "actor", "actor_id"),
+                      ForeignKey("movie_id", "movie", "movie_id")],
+    ))
+    for i, name in enumerate(DIRECTORS, start=1):
+        db.insert("director", {"director_id": i, "name": name})
+    for i, (title, genre, year) in enumerate(MOVIES, start=1):
+        db.insert("movie", {
+            "movie_id": i, "name": title, "genre": genre, "year": year,
+            "director_id": (i % len(DIRECTORS)) + 1,
+        })
+        db.insert("review", {
+            "review_id": i, "movie_id": i,
+            "summary": "A classic." if i % 2 else "Forgettable.",
+        })
+    for i, name in enumerate(ACTORS, start=1):
+        db.insert("actor", {"actor_id": i, "name": name})
+    for i in range(1, len(MOVIES) + 1):
+        db.insert("stars_in", {"actor_id": (i % len(ACTORS)) + 1, "movie_id": i})
+    return db
+
+
+@pytest.fixture(scope="module")
+def movie_agent(movie_db) -> ConversationAgent:
+    ontology = generate_ontology(movie_db, "movies")
+    space = bootstrap_conversation_space(
+        ontology, movie_db, key_concepts=["Movie", "Actor", "Director"]
+    )
+    return ConversationAgent.build(
+        space, movie_db, agent_name="MovieBot", domain="movie catalog"
+    )
+
+
+class TestMovieAgent:
+    def test_lookup(self, movie_agent):
+        session = movie_agent.session()
+        response = session.ask("show me the review for Alien Dawn")
+        assert response.kind == "answer"
+        assert "classic" in response.text.lower()
+
+    def test_relationship(self, movie_agent):
+        session = movie_agent.session()
+        response = session.ask("what actor stars in Midnight Run")
+        assert response.kind == "answer"
+
+    def test_slot_filling(self, movie_agent):
+        session = movie_agent.session()
+        first = session.ask("show me the review")
+        assert first.kind == "elicit"
+        second = session.ask("Quiet Rivers")
+        assert second.kind == "answer"
+
+    def test_management_is_domain_independent(self, movie_agent):
+        session = movie_agent.session()
+        assert "MovieBot" in session.open()
+        assert "welcome" in session.ask("thanks").text.lower()
+
+    def test_ontology_scale(self, movie_db):
+        summary = generate_ontology(movie_db).summary()
+        assert summary["concepts"] == 4  # stars_in is a junction
+        assert summary["object_properties"] >= 3

@@ -1,0 +1,152 @@
+"""End-to-end replays of the paper's §6.3 sample conversations."""
+
+import pytest
+
+
+class TestSampleConversation:
+    """The 20-line clinical session of §6.3, replayed turn by turn."""
+
+    @pytest.fixture(scope="class")
+    def session(self, mdx_agent):
+        return mdx_agent.session()
+
+    def test_line_01_opening(self, session):
+        opening = session.open()
+        assert "Micromedex" in opening
+        assert "help" in opening.lower()
+
+    def test_lines_02_03_treatment_request_elicits_age(self, session):
+        response = session.ask("show me drugs that treat psoriasis")
+        assert response.kind == "elicit"
+        assert response.text == "Adult or pediatric?"
+
+    def test_lines_04_05_slot_fill_completes_request(self, session):
+        response = session.ask("adult")
+        assert response.kind == "answer"
+        assert response.intent == "Drugs That Treat Condition"
+        assert "Psoriasis" in response.text
+        assert "Adult" in response.text
+
+    def test_lines_06_07_incremental_modification(self, session):
+        response = session.ask("I mean pediatric")
+        assert response.kind == "answer"
+        assert "Pediatric" in response.text
+
+    def test_lines_08_09_definition_request_repair(self, session):
+        response = session.ask("what do you mean by effective?")
+        assert response.intent == "definition_request"
+        assert response.text.startswith("Oh. Effective is")
+
+    def test_lines_10_11_appreciation(self, session):
+        response = session.ask("thanks")
+        assert "You're welcome" in response.text
+
+    def test_lines_12_13_context_reused_for_dosage(self, session):
+        response = session.ask("dosage for Tazarotene")
+        # Condition and age group are assumed from the context.
+        assert response.intent == "Drug Dosage for Condition"
+        assert response.kind in ("answer", "answer_empty")
+        assert "Tazarotene" in response.text or "Dosage" in response.text
+
+    def test_lines_14_15_entity_swap(self, session):
+        response = session.ask("how about for Fluocinonide?")
+        assert response.intent == "Drug Dosage for Condition"
+        assert response.kind in ("answer", "answer_empty")
+
+    def test_lines_16_19_closing(self, session):
+        assert "welcome" in session.ask("thanks").text.lower()
+        session.ask("no")
+        response = session.ask("goodbye")
+        assert "Goodbye" in response.text
+
+
+class TestUser480Conversation:
+    """The keyword-search session of §6.3 (User 480)."""
+
+    @pytest.fixture(scope="class")
+    def session(self, mdx_agent):
+        return mdx_agent.session()
+
+    def test_line_01_02_keyword_gets_proposal(self, session):
+        response = session.ask("cogentin")
+        assert response.kind == "proposal"
+        assert "would you like to see" in response.text.lower()
+        # The brand name resolves to the generic (benztropine mesylate).
+        assert "benztropine mesylate" in response.text.lower()
+
+    def test_line_03_04_side_effects_understood(self, session):
+        """Unlike the 2019 deployment, the synonym dictionary now covers
+        'side effects' (the paper: such phrasings were added from user
+        testing)."""
+        response = session.ask("What are the side effects of cogentin")
+        assert response.kind == "answer"
+        assert response.intent == "Adverse Effects of Drug"
+
+    def test_line_07_08_keyword_plus_concept(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("cogentin adverse effects")
+        assert response.kind == "answer"
+        assert response.intent == "Adverse Effects of Drug"
+        assert "Benztropine Mesylate" in response.text
+
+    def test_proposal_rejection_path(self, mdx_agent):
+        """Lines 02-06: rejecting proposals ends with 'modify your search'."""
+        session = mdx_agent.session()
+        first = session.ask("cogentin")
+        assert first.kind == "proposal"
+        second = session.ask("no")
+        if second.kind == "proposal":
+            third = session.ask("no")
+            assert "modify your search" in third.text.lower()
+        else:
+            assert "modify your search" in second.text.lower()
+
+
+class TestPartialEntityDisambiguation:
+    """§6.1: base 'Calcium' must offer the salts."""
+
+    def test_calcium_disambiguation(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("calcium")
+        assert response.kind == "disambiguate"
+        assert "Calcium Carbonate" in response.text
+        assert "Calcium Citrate" in response.text
+
+    def test_selection_completes(self, mdx_agent):
+        session = mdx_agent.session()
+        session.ask("adverse effects of calcium")
+        response = session.ask("calcium carbonate")
+        assert response.kind in ("answer", "proposal")
+
+
+class TestRobustness:
+    def test_misspelled_drug_recovered(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("side effects of asprin")
+        assert response.kind == "answer"
+        assert "Aspirin" in response.text
+
+    def test_brand_name_resolution(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("uses of Tylenol")
+        assert response.kind == "answer"
+        assert response.intent == "Uses of Drug"
+
+    def test_gibberish_handled_gracefully(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("apfjhd")
+        assert response.kind == "fallback"
+
+    def test_iv_compatibility_request(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("is vancomycin compatible with normal saline")
+        assert response.intent == "IV Compatibility of Drug"
+
+    def test_sql_executes_against_kb(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("pharmacokinetics of digoxin")
+        assert response.kind == "answer"
+        assert response.sql is not None
+        assert mdx_agent.database.query(
+            response.sql, {"drug": "Digoxin"}
+        ).rows

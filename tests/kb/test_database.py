@@ -1,0 +1,115 @@
+"""Tests for the database catalog and referential integrity."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, UnknownTableError
+from repro.kb import Column, Database, DataType, ForeignKey, TableSchema
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(TableSchema(
+        "drug",
+        [Column("drug_id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT)],
+        primary_key="drug_id",
+    ))
+    database.create_table(TableSchema(
+        "precaution",
+        [Column("p_id", DataType.INTEGER, nullable=False),
+         Column("drug_id", DataType.INTEGER),
+         Column("description", DataType.TEXT)],
+        primary_key="p_id",
+        foreign_keys=[ForeignKey("drug_id", "drug", "drug_id")],
+    ))
+    return database
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError, match="already exists"):
+            db.create_table(TableSchema("DRUG", [Column("x", DataType.INTEGER)]))
+
+    def test_unknown_table_lookup(self, db):
+        with pytest.raises(UnknownTableError):
+            db.table("nope")
+
+    def test_table_names_in_creation_order(self, db):
+        assert db.table_names() == ["drug", "precaution"]
+
+    def test_has_table_case_insensitive(self, db):
+        assert db.has_table("Drug")
+
+    def test_fk_to_unknown_table_rejected(self, db):
+        with pytest.raises(SchemaError, match="unknown"):
+            db.create_table(TableSchema(
+                "bad",
+                [Column("x", DataType.INTEGER)],
+                foreign_keys=[ForeignKey("x", "ghost", "id")],
+            ))
+
+    def test_fk_must_reference_primary_key(self, db):
+        with pytest.raises(SchemaError, match="primary key"):
+            db.create_table(TableSchema(
+                "bad",
+                [Column("x", DataType.INTEGER)],
+                foreign_keys=[ForeignKey("x", "drug", "name")],
+            ))
+
+    def test_self_referencing_fk_allowed(self):
+        db = Database()
+        db.create_table(TableSchema(
+            "node",
+            [Column("node_id", DataType.INTEGER, nullable=False),
+             Column("parent_id", DataType.INTEGER)],
+            primary_key="node_id",
+            foreign_keys=[ForeignKey("parent_id", "node", "node_id")],
+        ))
+        db.insert("node", {"node_id": 1, "parent_id": None})
+        db.insert("node", {"node_id": 2, "parent_id": 1})
+
+
+class TestIntegrity:
+    def test_fk_violation_rejected(self, db):
+        with pytest.raises(IntegrityError, match="foreign key violation"):
+            db.insert("precaution", {"p_id": 1, "drug_id": 99, "description": "x"})
+
+    def test_fk_null_allowed(self, db):
+        db.insert("precaution", {"p_id": 1, "drug_id": None, "description": "x"})
+
+    def test_fk_satisfied(self, db):
+        db.insert("drug", {"drug_id": 1, "name": "Aspirin"})
+        db.insert("precaution", {"p_id": 1, "drug_id": 1, "description": "x"})
+        assert len(db.table("precaution")) == 1
+
+    def test_failed_insert_leaves_table_unchanged(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("precaution", {"p_id": 1, "drug_id": 99})
+        assert len(db.table("precaution")) == 0
+
+    def test_insert_many(self, db):
+        count = db.insert_many("drug", [
+            {"drug_id": 1, "name": "A"},
+            {"drug_id": 2, "name": "B"},
+        ])
+        assert count == 2
+
+
+class TestStatistics:
+    def test_statistics_entry_point(self, db):
+        db.insert("drug", {"drug_id": 1, "name": "A"})
+        db.insert("drug", {"drug_id": 2, "name": "A"})
+        stats = db.statistics("drug")
+        assert stats.row_count == 2
+        assert stats.column("name").distinct_count == 1
+
+    def test_all_statistics(self, db):
+        stats = db.all_statistics()
+        assert set(stats) == {"drug", "precaution"}
+
+
+def test_query_entry_point(db):
+    db.insert("drug", {"drug_id": 1, "name": "Aspirin"})
+    result = db.query("SELECT name FROM drug WHERE drug_id = :id", {"id": 1})
+    assert result.rows == [("Aspirin",)]

@@ -1,0 +1,102 @@
+"""Tests for table schemas and constraint declarations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.kb.schema import Column, ForeignKey, TableSchema
+from repro.kb.types import DataType
+
+
+def make_schema(**overrides):
+    kwargs = dict(
+        name="drug",
+        columns=[
+            Column("drug_id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT),
+        ],
+        primary_key="drug_id",
+    )
+    kwargs.update(overrides)
+    return TableSchema(**kwargs)
+
+
+class TestColumn:
+    def test_valid(self):
+        col = Column("name", DataType.TEXT)
+        assert col.nullable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("1name", DataType.TEXT)
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", DataType.TEXT)
+
+    def test_non_datatype_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("name", "text")  # type: ignore[arg-type]
+
+
+class TestTableSchema:
+    def test_valid_schema(self):
+        schema = make_schema()
+        assert schema.primary_key == "drug_id"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            make_schema(columns=[
+                Column("name", DataType.TEXT),
+                Column("NAME", DataType.TEXT),
+            ], primary_key=None)
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(columns=[], primary_key=None)
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            make_schema(primary_key="nope")
+
+    def test_unknown_fk_column_rejected(self):
+        with pytest.raises(SchemaError, match="foreign-key"):
+            make_schema(foreign_keys=[ForeignKey("nope", "other", "id")])
+
+    def test_column_lookup_case_insensitive(self):
+        schema = make_schema()
+        assert schema.column("NAME").name == "name"
+        assert schema.has_column("Drug_ID")
+
+    def test_column_lookup_missing(self):
+        with pytest.raises(SchemaError):
+            make_schema().column("missing")
+
+    def test_column_index(self):
+        schema = make_schema()
+        assert schema.column_index("drug_id") == 0
+        assert schema.column_index("name") == 1
+
+    def test_column_index_missing(self):
+        with pytest.raises(SchemaError):
+            make_schema().column_index("missing")
+
+    def test_column_names_order(self):
+        assert make_schema().column_names() == ["drug_id", "name"]
+
+    def test_foreign_key_for(self):
+        schema = make_schema(
+            columns=[
+                Column("drug_id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("class_id", DataType.INTEGER),
+            ],
+            foreign_keys=[ForeignKey("class_id", "drug_class", "class_id")],
+        )
+        fk = schema.foreign_key_for("CLASS_ID")
+        assert fk is not None
+        assert fk.referenced_table == "drug_class"
+        assert schema.foreign_key_for("name") is None

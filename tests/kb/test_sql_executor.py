@@ -1,0 +1,257 @@
+"""Tests for SQL execution against the toy knowledge base."""
+
+import pytest
+
+from repro.errors import (
+    BindingError,
+    SQLExecutionError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.kb import Column, Database, DataType, TableSchema
+
+
+@pytest.fixture
+def db(toy_db) -> Database:
+    return toy_db
+
+
+class TestProjection:
+    def test_select_star(self, db):
+        result = db.query("SELECT * FROM drug")
+        assert result.columns == ["drug_id", "name", "brand"]
+        assert len(result) == 7
+
+    def test_select_columns(self, db):
+        result = db.query("SELECT name FROM drug WHERE drug_id = 1")
+        assert result.rows == [("Aspirin",)]
+
+    def test_alias_in_output(self, db):
+        result = db.query("SELECT name AS drug_name FROM drug LIMIT 1")
+        assert result.columns == ["drug_name"]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.query("SELECT * FROM ghost")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(UnknownColumnError):
+            db.query("SELECT ghost FROM drug")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(SQLExecutionError, match="ambiguous"):
+            db.query(
+                "SELECT name FROM drug d "
+                "INNER JOIN indication i ON d.drug_id = i.ind_id"
+            )
+
+
+class TestWhere:
+    def test_equality_case_insensitive_text(self, db):
+        result = db.query("SELECT drug_id FROM drug WHERE name = 'ASPIRIN'")
+        assert result.rows == [(1,)]
+
+    def test_numeric_comparisons(self, db):
+        result = db.query("SELECT drug_id FROM drug WHERE drug_id > 5")
+        assert sorted(r[0] for r in result.rows) == [6, 7]
+
+    def test_like(self, db):
+        result = db.query("SELECT name FROM drug WHERE name LIKE 'calcium%'")
+        assert len(result) == 2
+
+    def test_like_underscore(self, db):
+        result = db.query("SELECT name FROM drug WHERE name LIKE '_spirin'")
+        assert result.rows == [("Aspirin",)]
+
+    def test_in_list(self, db):
+        result = db.query(
+            "SELECT name FROM drug WHERE drug_id IN (1, 2)"
+        )
+        assert {r[0] for r in result.rows} == {"Aspirin", "Ibuprofen"}
+
+    def test_not_in(self, db):
+        result = db.query("SELECT COUNT(*) FROM drug WHERE drug_id NOT IN (1)")
+        assert result.scalar() == 6
+
+    def test_is_null(self, db):
+        scratch = Database()
+        scratch.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+        scratch.insert("t", {"x": None})
+        scratch.insert("t", {"x": 1})
+        assert len(scratch.query("SELECT * FROM t WHERE x IS NULL")) == 1
+        assert len(scratch.query("SELECT * FROM t WHERE x IS NOT NULL")) == 1
+
+    def test_null_comparison_is_false(self, db):
+        scratch = Database()
+        scratch.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+        scratch.insert("t", {"x": None})
+        assert len(scratch.query("SELECT * FROM t WHERE x = 1")) == 0
+        assert len(scratch.query("SELECT * FROM t WHERE x <> 1")) == 0
+
+    def test_and_or_not(self, db):
+        result = db.query(
+            "SELECT drug_id FROM drug "
+            "WHERE (drug_id = 1 OR drug_id = 2) AND NOT drug_id = 2"
+        )
+        assert result.rows == [(1,)]
+
+
+class TestJoins:
+    def test_inner_join_equi(self, db):
+        result = db.query(
+            "SELECT p.description FROM precaution p "
+            "INNER JOIN drug d ON p.drug_id = d.drug_id "
+            "WHERE d.name = 'Aspirin'"
+        )
+        assert result.rows == [("Use with caution.",)]
+
+    def test_three_way_join_through_junction(self, db):
+        result = db.query(
+            "SELECT i.name FROM drug d "
+            "INNER JOIN treats t ON d.drug_id = t.drug_id "
+            "INNER JOIN indication i ON t.ind_id = i.ind_id "
+            "WHERE d.name = 'Tazarotene'"
+        )
+        assert result.rows == [("Acne",)]
+
+    def test_left_join_preserves_unmatched(self, db):
+        result = db.query(
+            "SELECT d.name FROM drug d "
+            "LEFT JOIN risk r ON r.drug_id = d.drug_id "
+            "WHERE r.risk_id IS NULL"
+        )
+        assert len(result) == 5  # drugs 3..7 have no risk rows
+
+    def test_non_equi_join_condition(self, db):
+        result = db.query(
+            "SELECT COUNT(*) FROM drug a INNER JOIN drug b ON a.drug_id < b.drug_id"
+        )
+        assert result.scalar() == 21  # 7 choose 2
+
+    def test_parameter_in_join_condition(self, db):
+        result = db.query(
+            "SELECT COUNT(*) FROM drug a INNER JOIN indication i "
+            "ON a.drug_id = :k",
+            {"k": 1},
+        )
+        assert result.scalar() == 7
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.query("SELECT COUNT(*) FROM drug").scalar() == 7
+
+    def test_count_column_skips_nulls(self):
+        scratch = Database()
+        scratch.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+        scratch.insert("t", {"x": 1})
+        scratch.insert("t", {"x": None})
+        assert scratch.query("SELECT COUNT(x) FROM t").scalar() == 1
+
+    def test_min_max_sum_avg(self, db):
+        result = db.query(
+            "SELECT MIN(drug_id), MAX(drug_id), SUM(drug_id), AVG(drug_id) FROM drug"
+        )
+        assert result.rows == [(1, 7, 28, 4.0)]
+
+    def test_aggregate_on_empty_is_null(self, db):
+        result = db.query("SELECT MAX(drug_id) FROM drug WHERE drug_id > 100")
+        assert result.rows == [(None,)]
+
+    def test_count_distinct(self, db):
+        assert db.query(
+            "SELECT COUNT(DISTINCT description) FROM precaution"
+        ).scalar() == 2
+
+    def test_group_by(self, db):
+        result = db.query(
+            "SELECT description, COUNT(*) AS n FROM precaution "
+            "GROUP BY description ORDER BY n DESC"
+        )
+        assert result.rows[0][1] == 4
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(SQLExecutionError, match="GROUP BY"):
+            db.query("SELECT name, COUNT(*) FROM drug")
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT * FROM drug GROUP BY name")
+
+
+class TestShaping:
+    def test_order_by_asc(self, db):
+        result = db.query("SELECT name FROM drug ORDER BY name")
+        names = [r[0] for r in result.rows]
+        assert names == sorted(names, key=str.lower)
+
+    def test_order_by_desc(self, db):
+        result = db.query("SELECT drug_id FROM drug ORDER BY drug_id DESC LIMIT 2")
+        assert result.rows == [(7,), (6,)]
+
+    def test_limit_offset(self, db):
+        result = db.query(
+            "SELECT drug_id FROM drug ORDER BY drug_id LIMIT 2 OFFSET 2"
+        )
+        assert result.rows == [(3,), (4,)]
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT description FROM precaution")
+        assert len(result) == 2
+
+    def test_distinct_with_order_by_source_column(self, db):
+        """Regression: dedup must keep the ORDER BY source rows aligned."""
+        scratch = Database()
+        scratch.create_table(TableSchema(
+            "t",
+            [Column("label", DataType.TEXT), Column("rank", DataType.INTEGER)],
+        ))
+        for label, rank in (("c", 3), ("a", 1), ("c", 3), ("b", 2), ("a", 1)):
+            scratch.insert("t", {"label": label, "rank": rank})
+        result = scratch.query("SELECT DISTINCT label FROM t ORDER BY rank")
+        assert result.rows == [("a",), ("b",), ("c",)]
+
+    def test_order_by_output_column_after_grouping(self, db):
+        result = db.query(
+            "SELECT description, COUNT(*) AS n FROM precaution "
+            "GROUP BY description ORDER BY description"
+        )
+        assert result.rows[0][0] == "Take with food."
+
+
+class TestParameters:
+    def test_missing_parameter(self, db):
+        with pytest.raises(BindingError, match="missing parameter"):
+            db.query("SELECT * FROM drug WHERE name = :drug")
+
+    def test_extra_parameters_ignored(self, db):
+        result = db.query(
+            "SELECT name FROM drug WHERE drug_id = :id",
+            {"id": 1, "unused": "x"},
+        )
+        assert result.rows == [("Aspirin",)]
+
+
+class TestResultSet:
+    def test_scalar_requires_single_column(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT drug_id, name FROM drug LIMIT 1").scalar()
+
+    def test_scalar_requires_rows(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT name FROM drug WHERE drug_id = 99").scalar()
+
+    def test_first_and_bool(self, db):
+        empty = db.query("SELECT name FROM drug WHERE drug_id = 99")
+        assert empty.first() is None
+        assert not empty
+
+    def test_column_accessor(self, db):
+        result = db.query("SELECT drug_id, name FROM drug ORDER BY drug_id LIMIT 2")
+        assert result.column("name") == ["Aspirin", "Ibuprofen"]
+        with pytest.raises(SQLExecutionError):
+            result.column("ghost")
+
+    def test_to_dicts(self, db):
+        result = db.query("SELECT drug_id, name FROM drug WHERE drug_id = 1")
+        assert result.to_dicts() == [{"drug_id": 1, "name": "Aspirin"}]

@@ -1,0 +1,98 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.kb.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[TokenType]:
+    return [t.type for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def values(sql: str) -> list[str]:
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserved(self):
+        tokens = tokenize("SELECT oDrug FROM drug")
+        assert tokens[1].value == "oDrug"
+        assert tokens[1].type is TokenType.IDENTIFIER
+
+    def test_eof_token_last(self):
+        assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestStrings:
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_decimal(self):
+        assert tokenize("4.25")[0].value == "4.25"
+
+    def test_qualified_name_not_decimal(self):
+        tokens = tokenize("t1.name")
+        assert [t.value for t in tokens[:-1]] == ["t1", ".", "name"]
+
+
+class TestOperatorsAndParams:
+    def test_two_char_operators(self):
+        assert values("<= >= <> !=") == ["<=", ">=", "<>", "!="]
+
+    def test_single_char_operators(self):
+        assert values("= < >") == ["=", "<", ">"]
+
+    def test_parameter(self):
+        token = tokenize(":drug_name")[0]
+        assert token.type is TokenType.PARAMETER
+        assert token.value == "drug_name"
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize(": x")
+
+    def test_punctuation(self):
+        assert values("( ) , . *") == ["(", ")", ",", ".", "*"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a ! b")
+
+
+def test_is_keyword_helper():
+    token = Token(TokenType.KEYWORD, "SELECT", 0)
+    assert token.is_keyword("SELECT", "FROM")
+    assert not token.is_keyword("WHERE")

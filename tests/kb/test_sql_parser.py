@@ -1,0 +1,168 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.kb.sql import ast
+from repro.kb.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        select = parse("SELECT * FROM drug")
+        assert select.is_star()
+
+    def test_columns_with_aliases(self):
+        select = parse("SELECT name, brand AS b, d.name n FROM drug d")
+        assert select.items[0].output_name() == "name"
+        assert select.items[1].alias == "b"
+        assert select.items[2].alias == "n"
+        assert select.items[2].expression == ast.ColumnRef("name", "d")
+
+    def test_aggregates(self):
+        select = parse("SELECT COUNT(*), MAX(price), COUNT(DISTINCT name) FROM t")
+        count_star = select.items[0].expression
+        assert isinstance(count_star, ast.Aggregate)
+        assert count_star.argument is None
+        assert select.items[1].expression.function == "MAX"
+        assert select.items[2].expression.distinct
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT MAX(*) FROM t")
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT name FROM t").distinct
+
+
+class TestFromAndJoins:
+    def test_table_alias(self):
+        select = parse("SELECT * FROM drug oDrug")
+        assert select.source.binding == "oDrug"
+
+    def test_as_alias(self):
+        select = parse("SELECT * FROM drug AS d")
+        assert select.source.alias == "d"
+
+    def test_inner_join(self):
+        select = parse(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.y"
+        )
+        assert len(select.joins) == 1
+        assert select.joins[0].kind == "inner"
+
+    def test_bare_join_is_inner(self):
+        assert parse("SELECT * FROM a JOIN b ON a.x = b.y").joins[0].kind == "inner"
+
+    def test_left_outer_join(self):
+        select = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert select.joins[0].kind == "left"
+
+    def test_multiple_joins(self):
+        select = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        assert len(select.joins) == 2
+
+    def test_join_requires_on(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM a JOIN b")
+
+
+class TestWhere:
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", ">", "<=", ">="):
+            select = parse(f"SELECT * FROM t WHERE x {op} 1")
+            assert isinstance(select.where, ast.Comparison)
+            assert select.where.op == op
+
+    def test_bang_equals_normalized(self):
+        select = parse("SELECT * FROM t WHERE x != 1")
+        assert select.where.op == "<>"
+
+    def test_and_or_precedence(self):
+        select = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(select.where, ast.Or)
+        assert isinstance(select.where.right, ast.And)
+
+    def test_parentheses(self):
+        select = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(select.where, ast.And)
+        assert isinstance(select.where.left, ast.Or)
+
+    def test_not(self):
+        select = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(select.where, ast.Not)
+
+    def test_like(self):
+        select = parse("SELECT * FROM t WHERE name LIKE 'asp%'")
+        assert isinstance(select.where, ast.LikePredicate)
+
+    def test_not_like(self):
+        select = parse("SELECT * FROM t WHERE name NOT LIKE 'x%'")
+        assert select.where.negated
+
+    def test_in(self):
+        select = parse("SELECT * FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(select.where, ast.InPredicate)
+        assert len(select.where.values) == 3
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse("SELECT * FROM t WHERE x IS NULL").where.negated
+        assert parse("SELECT * FROM t WHERE x IS NOT NULL").where.negated
+
+    def test_literals(self):
+        select = parse("SELECT * FROM t WHERE a = TRUE AND b = NULL")
+        left = select.where.left
+        assert left.right == ast.Literal(True)
+
+    def test_parameter(self):
+        select = parse("SELECT * FROM t WHERE name = :drug")
+        assert select.where.right == ast.Parameter("drug")
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        select = parse("SELECT name, COUNT(*) FROM t GROUP BY name")
+        assert select.group_by == (ast.ColumnRef("name"),)
+
+    def test_order_by_directions(self):
+        select = parse("SELECT * FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in select.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        select = parse("SELECT * FROM t LIMIT 5 OFFSET 10")
+        assert select.limit == 5
+        assert select.offset == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t LIMIT 1.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse("SELECT * FROM t nonsense extra")
+
+
+class TestParameters:
+    def test_parameters_collected_in_order(self):
+        select = parse(
+            "SELECT * FROM a JOIN b ON a.x = :first "
+            "WHERE a.y = :second AND b.z IN (:third, :first)"
+        )
+        assert select.parameters() == ["first", "second", "third"]
+
+    def test_no_parameters(self):
+        assert parse("SELECT * FROM t").parameters() == []
+
+
+def test_paper_figure9_template_parses():
+    sql = (
+        "SELECT oPrecautions.description "
+        "FROM precautions oPrecautions INNER JOIN drug oDrug "
+        "ON oPrecautions.for_drug = oDrug.drugid "
+        "WHERE oDrug.name = :drug"
+    )
+    select = parse(sql)
+    assert select.source.binding == "oPrecautions"
+    assert select.parameters() == ["drug"]

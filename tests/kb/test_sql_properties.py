@@ -1,0 +1,102 @@
+"""Property-based tests for the SQL engine."""
+
+import fnmatch
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb import Column, Database, DataType, TableSchema
+from repro.kb.sql.executor import _wildcard_match
+from repro.kb.sql.lexer import TokenType, tokenize
+
+_text = st.text(alphabet="abcxyz", max_size=8)
+_pattern = st.text(alphabet="abcxyz%_", max_size=8)
+
+
+@given(_text, _pattern)
+def test_like_matches_fnmatch_reference(text, pattern):
+    """Our LIKE matcher agrees with fnmatch on translated wildcards."""
+    translated = pattern.replace("%", "*").replace("_", "?")
+    assert _wildcard_match(text, pattern) == fnmatch.fnmatchcase(text, translated)
+
+
+@given(_text)
+def test_like_percent_matches_everything(text):
+    assert _wildcard_match(text, "%")
+
+
+@given(_text)
+def test_like_exact_self_match(text):
+    assert _wildcard_match(text, text)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_order_by_sorts_and_preserves_multiset(values):
+    db = Database()
+    db.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+    for v in values:
+        db.insert("t", {"x": v})
+    result = db.query("SELECT x FROM t ORDER BY x")
+    out = [r[0] for r in result.rows]
+    assert out == sorted(values)
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_group_by_counts_sum_to_total(values):
+    db = Database()
+    db.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+    for v in values:
+        db.insert("t", {"x": v})
+    result = db.query("SELECT x, COUNT(*) AS n FROM t GROUP BY x")
+    assert sum(r[1] for r in result.rows) == len(values)
+    assert len(result.rows) == len(set(values))
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_aggregates_match_python(values):
+    db = Database()
+    db.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+    for v in values:
+        db.insert("t", {"x": v})
+    row = db.query("SELECT MIN(x), MAX(x), SUM(x), COUNT(x) FROM t").rows[0]
+    assert row == (min(values), max(values), sum(values), len(values))
+
+
+@given(st.lists(st.integers(0, 9), max_size=20), st.integers(0, 5), st.integers(0, 5))
+@settings(max_examples=50, deadline=None)
+def test_limit_offset_window(values, limit, offset):
+    db = Database()
+    db.create_table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+    for v in values:
+        db.insert("t", {"x": v})
+    result = db.query(
+        f"SELECT x FROM t ORDER BY x LIMIT {limit} OFFSET {offset}"
+    )
+    assert [r[0] for r in result.rows] == sorted(values)[offset : offset + limit]
+
+
+_identifier = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT", "AS",
+        "INNER", "LEFT", "OUTER", "JOIN", "ON", "GROUP", "ORDER", "BY",
+        "ASC", "DESC", "LIMIT", "LIKE", "IN", "IS", "NULL", "COUNT", "SUM",
+        "AVG", "MIN", "MAX", "TRUE", "FALSE", "OFFSET",
+    }
+)
+
+
+@given(_identifier)
+def test_identifiers_tokenize_as_identifiers(name):
+    tokens = tokenize(name)
+    assert tokens[0].type is TokenType.IDENTIFIER
+    assert tokens[0].value == name
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="'"), max_size=20))
+def test_string_literals_round_trip(content):
+    token = tokenize(f"'{content}'")[0]
+    assert token.type is TokenType.STRING
+    assert token.value == content

@@ -1,0 +1,74 @@
+"""Tests for column statistics and categorical detection (§4.2.1)."""
+
+from repro.kb import Column, DataType, Table, TableSchema
+from repro.kb.statistics import ColumnStatistics, compute_table_statistics
+
+
+def make_stats(**overrides) -> ColumnStatistics:
+    kwargs = dict(
+        table="t", column="c", data_type=DataType.TEXT,
+        row_count=100, distinct_count=10, null_count=0,
+    )
+    kwargs.update(overrides)
+    return ColumnStatistics(**kwargs)
+
+
+class TestDistinctRatio:
+    def test_ratio(self):
+        assert make_stats(distinct_count=50).distinct_ratio == 0.5
+
+    def test_nulls_excluded_from_denominator(self):
+        stats = make_stats(row_count=100, null_count=50, distinct_count=25)
+        assert stats.distinct_ratio == 0.5
+
+    def test_empty_column(self):
+        stats = make_stats(row_count=0, distinct_count=0)
+        assert stats.distinct_ratio == 0.0
+
+
+class TestCategoricalDetection:
+    def test_low_distinct_count_is_categorical(self):
+        assert make_stats(distinct_count=5).is_categorical()
+
+    def test_low_ratio_is_categorical(self):
+        stats = make_stats(row_count=1000, distinct_count=300)
+        assert stats.is_categorical()
+
+    def test_high_cardinality_not_categorical(self):
+        stats = make_stats(row_count=100, distinct_count=100)
+        assert not stats.is_categorical()
+
+    def test_boolean_always_categorical(self):
+        stats = make_stats(
+            data_type=DataType.BOOLEAN, row_count=2, distinct_count=2
+        )
+        assert stats.is_categorical()
+
+    def test_empty_not_categorical(self):
+        stats = make_stats(row_count=0, distinct_count=0, null_count=0)
+        assert not stats.is_categorical()
+
+    def test_thresholds_configurable(self):
+        stats = make_stats(row_count=100, distinct_count=80)
+        assert not stats.is_categorical(max_ratio=0.5, max_distinct=64)
+        assert stats.is_categorical(max_ratio=0.9, max_distinct=64)
+        assert stats.is_categorical(max_ratio=0.5, max_distinct=90)
+
+
+class TestComputeTableStatistics:
+    def test_counts(self):
+        table = Table(TableSchema(
+            "t",
+            [Column("id", DataType.INTEGER, nullable=False),
+             Column("label", DataType.TEXT)],
+            primary_key="id",
+        ))
+        table.insert({"id": 1, "label": "a"})
+        table.insert({"id": 2, "label": "a"})
+        table.insert({"id": 3, "label": None})
+        stats = compute_table_statistics(table)
+        assert stats.row_count == 3
+        label = stats.column("label")
+        assert label.distinct_count == 1
+        assert label.null_count == 1
+        assert stats.column("ID").column == "id"

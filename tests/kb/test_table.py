@@ -1,0 +1,108 @@
+"""Tests for row storage and constraint enforcement."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.kb.schema import Column, TableSchema
+from repro.kb.table import Table
+from repro.kb.types import DataType
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(TableSchema(
+        "drug",
+        [Column("drug_id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT, nullable=False),
+         Column("brand", DataType.TEXT)],
+        primary_key="drug_id",
+    ))
+
+
+class TestInsert:
+    def test_insert_dict(self, table):
+        row = table.insert({"drug_id": 1, "name": "Aspirin", "brand": "Bayer"})
+        assert row == (1, "Aspirin", "Bayer")
+        assert len(table) == 1
+
+    def test_insert_positional(self, table):
+        row = table.insert([2, "Ibuprofen", None])
+        assert row == (2, "Ibuprofen", None)
+
+    def test_missing_dict_keys_become_null(self, table):
+        row = table.insert({"drug_id": 3, "name": "Naproxen"})
+        assert row[2] is None
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(IntegrityError, match="unknown columns"):
+            table.insert({"drug_id": 1, "name": "X", "nope": 1})
+
+    def test_wrong_positional_arity_rejected(self, table):
+        with pytest.raises(IntegrityError, match="expected 3 values"):
+            table.insert([1, "X"])
+
+    def test_not_null_enforced(self, table):
+        with pytest.raises(IntegrityError, match="NOT NULL"):
+            table.insert({"drug_id": 1, "name": None})
+
+    def test_type_coercion_applied(self, table):
+        row = table.insert({"drug_id": "7", "name": "X"})
+        assert row[0] == 7
+
+
+class TestPrimaryKey:
+    def test_duplicate_pk_rejected(self, table):
+        table.insert({"drug_id": 1, "name": "A"})
+        with pytest.raises(IntegrityError, match="duplicate primary key"):
+            table.insert({"drug_id": 1, "name": "B"})
+
+    def test_null_pk_rejected(self, table):
+        # Rejected by nullability here; a nullable PK column is caught by
+        # the dedicated primary-key check.
+        with pytest.raises(IntegrityError):
+            table.insert({"drug_id": None, "name": "A"})
+
+    def test_null_pk_rejected_even_when_nullable(self):
+        nullable_pk = Table(TableSchema(
+            "t",
+            [Column("id", DataType.INTEGER), Column("v", DataType.TEXT)],
+            primary_key="id",
+        ))
+        with pytest.raises(IntegrityError, match="primary key"):
+            nullable_pk.insert({"id": None, "v": "x"})
+
+    def test_lookup_pk(self, table):
+        table.insert({"drug_id": 5, "name": "A"})
+        assert table.lookup_pk(5) == (5, "A", None)
+        assert table.lookup_pk(99) is None
+
+    def test_has_pk(self, table):
+        table.insert({"drug_id": 5, "name": "A"})
+        assert table.has_pk(5)
+        assert not table.has_pk(6)
+
+    def test_pk_operations_require_pk(self):
+        no_pk = Table(TableSchema("t", [Column("x", DataType.INTEGER)]))
+        with pytest.raises(IntegrityError):
+            no_pk.lookup_pk(1)
+
+
+class TestReads:
+    def test_iteration(self, table):
+        table.insert({"drug_id": 1, "name": "A"})
+        table.insert({"drug_id": 2, "name": "B"})
+        assert [row[0] for row in table] == [1, 2]
+
+    def test_column_values_include_nulls(self, table):
+        table.insert({"drug_id": 1, "name": "A", "brand": "X"})
+        table.insert({"drug_id": 2, "name": "B"})
+        assert table.column_values("brand") == ["X", None]
+
+    def test_distinct_values_skip_nulls_and_dupes(self, table):
+        table.insert({"drug_id": 1, "name": "A", "brand": "X"})
+        table.insert({"drug_id": 2, "name": "B", "brand": "X"})
+        table.insert({"drug_id": 3, "name": "C"})
+        assert table.distinct_values("brand") == ["X"]
+
+    def test_name_property(self, table):
+        assert table.name == "drug"

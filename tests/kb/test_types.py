@@ -1,0 +1,101 @@
+"""Tests for value coercion and comparability."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.kb.types import DataType, coerce_value, is_comparable
+
+
+class TestCoerceInteger:
+    def test_accepts_int(self):
+        assert coerce_value(5, DataType.INTEGER) == 5
+
+    def test_accepts_integral_float(self):
+        assert coerce_value(5.0, DataType.INTEGER) == 5
+
+    def test_accepts_numeric_string(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(5.5, DataType.INTEGER)
+
+    def test_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(True, DataType.INTEGER)
+
+    def test_rejects_non_numeric_string(self):
+        with pytest.raises(IntegrityError):
+            coerce_value("abc", DataType.INTEGER)
+
+
+class TestCoerceFloat:
+    def test_accepts_float(self):
+        assert coerce_value(2.5, DataType.FLOAT) == 2.5
+
+    def test_widens_int(self):
+        value = coerce_value(3, DataType.FLOAT)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_accepts_numeric_string(self):
+        assert coerce_value("2.5", DataType.FLOAT) == 2.5
+
+    def test_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(False, DataType.FLOAT)
+
+
+class TestCoerceText:
+    def test_accepts_string(self):
+        assert coerce_value("hello", DataType.TEXT) == "hello"
+
+    def test_rejects_number(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(5, DataType.TEXT)
+
+
+class TestCoerceBoolean:
+    def test_accepts_bool(self):
+        assert coerce_value(True, DataType.BOOLEAN) is True
+
+    def test_accepts_zero_one(self):
+        assert coerce_value(1, DataType.BOOLEAN) is True
+        assert coerce_value(0, DataType.BOOLEAN) is False
+
+    def test_rejects_other_ints(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(2, DataType.BOOLEAN)
+
+
+def test_none_passes_through_all_types():
+    for data_type in DataType:
+        assert coerce_value(None, data_type) is None
+
+
+def test_error_message_names_column():
+    with pytest.raises(IntegrityError, match="brand"):
+        coerce_value(1, DataType.TEXT, column="brand")
+
+
+class TestComparability:
+    def test_numbers_comparable(self):
+        assert is_comparable(1, 2.5)
+
+    def test_none_never_comparable(self):
+        assert not is_comparable(None, 1)
+        assert not is_comparable("a", None)
+
+    def test_mixed_types_not_comparable(self):
+        assert not is_comparable("a", 1)
+
+    def test_bool_only_with_bool(self):
+        assert is_comparable(True, False)
+        assert not is_comparable(True, 1)
+
+    def test_strings_comparable(self):
+        assert is_comparable("a", "b")
+
+    def test_python_type_mapping(self):
+        assert DataType.INTEGER.python_type() is int
+        assert DataType.TEXT.python_type() is str

@@ -1,0 +1,136 @@
+"""Tests for the MDX build pipeline (§6)."""
+
+import pytest
+
+from repro.medical import rename_to_paper_intents
+from repro.medical.build import MDX_KEY_CONCEPTS, build_mdx_space
+from repro.medical.knowledge import (
+    INTENT_RENAMES,
+    PRIOR_USER_QUERIES,
+    mdx_concept_synonyms,
+    mdx_glossary,
+    mdx_instance_synonyms,
+)
+
+
+class TestOntology:
+    def test_paper_scale(self, mdx_small_ontology):
+        summary = mdx_small_ontology.summary()
+        # §6.1: 59 concepts, 178 properties, 58 relationships.
+        assert summary["concepts"] >= 59
+        assert summary["data_properties"] >= 178
+        assert summary["relationships"] >= 58
+
+    def test_union_semantics(self, mdx_small_ontology):
+        assert mdx_small_ontology.is_union("Risk")
+        assert mdx_small_ontology.is_union("Dose Adjustment")
+
+    def test_inheritance_semantics(self, mdx_small_ontology):
+        assert mdx_small_ontology.is_inheritance_parent("Drug Interaction")
+        assert not mdx_small_ontology.is_union("Drug Interaction")
+
+    def test_sme_refinements_applied(self, mdx_small_ontology):
+        treats = next(
+            p for p in mdx_small_ontology.object_properties()
+            if p.name == "treats"
+        )
+        assert treats.inverse_name == "is treated by"
+        assert "medication" in mdx_small_ontology.concept("Drug").synonyms
+        assert mdx_small_ontology.concept("Drug").description
+
+
+class TestSpace:
+    def test_paper_intent_scale(self, mdx_small_space):
+        summary = mdx_small_space.summary()
+        # §6.1: 22 domain intents = 14 lookup + 8 relationship.
+        assert summary["lookup_intents"] == 14
+        assert summary["relationship_intents"] == 8
+        assert summary["keyword_intents"] == 1  # DRUG_GENERAL
+
+    def test_pruned_intents_absent(self, mdx_small_space):
+        assert not mdx_small_space.has_intent("Price Tier of Drug")
+        assert not mdx_small_space.has_intent("Dosage of Drug")
+
+    def test_prior_queries_included(self, mdx_small_space):
+        sme_examples = [
+            e for e in mdx_small_space.training_examples if e.source == "sme"
+        ]
+        assert len(sme_examples) >= 40
+
+    def test_table4_requirements(self, mdx_small_space):
+        treats = mdx_small_space.intent("Drug that treats Indication")
+        assert treats.required_entities == ["Indication", "Age Group"]
+        assert treats.elicitations["Age Group"] == "Adult or pediatric?"
+        dosage = mdx_small_space.intent("Drug Dosage for Indication")
+        assert dosage.required_entities == ["Drug", "Indication", "Age Group"]
+
+    def test_age_group_entity_registered(self, mdx_small_space):
+        entity = mdx_small_space.entity("Age Group")
+        pediatric = entity.find_value("children")
+        assert pediatric is not None
+        assert pediatric.value == "Pediatric"
+
+    def test_without_sme_feedback(self, mdx_small_db, mdx_small_ontology):
+        raw = build_mdx_space(
+            mdx_small_db, mdx_small_ontology,
+            apply_sme_feedback=False, with_prior_queries=False,
+        )
+        assert raw.has_intent("Dosage of Drug")  # not pruned
+        assert raw.summary()["lookup_intents"] > 14
+
+
+class TestRenames:
+    def test_rename_to_paper_names(self, mdx_small_db, mdx_small_ontology):
+        space = build_mdx_space(mdx_small_db, mdx_small_ontology)
+        applied = rename_to_paper_intents(space)
+        assert applied["Drug that treats Indication"] == "Drugs That Treat Condition"
+        assert space.has_intent("IV Compatibility of Drug")
+        assert space.has_intent("Uses of Drug")
+
+    def test_prior_queries_reference_known_intents(self):
+        targets = {old for old, _ in INTENT_RENAMES.items()}
+        for _, intent in PRIOR_USER_QUERIES:
+            # Every prior-query label is a generated intent name that
+            # either survives or is renamed — never a paper-only name.
+            assert intent not in INTENT_RENAMES.values() or intent in targets
+
+
+class TestKnowledge:
+    def test_concept_synonyms_cover_table2(self):
+        synonyms = mdx_concept_synonyms()
+        assert "side effect" in synonyms.synonyms_of("Adverse Effect")
+        assert synonyms.canonical("medication") == "Drug"
+
+    def test_instance_synonyms_cover_brands_and_salts(self):
+        synonyms = mdx_instance_synonyms()
+        assert "Bayer" in synonyms.synonyms_of("Aspirin")
+        assert synonyms.canonical("Cogentin") == "Benztropine Mesylate"
+        # §6.1: Cyclogel has brand Cylate... our vocabulary keeps the
+        # brand on the generic name.
+        assert synonyms.canonical("Tums") == "Calcium Carbonate"
+
+    def test_glossary_has_effective(self):
+        glossary = mdx_glossary()
+        assert "effective" in glossary
+        assert "therapeutic effect" in glossary["effective"]
+
+    def test_key_concepts(self):
+        assert MDX_KEY_CONCEPTS == ["Drug", "Indication"]
+
+
+class TestAgent:
+    def test_agent_builds_and_answers(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("adverse effects of aspirin")
+        assert response.kind == "answer"
+        assert response.intent == "Adverse Effects of Drug"
+
+    def test_paper_intent_names_active(self, mdx_agent):
+        names = set(mdx_agent.space.intent_names())
+        for expected in ("Drug Dosage for Condition", "Uses of Drug",
+                         "IV Compatibility of Drug", "DRUG_GENERAL"):
+            assert expected in names
+
+    def test_management_intents_added(self, mdx_agent):
+        assert mdx_agent.space.has_intent("definition_request")
+        assert mdx_agent.space.summary()["management_intents"] == 14

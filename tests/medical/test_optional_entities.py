@@ -1,0 +1,68 @@
+"""Tests for Table 4's optional-entity behaviour (Severity filter)."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def interaction_intent(mdx_small_space):
+    return mdx_small_space.intent("Drug Interaction of Drug")
+
+
+class TestSeverityOptionalEntity:
+    def test_severity_is_optional_not_required(self, interaction_intent):
+        assert "Severity" in interaction_intent.optional_entities
+        assert "Severity" not in interaction_intent.required_entities
+
+    def test_two_templates(self, interaction_intent):
+        assert len(interaction_intent.custom_templates) == 2
+        plain, filtered = interaction_intent.custom_templates
+        assert plain.required_concepts() == ["Drug"]
+        assert set(filtered.required_concepts()) == {"Drug", "Severity"}
+
+    def test_severity_entity_registered(self, mdx_small_space):
+        entity = mdx_small_space.entity("Severity")
+        assert entity.find_value("serious").value == "Severe"
+
+    def test_plain_request_not_elicited(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("interactions for warfarin")
+        assert response.kind == "answer"
+        assert "Severity" not in response.entities
+
+    def test_severity_filter_applied(self, mdx_agent):
+        session = mdx_agent.session()
+        response = session.ask("severe interactions for warfarin")
+        assert response.kind in ("answer", "answer_empty")
+        assert response.entities.get("Severity") == "Severe"
+        assert "oSeverity.name = :severity" in (response.sql or "")
+
+    def test_filtered_results_subset_of_plain(self, mdx_agent):
+        plain, filtered = [
+            t for t in mdx_agent.templates["Drug-Drug Interactions"]
+        ]
+        all_rows = plain.execute(mdx_agent.database, {"Drug": "Amiodarone"})
+        severity_rows = []
+        for severity in ("Mild", "Moderate", "Severe", "Contraindicated"):
+            severity_rows.extend(filtered.execute(
+                mdx_agent.database,
+                {"Drug": "Amiodarone", "Severity": severity},
+            ).rows)
+        assert sorted(severity_rows) == sorted(all_rows.rows)
+
+
+class TestTreatsGroupedTemplate:
+    def test_treats_template_grouped(self, mdx_small_space):
+        treats = mdx_small_space.intent("Drug that treats Indication")
+        assert treats.custom_templates[0].grouped
+
+    def test_answer_grouped_by_efficacy(self, mdx_agent):
+        session = mdx_agent.session()
+        session.ask("show me drugs that treat hypertension")
+        response = session.ask("adult")
+        assert response.kind == "answer"
+        # The answer groups drugs under efficacy labels (§6.3 line 05).
+        assert any(
+            label in response.text
+            for label in ("Effective:", "Possibly Effective:",
+                          "Evidence Favors Efficacy:", "Ineffective:")
+        )

@@ -1,0 +1,67 @@
+"""Tests for the MDX schema (§6.1 scale and structure)."""
+
+from repro.kb import Database
+from repro.medical.schema import create_mdx_schema
+
+
+def test_schema_builds_on_fresh_database():
+    db = create_mdx_schema()
+    assert db.has_table("drug")
+    assert db.has_table("iv_compatibility")
+
+
+def test_schema_extends_existing_database():
+    base = Database("custom")
+    db = create_mdx_schema(base)
+    assert db is base
+
+
+class TestScale:
+    def test_at_least_59_concept_tables(self):
+        db = create_mdx_schema()
+        junctions = {"treats", "off_label_treats", "prevents",
+                     "causes_finding", "presents_with"}
+        concept_tables = [t for t in db.table_names() if t not in junctions]
+        assert len(concept_tables) >= 59
+
+    def test_junction_tables_are_pure_keys(self):
+        db = create_mdx_schema()
+        for name in ("treats", "off_label_treats", "prevents"):
+            schema = db.table(name).schema
+            fk_columns = {fk.column for fk in schema.foreign_keys}
+            assert {c.name for c in schema.columns} == fk_columns
+
+
+class TestSpecialSemantics:
+    def test_union_children_pk_is_fk(self):
+        db = create_mdx_schema()
+        for child in ("contra_indication", "black_box_warning"):
+            schema = db.table(child).schema
+            fk = schema.foreign_key_for(schema.primary_key)
+            assert fk is not None
+            assert fk.referenced_table == "risk"
+
+    def test_dose_adjustment_children(self):
+        db = create_mdx_schema()
+        for child in ("renal_adjustment", "hepatic_adjustment"):
+            schema = db.table(child).schema
+            fk = schema.foreign_key_for(schema.primary_key)
+            assert fk.referenced_table == "dose_adjustment"
+
+    def test_interaction_children(self):
+        db = create_mdx_schema()
+        for child in ("drug_drug_interaction", "drug_food_interaction",
+                      "drug_lab_interaction"):
+            schema = db.table(child).schema
+            fk = schema.foreign_key_for(schema.primary_key)
+            assert fk.referenced_table == "drug_interaction"
+
+    def test_drug_is_hub(self):
+        db = create_mdx_schema()
+        referencing = sum(
+            1
+            for table in db.tables()
+            for fk in table.schema.foreign_keys
+            if fk.referenced_table == "drug"
+        )
+        assert referencing >= 20

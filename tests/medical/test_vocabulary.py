@@ -1,0 +1,84 @@
+"""Integrity checks on the public medical vocabulary."""
+
+from repro.medical import vocabulary as vocab
+from repro.medical.generator import _MOA_BY_TC, _therapeutic_class_for
+
+
+class TestDrugs:
+    def test_generic_names_unique(self):
+        names = [d[0].lower() for d in vocab.DRUGS]
+        assert len(names) == len(set(names))
+
+    def test_brand_names_unique(self):
+        brands = [d[1].lower() for d in vocab.DRUGS]
+        assert len(brands) == len(set(brands))
+
+    def test_no_brand_equals_generic(self):
+        for generic, brand, _cls, _salt in vocab.DRUGS:
+            assert brand.lower() != generic.lower()
+
+    def test_base_salt_extends_generic_when_related(self):
+        """Base-with-salt descriptions are distinct surface forms."""
+        for generic, _brand, _cls, salt in vocab.DRUGS:
+            if salt is not None:
+                assert salt.lower() != generic.lower()
+
+    def test_scale(self):
+        assert len(vocab.DRUGS) >= 120
+
+    def test_paper_exemplars_present(self):
+        names = {d[0] for d in vocab.DRUGS}
+        # Every drug the paper's text mentions must exist.
+        for exemplar in ("Aspirin", "Ibuprofen", "Tazarotene", "Fluocinonide",
+                         "Benazepril", "Citicoline", "Pancreatin",
+                         "Benztropine Mesylate", "Cyclopentolate Hydrochloride",
+                         "Acitretin", "Adalimumab", "Salicylic Acid"):
+            assert exemplar in names, exemplar
+
+
+class TestConditions:
+    def test_names_unique(self):
+        names = [c[0].lower() for c in vocab.CONDITIONS]
+        assert len(names) == len(set(names))
+
+    def test_every_condition_has_treating_classes(self):
+        drug_classes = {d[2] for d in vocab.DRUGS}
+        for name, classes in vocab.CONDITIONS:
+            assert classes, name
+            for cls in classes:
+                assert cls in drug_classes, f"{name}: unknown class {cls}"
+
+    def test_paper_conditions_present(self):
+        names = {c[0] for c in vocab.CONDITIONS}
+        for exemplar in ("Psoriasis", "Acne", "Fever", "Hypertension"):
+            assert exemplar in names
+
+    def test_every_drug_class_treats_something(self):
+        treatable = {cls for _, classes in vocab.CONDITIONS for cls in classes}
+        drug_classes = {d[2] for d in vocab.DRUGS}
+        orphans = drug_classes - treatable
+        # A handful of supportive-care classes legitimately treat nothing
+        # in the list; keep the orphan set small and known.
+        assert len(orphans) <= 5, sorted(orphans)
+
+
+class TestClassMapping:
+    def test_every_class_maps_to_therapeutic_class(self):
+        for _generic, _brand, drug_class, _salt in vocab.DRUGS:
+            tc = _therapeutic_class_for(drug_class)
+            assert tc in vocab.THERAPEUTIC_CLASSES
+
+    def test_every_therapeutic_class_has_moa_text(self):
+        for tc in vocab.THERAPEUTIC_CLASSES:
+            assert tc in _MOA_BY_TC
+
+
+class TestSynonymTables:
+    def test_concept_synonyms_nonempty(self):
+        for concept, synonyms in vocab.CONCEPT_SYNONYMS.items():
+            assert synonyms, concept
+
+    def test_glossary_entries_are_sentencelike(self):
+        for term, definition in vocab.GLOSSARY.items():
+            assert definition.endswith("."), term
+            assert len(definition) > 20, term

@@ -1,0 +1,96 @@
+"""Tests for classification metrics."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.nlp.metrics import (
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f1 = precision_recall_f1(["a", "a", "b"], ["a", "a", "b"], "a")
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_precision_only_errors(self):
+        # predicted a three times, one wrong
+        p, r, _ = precision_recall_f1(["a", "a", "b"], ["a", "a", "a"], "a")
+        assert p == pytest.approx(2 / 3)
+        assert r == 1.0
+
+    def test_recall_only_errors(self):
+        p, r, _ = precision_recall_f1(["a", "a", "a"], ["a", "a", "b"], "a")
+        assert p == 1.0
+        assert r == pytest.approx(2 / 3)
+
+    def test_absent_class_is_zero(self):
+        assert precision_recall_f1(["a"], ["a"], "zzz") == (0.0, 0.0, 0.0)
+
+    def test_f1_is_harmonic_mean(self):
+        p, r, f1 = precision_recall_f1(
+            ["a", "a", "b", "b"], ["a", "b", "a", "b"], "a"
+        )
+        assert f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_score_shortcut(self):
+        assert f1_score(["a", "b"], ["a", "b"], "a") == 1.0
+
+
+class TestClassificationReport:
+    def test_accuracy(self):
+        report = classification_report(["a", "b", "a"], ["a", "b", "b"])
+        assert report.accuracy == pytest.approx(2 / 3)
+
+    def test_macro_f1_unweighted(self):
+        report = classification_report(
+            ["a", "a", "a", "b"], ["a", "a", "a", "a"]
+        )
+        # a: P=3/4 R=1 F1=6/7; b: 0
+        assert report.macro_f1 == pytest.approx((6 / 7) / 2)
+
+    def test_weighted_f1(self):
+        report = classification_report(["a", "a", "b"], ["a", "a", "b"])
+        assert report.weighted_f1 == 1.0
+
+    def test_f1_lookup_for_missing_class(self):
+        report = classification_report(["a"], ["a"])
+        assert report.f1("ghost") == 0.0
+
+    def test_sorted_by_support(self):
+        report = classification_report(
+            ["a", "a", "a", "b"], ["a", "a", "a", "b"]
+        )
+        ordered = report.sorted_by_support()
+        assert [m.label for m in ordered] == ["a", "b"]
+        assert ordered[0].support == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            classification_report(["a"], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            classification_report([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        labels, matrix = confusion_matrix(
+            ["a", "a", "b", "b"], ["a", "b", "b", "b"]
+        )
+        assert labels == ["a", "b"]
+        assert matrix == [[1, 1], [0, 2]]
+
+    def test_total_preserved(self):
+        true = ["a", "b", "c"] * 4
+        pred = ["b", "b", "c"] * 4
+        _, matrix = confusion_matrix(true, pred)
+        assert sum(sum(row) for row in matrix) == len(true)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            confusion_matrix(["a"], [])

@@ -1,0 +1,88 @@
+"""Tests for string-similarity utilities."""
+
+import pytest
+
+from repro.nlp.similarity import (
+    best_match,
+    jaccard_similarity,
+    levenshtein,
+    similarity_ratio,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("aspirin", "aspirin") == 0
+
+    def test_empty_cases(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("cat", "cut") == 1
+
+    def test_insertion_deletion(self):
+        assert levenshtein("aspirin", "asprin") == 1
+        assert levenshtein("asprin", "aspirin") == 1
+
+    def test_transposition_costs_two(self):
+        assert levenshtein("ab", "ba") == 2
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_limit_early_exit(self):
+        assert levenshtein("aaaaaaaa", "bbbbbbbb", limit=2) == 3  # limit + 1
+
+    def test_limit_not_triggered_when_close(self):
+        assert levenshtein("aspirin", "asprin", limit=2) == 1
+
+
+class TestSimilarityRatio:
+    def test_identical_is_one(self):
+        assert similarity_ratio("abc", "abc") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert similarity_ratio("aaa", "bbb") == 0.0
+
+    def test_both_empty(self):
+        assert similarity_ratio("", "") == 1.0
+
+    def test_misspelled_drug_above_threshold(self):
+        assert similarity_ratio("asprin", "aspirin") > 0.84
+
+    def test_symmetric(self):
+        assert similarity_ratio("abcd", "abxd") == similarity_ratio("abxd", "abcd")
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+
+class TestBestMatch:
+    CANDIDATES = ["Aspirin", "Ibuprofen", "Naproxen"]
+
+    def test_exact(self):
+        assert best_match("aspirin", self.CANDIDATES) == ("Aspirin", 1.0)
+
+    def test_fuzzy(self):
+        match = best_match("asprin", self.CANDIDATES)
+        assert match is not None
+        assert match[0] == "Aspirin"
+
+    def test_below_threshold(self):
+        assert best_match("zzzzz", self.CANDIDATES) is None
+
+    def test_picks_highest_ratio(self):
+        match = best_match("naproxin", self.CANDIDATES, min_ratio=0.5)
+        assert match[0] == "Naproxen"

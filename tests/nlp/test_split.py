@@ -1,0 +1,72 @@
+"""Tests for stratified splitting."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.nlp.split import stratified_split
+
+
+def make_data(counts: dict[str, int]):
+    examples, labels = [], []
+    for label, n in counts.items():
+        for i in range(n):
+            examples.append(f"{label}-{i}")
+            labels.append(label)
+    return examples, labels
+
+
+class TestStratifiedSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        examples, labels = make_data({"a": 20, "b": 12})
+        train_x, train_y, test_x, test_y = stratified_split(examples, labels)
+        assert sorted(train_x + test_x) == sorted(examples)
+        assert set(train_x).isdisjoint(test_x)
+        assert len(train_x) == len(train_y)
+        assert len(test_x) == len(test_y)
+
+    def test_proportions_per_label(self):
+        examples, labels = make_data({"a": 40, "b": 20})
+        _, train_y, _, test_y = stratified_split(
+            examples, labels, test_fraction=0.25
+        )
+        assert test_y.count("a") == 10
+        assert test_y.count("b") == 5
+
+    def test_every_label_keeps_training_example(self):
+        examples, labels = make_data({"a": 2, "b": 2, "c": 2})
+        _, train_y, _, _ = stratified_split(examples, labels, test_fraction=0.5)
+        assert set(train_y) == {"a", "b", "c"}
+
+    def test_singleton_label_goes_to_training(self):
+        examples, labels = make_data({"a": 1, "b": 10})
+        _, train_y, _, test_y = stratified_split(examples, labels)
+        assert "a" in train_y
+        assert "a" not in test_y
+
+    def test_multi_example_labels_get_tested(self):
+        examples, labels = make_data({"a": 4})
+        _, _, _, test_y = stratified_split(examples, labels, test_fraction=0.25)
+        assert test_y.count("a") >= 1
+
+    def test_deterministic_per_seed(self):
+        examples, labels = make_data({"a": 10, "b": 10})
+        split1 = stratified_split(examples, labels, seed=1)
+        split2 = stratified_split(examples, labels, seed=1)
+        assert split1 == split2
+
+    def test_seed_changes_split(self):
+        examples, labels = make_data({"a": 30})
+        _, _, test1, _ = stratified_split(examples, labels, seed=1)
+        _, _, test2, _ = stratified_split(examples, labels, seed=2)
+        assert test1 != test2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            stratified_split(["x"], [])
+
+    def test_invalid_fraction_rejected(self):
+        examples, labels = make_data({"a": 4})
+        with pytest.raises(EvaluationError):
+            stratified_split(examples, labels, test_fraction=0.0)
+        with pytest.raises(EvaluationError):
+            stratified_split(examples, labels, test_fraction=1.0)

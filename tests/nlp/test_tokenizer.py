@@ -1,0 +1,83 @@
+"""Tests for normalization, tokenization and stemming."""
+
+from repro.nlp.tokenizer import DEFAULT_STOPWORDS, Tokenizer, normalize, stem, tokenize
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("Show Me DRUGS") == "show me drugs"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a \t b \n c ") == "a b c"
+
+
+class TestTokenize:
+    def test_splits_words(self):
+        assert tokenize("show me the drugs") == ["show", "me", "the", "drugs"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("what's this? (really)") == ["what's", "this", "really"]
+
+    def test_keeps_hyphenated_terms(self):
+        assert tokenize("drug-drug interaction") == ["drug-drug", "interaction"]
+
+    def test_numbers_kept(self):
+        assert tokenize("give 50 mg") == ["give", "50", "mg"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestStem:
+    def test_plural_stripped(self):
+        assert stem("precautions") == "precaution"
+
+    def test_ing_stripped(self):
+        assert stem("dosing") == "dos" if len("dos") >= 4 else "dosing"
+
+    def test_short_tokens_untouched(self):
+        assert stem("meds") == "meds"
+        assert stem("dose") == "dose"
+
+    def test_never_below_four_chars(self):
+        assert len(stem("using")) >= 4
+
+    def test_ies_to_y(self):
+        assert stem("therapies") == "therapy"
+
+    def test_treats_to_treat(self):
+        assert stem("treats") == "treat"
+
+
+class TestTokenizer:
+    def test_stopwords_removed(self):
+        tokens = Tokenizer()("show me the precautions")
+        assert "the" not in tokens
+        assert "me" not in tokens
+
+    def test_question_words_kept(self):
+        # "what"/"which"/"for" carry intent signal and are not stopwords.
+        tokens = Tokenizer()("what drugs for fever")
+        assert "what" in tokens
+        assert "for" in tokens
+
+    def test_stemming_can_be_disabled(self):
+        tokens = Tokenizer(use_stemming=False)("precautions")
+        assert tokens == ["precautions"]
+
+    def test_custom_stopwords(self):
+        tokens = Tokenizer(stopwords=frozenset({"show"}), use_stemming=False)(
+            "show drugs"
+        )
+        assert tokens == ["drugs"]
+
+    def test_bigrams(self):
+        # "that" is a stopword, so bigrams span the filtered tokens.
+        grams = Tokenizer(use_stemming=False).ngrams("drugs that treat fever", 2)
+        assert grams == ["drugs treat", "treat fever"]
+
+    def test_ngram_longer_than_text(self):
+        assert Tokenizer().ngrams("one", 3) == []
+
+    def test_default_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in DEFAULT_STOPWORDS)

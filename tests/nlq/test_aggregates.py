@@ -1,0 +1,58 @@
+"""Tests for count-query interpretation and generation."""
+
+import pytest
+
+from repro.errors import NLQError
+from repro.nlq import interpret
+from repro.nlq.sql_generator import build_concept_query
+
+
+class TestCountGeneration:
+    def test_count_query_shape(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Drug"], ["Indication"], toy_db, aggregate="count"
+        )
+        assert query.sql.startswith("SELECT COUNT(DISTINCT")
+        assert query.select_columns == ["n"]
+
+    def test_count_executes(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Drug"], [], toy_db, aggregate="count"
+        )
+        assert toy_db.query(query.sql).scalar() == 7
+
+    def test_count_with_filter(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Precaution"], ["Drug"], toy_db, aggregate="count"
+        )
+        assert toy_db.query(query.sql, {"drug": "Aspirin"}).scalar() == 1
+
+    def test_unsupported_aggregate_rejected(self, toy_ontology, toy_db):
+        with pytest.raises(NLQError, match="unsupported aggregate"):
+            build_concept_query(
+                toy_ontology, ["Drug"], [], toy_db, aggregate="median"
+            )
+
+
+class TestCountInterpretation:
+    @pytest.mark.parametrize("marker", [
+        "how many", "number of", "count of",
+    ])
+    def test_markers_detected(self, toy_ontology, toy_db, marker):
+        interpretation = interpret(
+            f"{marker} drugs treat Psoriasis", toy_ontology, toy_db
+        )
+        assert interpretation.aggregate == "count"
+
+    def test_count_answer_value(self, toy_ontology, toy_db):
+        interpretation = interpret(
+            "how many drugs treat Psoriasis", toy_ontology, toy_db
+        )
+        assert toy_db.query(interpretation.sql).scalar() == 1
+
+    def test_plain_queries_not_counted(self, toy_ontology, toy_db):
+        interpretation = interpret(
+            "what drugs treat Psoriasis", toy_ontology, toy_db
+        )
+        assert interpretation.aggregate is None
+        assert "COUNT" not in interpretation.sql

@@ -1,0 +1,71 @@
+"""Tests for free-text interpretation over the ontology (Athena-style)."""
+
+import pytest
+
+from repro.errors import InterpretationError
+from repro.nlq import interpret
+
+
+class TestInterpretation:
+    def test_lookup_query(self, toy_ontology, toy_db, toy_space):
+        interpretation = interpret(
+            "show me the precaution for Aspirin",
+            toy_ontology, toy_db, entities=toy_space.entities,
+        )
+        assert interpretation.result_concepts == ["Precaution"]
+        assert interpretation.filters == {"Drug": "Aspirin"}
+        assert toy_db.query(interpretation.sql).rows == [("Use with caution.",)]
+
+    def test_two_filters(self, toy_ontology, toy_db, toy_space):
+        interpretation = interpret(
+            "dosage for Tazarotene that treats Acne",
+            toy_ontology, toy_db, entities=toy_space.entities,
+        )
+        assert interpretation.result_concepts == ["Dosage"]
+        assert set(interpretation.filters) == {"Drug", "Indication"}
+        assert toy_db.query(interpretation.sql).rows == [("30mg daily",)]
+
+    def test_synonym_maps_to_concept(self, toy_ontology, toy_db, toy_space):
+        interpretation = interpret(
+            "dosage for the medication Ibuprofen",
+            toy_ontology, toy_db, entities=toy_space.entities,
+        )
+        # "medication" is a Drug synonym, but Ibuprofen is already the
+        # filter, so the result side is Dosage.
+        assert "Dosage" in interpretation.result_concepts
+
+    def test_multiword_instances_matched(self, toy_ontology, toy_db, toy_space):
+        interpretation = interpret(
+            "precaution for Calcium Carbonate",
+            toy_ontology, toy_db, entities=toy_space.entities,
+        )
+        assert interpretation.filters == {"Drug": "Calcium Carbonate"}
+
+    def test_no_result_concept_rejected(self, toy_ontology, toy_db, toy_space):
+        with pytest.raises(InterpretationError):
+            interpret("Aspirin", toy_ontology, toy_db, entities=toy_space.entities)
+
+    def test_without_entities_harvests_kb(self, toy_ontology, toy_db):
+        interpretation = interpret(
+            "precaution for Aspirin", toy_ontology, toy_db
+        )
+        assert interpretation.filters == {"Drug": "Aspirin"}
+
+    def test_sql_generation_optional(self, toy_ontology, toy_db, toy_space):
+        interpretation = interpret(
+            "precaution for Aspirin",
+            toy_ontology, toy_db, entities=toy_space.entities,
+            generate_sql=False,
+        )
+        assert interpretation.sql is None
+        assert interpretation.result_concepts == ["Precaution"]
+
+    def test_concept_filtered_by_own_instance(self, toy_ontology, toy_db, toy_space):
+        """Mentioning a concept AND one of its instances keeps the concept
+        out of the result side."""
+        interpretation = interpret(
+            "risk of the drug Aspirin",
+            toy_ontology, toy_db, entities=toy_space.entities,
+        )
+        assert interpretation.result_concepts == ["Risk"]
+        assert interpretation.filters == {"Drug": "Aspirin"}

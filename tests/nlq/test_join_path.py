@@ -1,0 +1,74 @@
+"""Tests for join-path discovery."""
+
+import pytest
+
+from repro.errors import JoinPathError
+from repro.nlq.join_path import find_join_path, table_join_graph
+from repro.ontology import OntologyBuilder
+
+
+class TestTableJoinGraph:
+    def test_tables_are_nodes(self, toy_ontology, toy_db):
+        graph = table_join_graph(toy_ontology, toy_db)
+        assert "drug" in graph
+        assert "treats" in graph  # junctions appear as nodes on paths
+
+    def test_edges_carry_steps(self, toy_ontology, toy_db):
+        graph = table_join_graph(toy_ontology, toy_db)
+        step = graph.edges["precaution", "drug"]["step"]
+        assert {step.left_table, step.right_table} == {"precaution", "drug"}
+
+    def test_isa_edges_need_database(self, toy_ontology):
+        without_db = table_join_graph(toy_ontology)
+        with_db = table_join_graph(toy_ontology, None)
+        assert without_db.number_of_edges() == with_db.number_of_edges()
+
+
+class TestFindJoinPath:
+    def test_direct_fk_path(self, toy_ontology, toy_db):
+        path = find_join_path(toy_ontology, "precaution", "drug", toy_db)
+        assert len(path) == 1
+        assert path[0].left_table == "precaution"
+        assert path[0].right_table == "drug"
+
+    def test_path_orientation_follows_walk(self, toy_ontology, toy_db):
+        path = find_join_path(toy_ontology, "drug", "precaution", toy_db)
+        assert path[0].left_table == "drug"
+
+    def test_junction_path(self, toy_ontology, toy_db):
+        path = find_join_path(toy_ontology, "drug", "indication", toy_db)
+        assert len(path) == 2
+        assert path[0].left_table == "drug"
+        assert path[-1].right_table == "indication"
+        # consecutive steps chain
+        assert path[0].right_table == path[1].left_table
+
+    def test_isa_path(self, toy_ontology, toy_db):
+        path = find_join_path(toy_ontology, "contra_indication", "drug", toy_db)
+        tables = [path[0].left_table] + [s.right_table for s in path]
+        assert tables == ["contra_indication", "risk", "drug"]
+
+    def test_same_table_is_empty_path(self, toy_ontology, toy_db):
+        assert find_join_path(toy_ontology, "drug", "DRUG", toy_db) == []
+
+    def test_unknown_table_rejected(self, toy_ontology, toy_db):
+        with pytest.raises(JoinPathError):
+            find_join_path(toy_ontology, "drug", "ghost", toy_db)
+
+    def test_disconnected_tables_rejected(self, toy_db):
+        onto = (
+            OntologyBuilder()
+            .concept("A", table="drug")
+            .concept("B", table="indication")
+            .build()
+        )
+        # No object properties: the tables are disconnected.
+        with pytest.raises(JoinPathError):
+            find_join_path(onto, "drug", "indication", toy_db)
+
+    def test_precomputed_graph_reused(self, toy_ontology, toy_db):
+        graph = table_join_graph(toy_ontology, toy_db)
+        path = find_join_path(
+            toy_ontology, "drug", "indication", toy_db, graph=graph
+        )
+        assert len(path) == 2

@@ -1,0 +1,122 @@
+"""Tests for SQL generation over ontology bindings (§4.4, Figure 9)."""
+
+import pytest
+
+from repro.errors import NLQError
+from repro.nlq.sql_generator import (
+    build_concept_query,
+    build_relationship_query,
+    display_columns,
+)
+from repro.ontology import OntologyBuilder
+
+
+class TestDisplayColumns:
+    def test_label_first(self, toy_ontology):
+        assert display_columns(toy_ontology.concept("Drug")) == ["name", "brand"]
+
+    def test_description_only_concept(self, toy_ontology):
+        assert display_columns(toy_ontology.concept("Precaution")) == ["description"]
+
+
+class TestConceptQuery:
+    def test_lookup_shape(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Precaution"], ["Drug"], toy_db
+        )
+        assert "SELECT DISTINCT" in query.sql
+        assert "INNER JOIN drug" in query.sql
+        assert query.parameters == {"drug": "Drug"}
+        result = toy_db.query(query.sql, {"drug": "Aspirin"})
+        assert result.rows == [("Use with caution.",)]
+
+    def test_literal_filter_values(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Precaution"], ["Drug"], toy_db,
+            filter_values={"Drug": "Aspirin"},
+        )
+        assert ":"  not in query.sql
+        assert toy_db.query(query.sql).rows == [("Use with caution.",)]
+
+    def test_quote_escaping(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Precaution"], ["Drug"], toy_db,
+            filter_values={"Drug": "O'Brien"},
+        )
+        assert "''" in query.sql
+        assert toy_db.query(query.sql).rows == []
+
+    def test_multi_result_concepts(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Drug", "Dosage"], ["Indication"], toy_db
+        )
+        result = toy_db.query(query.sql, {"indication": "Acne"})
+        assert result.rows  # Tazarotene with its dosage
+        assert "Tazarotene" in result.rows[0]
+
+    def test_multi_hop_filter(self, toy_ontology, toy_db):
+        """Filter a union member by drug: contra_indication → risk → drug."""
+        query = build_concept_query(
+            toy_ontology, ["Contra Indication"], ["Drug"], toy_db
+        )
+        result = toy_db.query(query.sql, {"drug": "Aspirin"})
+        assert result.rows == [("Avoid in ulcer.",)]
+
+    def test_two_filters(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Dosage"], ["Drug", "Indication"], toy_db
+        )
+        result = toy_db.query(
+            query.sql, {"drug": "Aspirin", "indication": "Fever"}
+        )
+        assert result.rows == [("10mg daily",)]
+
+    def test_duplicate_filter_concept_param_names(self, toy_ontology, toy_db):
+        query = build_concept_query(
+            toy_ontology, ["Dosage"], ["Drug", "Drug"], toy_db
+        )
+        assert set(query.parameters) == {"drug", "drug_2"}
+
+    def test_unbound_concept_rejected(self, toy_db):
+        onto = OntologyBuilder().concept("Unbound").build()
+        with pytest.raises(NLQError):
+            build_concept_query(onto, ["Unbound"], [], toy_db)
+
+    def test_no_result_concepts_rejected(self, toy_ontology, toy_db):
+        with pytest.raises(NLQError):
+            build_concept_query(toy_ontology, [], ["Drug"], toy_db)
+
+    def test_missing_filter_value_rejected(self, toy_ontology, toy_db):
+        with pytest.raises(NLQError):
+            build_concept_query(
+                toy_ontology, ["Precaution"], ["Drug"], toy_db, filter_values={}
+            )
+
+
+class TestRelationshipQuery:
+    def test_forward_uses_own_join_path(self, toy_ontology, toy_db):
+        query = build_relationship_query(
+            toy_ontology, "treats", "Drug", "Indication"
+        )
+        assert "treats" in query.sql
+        result = toy_db.query(query.sql, {"indication": "Psoriasis"})
+        assert result.rows == [("Ibuprofen", "Brand2")]
+
+    def test_inverse_swaps_roles(self, toy_ontology, toy_db):
+        query = build_relationship_query(
+            toy_ontology, "treats", "Drug", "Indication", inverse=True
+        )
+        result = toy_db.query(query.sql, {"drug": "Tazarotene"})
+        assert result.rows == [("Acne",)]
+
+    def test_literal_filter(self, toy_ontology, toy_db):
+        query = build_relationship_query(
+            toy_ontology, "treats", "Drug", "Indication",
+            filter_value="Psoriasis",
+        )
+        assert not query.parameters
+        assert toy_db.query(query.sql).rows == [("Ibuprofen", "Brand2")]
+
+    def test_unknown_relationship_rejected(self, toy_ontology):
+        with pytest.raises(NLQError):
+            build_relationship_query(toy_ontology, "cures", "Drug", "Indication")

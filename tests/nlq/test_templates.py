@@ -1,0 +1,83 @@
+"""Tests for structured query templates (§4.4)."""
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.nlq.templates import template_for_intent, templates_for_intent
+
+
+class TestTemplateGeneration:
+    def test_lookup_template(self, toy_space, toy_db):
+        intent = toy_space.intent("Precaution of Drug")
+        template = template_for_intent(intent, toy_space.ontology, toy_db)
+        assert template.intent_name == "Precaution of Drug"
+        assert template.parameters == {"drug": "Drug"}
+        assert template.required_concepts() == ["Drug"]
+
+    def test_union_intent_gets_member_templates(self, toy_space, toy_db):
+        intent = toy_space.intent("Risk of Drug")
+        templates = templates_for_intent(intent, toy_space.ontology, toy_db)
+        assert len(templates) == 3  # parent + two union members
+
+    def test_direct_relationship_template_routes_via_relationship(
+        self, toy_space, toy_db
+    ):
+        intent = toy_space.intent("Drug that treats Indication")
+        template = template_for_intent(intent, toy_space.ontology, toy_db)
+        assert "treats" in template.sql
+
+    def test_indirect_intent_gets_both_variants(self, toy_space, toy_db):
+        intent = toy_space.intent("Drug Dosage for Indication")
+        templates = templates_for_intent(intent, toy_space.ontology, toy_db)
+        assert len(templates) == 2
+        assert len(templates[0].parameters) == 1
+        assert len(templates[1].parameters) == 2
+        # Pattern 1 returns key1 and the intermediate together (Figure 6).
+        assert set(templates[0].result_concepts) == {"Drug", "Dosage"}
+
+    def test_keyword_intent_has_no_template(self, toy_space, toy_db):
+        intent = toy_space.intent("DRUG_GENERAL")
+        with pytest.raises(TemplateError):
+            template_for_intent(intent, toy_space.ontology, toy_db)
+
+
+class TestInstantiation:
+    @pytest.fixture
+    def template(self, toy_space, toy_db):
+        return template_for_intent(
+            toy_space.intent("Precaution of Drug"), toy_space.ontology, toy_db
+        )
+
+    def test_bindings_to_params(self, template):
+        assert template.instantiate({"Drug": "Aspirin"}) == {"drug": "Aspirin"}
+
+    def test_bindings_case_insensitive(self, template):
+        assert template.instantiate({"drug": "Aspirin"}) == {"drug": "Aspirin"}
+
+    def test_missing_binding_rejected(self, template):
+        with pytest.raises(TemplateError, match="Drug"):
+            template.instantiate({})
+
+    def test_extra_bindings_ignored(self, template):
+        params = template.instantiate({"Drug": "Aspirin", "Other": "x"})
+        assert params == {"drug": "Aspirin"}
+
+    def test_execute(self, template, toy_db):
+        result = template.execute(toy_db, {"Drug": "Aspirin"})
+        assert result.rows == [("Use with caution.",)]
+
+    def test_execute_unknown_value_is_empty(self, template, toy_db):
+        assert not template.execute(toy_db, {"Drug": "Nonexistent"})
+
+
+class TestFigure9EndToEnd:
+    def test_paper_flow(self, toy_space, toy_db):
+        """NL example → SQL → parameterized template → instantiated query."""
+        intent = toy_space.intent("Precaution of Drug")
+        template = template_for_intent(intent, toy_space.ontology, toy_db)
+        # The template contains a parameter marker where the paper shows
+        # '<@Drug>'.
+        assert ":drug" in template.sql
+        # Instantiating at run time with an identified entity answers it.
+        result = template.execute(toy_db, {"Drug": "Ibuprofen"})
+        assert result.rows == [("Take with food.",)]

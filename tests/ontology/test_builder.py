@@ -1,0 +1,42 @@
+"""Tests for the fluent ontology builder."""
+
+from repro.kb.types import DataType
+from repro.ontology import OntologyBuilder
+
+
+def test_full_build():
+    onto = (
+        OntologyBuilder("medical")
+        .concept("Drug", properties=["name", ("weight", DataType.FLOAT)],
+                 label="name", table="drug", synonyms=["medication"])
+        .concept("Indication", properties=["name"], label="name")
+        .concept("Risk")
+        .concept("Contra Indication")
+        .concept("Black Box Warning")
+        .relationship("treats", "Drug", "Indication", inverse="is treated by")
+        .isa("Contra Indication", "Risk")
+        .isa("Black Box Warning", "Risk")
+        .union("Risk", ["Contra Indication", "Black Box Warning"])
+        .build()
+    )
+    assert onto.name == "medical"
+    drug = onto.concept("Drug")
+    assert drug.synonyms == ["medication"]
+    assert drug.property("weight").data_type is DataType.FLOAT
+    assert drug.property("name").column == "name"  # bound because table given
+    assert onto.concept("Indication").property("name").column is None
+    prop = onto.properties_between("Drug", "Indication")[0]
+    assert prop.inverse_name == "is treated by"
+    assert onto.is_union("Risk")
+
+
+def test_builder_returns_self_for_chaining():
+    builder = OntologyBuilder()
+    assert builder.concept("A") is builder
+    assert builder.concept("B") is builder
+    assert builder.relationship("r", "A", "B") is builder
+
+
+def test_properties_default_to_text():
+    onto = OntologyBuilder().concept("A", properties=["x"]).build()
+    assert onto.concept("A").property("x").data_type is DataType.TEXT

@@ -1,0 +1,74 @@
+"""Tests for graph views and centrality."""
+
+import pytest
+
+from repro.ontology import OntologyBuilder, centrality_scores
+from repro.ontology.graph import neighbors, ontology_graph
+
+
+@pytest.fixture
+def star_ontology():
+    """Drug is a hub with four spokes."""
+    builder = OntologyBuilder()
+    for name in ("Drug", "A", "B", "C", "D"):
+        builder.concept(name)
+    for spoke in ("A", "B", "C", "D"):
+        builder.relationship(f"rel_{spoke}", spoke, "Drug")
+    return builder.build()
+
+
+class TestGraph:
+    def test_nodes_are_concepts(self, star_ontology):
+        graph = ontology_graph(star_ontology)
+        assert set(graph.nodes) == {"Drug", "A", "B", "C", "D"}
+
+    def test_edges_carry_kind(self, star_ontology):
+        graph = ontology_graph(star_ontology)
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert kinds == {"object_property"}
+
+    def test_isa_and_union_edges_included(self, toy_ontology):
+        graph = ontology_graph(toy_ontology)
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert {"object_property", "isa", "union"} <= kinds
+
+
+class TestCentrality:
+    def test_hub_has_highest_degree(self, star_ontology):
+        scores = centrality_scores(star_ontology, method="degree")
+        assert max(scores, key=scores.get) == "Drug"
+
+    def test_hub_has_highest_pagerank(self, star_ontology):
+        scores = centrality_scores(star_ontology, method="pagerank")
+        assert max(scores, key=scores.get) == "Drug"
+
+    def test_hub_has_highest_betweenness(self, star_ontology):
+        scores = centrality_scores(star_ontology, method="betweenness")
+        assert max(scores, key=scores.get) == "Drug"
+
+    def test_parallel_edges_counted_by_degree(self):
+        builder = OntologyBuilder().concept("A").concept("B").concept("C")
+        builder.relationship("r1", "A", "B")
+        builder.relationship("r2", "A", "B")
+        builder.relationship("r3", "A", "C")
+        scores = centrality_scores(builder.build(), method="degree")
+        assert scores["A"] > scores["B"] > scores["C"]
+
+    def test_unknown_method_rejected(self, star_ontology):
+        with pytest.raises(ValueError):
+            centrality_scores(star_ontology, method="nope")
+
+    def test_edgeless_graph_pagerank(self):
+        onto = OntologyBuilder().concept("A").concept("B").build()
+        scores = centrality_scores(onto, method="pagerank")
+        assert scores["A"] == scores["B"]
+
+
+class TestNeighbors:
+    def test_undirected_neighborhood(self, star_ontology):
+        assert set(neighbors(star_ontology, "Drug")) == {"A", "B", "C", "D"}
+        assert neighbors(star_ontology, "A") == ["Drug"]
+
+    def test_neighbors_of_toy_drug(self, toy_ontology):
+        found = set(neighbors(toy_ontology, "Drug"))
+        assert {"Precaution", "Dosage", "Risk", "Indication"} <= found

@@ -1,0 +1,117 @@
+"""Tests for data-driven ontology generation (§3 / reference [18])."""
+
+import pytest
+
+from repro.kb import Column, Database, DataType, ForeignKey, TableSchema
+from repro.ontology import generate_ontology
+from repro.ontology.inference import concept_name_for_table
+
+
+class TestConceptGeneration:
+    def test_tables_become_concepts(self, toy_db, toy_ontology):
+        assert toy_ontology.has_concept("Drug")
+        assert toy_ontology.has_concept("Indication")
+        assert toy_ontology.has_concept("Precaution")
+
+    def test_junction_tables_are_not_concepts(self, toy_ontology):
+        assert not toy_ontology.has_concept("Treats")
+
+    def test_concept_names_title_cased(self):
+        assert concept_name_for_table("drug_interaction") == "Drug Interaction"
+        assert concept_name_for_table("drug") == "Drug"
+
+    def test_key_columns_not_data_properties(self, toy_ontology):
+        drug = toy_ontology.concept("Drug")
+        names = [p.name for p in drug.data_properties.values()]
+        assert "name" in names
+        assert "brand" in names
+        assert not any("id" in n for n in names)
+
+    def test_label_property_prefers_name(self, toy_ontology):
+        assert toy_ontology.concept("Drug").label_property == "name"
+
+    def test_label_falls_back_to_first_text_column(self, toy_ontology):
+        assert toy_ontology.concept("Precaution").label_property == "description"
+
+    def test_relational_bindings_set(self, toy_ontology):
+        assert toy_ontology.concept("Drug").table == "drug"
+        assert toy_ontology.concept("Drug").property("name").column == "name"
+
+
+class TestRelationshipGeneration:
+    def test_fk_becomes_functional_property(self, toy_ontology):
+        props = toy_ontology.properties_between("Precaution", "Drug")
+        assert len(props) == 1
+        assert props[0].functional
+        assert len(props[0].join_path) == 1
+
+    def test_junction_becomes_many_to_many(self, toy_ontology):
+        props = [
+            p for p in toy_ontology.properties_between("Drug", "Indication")
+            if p.name == "treats"
+        ]
+        assert len(props) == 1
+        assert not props[0].functional
+        assert len(props[0].join_path) == 2  # via the junction table
+
+    def test_pk_as_fk_becomes_isa(self, toy_ontology):
+        assert toy_ontology.parent_of("Contra Indication") == "Risk"
+        assert toy_ontology.parent_of("Black Box Warning") == "Risk"
+
+    def test_partitioning_children_promoted_to_union(self, toy_ontology):
+        assert toy_ontology.is_union("Risk")
+        assert set(toy_ontology.union_members("Risk")) == {
+            "Contra Indication", "Black Box Warning"
+        }
+
+
+class TestUnionRequiresPartition:
+    def _db_with_coverage(self, covered: bool) -> Database:
+        db = Database()
+        db.create_table(TableSchema(
+            "parent",
+            [Column("pid", DataType.INTEGER, nullable=False),
+             Column("name", DataType.TEXT)],
+            primary_key="pid",
+        ))
+        for child in ("child_a", "child_b"):
+            db.create_table(TableSchema(
+                child,
+                [Column("pid", DataType.INTEGER, nullable=False),
+                 Column("note", DataType.TEXT)],
+                primary_key="pid",
+                foreign_keys=[ForeignKey("pid", "parent", "pid")],
+            ))
+        db.insert("parent", {"pid": 1, "name": "x"})
+        db.insert("parent", {"pid": 2, "name": "y"})
+        db.insert("parent", {"pid": 3, "name": "z"})
+        db.insert("child_a", {"pid": 1, "note": "a"})
+        db.insert("child_b", {"pid": 2, "note": "b"})
+        if covered:
+            db.insert("child_a", {"pid": 3, "note": "a"})
+        return db
+
+    def test_covering_children_are_union(self):
+        onto = generate_ontology(self._db_with_coverage(covered=True))
+        assert onto.is_union("Parent")
+
+    def test_uncovered_parent_stays_inheritance(self):
+        onto = generate_ontology(self._db_with_coverage(covered=False))
+        assert not onto.is_union("Parent")
+        assert onto.is_inheritance_parent("Parent")
+
+    def test_overlapping_children_not_union(self):
+        db = self._db_with_coverage(covered=True)
+        db.insert("child_b", {"pid": 1, "note": "dup"})  # overlaps child_a
+        onto = generate_ontology(db)
+        assert not onto.is_union("Parent")
+
+
+def test_generated_ontology_name(toy_db):
+    assert generate_ontology(toy_db).name == "toy-ontology"
+    assert generate_ontology(toy_db, "custom").name == "custom"
+
+
+def test_empty_database_yields_empty_ontology():
+    onto = generate_ontology(Database("empty"))
+    assert onto.summary()["concepts"] == 0

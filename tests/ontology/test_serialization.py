@@ -1,0 +1,80 @@
+"""Tests for ontology JSON round-tripping."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OntologyError
+from repro.ontology import (
+    OntologyBuilder,
+    ontology_from_dict,
+    ontology_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_toy_ontology_round_trips(self, toy_ontology):
+        data = ontology_to_dict(toy_ontology)
+        restored = ontology_from_dict(data)
+        assert restored.summary() == toy_ontology.summary()
+        assert restored.concept_names() == toy_ontology.concept_names()
+        assert restored.isa_edges() == toy_ontology.isa_edges()
+        assert ontology_to_dict(restored) == data
+
+    def test_json_serializable(self, toy_ontology):
+        text = json.dumps(ontology_to_dict(toy_ontology))
+        restored = ontology_from_dict(json.loads(text))
+        assert restored.summary() == toy_ontology.summary()
+
+    def test_join_paths_preserved(self, toy_ontology):
+        restored = ontology_from_dict(ontology_to_dict(toy_ontology))
+        original = toy_ontology.properties_between("Precaution", "Drug")[0]
+        copied = restored.properties_between("Precaution", "Drug")[0]
+        assert copied.join_path == original.join_path
+
+    def test_synonyms_and_descriptions_preserved(self):
+        onto = (
+            OntologyBuilder()
+            .concept("Drug", synonyms=["medication"], description="a substance")
+            .build()
+        )
+        restored = ontology_from_dict(ontology_to_dict(onto))
+        assert restored.concept("Drug").synonyms == ["medication"]
+        assert restored.concept("Drug").description == "a substance"
+
+    def test_unions_preserved(self, toy_ontology):
+        restored = ontology_from_dict(ontology_to_dict(toy_ontology))
+        assert restored.is_union("Risk")
+
+
+def test_malformed_document_rejected():
+    with pytest.raises(OntologyError, match="malformed"):
+        ontology_from_dict({"name": "x"})  # missing "concepts"
+
+
+_names = st.lists(
+    st.from_regex(r"[A-Z][a-z]{1,6}", fullmatch=True),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+@given(_names, st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_random_ontologies_round_trip(names, seed):
+    import random
+    rng = random.Random(seed)
+    builder = OntologyBuilder("random")
+    for name in names:
+        builder.concept(name, properties=["name"], label="name")
+    onto = builder.build()
+    # Add random object properties between distinct concepts.
+    for _ in range(rng.randint(0, 5)):
+        source, target = rng.choice(names), rng.choice(names)
+        try:
+            builder.relationship(f"rel{rng.randint(0, 99)}", source, target)
+        except Exception:
+            pass  # duplicates are fine to skip
+    restored = ontology_from_dict(ontology_to_dict(onto))
+    assert restored.summary() == onto.summary()

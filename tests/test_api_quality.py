@@ -1,0 +1,60 @@
+"""API-quality gates: public items documented, exports resolvable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.kb", "repro.kb.sql", "repro.nlp", "repro.ontology",
+    "repro.bootstrap", "repro.nlq", "repro.dialogue", "repro.engine",
+    "repro.medical", "repro.eval",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [m.__name__ for m in iter_modules() if not m.__doc__]
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports are documented at their source
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_all_dunder_all_exports_resolve():
+    for module in iter_modules():
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy_rooted():
+    from repro import errors
+    roots = (errors.ReproError,)
+    for name, obj in vars(errors).items():
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            assert issubclass(obj, roots), name
