@@ -1,0 +1,133 @@
+"""Serving-layer load benchmark: throughput and tail latency.
+
+Not a paper artifact — the paper's §7 deployment served real clinician
+traffic from the cloud; this bench establishes the reproduction's
+serving trajectory.  A closed-loop load generator drives 50 concurrent
+client sessions (the acceptance floor) against the HTTP server and
+reports throughput plus p50/p95/p99 turn latency, then repeats one
+lookup until the query cache is the hot path and reports the hit rate.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.engine import ConversationAgent
+from repro.medical import (
+    GeneratorConfig,
+    build_mdx_database,
+    build_mdx_ontology,
+    build_mdx_space,
+)
+from repro.serving import ConversationServer
+from tests.serving.conftest import http_json, http_text
+
+#: Concurrent client sessions (the acceptance criterion floor).
+CLIENTS = 50
+#: Turns each client performs after the session-opening turn.
+TURNS_PER_CLIENT = 3
+
+
+@pytest.fixture(scope="module")
+def serving_agent() -> ConversationAgent:
+    """A self-contained small MDX agent (the shared session fixture is
+    read-only; serving wraps the database and appends feedback)."""
+    db = build_mdx_database(GeneratorConfig(max_drugs=40, max_conditions=20))
+    space = build_mdx_space(db, build_mdx_ontology(db))
+    return ConversationAgent.build(
+        space, db, agent_name="Micromedex", domain="drug reference"
+    )
+
+
+def percentiles(samples: list[float]) -> tuple[float, float, float]:
+    ordered = sorted(samples)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return pct(0.5), pct(0.95), pct(0.99)
+
+
+def test_serving_concurrent_load(serving_agent, report):
+    drugs = [
+        row[0] for row in
+        serving_agent.database.query("SELECT name FROM drug").rows
+    ][:8]
+    server = ConversationServer(
+        serving_agent, port=0, max_workers=64, max_pending=512,
+        request_timeout=60.0,
+    )
+    with server:
+        barrier = threading.Barrier(CLIENTS)
+        latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+        failures: list[tuple[int, dict]] = []
+
+        def client(index: int) -> None:
+            barrier.wait(timeout=60)
+            session_id = None
+            for turn in range(1 + TURNS_PER_CLIENT):
+                drug = drugs[(index + turn) % len(drugs)]
+                payload = {"utterance": f"adverse effects of {drug}"}
+                if session_id is not None:
+                    payload["session_id"] = session_id
+                start = time.perf_counter()
+                status, body = http_json(server.address + "/chat", payload)
+                latencies[index].append(time.perf_counter() - start)
+                if status != 200 or drug not in body.get("text", ""):
+                    failures.append((status, body))
+                    return
+                session_id = body["session_id"]
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+        ]
+        wall_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        wall = time.perf_counter() - wall_start
+
+        assert not failures, failures[:3]
+        flat = [sample for per_client in latencies for sample in per_client]
+        assert len(flat) == CLIENTS * (1 + TURNS_PER_CLIENT)
+        requests_per_second = len(flat) / wall
+        p50, p95, p99 = percentiles(flat)
+
+        # Phase 2: one hot lookup repeated by a single client — the
+        # query cache should carry it (hit rate > 0 is the acceptance
+        # criterion; in practice it converges toward 1.0 here).
+        hot = {"utterance": f"adverse effects of {drugs[0]}"}
+        hot_latencies = []
+        for _ in range(20):
+            start = time.perf_counter()
+            status, _body = http_json(server.address + "/chat", dict(hot))
+            hot_latencies.append(time.perf_counter() - start)
+            assert status == 200
+        hit_rate = server.app.cache.hit_rate()
+        cache_stats = server.app.cache.stats()
+        _status, metrics_text = http_text(server.address + "/metrics")
+        sessions = len(server.app.store)
+
+    assert hit_rate > 0, cache_stats
+    assert "repro_turn_latency_seconds" in metrics_text
+    assert 'quantile="0.99"' in metrics_text
+    hot_p50, _, _ = percentiles(hot_latencies)
+
+    report(
+        "Serving load benchmark "
+        f"({CLIENTS} concurrent sessions x {1 + TURNS_PER_CLIENT} turns)",
+        f"  throughput        {requests_per_second:8.1f} req/s  "
+        f"(wall {wall:.2f}s, {len(flat)} requests)",
+        f"  latency p50       {p50 * 1000:8.1f} ms",
+        f"  latency p95       {p95 * 1000:8.1f} ms",
+        f"  latency p99       {p99 * 1000:8.1f} ms",
+        f"  hot-lookup p50    {hot_p50 * 1000:8.1f} ms  (query cache on)",
+        f"  cache hit rate    {hit_rate:8.1%}  "
+        f"(hits={cache_stats['hits']} misses={cache_stats['misses']})",
+        f"  live sessions     {sessions:8d}",
+    )

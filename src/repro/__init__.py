@@ -36,6 +36,9 @@ Subsystems
     The Conversational MDX use case over a synthetic medical KB.
 ``repro.eval``
     Workload simulation, success rates, Table 5 / Figures 11–12 harness.
+``repro.serving``
+    Concurrent JSON-over-HTTP serving: session store, query cache,
+    metrics, graceful shutdown (``python -m repro serve``).
 """
 
 from repro.bootstrap import ConversationSpace, bootstrap_conversation_space

@@ -15,6 +15,10 @@ Commands
     Build Conversational MDX and write its artifacts to a directory:
     conversation space JSON, ontology as OWL, knowledge base as CSVs,
     and the dialogue logic table.
+``serve``
+    Run the concurrent JSON-over-HTTP conversation server
+    (``POST /chat``, ``POST /feedback``, ``GET /healthz``,
+    ``GET /metrics``) over Conversational MDX or a custom space/KB.
 """
 
 from __future__ import annotations
@@ -163,6 +167,41 @@ def cmd_export(args: argparse.Namespace, output_fn=print) -> int:
     return 0
 
 
+def cmd_serve(
+    args: argparse.Namespace, output_fn=print, run_forever: bool = True
+) -> int:
+    """Start the conversation server; blocks until interrupted.
+
+    ``run_forever=False`` starts and immediately drains (for tests).
+    """
+    from repro.serving import ConversationServer
+
+    output_fn("Building the conversation agent...")
+    agent = _build_agent(args)
+    server = ConversationServer(
+        agent,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        max_workers=args.workers,
+        request_timeout=args.request_timeout,
+        log_path=args.log,
+    )
+    output_fn(f"Serving on {server.address} (Ctrl-C to drain and stop)")
+    output_fn('  try: curl -s -X POST -d \'{"utterance": "help"}\' '
+              f"{server.address}/chat")
+    if not run_forever:
+        server.start()
+        server.shutdown()
+        return 0
+    server.serve_forever()
+    output_fn("Server stopped; interaction log flushed.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the `repro` CLI."""
     parser = argparse.ArgumentParser(
@@ -190,6 +229,30 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="write the MDX artifacts")
     export.add_argument("--out", default="mdx-artifacts")
     export.set_defaults(handler=cmd_export)
+
+    serve = sub.add_parser("serve", help="run the HTTP conversation server")
+    serve.add_argument("--space", help="exported conversation-space JSON")
+    serve.add_argument("--data", help="CSV knowledge-base directory")
+    serve.add_argument("--name", default="Assistant", help="agent name")
+    serve.add_argument("--domain", default="knowledge base", help="domain label")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--session-ttl", type=float, default=1800.0,
+                       help="idle seconds before a session is evicted")
+    serve.add_argument("--max-sessions", type=int, default=1024,
+                       help="LRU cap on live sessions")
+    serve.add_argument("--cache-size", type=int, default=512,
+                       help="query-cache entries")
+    serve.add_argument("--cache-ttl", type=float, default=300.0,
+                       help="query-cache entry lifetime, seconds")
+    serve.add_argument("--workers", type=int, default=16,
+                       help="turn-executor thread pool size")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-turn timeout, seconds (504 past it)")
+    serve.add_argument("--log", default=None,
+                       help="interaction-log path, flushed on shutdown")
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

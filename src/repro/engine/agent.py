@@ -12,6 +12,7 @@ repair, and thumbs feedback capture.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -98,7 +99,11 @@ class ConversationAgent:
         self.agent_name = agent_name
         self.domain = domain
         self.feedback_log = FeedbackLog()
-        self._session_ids = itertools.count(1)
+        # Session ids are allocated under a lock: concurrent requests on
+        # the serving layer open sessions from many threads at once, and
+        # two sessions sharing an id would cross their feedback records.
+        self._session_id_lock = threading.Lock()
+        self._next_session_id = 1
 
     # -- construction ----------------------------------------------------------
 
@@ -172,9 +177,16 @@ class ConversationAgent:
 
     # -- sessions --------------------------------------------------------------
 
+    def allocate_session_id(self) -> int:
+        """Hand out the next session id (thread-safe)."""
+        with self._session_id_lock:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            return session_id
+
     def session(self) -> "Session":
         """Open a new conversation session."""
-        return Session(self, next(self._session_ids))
+        return Session(self, self.allocate_session_id())
 
     def greeting(self) -> str:
         return MANAGEMENT_RESPONSES["greeting"].format(
@@ -898,10 +910,10 @@ class Session:
         return response
 
     def thumbs_up(self) -> None:
-        self.agent.feedback_log.mark_last("up")
+        self.agent.feedback_log.mark_last_for_session(self.id, "up")
 
     def thumbs_down(self) -> None:
-        self.agent.feedback_log.mark_last("down")
+        self.agent.feedback_log.mark_last_for_session(self.id, "down")
 
     def transcript(self) -> list[TurnRecord]:
         return list(self.context.history)

@@ -4,11 +4,18 @@
 negative feedback more credible" — so every interaction is logged with
 an optional feedback mark, and the evaluation harness computes success
 rates from the log.
+
+The log is shared by every concurrent session of an agent, so all
+mutation and aggregation is guarded by a lock: concurrent sessions can
+not interleave within an append or drop records, and
+:meth:`mark_last_for_session` attaches feedback to *that conversation's*
+latest interaction even when other sessions have logged since.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Iterator
 
 
@@ -26,48 +33,74 @@ class InteractionRecord:
     sme_label: str | None = None  # "positive"/"negative" when SME-reviewed
 
 
+def _check_feedback(feedback: str) -> None:
+    if feedback not in ("up", "down"):
+        raise ValueError("feedback must be 'up' or 'down'")
+
+
 class FeedbackLog:
-    """An append-only log of interactions with feedback marks."""
+    """A thread-safe append-only log of interactions with feedback marks."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._records: list[InteractionRecord] = []
 
     def record(self, record: InteractionRecord) -> InteractionRecord:
-        self._records.append(record)
+        with self._lock:
+            self._records.append(record)
         return record
 
     def mark_last(self, feedback: str) -> None:
         """Attach thumbs feedback to the most recent interaction."""
-        if feedback not in ("up", "down"):
-            raise ValueError("feedback must be 'up' or 'down'")
-        if not self._records:
-            raise ValueError("no interaction to mark")
-        self._records[-1].feedback = feedback
+        _check_feedback(feedback)
+        with self._lock:
+            if not self._records:
+                raise ValueError("no interaction to mark")
+            self._records[-1].feedback = feedback
+
+    def mark_last_for_session(self, session_id: int, feedback: str) -> None:
+        """Attach feedback to ``session_id``'s most recent interaction.
+
+        Under concurrent sessions the global tail may belong to another
+        conversation, so the thumbs buttons must address the session's
+        own latest turn.
+        """
+        _check_feedback(feedback)
+        with self._lock:
+            for record in reversed(self._records):
+                if record.session_id == session_id:
+                    record.feedback = feedback
+                    return
+        raise ValueError(f"no interaction to mark for session {session_id}")
 
     def records(self) -> list[InteractionRecord]:
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self) -> Iterator[InteractionRecord]:
-        return iter(self._records)
+        return iter(self.records())
 
     # -- aggregates -----------------------------------------------------------
 
     def negative_count(self) -> int:
-        return sum(1 for r in self._records if r.feedback == "down")
+        return sum(1 for r in self.records() if r.feedback == "down")
 
     def success_rate(self) -> float:
         """Equation 1: (interactions - negative) / interactions."""
-        if not self._records:
+        records = self.records()
+        if not records:
             return 1.0
-        return 1.0 - self.negative_count() / len(self._records)
+        negative = sum(1 for r in records if r.feedback == "down")
+        return 1.0 - negative / len(records)
 
     def per_intent(self) -> dict[str, tuple[int, int]]:
         """intent -> (total interactions, negative interactions)."""
         out: dict[str, list[int]] = {}
-        for record in self._records:
+        for record in self.records():
             key = record.intent or "<none>"
             bucket = out.setdefault(key, [0, 0])
             bucket[0] += 1

@@ -18,6 +18,8 @@ the system".  This module implements that loop:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from repro.bootstrap.space import ConversationSpace
@@ -26,20 +28,40 @@ from repro.errors import EngineError
 
 
 def save_log(log: FeedbackLog, path: str | Path) -> int:
-    """Write the log as JSON lines; returns the number of records."""
+    """Write the log as JSON lines; returns the number of records.
+
+    The write is atomic (temp file in the same directory, then
+    ``os.replace``): a crash mid-write leaves the previous log intact
+    instead of a truncated file — required now that the serving layer
+    flushes the log on shutdown.
+    """
+    path = Path(path)
     records = log.records()
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps({
-                "utterance": record.utterance,
-                "response": record.response,
-                "intent": record.intent,
-                "confidence": record.confidence,
-                "outcome_kind": record.outcome_kind,
-                "feedback": record.feedback,
-                "session_id": record.session_id,
-                "sme_label": record.sme_label,
-            }) + "\n")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps({
+                    "utterance": record.utterance,
+                    "response": record.response,
+                    "intent": record.intent,
+                    "confidence": record.confidence,
+                    "outcome_kind": record.outcome_kind,
+                    "feedback": record.feedback,
+                    "session_id": record.session_id,
+                    "sme_label": record.sme_label,
+                }) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return len(records)
 
 

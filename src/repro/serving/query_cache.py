@@ -1,0 +1,174 @@
+"""LRU+TTL query-result cache wrapped around :class:`Database` execution.
+
+The dominant MDX pattern class is the direct lookup (§4.3), and under
+real traffic the same (template, bindings) pair recurs constantly —
+every clinician asking "dosage for aspirin" instantiates the identical
+SQL with identical parameters.  :class:`QueryCache` memoizes executed
+result sets keyed on the SQL text plus the bound parameters, and
+:class:`CachingDatabase` is a drop-in proxy for
+:class:`~repro.kb.database.Database` that consults the cache on
+``query`` and invalidates it on any write.
+
+Cached :class:`~repro.kb.sql.result.ResultSet` objects are shared
+between threads and must be treated as immutable by callers (the agent
+already copies ``result.rows`` before storing them in context).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Iterable
+
+from repro.kb.database import Database
+from repro.kb.sql.result import ResultSet
+
+CacheKey = tuple[str, tuple[tuple[str, Any], ...]]
+
+
+def make_key(sql: str, params: dict[str, Any] | None) -> CacheKey:
+    """A hashable cache key: SQL text + sorted bound parameters."""
+    items = tuple(sorted((params or {}).items(), key=lambda kv: kv[0]))
+    return (sql, items)
+
+
+class QueryCache:
+    """A thread-safe LRU cache with per-entry TTL and hit/miss counters.
+
+    ``clock`` is injectable (monotonic seconds) so tests can drive TTL
+    expiry deterministically.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        ttl: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, tuple[float, ResultSet]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, sql: str, params: dict[str, Any] | None) -> ResultSet | None:
+        """Return the cached result, or None on miss/expiry."""
+        key = make_key(sql, params)
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires_at, result = entry
+            if now >= expires_at:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def store(
+        self, sql: str, params: dict[str, Any] | None, result: ResultSet
+    ) -> None:
+        key = make_key(sql, params)
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl, result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, sql: str | None = None) -> int:
+        """Drop entries for one SQL text, or everything; returns the count."""
+        with self._lock:
+            if sql is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [k for k in self._entries if k[0] == sql]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.invalidations += dropped
+            return dropped
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (1.0 when no lookups)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 1.0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+class CachingDatabase:
+    """A :class:`Database` proxy that serves ``query`` through a cache.
+
+    Reads (``query``) consult the cache first; every write entry point
+    (``insert``, ``insert_many``, ``create_table``) delegates to the
+    wrapped database and then invalidates the whole cache, keeping the
+    serving layer's consistency model simple: a write anywhere drops all
+    memoized reads.  Everything else is delegated untouched, so the
+    proxy can stand wherever a ``Database`` is expected.
+    """
+
+    def __init__(self, database: Database, cache: QueryCache | None = None) -> None:
+        self._database = database
+        self.cache = cache if cache is not None else QueryCache()
+
+    @property
+    def wrapped(self) -> Database:
+        return self._database
+
+    def query(self, sql: str, params: dict[str, Any] | None = None) -> ResultSet:
+        cached = self.cache.lookup(sql, params)
+        if cached is not None:
+            return cached
+        result = self._database.query(sql, params)
+        self.cache.store(sql, params, result)
+        return result
+
+    def insert(
+        self, table_name: str, values: dict[str, Any] | Iterable[Any]
+    ) -> tuple[Any, ...]:
+        row = self._database.insert(table_name, values)
+        self.cache.invalidate()
+        return row
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[dict[str, Any] | Iterable[Any]]
+    ) -> int:
+        count = self._database.insert_many(table_name, rows)
+        self.cache.invalidate()
+        return count
+
+    def create_table(self, schema: Any) -> Any:
+        table = self._database.create_table(schema)
+        self.cache.invalidate()
+        return table
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._database, name)

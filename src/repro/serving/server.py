@@ -1,0 +1,441 @@
+"""JSON-over-HTTP conversation server multiplexing many user sessions.
+
+The paper deploys Conversational MDX as a cloud service answering real
+clinician traffic (§6–§7); this module is that serving layer for the
+reproduction.  One shared, immutable :class:`ConversationAgent` answers
+every request; all mutable per-conversation state lives in the
+:class:`~repro.serving.session_store.SessionStore`, and repeated lookup
+queries are short-circuited by the
+:class:`~repro.serving.query_cache.QueryCache`.
+
+Endpoints
+---------
+``POST /chat``
+    ``{"utterance": ..., "session_id": optional}`` → the agent turn.
+    Omitting ``session_id`` opens a new session; the response always
+    echoes the id to use on the next turn.
+``POST /feedback``
+    ``{"session_id": ..., "feedback": "up"|"down"}`` → thumbs feedback
+    on that session's most recent interaction (Equation 1 input).
+``GET /healthz``
+    Liveness plus session/in-flight gauges.
+``GET /metrics``
+    Prometheus-style text: per-intent turn latency histograms,
+    classifier latency, cache hit rate, session churn, HTTP counters.
+
+Concurrency model: ``ThreadingHTTPServer`` accepts requests, but agent
+turns execute on a bounded ``ThreadPoolExecutor`` — the worker pool is
+the admission control.  Each request carries a timeout (504 on expiry)
+and the server sheds load with 503 once ``max_pending`` turns are in
+flight.  ``shutdown()`` drains: new chat turns are refused, in-flight
+turns finish, then the interaction log is flushed atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.engine.agent import ConversationAgent
+from repro.engine.logging import save_log
+from repro.errors import EngineError
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.query_cache import CachingDatabase, QueryCache
+from repro.serving.session_store import SessionEntry, SessionStore
+
+#: Maximum accepted request body, in bytes (an utterance, not an upload).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class _TimingClassifier:
+    """Delegating classifier proxy that records ``classify`` latency."""
+
+    def __init__(self, classifier: Any, registry: MetricsRegistry) -> None:
+        self._classifier = classifier
+        self._registry = registry
+
+    def classify(self, utterance: str) -> Any:
+        start = time.perf_counter()
+        try:
+            return self._classifier.classify(utterance)
+        finally:
+            self._registry.histogram("classifier_latency_seconds").observe(
+                time.perf_counter() - start
+            )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._classifier, name)
+
+
+class ServingError(Exception):
+    """An error with an HTTP status and a machine-readable code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ConversationApp:
+    """Transport-independent request handling (shared by tests and HTTP)."""
+
+    def __init__(
+        self,
+        agent: ConversationAgent,
+        *,
+        max_sessions: int = 1024,
+        session_ttl: float = 1800.0,
+        cache_size: int = 512,
+        cache_ttl: float = 300.0,
+        max_workers: int = 16,
+        max_pending: int = 128,
+        request_timeout: float = 30.0,
+        log_path: str | Path | None = None,
+    ) -> None:
+        self.agent = agent
+        self.metrics = MetricsRegistry()
+        self.store = SessionStore(
+            agent, max_sessions=max_sessions, ttl=session_ttl
+        )
+        self.cache = QueryCache(max_entries=cache_size, ttl=cache_ttl)
+        self.request_timeout = request_timeout
+        self.max_pending = max_pending
+        self.log_path = Path(log_path) if log_path is not None else None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-turn"
+        )
+        self._in_flight = 0
+        self._state_lock = threading.Lock()
+        self._draining = False
+        # The agent is shared and immutable during serving *except* for
+        # these two instrumentation hooks, installed for the server's
+        # lifetime and removed by close(): the database proxy adds the
+        # query cache, the classifier proxy adds latency telemetry.
+        self._original_database = agent.database
+        self._original_classifier = agent.classifier
+        agent.database = CachingDatabase(agent.database, self.cache)
+        agent.classifier = _TimingClassifier(agent.classifier, self.metrics)
+        self.metrics.gauge("sessions_active", lambda: len(self.store))
+        self.metrics.gauge(
+            "sessions_evicted_ttl_total", lambda: self.store.evicted_ttl
+        )
+        self.metrics.gauge(
+            "sessions_evicted_lru_total", lambda: self.store.evicted_lru
+        )
+        self.metrics.gauge("turns_in_flight", lambda: self.in_flight)
+        self.metrics.gauge(
+            "query_cache_hit_rate", lambda: round(self.cache.hit_rate(), 6)
+        )
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._state_lock:
+            return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        with self._state_lock:
+            self._draining = True
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Refuse new turns, wait for in-flight ones; True when drained."""
+        self.begin_drain()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.in_flight == 0:
+                return True
+            time.sleep(0.01)
+        return self.in_flight == 0
+
+    def close(self, drain_timeout: float = 10.0) -> bool:
+        """Drain, stop workers, flush the log, restore the agent hooks."""
+        drained = self.drain(drain_timeout)
+        self._executor.shutdown(wait=True)
+        self.agent.database = self._original_database
+        self.agent.classifier = self._original_classifier
+        self.flush_log()
+        return drained
+
+    def flush_log(self) -> int:
+        """Write the interaction log (atomic replace); records written."""
+        if self.log_path is None:
+            return 0
+        return save_log(self.agent.feedback_log, self.log_path)
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, method: str, path: str, payload: dict) -> tuple[int, dict | str]:
+        """Route one request; returns (status, JSON-able body or text)."""
+        route = f"{method} {path}"
+        self.metrics.counter("http_requests_total", ("route", route)).inc()
+        try:
+            if route == "POST /chat":
+                return 200, self.chat(payload)
+            if route == "POST /feedback":
+                return 200, self.feedback(payload)
+            if route == "GET /healthz":
+                return 200, self.health()
+            if route == "GET /metrics":
+                return 200, self.metrics.render()
+            raise ServingError(404, "not_found", f"no route for {route}")
+        except ServingError as exc:
+            self.metrics.counter(
+                "http_errors_total", ("code", exc.code)
+            ).inc()
+            return exc.status, {"error": exc.code, "message": exc.message}
+
+    def chat(self, payload: dict) -> dict:
+        utterance = payload.get("utterance")
+        if not isinstance(utterance, str) or not utterance.strip():
+            raise ServingError(
+                400, "bad_request", "'utterance' must be a non-empty string"
+            )
+        if self.draining:
+            raise ServingError(503, "draining", "server is shutting down")
+        if self.in_flight >= self.max_pending:
+            raise ServingError(503, "overloaded", "too many turns in flight")
+        session_id = payload.get("session_id")
+        if session_id is None:
+            sid, entry = self.store.create()
+        else:
+            sid = str(session_id)
+            found = self.store.get(sid)
+            if found is None:
+                raise ServingError(
+                    404,
+                    "unknown_session",
+                    f"session {sid} does not exist (it may have expired)",
+                )
+            entry = found
+        with self._state_lock:
+            self._in_flight += 1
+        try:
+            future: Future = self._executor.submit(self._turn, sid, entry, utterance)
+            try:
+                return future.result(timeout=self.request_timeout)
+            except TimeoutError:
+                future.cancel()
+                self.metrics.counter("turn_timeouts_total").inc()
+                raise ServingError(
+                    504,
+                    "timeout",
+                    f"turn exceeded {self.request_timeout}s",
+                ) from None
+        finally:
+            with self._state_lock:
+                self._in_flight -= 1
+
+    def _turn(self, sid: str, entry: SessionEntry, utterance: str) -> dict:
+        start = time.perf_counter()
+        with entry.lock:
+            try:
+                response = entry.session.ask(utterance)
+            except EngineError as exc:
+                raise ServingError(400, "bad_request", str(exc)) from exc
+            entry.turn_count += 1
+        elapsed = time.perf_counter() - start
+        intent_label = response.intent or "<none>"
+        self.metrics.counter("turns_total").inc()
+        self.metrics.histogram("turn_latency_seconds").observe(elapsed)
+        self.metrics.histogram(
+            "turn_latency_seconds", ("intent", intent_label)
+        ).observe(elapsed)
+        return {
+            "session_id": sid,
+            "text": response.text,
+            "intent": response.intent,
+            "confidence": response.confidence,
+            "kind": response.kind,
+            "entities": dict(response.entities),
+            "sql": response.sql,
+            "turn": entry.turn_count,
+        }
+
+    def feedback(self, payload: dict) -> dict:
+        session_id = payload.get("session_id")
+        feedback = payload.get("feedback")
+        if session_id is None or feedback not in ("up", "down"):
+            raise ServingError(
+                400,
+                "bad_request",
+                "'session_id' and 'feedback' ('up'|'down') are required",
+            )
+        entry = self.store.get(str(session_id))
+        if entry is None:
+            raise ServingError(
+                404, "unknown_session", f"session {session_id} does not exist"
+            )
+        with entry.lock:
+            try:
+                self.agent.feedback_log.mark_last_for_session(
+                    entry.session.id, feedback
+                )
+            except ValueError as exc:
+                raise ServingError(409, "no_interaction", str(exc)) from exc
+        self.metrics.counter("feedback_total", ("feedback", feedback)).inc()
+        return {"session_id": str(session_id), "feedback": feedback}
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "sessions": len(self.store),
+            "in_flight": self.in_flight,
+            "turns_total": self.metrics.counter("turns_total").value,
+            "cache": self.cache.stats(),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter over :class:`ConversationApp`."""
+
+    server: "_HTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def _read_payload(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServingError(413, "too_large", "request body too large")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServingError(400, "bad_json", "body must be JSON") from exc
+        if not isinstance(payload, dict):
+            raise ServingError(400, "bad_json", "body must be a JSON object")
+        return payload
+
+    def _respond(self, status: int, body: dict | str) -> None:
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            try:
+                payload = self._read_payload() if method == "POST" else {}
+            except ServingError as exc:
+                self._respond(exc.status, {"error": exc.code, "message": exc.message})
+                return
+            status, body = self.server.app.handle(method, self.path, payload)
+            self._respond(status, body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # request logging lives in /metrics, not stderr
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Deep accept backlog: bursts of concurrent connects (the bench
+    #: opens 50+ sockets at once) must queue, not get RST with the
+    #: socketserver default of 5.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], app: ConversationApp) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+class ConversationServer:
+    """Owns the HTTP listener, the app, and the serving lifecycle.
+
+    Usable as a context manager::
+
+        with ConversationServer(agent, port=0) as server:
+            ...  # server.port is the bound port
+    """
+
+    def __init__(
+        self,
+        agent: ConversationAgent,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        **app_options: Any,
+    ) -> None:
+        self.app = ConversationApp(agent, **app_options)
+        self._httpd = _HTTPServer((host, port), self.app)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ConversationServer":
+        """Serve in a background thread; returns self once listening."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serving",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted, then drain."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self, drain_timeout: float = 10.0) -> bool:
+        """Graceful stop: drain in-flight turns, flush the log, close.
+
+        Returns True when every in-flight turn finished inside
+        ``drain_timeout``.
+        """
+        drained = self.app.close(drain_timeout)
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        return drained
+
+    def __enter__(self) -> "ConversationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

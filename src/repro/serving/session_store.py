@@ -1,0 +1,142 @@
+"""Thread-safe bounded session manager with TTL and LRU eviction.
+
+The paper's deployment keeps a per-conversation context so clinicians
+can slot-fill and refine across turns (§5.2); a multi-session server
+therefore has to keep :class:`~repro.engine.agent.Session` objects alive
+between HTTP requests without letting abandoned conversations grow the
+process without bound.  :class:`SessionStore` owns that lifecycle:
+
+* idle sessions expire after ``ttl`` seconds (TTL eviction),
+* the store never holds more than ``max_sessions`` (LRU eviction),
+* every session carries its own lock so two requests for the same
+  conversation serialize instead of interleaving turns.
+
+``clock`` is injectable (monotonic seconds) for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.agent import ConversationAgent, Session
+
+
+@dataclass
+class SessionEntry:
+    """One live conversation plus its bookkeeping."""
+
+    session: Session
+    created_at: float
+    last_used_at: float
+    turn_count: int = 0
+    #: Serializes turns within one conversation; the store's own lock is
+    #: never held while a turn runs.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SessionStore:
+    """Bounded, TTL-evicting map of session-id → :class:`SessionEntry`."""
+
+    def __init__(
+        self,
+        agent: ConversationAgent,
+        max_sessions: int = 1024,
+        ttl: float = 1800.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.agent = agent
+        self.max_sessions = max_sessions
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        self.created_total = 0
+        self.evicted_ttl = 0
+        self.evicted_lru = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def ids(self) -> list[str]:
+        """Live session ids, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _sweep_locked(self, now: float) -> None:
+        """Drop every entry idle past the TTL (caller holds the lock)."""
+        stale = [
+            sid
+            for sid, entry in self._entries.items()
+            if now - entry.last_used_at >= self.ttl
+        ]
+        for sid in stale:
+            del self._entries[sid]
+            self.evicted_ttl += 1
+
+    def create(self) -> tuple[str, SessionEntry]:
+        """Open a new session, evicting as needed; returns (id, entry)."""
+        now = self._clock()
+        session = self.agent.session()
+        entry = SessionEntry(session=session, created_at=now, last_used_at=now)
+        sid = str(session.id)
+        with self._lock:
+            self._sweep_locked(now)
+            self._entries[sid] = entry
+            self._entries.move_to_end(sid)
+            while len(self._entries) > self.max_sessions:
+                self._entries.popitem(last=False)
+                self.evicted_lru += 1
+            self.created_total += 1
+        return sid, entry
+
+    def get(self, session_id: str) -> SessionEntry | None:
+        """Fetch a live session, refreshing its recency; None if unknown.
+
+        An entry past its TTL is evicted on access rather than returned,
+        so the answer is identical whether or not a sweep ran first.
+        """
+        now = self._clock()
+        with self._lock:
+            self._sweep_locked(now)
+            entry = self._entries.get(session_id)
+            if entry is None:
+                return None
+            entry.last_used_at = now
+            self._entries.move_to_end(session_id)
+            return entry
+
+    def drop(self, session_id: str) -> bool:
+        """Explicitly close one session; True if it existed."""
+        with self._lock:
+            return self._entries.pop(session_id, None) is not None
+
+    def sweep(self) -> int:
+        """Evict every TTL-expired session; returns how many were dropped."""
+        before = self.evicted_ttl
+        with self._lock:
+            self._sweep_locked(self._clock())
+            return self.evicted_ttl - before
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "active": len(self._entries),
+                "created_total": self.created_total,
+                "evicted_ttl": self.evicted_ttl,
+                "evicted_lru": self.evicted_lru,
+            }

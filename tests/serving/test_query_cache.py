@@ -1,0 +1,120 @@
+"""QueryCache and CachingDatabase: hit/miss, TTL, LRU, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kb import Column, Database, DataType, TableSchema
+from repro.serving import CachingDatabase, QueryCache, make_key
+
+
+def make_db() -> Database:
+    db = Database("cachetest")
+    db.create_table(TableSchema(
+        "drug",
+        [Column("drug_id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT, nullable=False)],
+        primary_key="drug_id",
+    ))
+    db.insert("drug", {"drug_id": 1, "name": "Aspirin"})
+    db.insert("drug", {"drug_id": 2, "name": "Ibuprofen"})
+    return db
+
+
+SQL = "SELECT name FROM drug WHERE drug_id = :id"
+
+
+class TestKey:
+    def test_param_order_is_irrelevant(self):
+        assert make_key("q", {"a": 1, "b": 2}) == make_key("q", {"b": 2, "a": 1})
+
+    def test_distinct_params_distinct_keys(self):
+        assert make_key("q", {"a": 1}) != make_key("q", {"a": 2})
+        assert make_key("q", None) == make_key("q", {})
+
+
+class TestQueryCache:
+    def test_miss_then_hit(self, clock):
+        cache = QueryCache(clock=clock)
+        assert cache.lookup(SQL, {"id": 1}) is None
+        cache.store(SQL, {"id": 1}, "result")
+        assert cache.lookup(SQL, {"id": 1}) == "result"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_ttl_expiry(self, clock):
+        cache = QueryCache(ttl=30.0, clock=clock)
+        cache.store(SQL, {"id": 1}, "result")
+        clock.advance(29.9)
+        assert cache.lookup(SQL, {"id": 1}) == "result"
+        clock.advance(0.2)
+        assert cache.lookup(SQL, {"id": 1}) is None
+        assert len(cache) == 0  # expired entry was dropped
+
+    def test_lru_eviction(self, clock):
+        cache = QueryCache(max_entries=2, clock=clock)
+        cache.store(SQL, {"id": 1}, "one")
+        cache.store(SQL, {"id": 2}, "two")
+        assert cache.lookup(SQL, {"id": 1}) == "one"  # refresh id=1
+        cache.store(SQL, {"id": 3}, "three")
+        assert cache.lookup(SQL, {"id": 2}) is None  # id=2 was the LRU
+        assert cache.lookup(SQL, {"id": 1}) == "one"
+        assert cache.evictions == 1
+
+    def test_invalidate_one_sql(self, clock):
+        cache = QueryCache(clock=clock)
+        cache.store(SQL, {"id": 1}, "one")
+        cache.store(SQL, {"id": 2}, "two")
+        cache.store("other", None, "x")
+        assert cache.invalidate(SQL) == 2
+        assert cache.lookup("other", None) == "x"
+        assert cache.lookup(SQL, {"id": 1}) is None
+
+    def test_invalidate_all(self, clock):
+        cache = QueryCache(clock=clock)
+        cache.store(SQL, {"id": 1}, "one")
+        cache.store("other", None, "x")
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+
+
+class TestCachingDatabase:
+    def test_repeated_query_served_from_cache(self):
+        db = CachingDatabase(make_db())
+        first = db.query(SQL, {"id": 1})
+        second = db.query(SQL, {"id": 1})
+        assert first.rows == [("Aspirin",)]
+        assert second is first  # identical object: no re-execution
+        assert db.cache.hits == 1 and db.cache.misses == 1
+
+    def test_write_invalidates(self):
+        db = CachingDatabase(make_db())
+        all_sql = "SELECT name FROM drug"
+        assert len(db.query(all_sql).rows) == 2
+        db.insert("drug", {"drug_id": 3, "name": "Tazarotene"})
+        assert len(db.query(all_sql).rows) == 3  # not the stale cached 2
+
+    def test_insert_many_invalidates(self):
+        db = CachingDatabase(make_db())
+        all_sql = "SELECT name FROM drug"
+        db.query(all_sql)
+        db.insert_many("drug", [{"drug_id": 3, "name": "A"},
+                                {"drug_id": 4, "name": "B"}])
+        assert len(db.query(all_sql).rows) == 4
+
+    def test_delegates_everything_else(self):
+        inner = make_db()
+        db = CachingDatabase(inner)
+        assert db.table_names() == ["drug"]
+        assert db.has_table("drug")
+        assert db.wrapped is inner
+        assert db.name == "cachetest"
+
+    def test_distinct_params_not_conflated(self):
+        db = CachingDatabase(make_db())
+        assert db.query(SQL, {"id": 1}).rows == [("Aspirin",)]
+        assert db.query(SQL, {"id": 2}).rows == [("Ibuprofen",)]

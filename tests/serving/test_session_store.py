@@ -1,0 +1,117 @@
+"""SessionStore: TTL eviction, LRU capping, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import SessionStore
+
+
+class TestLifecycle:
+    def test_create_and_get_roundtrip(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, clock=clock)
+        sid, entry = store.create()
+        assert store.get(sid) is entry
+        assert len(store) == 1
+        assert entry.session.id == int(sid)
+
+    def test_distinct_ids(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, clock=clock)
+        ids = {store.create()[0] for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_get_unknown_returns_none(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, clock=clock)
+        assert store.get("999") is None
+
+    def test_drop(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, clock=clock)
+        sid, _ = store.create()
+        assert store.drop(sid) is True
+        assert store.drop(sid) is False
+        assert store.get(sid) is None
+
+    def test_validation(self, fresh_agent, clock):
+        with pytest.raises(ValueError):
+            SessionStore(fresh_agent, max_sessions=0, clock=clock)
+        with pytest.raises(ValueError):
+            SessionStore(fresh_agent, ttl=0, clock=clock)
+
+
+class TestTTLEviction:
+    def test_idle_session_expires(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, ttl=60.0, clock=clock)
+        sid, _ = store.create()
+        clock.advance(59.9)
+        assert store.get(sid) is not None
+        clock.advance(60.0)
+        assert store.get(sid) is None
+        assert store.stats()["evicted_ttl"] == 1
+
+    def test_access_refreshes_ttl(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, ttl=60.0, clock=clock)
+        sid, _ = store.create()
+        for _ in range(5):
+            clock.advance(45.0)
+            assert store.get(sid) is not None  # each touch resets idleness
+        clock.advance(60.0)
+        assert store.get(sid) is None
+
+    def test_sweep_evicts_only_expired(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, ttl=60.0, clock=clock)
+        old, _ = store.create()
+        clock.advance(50.0)
+        young, _ = store.create()
+        clock.advance(15.0)  # old is 65s idle, young 15s
+        assert store.sweep() == 1
+        assert store.get(old) is None
+        assert store.get(young) is not None
+
+
+class TestLRUCapping:
+    def test_capacity_evicts_least_recently_used(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, max_sessions=3, clock=clock)
+        first, _ = store.create()
+        second, _ = store.create()
+        third, _ = store.create()
+        fourth, _ = store.create()
+        assert len(store) == 3
+        assert store.get(first) is None
+        assert store.stats()["evicted_lru"] == 1
+        assert {second, third, fourth} == set(store.ids())
+
+    def test_get_refreshes_recency(self, fresh_agent, clock):
+        store = SessionStore(fresh_agent, max_sessions=2, clock=clock)
+        first, _ = store.create()
+        second, _ = store.create()
+        store.get(first)  # first is now the most recently used
+        store.create()
+        assert store.get(first) is not None
+        assert store.get(second) is None
+
+
+class TestConcurrency:
+    def test_concurrent_creates_stay_bounded_and_distinct(self, fresh_agent):
+        store = SessionStore(fresh_agent, max_sessions=16)
+        created: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(25):
+                sid, _ = store.create()
+                with lock:
+                    created.append(sid)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(created) == 200
+        assert len(set(created)) == 200  # allocator never reused an id
+        assert len(store) == 16
+        stats = store.stats()
+        assert stats["created_total"] == 200
+        assert stats["evicted_lru"] == 200 - 16
