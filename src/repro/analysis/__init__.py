@@ -1,0 +1,52 @@
+"""Static analysis for the conversation system (``repro check`` / ``repro lint``).
+
+Two layers share one diagnostic framework:
+
+* :mod:`repro.analysis.space_checker` cross-validates the bootstrapped
+  conversation-space artifacts (templates, logic table, dialogue tree,
+  entities) against the ontology and the KB schema — at build time, not
+  in front of a user;
+* :mod:`repro.analysis.linter` enforces codebase invariants (lock-guarded
+  shared state, injectable clocks, no swallowed exceptions, no blocking
+  I/O on the request path) with custom ``ast`` checkers.
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` values;
+reviewed, intentional ones are suppressed by a
+:class:`~repro.analysis.baseline.Baseline` file.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Location,
+    Severity,
+    error_count,
+    render_json,
+    render_pretty,
+)
+from repro.analysis.linter import (
+    LintConfig,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.space_checker import SpaceArtifacts, build_artifacts, check_space
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "Location",
+    "Severity",
+    "error_count",
+    "render_json",
+    "render_pretty",
+    "LintConfig",
+    "lint_paths",
+    "lint_source",
+    "SpaceArtifacts",
+    "build_artifacts",
+    "check_space",
+]

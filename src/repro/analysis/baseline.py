@@ -1,0 +1,112 @@
+"""Baseline suppression for reviewed, intentional findings.
+
+A baseline file records findings that were inspected and accepted, so
+CI only fails on *new* problems.  The format is line-oriented text kept
+under version review next to the code it excuses::
+
+    # repro analysis baseline.
+    # <code> <location-pattern>   # why this finding is intentional
+    L003 src/repro/legacy/*.py    # legacy shim, removed in PR 9
+    C010 space:intent:Special*    # hand-served intent, no SQL on purpose
+
+``location-pattern`` is an ``fnmatch`` glob matched against the
+diagnostic's canonical location (``path`` or ``path::symbol`` — never a
+line number, so baselines survive unrelated edits).  ``code`` must match
+exactly, or be ``*`` to suppress every code at a location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Default baseline file name, looked up in the working directory.
+DEFAULT_BASELINE_NAME = ".repro-baseline"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppression: a code plus a canonical-location glob."""
+
+    code: str
+    location_pattern: str
+    comment: str = ""
+    line: int = 0
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if self.code != "*" and self.code != diag.code:
+            return False
+        return fnmatchcase(diag.location.canonical(), self.location_pattern)
+
+
+@dataclass
+class Baseline:
+    """A parsed baseline file, applied with :meth:`apply`."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def parse(cls, text: str, path: Path | None = None) -> "Baseline":
+        entries: list[BaselineEntry] = []
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            body, _, comment = line.partition("#")
+            parts = body.split()
+            if len(parts) != 2:
+                raise BaselineError(
+                    f"baseline line {number}: expected "
+                    f"'<code> <location-pattern>  # comment', got {raw!r}"
+                )
+            entries.append(
+                BaselineEntry(
+                    code=parts[0],
+                    location_pattern=parts[1],
+                    comment=comment.strip(),
+                    line=number,
+                )
+            )
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        return cls.parse(path.read_text(encoding="utf-8"), path=path)
+
+    @classmethod
+    def discover(cls, directory: str | Path = ".") -> "Baseline":
+        """Load the default baseline file if present, else an empty one."""
+        candidate = Path(directory) / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return cls.load(candidate)
+        return cls()
+
+    def suppresses(self, diag: Diagnostic) -> bool:
+        return any(entry.matches(diag) for entry in self.entries)
+
+    def apply(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Split diagnostics into (active, suppressed)."""
+        active: list[Diagnostic] = []
+        suppressed: list[Diagnostic] = []
+        for diag in diagnostics:
+            (suppressed if self.suppresses(diag) else active).append(diag)
+        return active, suppressed
+
+    def unused_entries(self, diagnostics: list[Diagnostic]) -> list[BaselineEntry]:
+        """Entries that matched nothing — candidates for deletion."""
+        return [
+            entry
+            for entry in self.entries
+            if not any(entry.matches(d) for d in diagnostics)
+        ]

@@ -1,0 +1,161 @@
+"""The shared diagnostic framework for both analysis layers.
+
+Every checker — the conversation-space checker and the codebase lint —
+reports findings as :class:`Diagnostic` values: a stable machine code
+(``C001``/``L001``...), a severity, a location and a human message.
+The CLI renders them as text or JSON and decides the exit code from the
+non-suppressed error count; the :mod:`repro.analysis.baseline` module
+suppresses findings that were reviewed and accepted.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    ``ERROR`` findings fail the build (unless baselined); ``WARNING``
+    findings are reported but do not affect the exit code unless the
+    run is ``--strict``; ``INFO`` findings are purely advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points.
+
+    ``path`` is a file path for codebase lint, or an artifact scheme
+    like ``space:template:<intent>`` for conversation-space findings.
+    ``line`` is 1-based and only meaningful for files; ``symbol`` names
+    the enclosing definition (``Class.method``) or artifact (an intent,
+    an entity, a dialogue node).
+    """
+
+    path: str
+    line: int | None = None
+    symbol: str | None = None
+
+    def canonical(self) -> str:
+        """The stable string the baseline file matches against.
+
+        Line numbers are deliberately excluded: they drift with every
+        edit, while ``path`` + ``symbol`` survive refactors.
+        """
+        return f"{self.path}::{self.symbol}" if self.symbol else self.path
+
+    def __str__(self) -> str:
+        out = self.path
+        if self.line is not None:
+            out += f":{self.line}"
+        if self.symbol:
+            out += f" ({self.symbol})"
+        return out
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one checker."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: Location
+    #: Short kebab-case name of the rule ("unknown-column").
+    rule: str = ""
+
+    def render(self) -> str:
+        """One pretty line: ``error C003 path (symbol): message``."""
+        return (
+            f"{self.severity.value:<7} {self.code} {self.location}: "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "rule": self.rule,
+            "path": self.location.path,
+            "line": self.location.line,
+            "symbol": self.location.symbol,
+            "message": self.message,
+        }
+
+
+def sort_key(diag: Diagnostic):
+    """Stable ordering: severity first, then location, then code."""
+    return (
+        diag.severity.rank,
+        diag.location.path,
+        diag.location.line or 0,
+        diag.location.symbol or "",
+        diag.code,
+    )
+
+
+@dataclass
+class DiagnosticCollector:
+    """Accumulates diagnostics; checkers call :meth:`emit`."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        location: Location,
+        rule: str = "",
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            severity=severity,
+            message=message,
+            location=location,
+            rule=rule,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def error(self, code: str, message: str, location: Location, rule: str = "") -> Diagnostic:
+        return self.emit(code, Severity.ERROR, message, location, rule)
+
+    def warning(self, code: str, message: str, location: Location, rule: str = "") -> Diagnostic:
+        return self.emit(code, Severity.WARNING, message, location, rule)
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=sort_key)
+
+
+def render_pretty(diagnostics: list[Diagnostic]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [diag.render() for diag in sorted(diagnostics, key=sort_key)]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    """Machine-readable report (one JSON document, stable ordering)."""
+    return json.dumps(
+        [d.to_dict() for d in sorted(diagnostics, key=sort_key)], indent=2
+    )
+
+
+def error_count(diagnostics: list[Diagnostic], strict: bool = False) -> int:
+    """Findings that should fail the run (warnings count when strict)."""
+    failing = {Severity.ERROR, Severity.WARNING} if strict else {Severity.ERROR}
+    return sum(1 for d in diagnostics if d.severity in failing)

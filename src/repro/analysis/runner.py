@@ -1,0 +1,120 @@
+"""CLI entry points for ``python -m repro check`` and ``python -m repro lint``.
+
+Both commands share one reporting pipeline: run the checkers, subtract
+the baseline, render pretty text or JSON, and exit non-zero when any
+non-baselined error remains (warnings too under ``--strict``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    error_count,
+    render_json,
+    render_pretty,
+)
+from repro.analysis.linter import LintConfig, lint_paths
+from repro.analysis.space_checker import check_space
+
+
+def _load_baseline(args: argparse.Namespace) -> Baseline:
+    if getattr(args, "baseline", None):
+        return Baseline.load(args.baseline)
+    return Baseline.discover()
+
+
+def _report(
+    diagnostics: list[Diagnostic],
+    baseline: Baseline,
+    args: argparse.Namespace,
+    output_fn,
+    header: str,
+) -> int:
+    active, suppressed = baseline.apply(diagnostics)
+    if args.format == "json":
+        output_fn(render_json(active))
+    else:
+        output_fn(header)
+        output_fn(render_pretty(active))
+        if suppressed:
+            output_fn(f"({len(suppressed)} finding(s) suppressed by baseline)")
+        for entry in baseline.unused_entries(diagnostics):
+            output_fn(
+                f"note: baseline entry '{entry.code} "
+                f"{entry.location_pattern}' matched nothing — consider "
+                "removing it"
+            )
+    return 1 if error_count(active, strict=args.strict) else 0
+
+
+def _build_space(args: argparse.Namespace):
+    """The space under check: exported artifacts, or the shipped MDX."""
+    if args.space:
+        if not args.data:
+            raise SystemExit("--space requires --data (the CSV KB directory)")
+        from repro.bootstrap import space_from_dict
+        from repro.kb.io import load_database
+
+        database = load_database(args.data)
+        space = space_from_dict(
+            json.loads(Path(args.space).read_text(encoding="utf-8")),
+            database=database,
+        )
+        return space, database
+    from repro.medical import build_mdx_database, build_mdx_space
+    from repro.medical.build import rename_to_paper_intents
+
+    database = build_mdx_database()
+    space = build_mdx_space(database)
+    # Mirror what `repro serve` ships: the paper's intent names.
+    rename_to_paper_intents(space)
+    return space, database
+
+
+def cmd_check(args: argparse.Namespace, output_fn=print) -> int:
+    """Validate the conversation space without executing a query."""
+    started = time.perf_counter()
+    space, database = _build_space(args)
+    diagnostics = check_space(space, database)
+    baseline = _load_baseline(args)
+    elapsed = time.perf_counter() - started
+    header = (
+        f"repro check: {len(space.intents)} intents, "
+        f"{len(space.entities)} entities validated in {elapsed:.2f}s"
+    )
+    return _report(diagnostics, baseline, args, output_fn, header)
+
+
+def cmd_lint(args: argparse.Namespace, output_fn=print) -> int:
+    """Run the concurrency/purity lint over the codebase."""
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"no such path: {', '.join(missing)}")
+    diagnostics = lint_paths(paths, LintConfig())
+    baseline = _load_baseline(args)
+    header = f"repro lint: {', '.join(str(p) for p in paths)}"
+    return _report(diagnostics, baseline, args, output_fn, header)
+
+
+def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``check`` and ``lint``."""
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline suppression file (default: .repro-baseline if present)",
+    )
+    parser.add_argument(
+        "--format", choices=("pretty", "json"), default="pretty",
+        help="report format",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors for the exit code",
+    )

@@ -1,0 +1,602 @@
+"""Layer 1: static cross-validation of the bootstrapped artifacts.
+
+The bootstrap pipeline auto-generates every artifact the agent runs on —
+intents, entities, parameterized SQL templates and the dialogue logic
+table — so a single stale concept name or unbound template parameter
+silently produces wrong dialogues at serve time.  ``repro check`` makes
+that a compile-time failure: every template's SQL is parsed with the
+real :mod:`repro.kb.sql` parser and resolved against the KB schema,
+every logic-table row is cross-checked against the intents, entities
+and templates it references, and the generated dialogue tree is swept
+for unreachable nodes — all without executing a single query.
+
+Diagnostic codes
+----------------
+======  =========================  ========================================
+C001    sql-syntax                 template SQL does not parse
+C002    unknown-table              SQL references a table missing from the KB
+C003    unknown-column             SQL references a missing/ambiguous column
+C004    parameter-mismatch         declared parameters != ``:params`` in SQL
+C005    unknown-parameter-concept  parameter concept unknown or not an entity
+C006    unknown-row-entity         logic-table row names an unknown entity
+C007    missing-elicitation        required entity has no elicitation prompt
+C008    entity-template-mismatch   row entities and template parameters disagree
+C009    unresolved-placeholder     response-template ``{var}`` resolves to nothing
+C010    intent-without-template    intent has patterns but no usable template
+C011    template-without-intent    template names an intent that does not exist
+C012    row-without-intent         logic-table row's intent is not in the space
+C013    intent-without-row         intent has no logic-table row
+C014    unreachable-node           dialogue-tree node can never be reached
+C015    synonym-collision          one entity maps a surface form to two values
+======  =========================  ========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from string import Formatter
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Location
+from repro.bootstrap.space import ConversationSpace
+from repro.dialogue.logic_table import (
+    DialogueLogicRow,
+    DialogueLogicTable,
+    context_key,
+)
+from repro.dialogue.management import MANAGEMENT_RESPONSES
+from repro.dialogue.tree import DialogueNode, build_dialogue_tree
+from repro.errors import NLQError, ReproError, SQLSyntaxError, TemplateError
+from repro.kb.database import Database
+from repro.kb.sql import ast as sql_ast
+from repro.kb.sql.parser import parse as parse_sql
+from repro.nlq.templates import StructuredQueryTemplate, templates_for_intent
+
+#: Placeholder always bound by the response generator (the KB rows).
+RESULTS_PLACEHOLDER = "results"
+
+
+def _loc(kind: str, name: str) -> Location:
+    """Artifact location: ``space:template:Dosage of Drug``."""
+    return Location(path=f"space:{kind}", symbol=name)
+
+
+# ---------------------------------------------------------------------------
+# Artifact assembly (mirrors ConversationAgent.build, minus the classifier)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpaceArtifacts:
+    """Everything the checker cross-validates, assembled once.
+
+    Mirrors what :meth:`repro.engine.agent.ConversationAgent.build`
+    derives from a space — logic table and per-intent templates — but
+    skips classifier training, so checking stays fast and side-effect
+    free.  Template-generation failures are recorded per intent instead
+    of raised, so one broken intent does not hide findings in others.
+    """
+
+    space: ConversationSpace
+    database: Database | None
+    logic_table: DialogueLogicTable
+    templates: dict[str, list[StructuredQueryTemplate]]
+    template_failures: dict[str, str] = field(default_factory=dict)
+
+
+def build_artifacts(
+    space: ConversationSpace,
+    database: Database | None = None,
+    logic_table: DialogueLogicTable | None = None,
+) -> SpaceArtifacts:
+    """Derive the checkable artifacts from a bootstrapped space."""
+    if logic_table is None:
+        logic_table = DialogueLogicTable.from_space(space)
+    templates: dict[str, list[StructuredQueryTemplate]] = {}
+    failures: dict[str, str] = {}
+    for intent in space.intents:
+        if intent.custom_templates:
+            templates[intent.name] = list(intent.custom_templates)
+            continue
+        if not intent.patterns:
+            continue
+        try:
+            templates[intent.name] = templates_for_intent(
+                intent, space.ontology, database
+            )
+        except (NLQError, TemplateError) as exc:
+            templates[intent.name] = []
+            failures[intent.name] = str(exc)
+    return SpaceArtifacts(
+        space=space,
+        database=database,
+        logic_table=logic_table,
+        templates=templates,
+        template_failures=failures,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SQL schema resolution
+# ---------------------------------------------------------------------------
+
+
+def _iter_column_refs(select: sql_ast.Select):
+    """Yield every ColumnRef in a parsed SELECT (projection, joins,
+    WHERE, GROUP BY, ORDER BY)."""
+
+    def walk_expr(node):
+        if isinstance(node, sql_ast.ColumnRef):
+            yield node
+        elif isinstance(node, (sql_ast.And, sql_ast.Or, sql_ast.Comparison)):
+            yield from walk_expr(node.left)
+            yield from walk_expr(node.right)
+        elif isinstance(node, sql_ast.Not):
+            yield from walk_expr(node.operand)
+        elif isinstance(node, sql_ast.LikePredicate):
+            yield from walk_expr(node.operand)
+            yield from walk_expr(node.pattern)
+        elif isinstance(node, sql_ast.InPredicate):
+            yield from walk_expr(node.operand)
+            for value in node.values:
+                yield from walk_expr(value)
+        elif isinstance(node, sql_ast.IsNullPredicate):
+            yield from walk_expr(node.operand)
+
+    for item in select.items:
+        if isinstance(item.expression, sql_ast.ColumnRef):
+            yield item.expression
+        elif (
+            isinstance(item.expression, sql_ast.Aggregate)
+            and item.expression.argument is not None
+        ):
+            yield item.expression.argument
+    for join in select.joins:
+        yield from walk_expr(join.condition)
+    if select.where is not None:
+        yield from walk_expr(select.where)
+    yield from select.group_by
+    for order in select.order_by:
+        yield order.column
+
+
+def _check_template_sql(
+    template: StructuredQueryTemplate,
+    artifacts: SpaceArtifacts,
+    out: DiagnosticCollector,
+) -> None:
+    """Parse one template's SQL and resolve it against the KB schema."""
+    location = _loc("template", template.intent_name)
+    try:
+        select = parse_sql(template.sql)
+    except SQLSyntaxError as exc:
+        out.error("C001", f"template SQL does not parse: {exc}", location,
+                  rule="sql-syntax")
+        return
+
+    database = artifacts.database
+    scope: dict[str, str] = {}
+    for ref in (select.source, *(join.table for join in select.joins)):
+        if database is not None and not database.has_table(ref.table):
+            out.error(
+                "C002",
+                f"template SQL references unknown table {ref.table!r}",
+                location,
+                rule="unknown-table",
+            )
+        else:
+            scope[ref.binding.lower()] = ref.table
+
+    if database is not None:
+        for col in _iter_column_refs(select):
+            if col.table is not None:
+                table = scope.get(col.table.lower())
+                if table is None:
+                    out.error(
+                        "C003",
+                        f"column {col} references undeclared table alias "
+                        f"{col.table!r}",
+                        location,
+                        rule="unknown-column",
+                    )
+                elif not database.table(table).schema.has_column(col.column):
+                    out.error(
+                        "C003",
+                        f"table {table!r} has no column {col.column!r} "
+                        f"(referenced as {col})",
+                        location,
+                        rule="unknown-column",
+                    )
+            else:
+                owners = [
+                    table
+                    for table in dict.fromkeys(scope.values())
+                    if database.has_table(table)
+                    and database.table(table).schema.has_column(col.column)
+                ]
+                if not owners:
+                    out.error(
+                        "C003",
+                        f"no table in scope has column {col.column!r}",
+                        location,
+                        rule="unknown-column",
+                    )
+                elif len(owners) > 1:
+                    out.error(
+                        "C003",
+                        f"unqualified column {col.column!r} is ambiguous "
+                        f"between tables {', '.join(sorted(owners))}",
+                        location,
+                        rule="unknown-column",
+                    )
+
+    sql_params = set(select.parameters())
+    declared = set(template.parameters)
+    for name in sorted(sql_params - declared):
+        out.error(
+            "C004",
+            f"SQL parameter :{name} is not declared in template.parameters",
+            location,
+            rule="parameter-mismatch",
+        )
+    for name in sorted(declared - sql_params):
+        out.error(
+            "C004",
+            f"declared parameter {name!r} never appears in the SQL",
+            location,
+            rule="parameter-mismatch",
+        )
+
+
+def _check_template_concepts(
+    template: StructuredQueryTemplate,
+    artifacts: SpaceArtifacts,
+    out: DiagnosticCollector,
+) -> None:
+    """Every template parameter must fill from a recognizable entity."""
+    space = artifacts.space
+    location = _loc("template", template.intent_name)
+    for param, concept in template.parameters.items():
+        if not space.ontology.has_concept(concept):
+            out.error(
+                "C005",
+                f"parameter {param!r} maps to {concept!r}, which is not an "
+                "ontology concept",
+                location,
+                rule="unknown-parameter-concept",
+            )
+        elif not space.has_entity(concept):
+            out.error(
+                "C005",
+                f"parameter {param!r} maps to concept {concept!r}, but the "
+                "conversation space has no entity to recognize its values",
+                location,
+                rule="unknown-parameter-concept",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Intent <-> template cross checks
+# ---------------------------------------------------------------------------
+
+
+def _check_intent_templates(
+    artifacts: SpaceArtifacts, out: DiagnosticCollector
+) -> None:
+    space = artifacts.space
+    intent_names = {i.name.lower() for i in space.intents}
+    for intent in space.intents:
+        if intent.kind in ("keyword", "management"):
+            continue  # these answer without SQL by design
+        templates = artifacts.templates.get(intent.name, [])
+        if not templates:
+            reason = artifacts.template_failures.get(intent.name)
+            detail = f" ({reason})" if reason else ""
+            out.error(
+                "C010",
+                f"intent {intent.name!r} has no usable query template{detail}",
+                _loc("intent", intent.name),
+                rule="intent-without-template",
+            )
+    for name, templates in artifacts.templates.items():
+        for template in templates:
+            if template.intent_name.lower() not in intent_names:
+                out.error(
+                    "C011",
+                    f"template is bound to intent {template.intent_name!r}, "
+                    "which is not in the conversation space",
+                    _loc("template", name),
+                    rule="template-without-intent",
+                )
+            elif template.intent_name.lower() != name.lower():
+                out.error(
+                    "C011",
+                    f"template under intent {name!r} names a different "
+                    f"intent {template.intent_name!r}",
+                    _loc("template", name),
+                    rule="template-without-intent",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Dialogue-logic-table row checks
+# ---------------------------------------------------------------------------
+
+
+def _known_entity(space: ConversationSpace, name: str) -> bool:
+    return space.has_entity(name) or space.ontology.has_concept(name)
+
+
+def _check_row(
+    row: DialogueLogicRow, artifacts: SpaceArtifacts, out: DiagnosticCollector
+) -> None:
+    space = artifacts.space
+    location = _loc("logic-row", row.intent_name)
+    if not space.has_intent(row.intent_name):
+        out.error(
+            "C012",
+            f"logic-table row names intent {row.intent_name!r}, which is not "
+            "in the conversation space",
+            location,
+            rule="row-without-intent",
+        )
+        return  # the remaining cross-checks need the intent
+
+    for concept in (*row.required_entities, *row.optional_entities):
+        if not _known_entity(space, concept):
+            out.error(
+                "C006",
+                f"row references entity {concept!r}, which is neither an "
+                "entity nor an ontology concept",
+                location,
+                rule="unknown-row-entity",
+            )
+
+    if row.kind not in ("keyword", "management"):
+        elicitation_keys = {k.lower() for k in row.elicitations}
+        for concept in row.required_entities:
+            if concept.lower() not in elicitation_keys:
+                out.warning(
+                    "C007",
+                    f"required entity {concept!r} has no elicitation prompt "
+                    "(the generic default will be used)",
+                    location,
+                    rule="missing-elicitation",
+                )
+
+        templates = artifacts.templates.get(row.intent_name, [])
+        if templates:
+            bindable = {
+                concept.lower()
+                for template in templates
+                for concept in template.parameters.values()
+            }
+            for concept in row.required_entities:
+                if concept.lower() not in bindable:
+                    out.error(
+                        "C008",
+                        f"required entity {concept!r} is not a parameter of "
+                        "any of the intent's query templates",
+                        location,
+                        rule="entity-template-mismatch",
+                    )
+            slots = {
+                c.lower()
+                for c in (*row.required_entities, *row.optional_entities)
+            }
+            for concept in sorted(bindable - slots):
+                out.warning(
+                    "C008",
+                    f"template parameter concept {concept!r} is neither a "
+                    "required nor an optional entity of the row, so it can "
+                    "only bind through a late elicitation",
+                    location,
+                    rule="entity-template-mismatch",
+                )
+
+    _check_response_template(row, out)
+
+
+def _check_response_template(
+    row: DialogueLogicRow, out: DiagnosticCollector
+) -> None:
+    """Every ``{placeholder}`` must be fillable at response time."""
+    if not row.response_template:
+        return
+    location = _loc("logic-row", row.intent_name)
+    allowed = {RESULTS_PLACEHOLDER}
+    allowed.update(
+        context_key(c) for c in (*row.required_entities, *row.optional_entities)
+    )
+    try:
+        fields = [
+            name for _, name, _, _ in Formatter().parse(row.response_template)
+            if name is not None
+        ]
+    except ValueError as exc:
+        out.error(
+            "C009",
+            f"response template is malformed: {exc}",
+            location,
+            rule="unresolved-placeholder",
+        )
+        return
+    for name in fields:
+        if name == "":
+            out.error(
+                "C009",
+                "response template uses a positional {} placeholder",
+                location,
+                rule="unresolved-placeholder",
+            )
+        elif name not in allowed:
+            out.error(
+                "C009",
+                f"response-template placeholder {{{name}}} does not resolve "
+                "to the context key of any entity of this row "
+                f"(known: {', '.join(sorted(allowed))})",
+                location,
+                rule="unresolved-placeholder",
+            )
+
+
+def _check_row_coverage(
+    artifacts: SpaceArtifacts, out: DiagnosticCollector
+) -> None:
+    """Every non-management intent needs exactly one logic-table row."""
+    covered = {row.intent_name.lower() for row in artifacts.logic_table.rows}
+    for intent in artifacts.space.intents:
+        if intent.kind == "management":
+            continue
+        if intent.name.lower() not in covered:
+            out.error(
+                "C013",
+                f"intent {intent.name!r} has no dialogue-logic-table row, so "
+                "the dialogue tree cannot route it",
+                _loc("intent", intent.name),
+                rule="intent-without-row",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Dialogue-tree reachability
+# ---------------------------------------------------------------------------
+
+
+def _check_tree(artifacts: SpaceArtifacts, out: DiagnosticCollector) -> None:
+    """Sweep the generated tree for structurally unreachable nodes.
+
+    Conditions are opaque callables, so reachability uses the generated
+    structure: the top-level ``fallback`` node matches everything (nodes
+    after it never run), ``*:answer`` children are the documented
+    always-matching default (children after them never run), and an
+    ``intent:X`` subtree is dead when no classifier label ``X`` exists.
+    """
+    try:
+        tree = build_dialogue_tree(artifacts.logic_table)
+    except ReproError as exc:
+        out.error(
+            "C014",
+            f"dialogue tree cannot be generated: {exc}",
+            _loc("tree", "build"),
+            rule="unreachable-node",
+        )
+        return
+
+    labels = {i.name.lower() for i in artifacts.space.intents}
+    labels.update(name.lower() for name in MANAGEMENT_RESPONSES)
+
+    terminal_seen = False
+    for node in tree.nodes:
+        if terminal_seen:
+            out.error(
+                "C014",
+                f"top-level node {node.name!r} comes after the catch-all "
+                "fallback node and can never match",
+                _loc("tree-node", node.name),
+                rule="unreachable-node",
+            )
+        if node.name == "fallback":
+            terminal_seen = True
+        for prefix in ("intent:", "management:"):
+            if node.name.startswith(prefix):
+                intent_name = node.name[len(prefix):]
+                if intent_name.lower() not in labels:
+                    out.error(
+                        "C014",
+                        f"subtree {node.name!r} requires intent "
+                        f"{intent_name!r}, which neither the space nor the "
+                        "management set defines — the node is unreachable",
+                        _loc("tree-node", node.name),
+                        rule="unreachable-node",
+                    )
+        _check_children(node, out)
+
+
+def _check_children(node: DialogueNode, out: DiagnosticCollector) -> None:
+    default_seen = False
+    for child in node.children:
+        if default_seen:
+            out.error(
+                "C014",
+                f"node {child.name!r} comes after the always-matching "
+                f"answer child of {node.name!r} and can never match",
+                _loc("tree-node", child.name),
+                rule="unreachable-node",
+            )
+        if child.name.endswith(":answer"):
+            default_seen = True
+        _check_children(child, out)
+
+
+# ---------------------------------------------------------------------------
+# Entity synonym collisions
+# ---------------------------------------------------------------------------
+
+
+def _check_synonyms(artifacts: SpaceArtifacts, out: DiagnosticCollector) -> None:
+    """One entity mapping a surface form to two values is unresolvable.
+
+    Cross-entity collisions are allowed — the agent disambiguates those
+    interactively ("Did you mean ...?") — but within a single entity the
+    recognizer returns the first match, silently shadowing the other.
+    """
+    for entity in artifacts.space.entities:
+        seen: dict[str, str] = {}
+        for value in entity.values:
+            for form in value.surface_forms():
+                low = form.lower()
+                other = seen.get(low)
+                if other is not None and other != value.value:
+                    out.warning(
+                        "C015",
+                        f"surface form {form!r} maps to both {other!r} and "
+                        f"{value.value!r}; resolution silently picks the "
+                        "first",
+                        _loc("entity", entity.name),
+                        rule="synonym-collision",
+                    )
+                else:
+                    seen.setdefault(low, value.value)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_space(
+    space: ConversationSpace,
+    database: Database | None = None,
+    logic_table: DialogueLogicTable | None = None,
+) -> list[Diagnostic]:
+    """Run every conversation-space check; returns the findings.
+
+    ``database`` defaults to the space's own KB handle.  A custom
+    ``logic_table`` (e.g. one edited by an SME) is checked in place of
+    the freshly generated one.
+    """
+    if database is None:
+        database = space.database
+    out = DiagnosticCollector()
+    try:
+        artifacts = build_artifacts(space, database, logic_table=logic_table)
+    except ReproError as exc:
+        out.error(
+            "C012",
+            f"artifact generation failed: {exc}",
+            _loc("space", space.ontology.name),
+            rule="row-without-intent",
+        )
+        return out.sorted()
+
+    for templates in artifacts.templates.values():
+        for template in templates:
+            _check_template_sql(template, artifacts, out)
+            _check_template_concepts(template, artifacts, out)
+    _check_intent_templates(artifacts, out)
+    for row in artifacts.logic_table.rows:
+        _check_row(row, artifacts, out)
+    _check_row_coverage(artifacts, out)
+    _check_tree(artifacts, out)
+    _check_synonyms(artifacts, out)
+    return out.sorted()

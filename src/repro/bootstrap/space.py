@@ -10,7 +10,7 @@ the intent classifier over them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.bootstrap.entities import Entity, extract_entities
@@ -92,6 +92,15 @@ class ConversationSpace:
         self.training_examples = [
             TrainingExample(e.utterance, new, e.source) if e.intent == old_name else e
             for e in self.training_examples
+        ]
+        # Custom structured-query templates carry the intent name too;
+        # leaving the old name behind makes template and intent disagree
+        # (caught statically as C011 by `repro check`).
+        intent.custom_templates = [
+            replace(template, intent_name=new)
+            if getattr(template, "intent_name", None) == old_name
+            else template
+            for template in intent.custom_templates
         ]
 
     # -- entity access --------------------------------------------------------

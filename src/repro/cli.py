@@ -19,6 +19,11 @@ Commands
     Run the concurrent JSON-over-HTTP conversation server
     (``POST /chat``, ``POST /feedback``, ``GET /healthz``,
     ``GET /metrics``) over Conversational MDX or a custom space/KB.
+``check``
+    Statically validate the conversation-space artifacts (templates,
+    logic table, dialogue tree, entities) without executing a query.
+``lint``
+    Run the concurrency/purity lint pass over the codebase.
 """
 
 from __future__ import annotations
@@ -253,6 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log", default=None,
                        help="interaction-log path, flushed on shutdown")
     serve.set_defaults(handler=cmd_serve)
+
+    from repro.analysis.runner import add_analysis_arguments, cmd_check, cmd_lint
+
+    check = sub.add_parser(
+        "check", help="statically validate the conversation space"
+    )
+    check.add_argument("--space", help="exported conversation-space JSON")
+    check.add_argument("--data", help="CSV knowledge-base directory")
+    add_analysis_arguments(check)
+    check.set_defaults(handler=cmd_check)
+
+    lint = sub.add_parser(
+        "lint", help="run the concurrency/purity lint over the codebase"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src/repro)")
+    add_analysis_arguments(lint)
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

@@ -38,7 +38,13 @@ from repro.dialogue.tree import (
 )
 from repro.engine.feedback import FeedbackLog, InteractionRecord
 from repro.engine.recognizer import EntityRecognizer, RecognitionResult
-from repro.errors import EngineError, NLQError, TemplateError
+from repro.errors import (
+    DialogueError,
+    EngineError,
+    MissingBindingsError,
+    NLQError,
+    TemplateError,
+)
 from repro.kb.database import Database
 from repro.nlp.classifier import IntentClassifier
 from repro.nlp.tokenizer import tokenize
@@ -818,13 +824,10 @@ class ConversationAgent:
             )
         try:
             result = template.execute(self.database, bindings)
-        except TemplateError:
-            # A filter the template needs is missing; elicit it.
-            missing = [
-                c for c in template.required_concepts()
-                if c.lower() not in {k.lower() for k in bindings}
-            ]
-            concept = missing[0] if missing else intent.required_entities[0]
+        except MissingBindingsError as exc:
+            # Filters the template needs are missing; elicit the first
+            # (the error names them all, so the loop converges).
+            concept = exc.missing[0] if exc.missing else intent.required_entities[0]
             context.begin_slot_filling(intent.name, concept)
             return AgentResponse(
                 text=f"For which {concept.lower()}?",
@@ -855,7 +858,10 @@ class ConversationAgent:
             values["results"] = results_text
             try:
                 text = render_template(outcome.response_template, values)
-            except Exception:
+            except (DialogueError, ValueError):
+                # An unbound variable or malformed format spec; `repro
+                # check` flags these at build time, but an SME-edited
+                # template can still slip through — answer plainly.
                 text = f"Here is what I found: {results_text}"
         else:
             text = f"Here is what I found: {results_text}"

@@ -125,6 +125,26 @@ class TemplateError(NLQError):
     """A structured query template is invalid or instantiated incorrectly."""
 
 
+class MissingBindingsError(TemplateError):
+    """Template instantiation lacked values for one or more concepts.
+
+    ``missing`` lists *every* unbound concept (not just the first), so
+    runtime errors agree with what ``repro check`` reports statically
+    and callers can elicit all absent slots at once.
+    """
+
+    def __init__(self, intent_name: str, missing: list[str]) -> None:
+        noun = "a value" if len(missing) == 1 else "values"
+        concepts = ", ".join(repr(c) for c in missing)
+        label = "concept" if len(missing) == 1 else "concepts"
+        super().__init__(
+            f"template for intent {intent_name!r} needs {noun} for "
+            f"{label} {concepts}"
+        )
+        self.intent_name = intent_name
+        self.missing = list(missing)
+
+
 # ---------------------------------------------------------------------------
 # Dialogue / engine errors
 # ---------------------------------------------------------------------------

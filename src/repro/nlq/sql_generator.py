@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import NLQError
+from repro.errors import JoinPathError, NLQError
 from repro.kb.database import Database
 from repro.kb.types import DataType
 from repro.nlq.join_path import find_join_path, table_join_graph
@@ -223,8 +223,8 @@ def build_concept_query(
         for source in joined:
             try:
                 steps = find_join_path(ontology, source, table, database, graph=graph)
-            except Exception:
-                continue
+            except JoinPathError:
+                continue  # this anchor cannot reach the table; try the next
             if best_steps is None or len(steps) < len(best_steps):
                 best_steps = steps
         if best_steps is None:

@@ -13,7 +13,7 @@ from typing import Any
 
 from repro.bootstrap.intents import Intent
 from repro.bootstrap.patterns import PatternKind, QueryPattern
-from repro.errors import TemplateError
+from repro.errors import MissingBindingsError, TemplateError
 from repro.kb.database import Database
 from repro.kb.sql.result import ResultSet
 from repro.nlq.sql_generator import build_concept_query, build_relationship_query
@@ -48,19 +48,22 @@ class StructuredQueryTemplate:
         """Produce the SQL parameter dict from concept → value bindings.
 
         ``bindings`` maps concept name → instance value (case-insensitive
-        concept names).  Raises :class:`TemplateError` when a required
-        concept is missing.
+        concept names).  Raises :class:`MissingBindingsError` naming
+        *every* unbound concept at once, so one round trip surfaces the
+        full set of missing slots.
         """
         lowered = {k.lower(): v for k, v in bindings.items()}
         params: dict[str, Any] = {}
+        missing: list[str] = []
         for param, concept in self.parameters.items():
             value = lowered.get(concept.lower())
             if value is None:
-                raise TemplateError(
-                    f"template for intent {self.intent_name!r} needs a value "
-                    f"for concept {concept!r}"
-                )
-            params[param] = value
+                if concept.lower() not in (c.lower() for c in missing):
+                    missing.append(concept)
+            else:
+                params[param] = value
+        if missing:
+            raise MissingBindingsError(self.intent_name, missing)
         return params
 
     def execute(self, database: Database, bindings: dict[str, str]) -> ResultSet:

@@ -1,0 +1,130 @@
+"""Unit tests for the shared diagnostic framework."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Location,
+    Severity,
+    error_count,
+    render_json,
+    render_pretty,
+    sort_key,
+)
+
+
+def _diag(code="C001", severity=Severity.ERROR, path="a.py", line=None,
+          symbol=None, message="boom"):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        location=Location(path, line, symbol),
+        rule="test-rule",
+    )
+
+
+class TestLocation:
+    def test_canonical_path_only(self):
+        assert Location("src/x.py").canonical() == "src/x.py"
+
+    def test_canonical_with_symbol(self):
+        loc = Location("src/x.py", line=12, symbol="Cls.method")
+        assert loc.canonical() == "src/x.py::Cls.method"
+
+    def test_canonical_excludes_line(self):
+        a = Location("x.py", line=1, symbol="f")
+        b = Location("x.py", line=999, symbol="f")
+        assert a.canonical() == b.canonical()
+
+    def test_str_includes_line_and_symbol(self):
+        assert str(Location("x.py", 7, "f")) == "x.py:7 (f)"
+
+
+class TestSeverity:
+    def test_rank_ordering(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+
+class TestDiagnostic:
+    def test_render_mentions_code_and_message(self):
+        line = _diag(code="C003", message="no such column").render()
+        assert "C003" in line
+        assert "no such column" in line
+        assert "error" in line
+
+    def test_to_dict_round_trips_fields(self):
+        d = _diag(code="L001", path="m.py", line=3, symbol="C.f")
+        data = d.to_dict()
+        assert data["code"] == "L001"
+        assert data["severity"] == "error"
+        assert data["path"] == "m.py"
+        assert data["line"] == 3
+        assert data["symbol"] == "C.f"
+
+
+class TestSorting:
+    def test_errors_sort_before_warnings(self):
+        warning = _diag(severity=Severity.WARNING, path="a.py")
+        error = _diag(severity=Severity.ERROR, path="z.py")
+        assert sorted([warning, error], key=sort_key) == [error, warning]
+
+    def test_same_severity_sorts_by_location(self):
+        first = _diag(path="a.py", line=1)
+        second = _diag(path="a.py", line=9)
+        third = _diag(path="b.py", line=1)
+        assert sorted([third, second, first], key=sort_key) == [
+            first, second, third,
+        ]
+
+
+class TestCollector:
+    def test_emit_and_helpers(self):
+        out = DiagnosticCollector()
+        out.error("C001", "e", Location("a.py"))
+        out.warning("C007", "w", Location("a.py"))
+        assert [d.severity for d in out.diagnostics] == [
+            Severity.ERROR, Severity.WARNING,
+        ]
+
+    def test_sorted_is_stable_output(self):
+        out = DiagnosticCollector()
+        out.warning("C007", "w", Location("a.py"))
+        out.error("C001", "e", Location("b.py"))
+        assert [d.code for d in out.sorted()] == ["C001", "C007"]
+
+
+class TestRenderers:
+    def test_pretty_summary_line(self):
+        text = render_pretty([
+            _diag(severity=Severity.ERROR),
+            _diag(severity=Severity.WARNING, code="C007"),
+        ])
+        assert text.splitlines()[-1] == "1 error(s), 1 warning(s)"
+
+    def test_pretty_empty(self):
+        assert render_pretty([]) == "0 error(s), 0 warning(s)"
+
+    def test_json_is_parseable_and_ordered(self):
+        payload = json.loads(render_json([
+            _diag(severity=Severity.WARNING, code="C007"),
+            _diag(severity=Severity.ERROR, code="C001"),
+        ]))
+        assert [d["code"] for d in payload] == ["C001", "C007"]
+
+
+class TestErrorCount:
+    def test_warnings_do_not_fail_by_default(self):
+        diags = [_diag(severity=Severity.WARNING)]
+        assert error_count(diags) == 0
+
+    def test_strict_counts_warnings(self):
+        diags = [_diag(severity=Severity.WARNING)]
+        assert error_count(diags, strict=True) == 1
+
+    def test_info_never_fails(self):
+        diags = [_diag(severity=Severity.INFO)]
+        assert error_count(diags, strict=True) == 0

@@ -1,0 +1,131 @@
+"""Integration tests: the shipped medical KB passes `repro check`, seeded
+defects fail it, and the CLI wires both layers with correct exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.space_checker import check_space
+from repro.cli import main
+from repro.dialogue.logic_table import DialogueLogicTable
+from repro.medical import build_mdx_space
+from repro.medical.build import rename_to_paper_intents
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def mdx_checked_space(mdx_small_db, mdx_small_ontology):
+    """A fresh small-MDX space with the paper intent names applied,
+    exactly mirroring what ``repro check`` (and ``repro serve``) build."""
+    space = build_mdx_space(mdx_small_db, mdx_small_ontology)
+    rename_to_paper_intents(space)
+    return space
+
+
+class TestMedicalKB:
+    def test_shipped_space_has_zero_errors(self, mdx_checked_space):
+        diags = check_space(mdx_checked_space)
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert errors == []
+
+    def test_shipped_space_has_zero_findings(self, mdx_checked_space):
+        assert check_space(mdx_checked_space) == []
+
+    def test_renamed_intents_keep_their_templates_consistent(
+        self, mdx_checked_space
+    ):
+        # Regression: rename_intent used to leave the frozen template's
+        # intent_name stale, which C011 flags.
+        for intent in mdx_checked_space.intents:
+            for template in intent.custom_templates:
+                assert template.intent_name == intent.name
+
+    def test_seeded_defect_fails_and_names_the_intent(self, mdx_checked_space):
+        # The ISSUE acceptance scenario: an SME renames a concept in one
+        # logic-table row; check must fail pointing at that intent.
+        table = DialogueLogicTable.from_space(mdx_checked_space)
+        row = next(r for r in table.rows if r.required_entities)
+        row.required_entities[0] = "Renamed Concept"
+        diags = check_space(mdx_checked_space, logic_table=table)
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert errors
+        assert any(d.location.symbol == row.intent_name for d in errors)
+        assert any("Renamed Concept" in d.message for d in errors)
+
+
+class TestCLI:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(REPO_SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_lint_defect_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(
+            "def f():\n    try:\n        pass\n    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(bad)]) == 1
+        assert "L003" in capsys.readouterr().out
+
+    def test_lint_baseline_suppresses(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(
+            "def f():\n    try:\n        pass\n    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "baseline"
+        baseline.write_text(f"L003 {bad}::f  # reviewed\n", encoding="utf-8")
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
+
+    def test_lint_unused_baseline_entry_noted(self, tmp_path, capsys):
+        clean = tmp_path / "mod.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline"
+        baseline.write_text("L003 never.py  # stale\n", encoding="utf-8")
+        assert main(["lint", str(clean), "--baseline", str(baseline)]) == 0
+        assert "matched nothing" in capsys.readouterr().out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(
+            "def f():\n    try:\n        pass\n    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "L003"
+        assert payload[0]["severity"] == "error"
+
+    def test_lint_missing_path_aborts(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "definitely/not/here"])
+
+    def test_check_full_mdx_exits_zero_under_budget(self, capsys):
+        # The ISSUE acceptance bound: the full medical KB validates in
+        # under five seconds with no findings.
+        import time
+
+        started = time.perf_counter()
+        assert main(["check"]) == 0
+        elapsed = time.perf_counter() - started
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+        assert elapsed < 5.0
+
+    def test_strict_turns_warnings_into_failures(self, tmp_path):
+        # A file with only a warning-level finding does not exist for the
+        # linter (all L-codes are errors), so exercise --strict plumbing
+        # through a clean run: exit stays 0 either way.
+        clean = tmp_path / "mod.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(clean), "--strict"]) == 0

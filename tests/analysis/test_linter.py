@@ -1,0 +1,268 @@
+"""Unit tests for the codebase lint checkers (one fixture per code)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.linter import LintConfig, lint_paths, lint_source
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _codes(source, path="src/repro/serving/mod.py", config=None):
+    return [d.code for d in lint_source(
+        textwrap.dedent(source), path, config
+    )]
+
+
+class TestL000Syntax:
+    def test_unparseable_module(self):
+        assert _codes("def broken(:\n") == ["L000"]
+
+
+class TestL001UnlockedMutation:
+    LOCKED_CLASS = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.items = {}
+                self.hits = 0
+    """
+
+    def test_mutation_outside_lock_flagged(self):
+        codes = _codes(self.LOCKED_CLASS + """
+            def put(self, key, value):
+                self.items[key] = value
+        """)
+        assert codes == ["L001"]
+
+    def test_mutation_under_lock_clean(self):
+        codes = _codes(self.LOCKED_CLASS + """
+            def put(self, key, value):
+                with self._lock:
+                    self.items[key] = value
+                    self.hits += 1
+        """)
+        assert codes == []
+
+    def test_init_exempt(self):
+        assert _codes(self.LOCKED_CLASS) == []
+
+    def test_locked_suffix_convention_exempt(self):
+        codes = _codes(self.LOCKED_CLASS + """
+            def evict_locked(self):
+                self.hits += 1
+        """)
+        assert codes == []
+
+    def test_augassign_and_delete_flagged(self):
+        codes = _codes(self.LOCKED_CLASS + """
+            def bump(self):
+                self.hits += 1
+
+            def drop(self, key):
+                del self.items[key]
+        """)
+        assert codes == ["L001", "L001"]
+
+    def test_local_variables_ignored(self):
+        codes = _codes(self.LOCKED_CLASS + """
+            def compute(self):
+                total = 0
+                total += 1
+                return total
+        """)
+        assert codes == []
+
+    def test_class_without_lock_ignored(self):
+        codes = _codes("""
+            class Plain:
+                def __init__(self):
+                    self.items = {}
+
+                def put(self, key, value):
+                    self.items[key] = value
+        """)
+        assert codes == []
+
+    def test_nested_function_not_walked(self):
+        # A nested def runs later, possibly under the lock of its caller;
+        # the checker never guesses about it.
+        codes = _codes(self.LOCKED_CLASS + """
+            def deferred(self):
+                def inner():
+                    self.hits += 1
+                return inner
+        """)
+        assert codes == []
+
+
+class TestL002DirectClock:
+    def test_direct_time_call_in_clock_module(self):
+        codes = _codes("""
+            import time
+
+            def touch(store, clock=time.monotonic):
+                store.last = time.time()
+        """)
+        assert codes == ["L002"]
+
+    def test_default_argument_expression_exempt(self):
+        codes = _codes("""
+            import time
+
+            def touch(store, clock=time.monotonic):
+                store.last = clock()
+        """)
+        assert codes == []
+
+    def test_module_without_clock_param_out_of_scope(self):
+        codes = _codes("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert codes == []
+
+    def test_datetime_now_flagged(self):
+        codes = _codes("""
+            import datetime
+
+            def log(clock):
+                return datetime.datetime.now()
+        """)
+        assert codes == ["L002"]
+
+
+class TestL003SwallowedException:
+    def test_except_exception_pass_flagged(self):
+        codes = _codes("""
+            def load():
+                try:
+                    return 1
+                except Exception:
+                    pass
+        """)
+        assert codes == ["L003"]
+
+    def test_bare_except_flagged(self):
+        codes = _codes("""
+            def load():
+                try:
+                    return 1
+                except:
+                    return None
+        """)
+        assert codes == ["L003"]
+
+    def test_using_the_exception_is_fine(self):
+        codes = _codes("""
+            def load(log):
+                try:
+                    return 1
+                except Exception as exc:
+                    log.warning("failed: %s", exc)
+        """)
+        assert codes == []
+
+    def test_reraise_is_fine(self):
+        codes = _codes("""
+            def load():
+                try:
+                    return 1
+                except Exception:
+                    raise
+        """)
+        assert codes == []
+
+    def test_narrow_exception_out_of_scope(self):
+        codes = _codes("""
+            def load():
+                try:
+                    return 1
+                except (KeyError, ValueError):
+                    return None
+        """)
+        assert codes == []
+
+
+class TestL004BlockingIO:
+    def test_open_in_http_handler_do_method(self):
+        codes = _codes("""
+            from http.server import BaseHTTPRequestHandler
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    with open("f.txt") as fh:
+                        return fh.read()
+        """, path="src/other/web.py")
+        assert codes == ["L004"]
+
+    def test_configured_handler_method_in_serving_module(self):
+        codes = _codes("""
+            class App:
+                def chat(self, payload):
+                    import json
+                    with open("log.json", "a") as fh:
+                        json.dump(payload, fh)
+        """, path="src/repro/serving/server.py")
+        assert codes == ["L004", "L004"]
+
+    def test_same_method_outside_serving_is_fine(self):
+        codes = _codes("""
+            class App:
+                def chat(self, payload):
+                    with open("log.json", "a") as fh:
+                        fh.write("x")
+        """, path="src/repro/eval/sim.py")
+        assert codes == []
+
+    def test_non_handler_method_in_serving_is_fine(self):
+        codes = _codes("""
+            class App:
+                def flush_log(self):
+                    with open("log.json", "a") as fh:
+                        fh.write("x")
+        """, path="src/repro/serving/server.py")
+        assert codes == []
+
+    def test_path_methods_flagged(self):
+        codes = _codes("""
+            class App:
+                def health(self, path):
+                    return path.read_text()
+        """, path="src/repro/serving/server.py")
+        assert codes == ["L004"]
+
+
+class TestEntryPoints:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        bad = tmp_path / "serving" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "def f():\n    try:\n        pass\n    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        diags = lint_paths([tmp_path])
+        assert [d.code for d in diags] == ["L003"]
+        assert diags[0].location.path == str(bad)
+
+    def test_custom_config_handler_methods(self):
+        config = LintConfig(handler_methods=("serve_it",))
+        codes = _codes("""
+            class App:
+                def serve_it(self):
+                    return open("f")
+        """, path="src/repro/serving/app.py", config=config)
+        assert codes == ["L004"]
+
+    def test_repro_source_tree_is_clean(self):
+        # Satellite guarantee: the shipped code has no non-baselined
+        # findings (the repo baseline is empty or absent by design).
+        diags = lint_paths([REPO_SRC])
+        assert diags == []

@@ -2,8 +2,12 @@
 
 import pytest
 
-from repro.errors import TemplateError
-from repro.nlq.templates import template_for_intent, templates_for_intent
+from repro.errors import MissingBindingsError, TemplateError
+from repro.nlq.templates import (
+    StructuredQueryTemplate,
+    template_for_intent,
+    templates_for_intent,
+)
 
 
 class TestTemplateGeneration:
@@ -68,6 +72,48 @@ class TestInstantiation:
 
     def test_execute_unknown_value_is_empty(self, template, toy_db):
         assert not template.execute(toy_db, {"Drug": "Nonexistent"})
+
+
+class TestMissingBindings:
+    @pytest.fixture
+    def two_slot_template(self):
+        return StructuredQueryTemplate(
+            intent_name="Drug Dosage for Indication",
+            sql=(
+                "SELECT d.description FROM dosage d WHERE d.drug_id = :drug "
+                "AND d.ind_id = :indication"
+            ),
+            parameters={"drug": "Drug", "indication": "Indication"},
+        )
+
+    def test_error_names_every_missing_concept(self, two_slot_template):
+        with pytest.raises(MissingBindingsError) as exc_info:
+            two_slot_template.instantiate({})
+        assert exc_info.value.missing == ["Drug", "Indication"]
+        assert exc_info.value.intent_name == "Drug Dosage for Indication"
+        assert "'Drug'" in str(exc_info.value)
+        assert "'Indication'" in str(exc_info.value)
+
+    def test_partial_bindings_report_only_the_gap(self, two_slot_template):
+        with pytest.raises(MissingBindingsError) as exc_info:
+            two_slot_template.instantiate({"Drug": "Aspirin"})
+        assert exc_info.value.missing == ["Indication"]
+        assert "a value" in str(exc_info.value)
+
+    def test_is_a_template_error(self, two_slot_template):
+        # Callers catching the broader class keep working.
+        with pytest.raises(TemplateError):
+            two_slot_template.instantiate({})
+
+    def test_duplicate_concepts_reported_once(self):
+        template = StructuredQueryTemplate(
+            intent_name="X",
+            sql="SELECT 1 FROM t WHERE a = :p AND b = :q",
+            parameters={"p": "Drug", "q": "drug"},
+        )
+        with pytest.raises(MissingBindingsError) as exc_info:
+            template.instantiate({})
+        assert exc_info.value.missing == ["Drug"]
 
 
 class TestFigure9EndToEnd:
