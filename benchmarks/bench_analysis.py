@@ -1,0 +1,81 @@
+"""Static-analysis cost benchmark: check / lint / audit on the full MDX.
+
+Not a paper artifact — the analyzers are build-time tooling — but their
+cost gates how often CI and SMEs can afford to run them, so it belongs
+in the perf trajectory next to the serving numbers.  Times the three
+analysis layers over the full MDX conversation space (and the lint over
+``src/repro``), then reports per-layer wall time and the audit's
+finding count against the < 1 s acceptance budget.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ambiguity import check_ambiguity
+from repro.analysis.linter import LintConfig, lint_paths
+from repro.analysis.space_checker import build_artifacts, check_space
+from repro.analysis.type_checker import check_types
+from repro.medical import build_mdx_database, build_mdx_ontology, build_mdx_space
+from repro.medical.build import rename_to_paper_intents
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Acceptance budget for the semantic audit (type + ambiguity passes).
+AUDIT_BUDGET_SECONDS = 1.0
+
+
+@pytest.fixture(scope="module")
+def full_space():
+    """The shipped MDX space, exactly as ``repro check``/``audit`` build it."""
+    database = build_mdx_database()
+    space = build_mdx_space(database, build_mdx_ontology(database))
+    rename_to_paper_intents(space)
+    return space, database
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_analysis_cost_trajectory(full_space, report):
+    space, database = full_space
+    artifacts, build_seconds = _timed(lambda: build_artifacts(space, database))
+    check_findings, check_seconds = _timed(lambda: check_space(space, database))
+    type_findings, type_seconds = _timed(lambda: check_types(artifacts))
+    ambiguity_findings, ambiguity_seconds = _timed(
+        lambda: check_ambiguity(artifacts)
+    )
+    lint_findings, lint_seconds = _timed(
+        lambda: lint_paths([REPO_SRC], LintConfig())
+    )
+
+    audit_seconds = type_seconds + ambiguity_seconds
+    report(
+        "Static-analysis cost (full MDX space, "
+        f"{len(space.intents)} intents / "
+        f"{len(space.training_examples)} training examples):",
+        f"  artifact build        {build_seconds * 1000:8.1f} ms",
+        f"  check  (C codes)      {check_seconds * 1000:8.1f} ms  "
+        f"{len(check_findings)} finding(s)",
+        f"  audit: types (T)      {type_seconds * 1000:8.1f} ms  "
+        f"{len(type_findings)} finding(s)",
+        f"  audit: ambiguity (A)  {ambiguity_seconds * 1000:8.1f} ms  "
+        f"{len(ambiguity_findings)} finding(s)",
+        f"  lint   (L codes)      {lint_seconds * 1000:8.1f} ms  "
+        f"{len(lint_findings)} finding(s)",
+        f"  audit total           {audit_seconds * 1000:8.1f} ms  "
+        f"(budget {AUDIT_BUDGET_SECONDS:.0f} s)",
+    )
+
+    assert check_findings == []
+    assert type_findings == []
+    # The single intentional cross-entity synonym (baselined in CI).
+    assert [d.code for d in ambiguity_findings] == ["A003"]
+    assert lint_findings == []
+    assert audit_seconds < AUDIT_BUDGET_SECONDS

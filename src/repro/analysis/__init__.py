@@ -1,6 +1,7 @@
-"""Static analysis for the conversation system (``repro check`` / ``repro lint``).
+"""Static analysis for the conversation system.
 
-Two layers share one diagnostic framework:
+Four layers share one diagnostic framework (``repro check`` / ``lint`` /
+``audit``):
 
 * :mod:`repro.analysis.space_checker` cross-validates the bootstrapped
   conversation-space artifacts (templates, logic table, dialogue tree,
@@ -8,14 +9,31 @@ Two layers share one diagnostic framework:
   in front of a user;
 * :mod:`repro.analysis.linter` enforces codebase invariants (lock-guarded
   shared state, injectable clocks, no swallowed exceptions, no blocking
-  I/O on the request path) with custom ``ast`` checkers.
+  I/O on the request path) with custom ``ast`` checkers;
+* :mod:`repro.analysis.type_checker` does typed symbolic evaluation over
+  each template's parsed SQL AST against KB column types and value
+  statistics (T001–T008);
+* :mod:`repro.analysis.ambiguity` measures conversation separability —
+  duplicate/near-duplicate cross-intent utterances, cross-entity synonym
+  collisions, shadowed templates, stray elicitations (A001–A005).
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` values;
 reviewed, intentional ones are suppressed by a
-:class:`~repro.analysis.baseline.Baseline` file.
+:class:`~repro.analysis.baseline.Baseline` file, regenerable with
+``repro baseline --update``.
 """
 
-from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.ambiguity import (
+    AmbiguityConfig,
+    check_ambiguity,
+    check_space_ambiguity,
+)
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    render_baseline,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticCollector,
@@ -31,11 +49,20 @@ from repro.analysis.linter import (
     lint_source,
 )
 from repro.analysis.space_checker import SpaceArtifacts, build_artifacts, check_space
+from repro.analysis.type_checker import (
+    check_space_types,
+    check_template_types,
+    check_types,
+)
 
 __all__ = [
+    "AmbiguityConfig",
+    "check_ambiguity",
+    "check_space_ambiguity",
     "Baseline",
     "BaselineEntry",
     "BaselineError",
+    "render_baseline",
     "Diagnostic",
     "DiagnosticCollector",
     "Location",
@@ -49,4 +76,7 @@ __all__ = [
     "SpaceArtifacts",
     "build_artifacts",
     "check_space",
+    "check_space_types",
+    "check_template_types",
+    "check_types",
 ]

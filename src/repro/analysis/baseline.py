@@ -110,3 +110,54 @@ class Baseline:
             for entry in self.entries
             if not any(entry.matches(d) for d in diagnostics)
         ]
+
+
+def location_pattern_for(diag: Diagnostic) -> str:
+    """A baseline location pattern that matches ``diag`` exactly.
+
+    The baseline format is whitespace-separated, so a canonical location
+    containing spaces (e.g. a training-utterance symbol) cannot be
+    written verbatim; each whitespace run becomes a ``*`` glob, which
+    still matches only that location's shape.
+    """
+    return "*".join(diag.location.canonical().split())
+
+
+def render_baseline(
+    diagnostics: list[Diagnostic],
+    previous: Baseline | None = None,
+    command: str = "python -m repro baseline --update",
+) -> str:
+    """Render a baseline file suppressing exactly ``diagnostics``.
+
+    Entries of ``previous`` that still match a current finding are kept
+    verbatim — hand-written globs and review comments survive the
+    regeneration.  Findings not covered by a kept entry get an exact
+    per-location entry marked for review; entries matching nothing are
+    dropped.
+    """
+    previous = previous or Baseline()
+    kept = [
+        entry
+        for entry in previous.entries
+        if any(entry.matches(d) for d in diagnostics)
+    ]
+    kept_baseline = Baseline(entries=kept)
+    fresh: dict[tuple[str, str], Diagnostic] = {}
+    for diag in diagnostics:
+        if kept_baseline.suppresses(diag):
+            continue
+        fresh.setdefault((diag.code, location_pattern_for(diag)), diag)
+    lines = [
+        "# repro analysis baseline.",
+        f"# Regenerated by `{command}`.",
+        "# <code> <location-pattern>  # why this finding is intentional",
+    ]
+    for entry in kept:
+        line = f"{entry.code} {entry.location_pattern}"
+        if entry.comment:
+            line += f"  # {entry.comment}"
+        lines.append(line)
+    for (code, pattern), diag in sorted(fresh.items()):
+        lines.append(f"{code} {pattern}  # TODO: review ({diag.rule})")
+    return "\n".join(lines) + "\n"

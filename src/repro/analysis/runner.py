@@ -1,8 +1,11 @@
-"""CLI entry points for ``python -m repro check`` and ``python -m repro lint``.
+"""CLI entry points for ``python -m repro check|lint|audit|baseline``.
 
-Both commands share one reporting pipeline: run the checkers, subtract
+All commands share one reporting pipeline: run the checkers, subtract
 the baseline, render pretty text or JSON, and exit non-zero when any
 non-baselined error remains (warnings too under ``--strict``).
+``audit`` runs the semantic layers (type/dataflow + ambiguity) that
+``check`` leaves out; ``check --deep`` runs everything; ``baseline
+--update`` regenerates the suppression file from current findings.
 """
 
 from __future__ import annotations
@@ -12,15 +15,21 @@ import json
 import time
 from pathlib import Path
 
-from repro.analysis.baseline import Baseline
+from repro.analysis.ambiguity import AmbiguityConfig, check_ambiguity
+from repro.analysis.baseline import Baseline, render_baseline
 from repro.analysis.diagnostics import (
     Diagnostic,
+    DiagnosticCollector,
+    Location,
     error_count,
     render_json,
     render_pretty,
+    sort_key,
 )
 from repro.analysis.linter import LintConfig, lint_paths
-from repro.analysis.space_checker import check_space
+from repro.analysis.space_checker import build_artifacts, check_space
+from repro.analysis.type_checker import check_types
+from repro.errors import ReproError
 
 
 def _load_baseline(args: argparse.Namespace) -> Baseline:
@@ -35,7 +44,14 @@ def _report(
     args: argparse.Namespace,
     output_fn,
     header: str,
+    code_prefixes: tuple[str, ...] | None = None,
 ) -> int:
+    """Render and compute the exit code.
+
+    ``code_prefixes`` scopes the unused-baseline-entry notes to the
+    codes this command can actually emit — ``repro lint`` should not
+    nag about an ``A003`` entry it could never match.
+    """
     active, suppressed = baseline.apply(diagnostics)
     if args.format == "json":
         output_fn(render_json(active))
@@ -45,6 +61,10 @@ def _report(
         if suppressed:
             output_fn(f"({len(suppressed)} finding(s) suppressed by baseline)")
         for entry in baseline.unused_entries(diagnostics):
+            if code_prefixes is not None and entry.code != "*" and not any(
+                entry.code.startswith(prefix) for prefix in code_prefixes
+            ):
+                continue
             output_fn(
                 f"note: baseline entry '{entry.code} "
                 f"{entry.location_pattern}' matched nothing — consider "
@@ -77,18 +97,59 @@ def _build_space(args: argparse.Namespace):
     return space, database
 
 
+def _ambiguity_config(args: argparse.Namespace) -> AmbiguityConfig:
+    threshold = getattr(args, "near_duplicate_threshold", None)
+    if threshold is None:
+        return AmbiguityConfig()
+    return AmbiguityConfig(near_duplicate_threshold=threshold)
+
+
+def _audit_diagnostics(
+    space, database, config: AmbiguityConfig
+) -> tuple[list[Diagnostic], int]:
+    """The semantic layers: typed symbolic evaluation + ambiguity.
+
+    Returns the findings plus the number of templates walked (for the
+    report header).
+    """
+    try:
+        artifacts = build_artifacts(space, database)
+    except ReproError as exc:
+        out = DiagnosticCollector()
+        out.error(
+            "T001",
+            f"artifact generation failed: {exc}",
+            Location(path="space:space", symbol=space.ontology.name),
+            rule="type-mismatch",
+        )
+        return out.sorted(), 0
+    diagnostics = sorted(
+        check_types(artifacts) + check_ambiguity(artifacts, config),
+        key=sort_key,
+    )
+    return diagnostics, sum(len(t) for t in artifacts.templates.values())
+
+
 def cmd_check(args: argparse.Namespace, output_fn=print) -> int:
     """Validate the conversation space without executing a query."""
     started = time.perf_counter()
     space, database = _build_space(args)
     diagnostics = check_space(space, database)
+    deep = getattr(args, "deep", False)
+    if deep:
+        audit, _ = _audit_diagnostics(space, database, _ambiguity_config(args))
+        diagnostics = sorted(diagnostics + audit, key=sort_key)
     baseline = _load_baseline(args)
     elapsed = time.perf_counter() - started
     header = (
-        f"repro check: {len(space.intents)} intents, "
+        f"repro check{' --deep' if deep else ''}: "
+        f"{len(space.intents)} intents, "
         f"{len(space.entities)} entities validated in {elapsed:.2f}s"
     )
-    return _report(diagnostics, baseline, args, output_fn, header)
+    prefixes = ("C", "T", "A") if deep else ("C",)
+    return _report(
+        diagnostics, baseline, args, output_fn, header, code_prefixes=prefixes
+    )
 
 
 def cmd_lint(args: argparse.Namespace, output_fn=print) -> int:
@@ -100,11 +161,90 @@ def cmd_lint(args: argparse.Namespace, output_fn=print) -> int:
     diagnostics = lint_paths(paths, LintConfig())
     baseline = _load_baseline(args)
     header = f"repro lint: {', '.join(str(p) for p in paths)}"
-    return _report(diagnostics, baseline, args, output_fn, header)
+    return _report(
+        diagnostics, baseline, args, output_fn, header, code_prefixes=("L",)
+    )
+
+
+def cmd_audit(args: argparse.Namespace, output_fn=print) -> int:
+    """Run the semantic audit: SQL type/dataflow + conversation ambiguity."""
+    started = time.perf_counter()
+    space, database = _build_space(args)
+    diagnostics, template_count = _audit_diagnostics(
+        space, database, _ambiguity_config(args)
+    )
+    baseline = _load_baseline(args)
+    elapsed = time.perf_counter() - started
+    header = (
+        f"repro audit: {template_count} templates, "
+        f"{len(space.training_examples)} training examples audited "
+        f"in {elapsed:.2f}s"
+    )
+    return _report(
+        diagnostics, baseline, args, output_fn, header,
+        code_prefixes=("T", "A"),
+    )
+
+
+def _all_diagnostics(args: argparse.Namespace) -> list[Diagnostic]:
+    """Every finding the analysis commands can produce, for ``baseline``."""
+    space, database = _build_space(args)
+    diagnostics = check_space(space, database)
+    audit, _ = _audit_diagnostics(space, database, _ambiguity_config(args))
+    diagnostics += audit
+    lint_root = Path("src/repro")
+    if lint_root.exists():
+        diagnostics += lint_paths([lint_root], LintConfig())
+    return sorted(diagnostics, key=sort_key)
+
+
+def cmd_baseline(args: argparse.Namespace, output_fn=print) -> int:
+    """Show baseline status, or regenerate the file with ``--update``."""
+    explicit = getattr(args, "baseline", None)
+    if explicit and not Path(explicit).is_file():
+        # A fresh --update target: start from an empty baseline.
+        baseline = Baseline(path=Path(explicit))
+    else:
+        baseline = _load_baseline(args)
+    diagnostics = _all_diagnostics(args)
+    if not args.update:
+        active, suppressed = baseline.apply(diagnostics)
+        source = baseline.path or "(no baseline file)"
+        output_fn(
+            f"repro baseline: {source} — {len(baseline.entries)} entries, "
+            f"{len(suppressed)} finding(s) suppressed, "
+            f"{len(active)} active"
+        )
+        for entry in baseline.unused_entries(diagnostics):
+            output_fn(
+                f"  unused: {entry.code} {entry.location_pattern}"
+            )
+        output_fn("(run with --update to regenerate from current findings)")
+        return 0
+    target = Path(args.baseline) if getattr(args, "baseline", None) else (
+        baseline.path or Path(".repro-baseline")
+    )
+    text = render_baseline(diagnostics, previous=baseline)
+    target.write_text(text, encoding="utf-8")
+    output_fn(
+        f"repro baseline: wrote {target} suppressing "
+        f"{len(diagnostics)} finding(s)"
+    )
+    return 0
+
+
+def add_audit_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options for the semantic audit (``audit`` and ``check --deep``)."""
+    parser.add_argument(
+        "--near-duplicate-threshold", type=float, default=None,
+        metavar="COSINE",
+        help="A002 cross-intent near-duplicate cosine threshold "
+        "(default: 0.9)",
+    )
 
 
 def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
-    """Options shared by ``check`` and ``lint``."""
+    """Options shared by every analysis command."""
     parser.add_argument(
         "--baseline",
         default=None,

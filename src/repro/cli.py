@@ -21,9 +21,18 @@ Commands
     ``GET /metrics``) over Conversational MDX or a custom space/KB.
 ``check``
     Statically validate the conversation-space artifacts (templates,
-    logic table, dialogue tree, entities) without executing a query.
+    logic table, dialogue tree, entities) without executing a query;
+    ``--deep`` additionally runs the semantic audit.
 ``lint``
     Run the concurrency/purity lint pass over the codebase.
+``audit``
+    Run the semantic audit: typed symbolic evaluation over every
+    template's SQL AST (codes T001–T008) and conversation ambiguity
+    analysis over training examples, entities, templates, and
+    elicitations (codes A001–A005).
+``baseline``
+    Show baseline suppression status; ``--update`` regenerates
+    ``.repro-baseline`` from current findings.
 """
 
 from __future__ import annotations
@@ -259,14 +268,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="interaction-log path, flushed on shutdown")
     serve.set_defaults(handler=cmd_serve)
 
-    from repro.analysis.runner import add_analysis_arguments, cmd_check, cmd_lint
+    from repro.analysis.runner import (
+        add_analysis_arguments,
+        add_audit_arguments,
+        cmd_audit,
+        cmd_baseline,
+        cmd_check,
+        cmd_lint,
+    )
 
     check = sub.add_parser(
         "check", help="statically validate the conversation space"
     )
     check.add_argument("--space", help="exported conversation-space JSON")
     check.add_argument("--data", help="CSV knowledge-base directory")
+    check.add_argument("--deep", action="store_true",
+                       help="also run the semantic audit (T/A codes)")
     add_analysis_arguments(check)
+    add_audit_arguments(check)
     check.set_defaults(handler=cmd_check)
 
     lint = sub.add_parser(
@@ -276,6 +295,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files/directories to lint (default: src/repro)")
     add_analysis_arguments(lint)
     lint.set_defaults(handler=cmd_lint)
+
+    audit = sub.add_parser(
+        "audit",
+        help="semantic audit: SQL type/dataflow (T) + NL ambiguity (A)",
+    )
+    audit.add_argument("--space", help="exported conversation-space JSON")
+    audit.add_argument("--data", help="CSV knowledge-base directory")
+    add_analysis_arguments(audit)
+    add_audit_arguments(audit)
+    audit.set_defaults(handler=cmd_audit)
+
+    baseline = sub.add_parser(
+        "baseline", help="show or regenerate the .repro-baseline file"
+    )
+    baseline.add_argument("--update", action="store_true",
+                          help="regenerate the baseline from current findings")
+    baseline.add_argument("--space", help="exported conversation-space JSON")
+    baseline.add_argument("--data", help="CSV knowledge-base directory")
+    add_analysis_arguments(baseline)
+    add_audit_arguments(baseline)
+    baseline.set_defaults(handler=cmd_baseline)
     return parser
 
 

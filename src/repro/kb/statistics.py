@@ -22,10 +22,21 @@ DEFAULT_CATEGORICAL_RATIO = 0.5
 #: Absolute distinct-count ceiling under which a column is always categorical.
 DEFAULT_CATEGORICAL_MAX_DISTINCT = 64
 
+#: Ceiling on distinct values captured verbatim into ``values``.  Small
+#: (categorical-sized) domains are kept so static analysis can decide
+#: whether a literal predicate can ever match; larger domains only keep
+#: the numeric min/max envelope.
+DEFAULT_CAPTURED_VALUES = 64
+
 
 @dataclass(frozen=True)
 class ColumnStatistics:
-    """Statistics for one column of one table."""
+    """Statistics for one column of one table.
+
+    ``min_value``/``max_value`` are populated for numeric columns only;
+    ``values`` holds the full distinct-value set when it is small enough
+    to capture (``None`` means the domain was too large, *not* empty).
+    """
 
     table: str
     column: str
@@ -33,6 +44,9 @@ class ColumnStatistics:
     row_count: int
     distinct_count: int
     null_count: int
+    min_value: float | int | None = None
+    max_value: float | int | None = None
+    values: frozenset | None = None
 
     @property
     def distinct_ratio(self) -> float:
@@ -77,20 +91,34 @@ class TableStatistics:
         return self.columns[name.lower()]
 
 
-def compute_table_statistics(table: Table) -> TableStatistics:
-    """Compute :class:`TableStatistics` for ``table`` in one pass per column."""
+def compute_table_statistics(
+    table: Table, captured_values: int = DEFAULT_CAPTURED_VALUES
+) -> TableStatistics:
+    """Compute :class:`TableStatistics` for ``table`` in one pass per column.
+
+    ``captured_values`` bounds how many distinct values are kept verbatim
+    per column (for static always-false/always-true predicate analysis);
+    pass 0 to disable value capture entirely.
+    """
     stats: dict[str, ColumnStatistics] = {}
     row_count = len(table)
     for col in table.schema.columns:
         idx = table.schema.column_index(col.name)
         distinct: set = set()
         nulls = 0
+        numeric = col.data_type in (DataType.INTEGER, DataType.FLOAT)
+        lo = hi = None
         for row in table.rows:
             value = row[idx]
             if value is None:
                 nulls += 1
-            else:
-                distinct.add(value)
+                continue
+            distinct.add(value)
+            if numeric:
+                if lo is None or value < lo:
+                    lo = value
+                if hi is None or value > hi:
+                    hi = value
         stats[col.name.lower()] = ColumnStatistics(
             table=table.name,
             column=col.name,
@@ -98,5 +126,10 @@ def compute_table_statistics(table: Table) -> TableStatistics:
             row_count=row_count,
             distinct_count=len(distinct),
             null_count=nulls,
+            min_value=lo,
+            max_value=hi,
+            values=(
+                frozenset(distinct) if len(distinct) <= captured_values else None
+            ),
         )
     return TableStatistics(table=table.name, row_count=row_count, columns=stats)

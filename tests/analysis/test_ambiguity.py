@@ -1,0 +1,174 @@
+"""Unit tests for the conversation ambiguity analyzer: one seeded defect
+per diagnostic code (A001-A005), against the toy KB."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.analysis.ambiguity import AmbiguityConfig, check_space_ambiguity
+from repro.analysis.diagnostics import Severity
+from repro.analysis.space_checker import build_artifacts
+from repro.bootstrap import bootstrap_conversation_space
+from repro.bootstrap.entities import EntityValue
+from repro.bootstrap.training import TrainingExample
+from repro.dialogue.logic_table import DialogueLogicTable
+from repro.nlq.templates import StructuredQueryTemplate
+from tests.conftest import make_toy_database
+
+
+@pytest.fixture(scope="module")
+def toy_database():
+    return make_toy_database()
+
+
+@pytest.fixture(scope="module")
+def base_space(toy_database):
+    from repro.ontology import generate_ontology
+
+    ontology = generate_ontology(toy_database, "toy")
+    return bootstrap_conversation_space(
+        ontology, toy_database, key_concepts=["Drug", "Indication"]
+    )
+
+
+@pytest.fixture()
+def space(base_space):
+    """A private deep copy: each test seeds its own defect."""
+    return copy.deepcopy(base_space)
+
+
+def _codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def _only(diagnostics, code):
+    hits = [d for d in diagnostics if d.code == code]
+    assert hits, f"expected {code} in {_codes(diagnostics)}"
+    return hits[0]
+
+
+def _two_intents(space):
+    first, second = [i.name for i in space.intents[:2]]
+    return first, second
+
+
+def test_clean_space_has_no_findings(space):
+    assert check_space_ambiguity(space) == []
+
+
+def test_a001_identical_utterance_across_intents(space):
+    first, second = _two_intents(space)
+    utterance = space.training_examples[0].utterance
+    owner = space.training_examples[0].intent
+    other = second if owner == first else first
+    # Same text modulo case/whitespace still counts as identical.
+    space.training_examples.append(
+        TrainingExample(utterance=f"  {utterance.upper()} ", intent=other)
+    )
+    hit = _only(check_space_ambiguity(space), "A001")
+    assert hit.severity is Severity.ERROR
+    assert owner in hit.message and other in hit.message
+
+
+def test_a002_near_duplicate_cross_intent_pair(space):
+    first, second = _two_intents(space)
+    space.training_examples.append(TrainingExample(
+        utterance="show me the dosage for aspirin please", intent=first
+    ))
+    space.training_examples.append(TrainingExample(
+        utterance="show me the dosage for aspirin please now", intent=second
+    ))
+    diags = check_space_ambiguity(
+        space, config=AmbiguityConfig(near_duplicate_threshold=0.7)
+    )
+    hits = [d for d in diags if d.code == "A002"]
+    assert hits
+    assert all(d.severity is Severity.WARNING for d in hits)
+    pair = " / ".join(sorted((first, second)))
+    assert any(d.location.symbol == pair for d in hits)
+
+
+def test_a002_threshold_is_configurable(space):
+    first, second = _two_intents(space)
+    space.training_examples.append(TrainingExample(
+        utterance="show me the dosage for aspirin please", intent=first
+    ))
+    space.training_examples.append(TrainingExample(
+        utterance="show me the dosage for aspirin please now", intent=second
+    ))
+    strict = check_space_ambiguity(
+        space, config=AmbiguityConfig(near_duplicate_threshold=0.99)
+    )
+    assert "A002" not in _codes(strict)
+
+
+def test_a003_synonym_colliding_across_entities(space):
+    drug = next(e for e in space.entities if e.name == "Drug")
+    indication = next(e for e in space.entities if e.name == "Indication")
+    drug.values.append(EntityValue(value="Lotensin", synonyms=["benaz"]))
+    indication.values.append(
+        EntityValue(value="High Blood Pressure", synonyms=["benaz"])
+    )
+    hit = _only(check_space_ambiguity(space), "A003")
+    assert hit.severity is Severity.WARNING
+    assert hit.location.symbol == "benaz"
+    assert "Drug" in hit.message and "Indication" in hit.message
+
+
+def test_a003_shared_canonical_value_is_not_flagged(space):
+    # Two entities listing the same canonical value verbatim is the
+    # supported disambiguation case, not a synonym collision.
+    drug = next(e for e in space.entities if e.name == "Drug")
+    indication = next(e for e in space.entities if e.name == "Indication")
+    drug.values.append(EntityValue(value="Overlap", synonyms=[]))
+    indication.values.append(EntityValue(value="Overlap", synonyms=[]))
+    assert "A003" not in _codes(check_space_ambiguity(space))
+
+
+def test_a004_intents_with_identical_sql_signature(space):
+    lookups = [i for i in space.intents if i.kind == "lookup"][:2]
+    sql = "SELECT d.name FROM drug d WHERE d.name = :drug"
+    for intent in lookups:
+        intent.custom_templates = [StructuredQueryTemplate(
+            intent_name=intent.name, sql=sql, parameters={"drug": "Drug"}
+        )]
+    hit = _only(check_space_ambiguity(space), "A004")
+    assert hit.severity is Severity.WARNING
+    assert hit.location.symbol == " / ".join(sorted(i.name for i in lookups))
+
+
+def test_a005_elicitation_mentions_foreign_entity(space, toy_database):
+    artifacts = build_artifacts(space, toy_database)
+    rows = list(artifacts.logic_table.rows)
+    seeded = copy.deepcopy(
+        next(r for r in rows if r.required_entities and r.elicitations)
+    )
+    concept = next(iter(seeded.elicitations))
+    seeded.elicitations[concept] = (
+        "Which drug? Or give an Indication instead."
+    )
+    rows[rows.index(next(
+        r for r in rows if r.intent_name == seeded.intent_name
+    ))] = seeded
+    diags = check_space_ambiguity(
+        space, logic_table=DialogueLogicTable(rows=rows)
+    )
+    hit = _only(diags, "A005")
+    assert hit.severity is Severity.WARNING
+    assert hit.location.symbol == seeded.intent_name
+    assert "indication" in hit.message.lower()
+
+
+def test_a005_elicitation_naming_its_own_concept_is_fine(
+    space, toy_database
+):
+    artifacts = build_artifacts(space, toy_database)
+    for row in artifacts.logic_table.rows:
+        for concept in row.elicitations:
+            row.elicitations[concept] = f"Which {concept}?"
+    diags = check_space_ambiguity(
+        space, logic_table=artifacts.logic_table
+    )
+    assert "A005" not in _codes(diags)

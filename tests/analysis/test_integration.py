@@ -129,3 +129,158 @@ class TestCLI:
         clean = tmp_path / "mod.py"
         clean.write_text("x = 1\n", encoding="utf-8")
         assert main(["lint", str(clean), "--strict"]) == 0
+
+
+def _export_toy_space(tmp_path, mutate=None):
+    """Build the toy space, optionally seed a defect, export space+KB."""
+    from repro.bootstrap import bootstrap_conversation_space, space_to_dict
+    from repro.kb.io import save_database
+    from repro.ontology import generate_ontology
+    from tests.conftest import make_toy_database
+
+    database = make_toy_database()
+    ontology = generate_ontology(database, "toy")
+    space = bootstrap_conversation_space(
+        ontology, database, key_concepts=["Drug", "Indication"]
+    )
+    if mutate is not None:
+        mutate(space)
+    space_path = tmp_path / "space.json"
+    space_path.write_text(
+        json.dumps(space_to_dict(space)), encoding="utf-8"
+    )
+    kb_dir = tmp_path / "kb"
+    save_database(database, kb_dir)
+    empty_baseline = tmp_path / "baseline"
+    empty_baseline.write_text("# empty\n", encoding="utf-8")
+    return space_path, kb_dir, empty_baseline
+
+
+class TestAuditCLI:
+    def test_audit_full_mdx_exits_zero_under_budget(self, capsys):
+        # The ISSUE acceptance bound: the shipped MDX space passes the
+        # semantic audit with zero unbaselined findings, quickly.
+        import time
+
+        started = time.perf_counter()
+        assert main(["audit"]) == 0
+        elapsed = time.perf_counter() - started
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+        # The one intentional cross-entity synonym (contraindication).
+        assert "suppressed by baseline" in out
+        assert "matched nothing" not in out
+        assert elapsed < 5.0
+
+    def test_check_deep_folds_in_audit(self, capsys):
+        assert main(["check", "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "repro check --deep" in out
+        assert "suppressed by baseline" in out
+
+    def test_plain_check_does_not_nag_about_audit_baseline(self, capsys):
+        # The A003 entry is out of scope for the structural check; its
+        # unused-entry note must not leak into `repro check` output.
+        assert main(["check"]) == 0
+        assert "matched nothing" not in capsys.readouterr().out
+
+    def test_seeded_type_defect_fails_audit_with_code(
+        self, tmp_path, capsys
+    ):
+        from repro.nlq.templates import StructuredQueryTemplate
+
+        def mutate(space):
+            intent = next(i for i in space.intents if i.kind == "lookup")
+            intent.custom_templates = [StructuredQueryTemplate(
+                intent_name=intent.name,
+                sql="SELECT d.name FROM drug d WHERE d.name = 5",
+            )]
+
+        space_path, kb_dir, baseline = _export_toy_space(tmp_path, mutate)
+        assert main([
+            "audit", "--space", str(space_path), "--data", str(kb_dir),
+            "--baseline", str(baseline),
+        ]) == 1
+        assert "T001" in capsys.readouterr().out
+
+    def test_seeded_ambiguity_defect_fails_audit_with_code(
+        self, tmp_path, capsys
+    ):
+        from repro.bootstrap.training import TrainingExample
+
+        def mutate(space):
+            example = space.training_examples[0]
+            other = next(
+                i.name for i in space.intents if i.name != example.intent
+            )
+            space.training_examples.append(
+                TrainingExample(utterance=example.utterance, intent=other)
+            )
+
+        space_path, kb_dir, baseline = _export_toy_space(tmp_path, mutate)
+        assert main([
+            "audit", "--space", str(space_path), "--data", str(kb_dir),
+            "--baseline", str(baseline),
+        ]) == 1
+        assert "A001" in capsys.readouterr().out
+
+    def test_warning_code_fails_audit_under_strict(self, tmp_path, capsys):
+        from repro.nlq.templates import StructuredQueryTemplate
+
+        def mutate(space):
+            first, second = [
+                i for i in space.intents if i.kind == "lookup"
+            ][:2]
+            sql = "SELECT d.name FROM drug d WHERE d.name = :drug"
+            for intent in (first, second):
+                intent.custom_templates = [StructuredQueryTemplate(
+                    intent_name=intent.name, sql=sql,
+                    parameters={"drug": "Drug"},
+                )]
+
+        space_path, kb_dir, baseline = _export_toy_space(tmp_path, mutate)
+        argv = [
+            "audit", "--space", str(space_path), "--data", str(kb_dir),
+            "--baseline", str(baseline),
+        ]
+        assert main(argv) == 0  # A004 is a warning
+        assert "A004" in capsys.readouterr().out
+        assert main(argv + ["--strict"]) == 1
+
+
+class TestBaselineCLI:
+    def test_baseline_status_reports_entries(self, capsys):
+        assert main(["baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "suppressed" in out
+
+    def test_baseline_update_regenerates_file(self, tmp_path, capsys):
+        target = tmp_path / "generated-baseline"
+        assert main([
+            "baseline", "--update", "--baseline", str(target),
+        ]) == 0
+        text = target.read_text(encoding="utf-8")
+        assert "Regenerated by" in text
+        # The intentional MDX finding lands in the regenerated file and
+        # the result parses back cleanly.
+        assert "A003" in text
+        from repro.analysis.baseline import Baseline
+
+        assert Baseline.load(target).entries
+
+    def test_baseline_update_preserves_review_comments(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "generated-baseline"
+        target.write_text(
+            "A003 space:synonym::contraindication  # reviewed: union "
+            "subtype labels\n",
+            encoding="utf-8",
+        )
+        assert main([
+            "baseline", "--update", "--baseline", str(target),
+        ]) == 0
+        text = target.read_text(encoding="utf-8")
+        assert "reviewed: union subtype labels" in text
+        assert "TODO: review" not in text
