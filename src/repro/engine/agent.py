@@ -41,6 +41,7 @@ from repro.engine.recognizer import EntityRecognizer, RecognitionResult
 from repro.errors import (
     DialogueError,
     EngineError,
+    KBError,
     MissingBindingsError,
     NLQError,
     TemplateError,
@@ -161,6 +162,22 @@ class ConversationAgent:
                 # Intents whose patterns cannot be realized as SQL fall
                 # back to an apologetic answer at run time.
                 templates[intent.name] = []
+
+        # Pre-warm the compiled-plan cache: every shipped template is
+        # parsed/resolved/planned now, so the first live request for any
+        # intent never pays compilation latency (and template SQL that
+        # cannot compile surfaces at build time in logs, not mid-turn).
+        prepare = getattr(database, "prepare", None)
+        if prepare is not None:
+            for intent_templates in templates.values():
+                for template in intent_templates:
+                    try:
+                        prepare(template.sql)
+                    except KBError:
+                        # Uncompilable template SQL falls back to the
+                        # apologetic answer at run time, same as intents
+                        # with no template at all.
+                        continue
 
         full_glossary = dict(glossary or {})
         for concept in space.ontology.concepts():

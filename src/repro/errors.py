@@ -62,6 +62,27 @@ class SQLExecutionError(KBError):
     """The SQL statement is well-formed but cannot be executed."""
 
 
+class AmbiguousColumnError(UnknownColumnError, SQLExecutionError):
+    """An unqualified column reference matches more than one table binding.
+
+    Subclasses both :class:`UnknownColumnError` (it is a column-resolution
+    failure) and :class:`SQLExecutionError` (historical callers catch that
+    for ambiguity).  ``candidates`` lists every qualified binding the
+    reference could mean, in table-registration order.
+    """
+
+    def __init__(self, name: str, candidates: tuple[str, ...]) -> None:
+        options = " or ".join(candidates)
+        KBError.__init__(
+            self,
+            f"ambiguous column reference {name!r}: could be {options} "
+            "(qualify it with a table alias)",
+        )
+        self.name = name
+        self.table = None
+        self.candidates = tuple(candidates)
+
+
 class BindingError(KBError):
     """A parameterized query was executed with missing/extra parameters."""
 

@@ -8,6 +8,7 @@ from repro.errors import IntegrityError, SchemaError, UnknownTableError
 from repro.kb.schema import ForeignKey, TableSchema
 from repro.kb.statistics import TableStatistics, compute_table_statistics
 from repro.kb.table import Table
+from repro.kb.sql.planner import CompiledPlan, PlanCache
 from repro.kb.sql.result import ResultSet
 
 
@@ -23,6 +24,8 @@ class Database:
     def __init__(self, name: str = "kb") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._schema_generation = 0
+        self._plan_cache = PlanCache()
 
     # -- catalog ------------------------------------------------------------
 
@@ -35,6 +38,9 @@ class Database:
             self._validate_foreign_key(schema, fk)
         table = Table(schema)
         self._tables[key] = table
+        self._schema_generation += 1
+        # Cached plans resolved names against the old catalog.
+        self._plan_cache.clear()
         return table
 
     def _validate_foreign_key(self, schema: TableSchema, fk: ForeignKey) -> None:
@@ -113,13 +119,54 @@ class Database:
             count += 1
         return count
 
+    # -- generations ---------------------------------------------------------
+
+    @property
+    def schema_generation(self) -> int:
+        """Bumps whenever the catalog changes (new tables)."""
+        return self._schema_generation
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter covering schema *and* data mutations.
+
+        Computed as the schema generation plus the sum of every table's
+        mutation counter, so it moves even when rows are inserted
+        directly through a :class:`~repro.kb.table.Table` handle rather
+        than :meth:`insert`.  Serving-layer caches key their entries on
+        this value to guarantee stale answers are impossible.
+        """
+        return self._schema_generation + sum(
+            table.generation for table in self._tables.values()
+        )
+
     # -- queries -----------------------------------------------------------------
 
     def query(self, sql: str, params: dict[str, Any] | None = None) -> ResultSet:
-        """Parse and execute ``sql`` with optional named parameters."""
-        from repro.kb.sql.executor import execute
+        """Parse and execute ``sql`` with optional named parameters.
 
-        return execute(self, sql, params)
+        SQL text is routed through the compiled-plan cache, so repeated
+        queries (the serving hot path) skip parse/resolve/plan entirely.
+        """
+        return self.prepare(sql).execute(params)
+
+    def prepare(self, sql: str, *, use_indexes: bool = True) -> "CompiledPlan":
+        """Parse, resolve and plan ``sql`` once; returns a reusable plan.
+
+        Plans are cached per SQL text, so calling this repeatedly with
+        the same template string is cheap.  ``use_indexes=False``
+        compiles the reference full-scan plan (results are identical;
+        used by differential tests and the executor benchmark).
+        """
+        return self._plan_cache.get_or_compile(self, sql, use_indexes=use_indexes)
+
+    def explain(self, sql: str) -> str:
+        """The EXPLAIN-style plan description for ``sql``."""
+        return self.prepare(sql).explain()
+
+    def plan_stats(self) -> dict[str, int]:
+        """Plan-cache observability: plans, hits, misses, executions, probes."""
+        return self._plan_cache.stats()
 
     # -- statistics ----------------------------------------------------------------
 

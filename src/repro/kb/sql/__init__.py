@@ -9,13 +9,27 @@ templates (Figure 9) and the surrounding tooling::
     [WHERE <expr>]
     [GROUP BY cols]
     [ORDER BY col [ASC|DESC], ...]
-    [LIMIT n]
+    [LIMIT n] [OFFSET n]
 
 with named parameters written ``:name`` (the template layer binds these).
+
+Execution is split in two layers: :mod:`repro.kb.sql.planner` compiles a
+parsed SELECT into a reusable :class:`CompiledPlan` (join strategy,
+secondary-index pushdown), while :mod:`repro.kb.sql.executor` holds the
+row-at-a-time evaluation primitives and a one-shot :func:`execute`.
 """
 
 from repro.kb.sql.executor import execute
 from repro.kb.sql.parser import parse
+from repro.kb.sql.planner import CompiledPlan, PlanCache, QueryPlan, compile_plan
 from repro.kb.sql.result import ResultSet
 
-__all__ = ["execute", "parse", "ResultSet"]
+__all__ = [
+    "CompiledPlan",
+    "PlanCache",
+    "QueryPlan",
+    "ResultSet",
+    "compile_plan",
+    "execute",
+    "parse",
+]

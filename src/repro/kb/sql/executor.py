@@ -1,15 +1,27 @@
-"""SQL executor: evaluates a parsed SELECT against a database.
+"""SQL evaluation primitives: scopes, predicates, aggregates, projection.
 
-The evaluation strategy is intentionally simple and predictable:
+This module holds the row-at-a-time *evaluation* layer of the SQL
+engine; *planning* (join strategy, index selection, predicate pushdown)
+lives in :mod:`repro.kb.sql.planner`, which compiles a parsed SELECT
+into a reusable :class:`~repro.kb.sql.planner.CompiledPlan`.  The
+:func:`execute` entry point here compiles and runs in one shot for
+callers that do not need plan reuse.
+
+The evaluation semantics are intentionally simple and predictable:
 
 * FROM/JOIN build an intermediate row list; equality joins use a hash
-  join on the join key, everything else falls back to a nested loop.
+  join on the join key (index-backed when the planner allows it),
+  everything else falls back to a nested loop.
 * WHERE filters, GROUP BY + aggregates reduce, then DISTINCT,
   ORDER BY, LIMIT/OFFSET shape the output.
 
 NULL semantics are simplified two-valued logic: any comparison against
 NULL is false (matching what the paper's lookup/relationship templates
-need, without implementing full SQL three-valued logic).
+need, without implementing full SQL three-valued logic).  Every
+equality path — nested loop, hash join, and secondary-index probe —
+shares :func:`repro.kb.types.normalize_key`, so NULL join keys never
+match (not even NULL == NULL) and booleans never silently match
+integers on any path.
 """
 
 from __future__ import annotations
@@ -17,15 +29,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
+    AmbiguousColumnError,
     BindingError,
     SQLExecutionError,
     UnknownColumnError,
-    UnknownTableError,
 )
 from repro.kb.sql import ast
-from repro.kb.sql.parser import parse
 from repro.kb.sql.result import ResultSet
-from repro.kb.types import is_comparable
+from repro.kb.types import is_comparable, normalize_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kb.database import Database
@@ -39,6 +50,8 @@ class _Scope:
         self._widths: list[int] = []
         self._qualified: dict[tuple[str, str], int] = {}
         self._unqualified: dict[str, list[int]] = {}
+        self._position_binding: list[str] = []  # row position -> binding name
+        self._memo: dict[ast.ColumnRef, int] = {}
 
     def add_table(self, binding: str, column_names: list[str]) -> None:
         base = sum(self._widths)
@@ -51,23 +64,38 @@ class _Scope:
             pos = base + offset
             self._qualified[(low_binding, col.lower())] = pos
             self._unqualified.setdefault(col.lower(), []).append(pos)
+            self._position_binding.append(low_binding)
 
     @property
     def width(self) -> int:
         return sum(self._widths)
 
     def resolve(self, ref: ast.ColumnRef) -> int:
-        """Return the combined-row index for ``ref``."""
+        """Return the combined-row index for ``ref``.
+
+        An unqualified reference matching columns in more than one
+        registered table raises :class:`AmbiguousColumnError` naming
+        every candidate binding — it is never silently resolved to the
+        first-registered table.
+        """
+        memoized = self._memo.get(ref)
+        if memoized is not None:
+            return memoized
         if ref.table is not None:
             key = (ref.table.lower(), ref.column.lower())
             if key not in self._qualified:
                 raise UnknownColumnError(ref.column, table=ref.table)
+            self._memo[ref] = self._qualified[key]
             return self._qualified[key]
         positions = self._unqualified.get(ref.column.lower())
         if not positions:
             raise UnknownColumnError(ref.column)
         if len(positions) > 1:
-            raise SQLExecutionError(f"ambiguous column reference {ref.column!r}")
+            candidates = tuple(
+                f"{self._position_binding[pos]}.{ref.column}" for pos in positions
+            )
+            raise AmbiguousColumnError(ref.column, candidates)
+        self._memo[ref] = positions[0]
         return positions[0]
 
 
@@ -216,96 +244,7 @@ def _split_equi_join(
 
 
 def _norm_key(value: Any) -> Any:
-    return value.lower() if isinstance(value, str) else value
-
-
-def _execute_joins(
-    database: "Database",
-    select: ast.Select,
-    params: dict[str, Any],
-) -> tuple[_Scope, list[tuple]]:
-    scope = _Scope()
-    base = database.table(select.source.table)
-    scope.add_table(select.source.binding, base.schema.column_names())
-    rows: list[tuple] = list(base.rows)
-
-    for join in select.joins:
-        right = database.table(join.table.table)
-        right_scope = _Scope()
-        right_scope.add_table(join.table.binding, right.schema.column_names())
-        right_width = right_scope.width
-
-        combined = _Scope()
-        combined_bindings: list[tuple[str, list[str]]] = []
-        # Re-register prior tables plus the new one in the combined scope.
-        for binding, cols in _scope_layout(scope, database, select, join):
-            combined.add_table(binding, cols)
-            combined_bindings.append((binding, cols))
-
-        equi = _split_equi_join(join.condition, scope, right_scope)
-        new_rows: list[tuple] = []
-        if equi is not None:
-            left_idx, right_idx = equi
-            index: dict[Any, list[tuple]] = {}
-            for rrow in right.rows:
-                key = _norm_key(rrow[right_idx])
-                if key is not None:
-                    index.setdefault(key, []).append(rrow)
-            for lrow in rows:
-                key = _norm_key(lrow[left_idx])
-                matches = index.get(key, []) if key is not None else []
-                if matches:
-                    for rrow in matches:
-                        new_rows.append(lrow + rrow)
-                elif join.kind == "left":
-                    new_rows.append(lrow + (None,) * right_width)
-        else:
-            for lrow in rows:
-                matched = False
-                for rrow in right.rows:
-                    candidate = lrow + rrow
-                    if _eval_predicate(join.condition, candidate, combined, params):
-                        new_rows.append(candidate)
-                        matched = True
-                if not matched and join.kind == "left":
-                    new_rows.append(lrow + (None,) * right_width)
-        scope = combined
-        rows = new_rows
-    return scope, rows
-
-
-def _scope_layout(
-    scope: _Scope,
-    database: "Database",
-    select: ast.Select,
-    upto_join: ast.Join,
-) -> list[tuple[str, list[str]]]:
-    """Rebuild (binding, columns) pairs for tables up to and including a join."""
-    layout = [
-        (
-            select.source.binding,
-            database.table(select.source.table).schema.column_names(),
-        )
-    ]
-    for join in select.joins:
-        layout.append(
-            (join.table.binding, database.table(join.table.table).schema.column_names())
-        )
-        if join is upto_join:
-            break
-    return layout
-
-
-def _final_scope(database: "Database", select: ast.Select) -> _Scope:
-    scope = _Scope()
-    scope.add_table(
-        select.source.binding, database.table(select.source.table).schema.column_names()
-    )
-    for join in select.joins:
-        scope.add_table(
-            join.table.binding, database.table(join.table.table).schema.column_names()
-        )
-    return scope
+    return normalize_key(value)
 
 
 def _aggregate_value(agg: ast.Aggregate, rows: list[tuple], scope: _Scope) -> Any:
@@ -349,90 +288,26 @@ def execute(
     database: "Database",
     query: str | ast.Select,
     params: dict[str, Any] | None = None,
+    *,
+    use_indexes: bool = True,
 ) -> ResultSet:
     """Execute ``query`` (SQL text or a parsed Select) against ``database``.
 
     ``params`` binds named ``:name`` parameters.  Unused parameters are
     ignored; missing ones raise :class:`~repro.errors.BindingError`.
+
+    This compiles a fresh plan on every call; callers on a hot path
+    should use :meth:`repro.kb.database.Database.prepare`, which caches
+    compiled plans per SQL text.  ``use_indexes=False`` forces the
+    reference full-scan path (used by the differential tests and the
+    executor benchmark) — results are identical either way.
     """
+    from repro.kb.sql.parser import parse
+    from repro.kb.sql.planner import compile_plan
+
     select = parse(query) if isinstance(query, str) else query
-    params = params or {}
-
-    # Validate tables up front for a clear error.
-    for table_ref in [select.source] + [j.table for j in select.joins]:
-        if not database.has_table(table_ref.table):
-            raise UnknownTableError(table_ref.table)
-
-    scope, rows = _execute_joins(database, select, params)
-    if select.where is not None:
-        rows = [
-            row for row in rows if _eval_predicate(select.where, row, scope, params)
-        ]
-
-    has_aggregates = any(
-        isinstance(item.expression, ast.Aggregate) for item in select.items
-    )
-
-    if select.group_by or has_aggregates:
-        result_columns, out_rows = _project_grouped(select, rows, scope)
-    else:
-        result_columns, out_rows = _project_plain(select, rows, scope, database)
-
-    if select.distinct:
-        seen: set = set()
-        deduped = []
-        kept_source_rows = []
-        for position, row in enumerate(out_rows):
-            key = tuple(_norm_key(v) for v in row)
-            if key not in seen:
-                seen.add(key)
-                deduped.append(row)
-                if position < len(rows):
-                    kept_source_rows.append(rows[position])
-        out_rows = deduped
-        # Keep ORDER BY's source rows aligned with the deduplicated output.
-        if len(kept_source_rows) == len(out_rows):
-            rows = kept_source_rows
-
-    if select.order_by:
-        if select.group_by or has_aggregates:
-            # ORDER BY must reference output columns after grouping.
-            lowered = [c.lower() for c in result_columns]
-
-            def grouped_key(row: tuple) -> tuple:
-                parts = []
-                for item in select.order_by:
-                    name = item.column.column.lower()
-                    if name not in lowered:
-                        raise UnknownColumnError(item.column.column)
-                    value = row[lowered.index(name)]
-                    parts.append(_sort_key(value))
-                return tuple(parts)
-
-            # Sort ascending first, then apply per-key direction via stable sorts.
-            for item in reversed(select.order_by):
-                name = item.column.column.lower()
-                if name not in lowered:
-                    raise UnknownColumnError(item.column.column)
-                idx = lowered.index(name)
-                out_rows.sort(key=lambda r: _sort_key(r[idx]), reverse=item.descending)
-        else:
-            for item in reversed(select.order_by):
-                idx = scope.resolve(item.column)
-                paired = sorted(
-                    zip(rows, out_rows),
-                    key=lambda pair: _sort_key(pair[0][idx]),
-                    reverse=item.descending,
-                )
-                rows = [p[0] for p in paired]
-                out_rows = [p[1] for p in paired]
-
-    if select.offset:
-        out_rows = out_rows[select.offset :]
-    if select.limit is not None:
-        out_rows = out_rows[: select.limit]
-
-    return ResultSet(columns=result_columns, rows=out_rows)
+    plan = compile_plan(database, select, use_indexes=use_indexes)
+    return plan.execute(params)
 
 
 def _project_plain(

@@ -101,8 +101,9 @@ class _Parser:
         limit = offset = None
         if self._match_keyword("LIMIT"):
             limit = self._parse_nonnegative_int("LIMIT")
-            if self._match_keyword("OFFSET"):
-                offset = self._parse_nonnegative_int("OFFSET")
+        # OFFSET is valid with or without a preceding LIMIT.
+        if self._match_keyword("OFFSET"):
+            offset = self._parse_nonnegative_int("OFFSET")
         token = self._peek()
         if token.type is not TokenType.EOF:
             raise SQLSyntaxError(

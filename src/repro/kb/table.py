@@ -1,12 +1,13 @@
-"""Row storage with constraint enforcement."""
+"""Row storage with constraint enforcement and secondary hash indexes."""
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Iterator
 
 from repro.errors import IntegrityError
 from repro.kb.schema import TableSchema
-from repro.kb.types import coerce_value
+from repro.kb.types import coerce_value, normalize_key
 
 
 class Table:
@@ -16,6 +17,12 @@ class Table:
     index (value -> row position) is maintained when the schema declares a
     primary key, giving O(1) point lookups for foreign-key validation and
     for the SQL executor's hash joins.
+
+    Secondary hash indexes (:meth:`secondary_index`) are built lazily the
+    first time the query planner asks for one, and invalidated wholesale
+    on any mutation; :attr:`generation` counts mutations so callers (the
+    plan cache, the serving query cache) can detect staleness without
+    subscribing to change events.
     """
 
     def __init__(self, schema: TableSchema) -> None:
@@ -29,6 +36,11 @@ class Table:
             if schema.primary_key is not None
             else None
         )
+        self._generation = 0
+        # column position -> {normalized value -> ascending row positions}
+        self._indexes: dict[int, dict[Any, list[int]]] = {}
+        self._index_builds = 0
+        self._index_build_seconds = 0.0
 
     # -- basic properties ---------------------------------------------------
 
@@ -47,6 +59,11 @@ class Table:
     def rows(self) -> list[tuple[Any, ...]]:
         """The stored rows (do not mutate)."""
         return self._rows
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter; bumps on every insert."""
+        return self._generation
 
     # -- mutation -------------------------------------------------------------
 
@@ -71,6 +88,10 @@ class Table:
                 )
             self._pk_index[key] = len(self._rows)
         self._rows.append(row)
+        self._generation += 1
+        if self._indexes:
+            # Lazily rebuilt on next use; clearing keeps mutation O(1).
+            self._indexes.clear()
         return row
 
     def _build_row(self, values: dict[str, Any] | Iterable[Any]) -> tuple[Any, ...]:
@@ -119,6 +140,46 @@ class Table:
         """Return all values of ``column`` in row order (including NULLs)."""
         idx = self.schema.column_index(column)
         return [row[idx] for row in self._rows]
+
+    def secondary_index(self, column: str | int) -> dict[Any, list[int]]:
+        """The lazily-built hash index for ``column``.
+
+        Maps :func:`~repro.kb.types.normalize_key` of each non-NULL value
+        to the ascending row positions holding it, so index probes return
+        rows in exactly the order a full scan would.  NULLs are excluded:
+        NULL never equals anything, so an index probe can never match a
+        NULL cell — this keeps the index path in agreement with the
+        executor's two-valued NULL semantics.
+
+        The index is cached until the next mutation.  Callers must treat
+        the returned mapping as read-only.
+        """
+        position = (
+            column if isinstance(column, int)
+            else self.schema.column_index(column)
+        )
+        cached = self._indexes.get(position)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        index: dict[Any, list[int]] = {}
+        for row_pos, row in enumerate(self._rows):
+            value = row[position]
+            if value is None:
+                continue
+            index.setdefault(normalize_key(value), []).append(row_pos)
+        self._indexes[position] = index
+        self._index_builds += 1
+        self._index_build_seconds += time.perf_counter() - start
+        return index
+
+    def index_stats(self) -> dict[str, float]:
+        """Observability: live index count, total builds, build time."""
+        return {
+            "indexes": float(len(self._indexes)),
+            "builds": float(self._index_builds),
+            "build_seconds": self._index_build_seconds,
+        }
 
     def distinct_values(self, column: str) -> list[Any]:
         """Return the distinct non-NULL values of ``column``, in first-seen order."""

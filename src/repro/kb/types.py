@@ -87,6 +87,24 @@ def coerce_value(value: Any, data_type: DataType, column: str = "?") -> Any:
     raise IntegrityError(f"unsupported data type: {data_type}")
 
 
+def normalize_key(value: Any) -> Any:
+    """The hashable equality key for ``value`` under SQL ``=`` semantics.
+
+    Two non-NULL values compare equal in the executor iff their
+    normalized keys are equal, so hash joins, secondary indexes and
+    GROUP BY/DISTINCT grouping all agree with the row-at-a-time
+    comparison: strings are case-folded, and booleans are tagged so that
+    ``TRUE`` never silently matches the integer ``1`` the way raw Python
+    dict keys would.  ``None`` normalizes to ``None`` — callers must
+    exclude it, since NULL never equals anything (not even NULL).
+    """
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, str):
+        return value.lower()
+    return value
+
+
 def is_comparable(left: Any, right: Any) -> bool:
     """Return True if ``left`` and ``right`` can be ordered against each other."""
     if left is None or right is None:

@@ -67,8 +67,18 @@ class StructuredQueryTemplate:
         return params
 
     def execute(self, database: Database, bindings: dict[str, str]) -> ResultSet:
-        """Instantiate and run the template against ``database``."""
-        return database.query(self.sql, self.instantiate(bindings))
+        """Instantiate and run the template against ``database``.
+
+        Prefers the database's prepared-plan API when available
+        (:meth:`~repro.kb.database.Database.prepare`), so serving the
+        same template repeatedly never re-parses or re-plans its SQL;
+        plain ``query`` is the fallback for minimal database stand-ins.
+        """
+        params = self.instantiate(bindings)
+        prepare = getattr(database, "prepare", None)
+        if prepare is not None:
+            return prepare(self.sql).execute(params)
+        return database.query(self.sql, params)
 
 
 def _template_for_pattern(

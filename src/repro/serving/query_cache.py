@@ -9,6 +9,14 @@ result sets keyed on the SQL text plus the bound parameters, and
 :class:`~repro.kb.database.Database` that consults the cache on
 ``query`` and invalidates it on any write.
 
+Coherence is belt-and-braces: writes through the proxy drop the whole
+cache eagerly, *and* every entry is tagged with the database
+:attr:`~repro.kb.database.Database.generation` at store time and
+rejected on lookup if the generation has since moved.  The generation
+counter covers programmatic mutations that bypass the proxy (inserting
+through a raw :class:`~repro.kb.table.Table` handle), so a stale cached
+answer is impossible by construction, not merely by discipline.
+
 Cached :class:`~repro.kb.sql.result.ResultSet` objects are shared
 between threads and must be treated as immutable by callers (the agent
 already copies ``result.rows`` before storing them in context).
@@ -22,6 +30,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
 from repro.kb.database import Database
+from repro.kb.sql.planner import CompiledPlan
 from repro.kb.sql.result import ResultSet
 
 CacheKey = tuple[str, tuple[tuple[str, Any], ...]]
@@ -37,7 +46,9 @@ class QueryCache:
     """A thread-safe LRU cache with per-entry TTL and hit/miss counters.
 
     ``clock`` is injectable (monotonic seconds) so tests can drive TTL
-    expiry deterministically.
+    expiry deterministically.  Entries remember the ``generation`` they
+    were stored under; a lookup presenting a different generation treats
+    the entry as stale and drops it.
     """
 
     def __init__(
@@ -52,9 +63,9 @@ class QueryCache:
         self.ttl = ttl
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[CacheKey, tuple[float, ResultSet]]" = (
-            OrderedDict()
-        )
+        self._entries: (
+            "OrderedDict[CacheKey, tuple[float, int | None, ResultSet]]"
+        ) = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -64,8 +75,13 @@ class QueryCache:
         with self._lock:
             return len(self._entries)
 
-    def lookup(self, sql: str, params: dict[str, Any] | None) -> ResultSet | None:
-        """Return the cached result, or None on miss/expiry."""
+    def lookup(
+        self,
+        sql: str,
+        params: dict[str, Any] | None,
+        generation: int | None = None,
+    ) -> ResultSet | None:
+        """Return the cached result, or None on miss/expiry/stale generation."""
         key = make_key(sql, params)
         now = self._clock()
         with self._lock:
@@ -73,8 +89,8 @@ class QueryCache:
             if entry is None:
                 self.misses += 1
                 return None
-            expires_at, result = entry
-            if now >= expires_at:
+            expires_at, stored_generation, result = entry
+            if now >= expires_at or stored_generation != generation:
                 del self._entries[key]
                 self.misses += 1
                 return None
@@ -83,11 +99,15 @@ class QueryCache:
             return result
 
     def store(
-        self, sql: str, params: dict[str, Any] | None, result: ResultSet
+        self,
+        sql: str,
+        params: dict[str, Any] | None,
+        result: ResultSet,
+        generation: int | None = None,
     ) -> None:
         key = make_key(sql, params)
         with self._lock:
-            self._entries[key] = (self._clock() + self.ttl, result)
+            self._entries[key] = (self._clock() + self.ttl, generation, result)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -124,15 +144,42 @@ class QueryCache:
             }
 
 
+class _CachingPrepared:
+    """A compiled plan whose ``execute`` consults the result cache.
+
+    Returned by :meth:`CachingDatabase.prepare` so that template-layer
+    callers holding prepared statements still benefit from (and stay
+    coherent with) the serving result cache.
+    """
+
+    def __init__(self, owner: "CachingDatabase", plan: CompiledPlan) -> None:
+        self._owner = owner
+        self._plan = plan
+
+    @property
+    def plan(self) -> CompiledPlan:
+        return self._plan
+
+    def execute(self, params: dict[str, Any] | None = None) -> ResultSet:
+        sql = self._plan.sql
+        if sql is None:  # no cache key without SQL text
+            return self._plan.execute(params)
+        return self._owner._cached_execute(sql, params, self._plan)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._plan, name)
+
+
 class CachingDatabase:
     """A :class:`Database` proxy that serves ``query`` through a cache.
 
     Reads (``query``) consult the cache first; every write entry point
     (``insert``, ``insert_many``, ``create_table``) delegates to the
-    wrapped database and then invalidates the whole cache, keeping the
-    serving layer's consistency model simple: a write anywhere drops all
-    memoized reads.  Everything else is delegated untouched, so the
-    proxy can stand wherever a ``Database`` is expected.
+    wrapped database and then invalidates the whole cache.  Entries are
+    additionally generation-tagged (see module docstring), so mutations
+    that bypass the proxy still can never yield a stale answer.
+    Everything else is delegated untouched, so the proxy can stand
+    wherever a ``Database`` is expected.
     """
 
     def __init__(self, database: Database, cache: QueryCache | None = None) -> None:
@@ -143,13 +190,35 @@ class CachingDatabase:
     def wrapped(self) -> Database:
         return self._database
 
-    def query(self, sql: str, params: dict[str, Any] | None = None) -> ResultSet:
-        cached = self.cache.lookup(sql, params)
+    def _cached_execute(
+        self,
+        sql: str,
+        params: dict[str, Any] | None,
+        plan: CompiledPlan | None = None,
+    ) -> ResultSet:
+        generation = self._database.generation
+        cached = self.cache.lookup(sql, params, generation=generation)
         if cached is not None:
             return cached
-        result = self._database.query(sql, params)
-        self.cache.store(sql, params, result)
+        if plan is not None:
+            result = plan.execute(params)
+        else:
+            result = self._database.query(sql, params)
+        self.cache.store(sql, params, result, generation=generation)
         return result
+
+    def query(self, sql: str, params: dict[str, Any] | None = None) -> ResultSet:
+        return self._cached_execute(sql, params)
+
+    def prepare(self, sql: str, *, use_indexes: bool = True) -> _CachingPrepared:
+        """Prepare through the wrapped database, keeping the result cache.
+
+        Without this override, ``__getattr__`` would hand back the inner
+        database's plan directly and prepared execution would silently
+        bypass the result cache.
+        """
+        plan = self._database.prepare(sql, use_indexes=use_indexes)
+        return _CachingPrepared(self, plan)
 
     def insert(
         self, table_name: str, values: dict[str, Any] | Iterable[Any]

@@ -132,6 +132,33 @@ class ConversationApp:
         self.metrics.gauge(
             "query_cache_hit_rate", lambda: round(self.cache.hit_rate(), 6)
         )
+        # Plan/index observability (read from the unwrapped database so
+        # the gauges keep working after close() restores the hooks).
+        self.metrics.gauge(
+            "plan_cache_hits_total",
+            lambda: self._original_database.plan_stats()["hits"],
+        )
+        self.metrics.gauge(
+            "plan_cache_misses_total",
+            lambda: self._original_database.plan_stats()["misses"],
+        )
+        self.metrics.gauge(
+            "plan_cache_plans", lambda: self._original_database.plan_stats()["plans"]
+        )
+        self.metrics.gauge(
+            "plan_index_probes_total",
+            lambda: self._original_database.plan_stats()["index_probes"],
+        )
+        self.metrics.gauge(
+            "kb_index_builds_total",
+            lambda: sum(
+                int(t.index_stats()["builds"])
+                for t in self._original_database.tables()
+            ),
+        )
+        self.metrics.gauge(
+            "kb_generation", lambda: self._original_database.generation
+        )
 
     # -- state ---------------------------------------------------------------
 

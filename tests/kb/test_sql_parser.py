@@ -135,6 +135,15 @@ class TestTrailingClauses:
         assert select.limit == 5
         assert select.offset == 10
 
+    def test_offset_without_limit(self):
+        select = parse("SELECT * FROM t OFFSET 3")
+        assert select.limit is None
+        assert select.offset == 3
+
+    def test_offset_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t OFFSET x")
+
     def test_limit_requires_integer(self):
         with pytest.raises(SQLSyntaxError):
             parse("SELECT * FROM t LIMIT 1.5")

@@ -118,3 +118,40 @@ class TestCachingDatabase:
         db = CachingDatabase(make_db())
         assert db.query(SQL, {"id": 1}).rows == [("Aspirin",)]
         assert db.query(SQL, {"id": 2}).rows == [("Ibuprofen",)]
+
+
+class TestGenerationCoherence:
+    """Stale cached answers must be impossible, not merely unlikely."""
+
+    def test_programmatic_mutation_bypassing_proxy(self):
+        inner = make_db()
+        db = CachingDatabase(inner)
+        all_sql = "SELECT name FROM drug"
+        assert len(db.query(all_sql).rows) == 2
+        # Mutate through a raw Table handle: the proxy's invalidate()
+        # never runs, so only the generation tag can save us.
+        inner.table("drug").insert({"drug_id": 3, "name": "Tazarotene"})
+        assert len(db.query(all_sql).rows) == 3
+
+    def test_generation_mismatch_counts_as_miss(self):
+        cache = QueryCache()
+        cache.store(SQL, {"id": 1}, "result", generation=7)
+        assert cache.lookup(SQL, {"id": 1}, generation=7) == "result"
+        assert cache.lookup(SQL, {"id": 1}, generation=8) is None
+        # The stale entry was dropped, not left behind.
+        assert len(cache) == 0
+
+    def test_prepared_statements_share_cache_and_coherence(self):
+        inner = make_db()
+        db = CachingDatabase(inner)
+        prepared = db.prepare(SQL)
+        first = prepared.execute({"id": 1})
+        second = prepared.execute({"id": 1})
+        assert first.rows == [("Aspirin",)]
+        assert second is first  # served from the result cache
+        # query() and prepare() share one keyspace.
+        assert db.query(SQL, {"id": 1}) is first
+        # Direct table mutation invalidates prepared results too.
+        inner.table("drug").insert({"drug_id": 4, "name": "Enalapril"})
+        all_sql = "SELECT name FROM drug"
+        assert len(db.prepare(all_sql).execute().rows) == 3
