@@ -73,6 +73,8 @@ def cmd_chat(
     output_fn: Callable[[str], None] = print,
 ) -> int:
     """Interactive REPL; ``input_fn``/``output_fn`` are injectable for tests."""
+    from repro.engine.pipeline import render_trace
+
     output_fn("Building the conversation agent...")
     agent = _build_agent(args)
     session = agent.session()
@@ -95,6 +97,8 @@ def cmd_chat(
             continue
         response = session.ask(utterance)
         output_fn(f"A: {response.text}")
+        if getattr(args, "trace", False) and response.trace is not None:
+            output_fn(render_trace(response.trace))
     output_fn(
         f"Session over. Equation-1 success rate: "
         f"{agent.feedback_log.success_rate():.1%}"
@@ -150,6 +154,11 @@ def cmd_simulate(args: argparse.Namespace, output_fn=print) -> int:
     output_fn(f"SME sample: user {success_rate(sample, 'user'):.1%} vs "
               f"SME {success_rate(sample, 'sme'):.1%} "
               "(paper: 97.9% vs 90.8%)")
+    deaths = result.stage_decisions(only_incorrect=True)
+    if deaths:
+        output_fn("mishandled interactions by deciding pipeline stage:")
+        for stage, count in deaths.items():
+            output_fn(f"  {stage:<14} {count}")
     return 0
 
 
@@ -230,6 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--data", help="CSV knowledge-base directory")
     chat.add_argument("--name", default="Assistant", help="agent name")
     chat.add_argument("--domain", default="knowledge base", help="domain label")
+    chat.add_argument("--trace", action="store_true",
+                      help="print the per-stage pipeline trace after each turn")
     chat.set_defaults(handler=cmd_chat)
 
     demo = sub.add_parser("demo", help="replay the paper's §6.3 conversations")

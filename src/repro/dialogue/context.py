@@ -10,12 +10,20 @@ modification ("I mean pediatric", "how about for Fluocinonide?").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.pipeline import TurnTrace
 
 
 @dataclass
 class TurnRecord:
-    """One completed turn: what the user said and how the agent replied."""
+    """One completed turn: what the user said and how the agent replied.
+
+    ``trace`` carries the per-stage :class:`~repro.engine.pipeline.TurnTrace`
+    when the turn ran through the staged pipeline; it is excluded from
+    equality so transcripts compare on observable behaviour only.
+    """
 
     user: str
     agent: str
@@ -23,6 +31,7 @@ class TurnRecord:
     confidence: float = 0.0
     entities: dict[str, str] = field(default_factory=dict)
     outcome_kind: str = ""
+    trace: "TurnTrace | None" = field(default=None, repr=False, compare=False)
 
 
 class ConversationContext:
@@ -93,6 +102,12 @@ class ConversationContext:
 
     def last_turn(self) -> TurnRecord | None:
         return self.history[-1] if self.history else None
+
+    @property
+    def last_trace(self) -> "TurnTrace | None":
+        """The stage trace of the most recent turn, if one was recorded."""
+        last = self.last_turn()
+        return last.trace if last is not None else None
 
     # -- lifecycle ------------------------------------------------------------------
 

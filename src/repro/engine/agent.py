@@ -7,71 +7,56 @@ generation — plus the §6 behaviours: slot filling across turns,
 incremental query modification, keyword-query elicitation (the
 "cogentin" flow of User 480), partial-entity disambiguation, definition
 repair, and thumbs feedback capture.
+
+The turn logic itself lives in the staged pipeline
+(:mod:`repro.engine.pipeline` / :mod:`repro.engine.stages`); this module
+is construction and session management: :meth:`ConversationAgent.build`
+trains and assembles the components, ``__init__`` assembles the default
+stage pipeline over them, and :meth:`ConversationAgent.respond` runs
+one traced turn through it.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Any
+import time
+from typing import Callable
 
-from repro.bootstrap.intents import Intent, keyword_intent_name
 from repro.bootstrap.space import ConversationSpace
 from repro.dialogue.context import ConversationContext, TurnRecord
-from repro.dialogue.logic_table import DialogueLogicTable, context_key
+from repro.dialogue.logic_table import DialogueLogicTable
 from repro.dialogue.management import (
     MANAGEMENT_RESPONSES,
     default_management_intents,
     management_training_examples,
 )
-from repro.dialogue.responses import (
-    format_grouped_rows,
-    format_result_rows,
-    render_template,
-)
 from repro.dialogue.tree import (
     DEFAULT_CONFIDENCE_THRESHOLD,
     DialogueTree,
-    NodeOutcome,
     build_dialogue_tree,
 )
 from repro.engine.feedback import FeedbackLog, InteractionRecord
-from repro.engine.recognizer import EntityRecognizer, RecognitionResult
-from repro.errors import (
-    DialogueError,
-    EngineError,
-    KBError,
-    MissingBindingsError,
-    NLQError,
-    TemplateError,
+from repro.engine.kinds import ResponseKind
+from repro.engine.pipeline import AgentResponse, TurnPipeline, TurnTrace
+from repro.engine.recognizer import EntityRecognizer
+from repro.engine.stages import (
+    CONTEXT_CONFIDENCE,
+    TRUST_THRESHOLD,
+    default_stages,
 )
+from repro.errors import EngineError, KBError, NLQError, TemplateError
 from repro.kb.database import Database
 from repro.nlp.classifier import IntentClassifier
-from repro.nlp.tokenizer import tokenize
 from repro.nlq.templates import StructuredQueryTemplate, templates_for_intent
 
-#: Confidence assigned when context (slot filling / incremental
-#: modification) determines the intent instead of the classifier.
-CONTEXT_CONFIDENCE = 0.99
-
-#: Classifier confidence above which context-based reinterpretation is
-#: not attempted (the classifier is trusted).
-TRUST_THRESHOLD = 0.75
-
-
-@dataclass
-class AgentResponse:
-    """One agent turn."""
-
-    text: str
-    intent: str | None
-    confidence: float
-    kind: str
-    entities: dict[str, str] = field(default_factory=dict)
-    rows: list[tuple] = field(default_factory=list)
-    sql: str | None = None
-    elicit_concept: str | None = None
+__all__ = [
+    "AgentResponse",
+    "ConversationAgent",
+    "Session",
+    "ResponseKind",
+    "CONTEXT_CONFIDENCE",
+    "TRUST_THRESHOLD",
+]
 
 
 class ConversationAgent:
@@ -79,7 +64,10 @@ class ConversationAgent:
 
     Build one with :meth:`build`, then open :class:`Session` objects for
     each user.  The agent itself is stateless across sessions; all
-    per-conversation state lives in the session's context.
+    per-conversation state lives in the session's context.  Each turn
+    runs through the agent's :class:`~repro.engine.pipeline.TurnPipeline`
+    (assembled from :func:`~repro.engine.stages.default_stages`), so the
+    response carries a per-stage :class:`~repro.engine.pipeline.TurnTrace`.
     """
 
     def __init__(
@@ -94,6 +82,7 @@ class ConversationAgent:
         glossary: dict[str, str],
         agent_name: str = "Assistant",
         domain: str = "knowledge base",
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.space = space
         self.database = database
@@ -106,6 +95,7 @@ class ConversationAgent:
         self.agent_name = agent_name
         self.domain = domain
         self.feedback_log = FeedbackLog()
+        self.pipeline = TurnPipeline(default_stages(self), clock=clock)
         # Session ids are allocated under a lock: concurrent requests on
         # the serving layer open sessions from many threads at once, and
         # two sessions sharing an id would cross their feedback records.
@@ -124,6 +114,7 @@ class ConversationAgent:
         domain: str = "knowledge base",
         classifier: IntentClassifier | None = None,
         confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> "ConversationAgent":
         """Assemble and train an agent from a bootstrapped space.
 
@@ -196,6 +187,7 @@ class ConversationAgent:
             glossary=full_glossary,
             agent_name=agent_name,
             domain=domain,
+            clock=clock,
         )
 
     # -- sessions --------------------------------------------------------------
@@ -216,681 +208,17 @@ class ConversationAgent:
             agent_name=self.agent_name, domain=self.domain
         )
 
-    # -- core turn logic -----------------------------------------------------------
+    # -- core turn logic -------------------------------------------------------
 
     def respond(
         self, utterance: str, context: ConversationContext
     ) -> AgentResponse:
-        """Produce the agent turn for ``utterance`` under ``context``."""
-        prediction = self.classifier.classify(utterance)
-        recognition = self.recognizer.recognize(utterance)
-        intent_name: str | None = prediction.intent
-        confidence = prediction.confidence
+        """Produce the agent turn for ``utterance`` under ``context``.
 
-        # Gibberish guard: a mostly-out-of-vocabulary utterance with no
-        # recognizable entity must not trigger any intent ("apfjhd", §7.2).
-        if (
-            not recognition.values
-            and not recognition.ambiguous
-            and self.classifier.vectorizer.known_word_fraction(utterance) < 0.5
-        ):
-            intent_name, confidence = None, 0.0
-
-        # A weakly-classified *management* intent yields to a domain
-        # reading when the utterance carries domain entities and concepts
-        # ("what indication is treated by X" is not a definition request).
-        if (
-            intent_name is not None
-            and self._domain_intent(intent_name) is None
-            and confidence < 0.5
-            and recognition.values
-            and recognition.concepts
-        ):
-            rescued = self._rescue_low_confidence(utterance, recognition)
-            if rescued is not None:
-                intent_name, confidence = rescued
-
-        # Pending disambiguation ("Did you mean ...?") resolves first.
-        resolved = self._resolve_disambiguation(utterance, recognition, context)
-        if resolved is not None:
-            intent_name, confidence = resolved
-
-        # Pending keyword proposal ("Would you like to see ...?").
-        proposal_response = self._handle_proposal(
-            intent_name, confidence, recognition, context
-        )
-        if proposal_response is not None:
-            return proposal_response
-
-        # Slot filling: a bare answer to an elicitation adopts the
-        # pending intent.
-        if context.is_slot_filling:
-            slot_value = self._slot_answer(utterance, recognition, context)
-            if slot_value is not None:
-                recognition.values[context.pending_entity] = slot_value
-                intent_name = context.pending_intent
-                confidence = CONTEXT_CONFIDENCE
-
-        # Incremental modification: entity mentions related to the prior
-        # request operate on it instead of starting over (§6.3 line 06).
-        reinterpreted = self._reinterpret_with_context(
-            intent_name, confidence, recognition, context
-        )
-        if reinterpreted is not None:
-            intent_name, confidence = reinterpreted
-
-        # Entity-informed rescue: when the classifier is unsure, corroborate
-        # its top candidates against the recognized entities and concept
-        # mentions (the "intent + entity model" of §6.3).
-        if (
-            confidence < self.tree.confidence_threshold
-            and (recognition.values or recognition.concepts)
-        ):
-            rescued = self._rescue_low_confidence(utterance, recognition)
-            if rescued is not None:
-                intent_name, confidence = rescued
-
-        # Entity-only utterance with no claiming context: route it to the
-        # keyword intent regardless of the classifier ("cogentin", §6.3 —
-        # the conversation space is intent + entity, a bare entity must
-        # trigger the elicitation proposal, not an arbitrary lookup).
-        if confidence != CONTEXT_CONFIDENCE and not context.is_slot_filling:
-            whole = self.recognizer.whole_utterance_instance(utterance)
-            if whole is not None:
-                concept, _value = whole
-                keyword_name = keyword_intent_name(concept)
-                if self.space.has_intent(keyword_name):
-                    intent_name = self.space.intent(keyword_name).name
-                    confidence = max(confidence, self.tree.confidence_threshold)
-
-        # Slot-aware arbitration: a confident classification that is
-        # missing required entities yields to a close runner-up whose
-        # result concept was named and whose slots the utterance fills.
-        arbitrated = self._arbitrate_slots(
-            utterance, intent_name, confidence, recognition, context
-        )
-        if arbitrated is not None:
-            intent_name, confidence = arbitrated
-
-        # Unresolved ambiguity on a needed concept: ask before answering.
-        if recognition.ambiguous and not recognition.values:
-            return self._ask_disambiguation(
-                recognition, intent_name, confidence, context
-            )
-
-        outcome = self.tree.respond(
-            intent_name, confidence, recognition.values, context
-        )
-        return self._act(outcome, utterance, recognition, confidence, context)
-
-    # -- context-dependent reinterpretation ------------------------------------------
-
-    def _domain_intent(self, name: str | None) -> Intent | None:
-        if name is None or not self.space.has_intent(name):
-            return None
-        intent = self.space.intent(name)
-        if intent.kind in ("management",):
-            return None
-        return intent
-
-    def _reinterpret_with_context(
-        self,
-        intent_name: str | None,
-        confidence: float,
-        recognition: RecognitionResult,
-        context: ConversationContext,
-    ) -> tuple[str, float] | None:
-        if not recognition.values:
-            return None
-        if recognition.concepts:
-            # A concept mention ("dosage", "adverse effects") signals a new
-            # request, not an operation on the previous one.
-            return None
-        current = self._domain_intent(context.current_intent)
-        if current is None or current.kind == "keyword":
-            return None
-        classified = self._domain_intent(intent_name)
-        classified_is_weak = (
-            confidence < TRUST_THRESHOLD
-            or classified is None
-            or classified.kind == "keyword"
-        )
-        if not classified_is_weak:
-            return None
-        relevant = set(
-            c.lower() for c in current.required_entities + current.optional_entities
-        )
-        mentioned = {c.lower() for c in recognition.values}
-        if mentioned & relevant:
-            return current.name, CONTEXT_CONFIDENCE
-        return None
-
-    def _rescue_low_confidence(
-        self, utterance: str, recognition: RecognitionResult
-    ) -> tuple[str, float] | None:
-        """Corroborate low-confidence top-k candidates with entities.
-
-        A candidate domain intent is adopted when the recognized entities
-        satisfy all of its required slots, and either its result concept
-        was mentioned by name or its slots are genuinely filled.  Keyword
-        intents are never rescued (they are the fallback of last resort).
+        The returned response carries the turn's
+        :class:`~repro.engine.pipeline.TurnTrace` in ``response.trace``.
         """
-        mentioned_concepts = {c.lower() for c in recognition.concepts}
-        recognized = {c.lower() for c in recognition.values}
-        candidates = self.classifier.top_k(utterance, k=3)
-        # Pass 1: a candidate whose *result concept* was named outranks
-        # everything — "pk profile of X" names Pharmacokinetics.
-        for candidate in candidates:
-            intent = self._domain_intent(candidate.intent)
-            if intent is None or intent.kind == "keyword" or not intent.patterns:
-                continue
-            if (
-                intent.result_concept is not None
-                and intent.result_concept.lower() in mentioned_concepts
-            ):
-                return intent.name, max(
-                    candidate.confidence, self.tree.confidence_threshold
-                )
-        # Pass 2: full slot corroboration, but only when the utterance also
-        # names some concept — a bare drug name must stay on the keyword
-        # path, not hijack a slot-filled intent.
-        if mentioned_concepts:
-            for candidate in candidates:
-                intent = self._domain_intent(candidate.intent)
-                if intent is None or intent.kind == "keyword" or not intent.patterns:
-                    continue
-                required = {c.lower() for c in intent.required_entities}
-                if required and required <= recognized:
-                    return intent.name, max(
-                        candidate.confidence, self.tree.confidence_threshold
-                    )
-        return None
-
-    def _arbitrate_slots(
-        self,
-        utterance: str,
-        intent_name: str | None,
-        confidence: float,
-        recognition: RecognitionResult,
-        context: ConversationContext,
-    ) -> tuple[str, float] | None:
-        current = self._domain_intent(intent_name)
-        if current is None or current.kind == "keyword":
-            return None
-        merged = {c.lower() for c in context.entities}
-        merged |= {c.lower() for c in recognition.values}
-        required = {c.lower() for c in current.required_entities}
-        if required <= merged:
-            return None  # the classified intent can proceed — keep it
-        mentioned = {c.lower() for c in recognition.concepts}
-        recognized = {c.lower() for c in recognition.values}
-        for candidate in self.classifier.top_k(utterance, k=3):
-            if candidate.intent == intent_name:
-                continue
-            other = self._domain_intent(candidate.intent)
-            if other is None or other.kind == "keyword" or not other.patterns:
-                continue
-            if candidate.confidence < confidence * 0.25:
-                break  # too far behind to overrule
-            other_required = {c.lower() for c in other.required_entities}
-            result_mentioned = (
-                other.result_concept is not None
-                and other.result_concept.lower() in mentioned
-            )
-            if result_mentioned and other_required and other_required <= recognized:
-                return other.name, max(
-                    candidate.confidence, self.tree.confidence_threshold
-                )
-        return None
-
-    def _slot_answer(
-        self,
-        utterance: str,
-        recognition: RecognitionResult,
-        context: ConversationContext,
-    ) -> str | None:
-        pending = context.pending_entity
-        if pending is None:
-            return None
-        for concept, value in recognition.values.items():
-            if concept.lower() == pending.lower():
-                return value
-        return self.recognizer.is_instance_of(utterance, pending)
-
-    # -- disambiguation --------------------------------------------------------------
-
-    def _ask_disambiguation(
-        self,
-        recognition: RecognitionResult,
-        intent_name: str | None,
-        confidence: float,
-        context: ConversationContext,
-    ) -> AgentResponse:
-        surface, candidates = next(iter(recognition.ambiguous.items()))
-        shown = candidates[:4]
-        options = ", ".join(value for _, value in shown)
-        context.variables["disambiguation"] = {
-            "surface": surface,
-            "candidates": shown,
-            "intent": intent_name,
-            "confidence": confidence,
-        }
-        return AgentResponse(
-            text=f"I know several matches for \"{surface}\": {options}. "
-            "Which one do you mean?",
-            intent=intent_name,
-            confidence=confidence,
-            kind="disambiguate",
-            entities=dict(recognition.values),
-        )
-
-    def _resolve_disambiguation(
-        self,
-        utterance: str,
-        recognition: RecognitionResult,
-        context: ConversationContext,
-    ) -> tuple[str | None, float] | None:
-        pending = context.variables.get("disambiguation")
-        if not pending:
-            return None
-        tokens = set(tokenize(utterance))
-        chosen: tuple[str, str] | None = None
-        for concept, value in pending["candidates"]:
-            value_tokens = set(tokenize(value))
-            if value_tokens and value_tokens <= tokens | set(
-                itertools.chain.from_iterable(
-                    tokenize(v) for v in recognition.values.values()
-                )
-            ):
-                chosen = (concept, value)
-                break
-        if chosen is None:
-            # Try containment the other way: the reply may be a fragment
-            # uniquely identifying one candidate.
-            matches = [
-                (concept, value)
-                for concept, value in pending["candidates"]
-                if tokens & set(tokenize(value))
-            ]
-            if len(matches) == 1:
-                chosen = matches[0]
-        context.variables.pop("disambiguation", None)
-        if chosen is None:
-            return None
-        concept, value = chosen
-        recognition.values[concept] = value
-        stored_intent = pending.get("intent")
-        if stored_intent and self._domain_intent(stored_intent):
-            return stored_intent, CONTEXT_CONFIDENCE
-        return None
-
-    # -- keyword (entity-only) proposal flow -------------------------------------------
-
-    def _proposal_options(self, concept: str) -> list[str]:
-        """Lookup intents that can be proposed for an entity-only mention,
-        ordered by the dependent-concept list of the classification."""
-        options = []
-        for dependent in self.space.classification.dependents_of.get(concept, []):
-            for intent in self.space.intents:
-                if (
-                    intent.kind == "lookup"
-                    and intent.result_concept
-                    and intent.result_concept.lower() == dependent.lower()
-                    and any(
-                        r.lower() == concept.lower()
-                        for r in intent.required_entities
-                    )
-                ):
-                    options.append(intent.name)
-                    break
-        return options
-
-    def _start_proposal(
-        self, concept: str, value: str, context: ConversationContext
-    ) -> AgentResponse | None:
-        options = self._proposal_options(concept)
-        if not options:
-            return None
-        context.remember_entity(concept, value)
-        context.variables["proposal"] = {
-            "concept": concept,
-            "value": value,
-            "options": options,
-            "index": 0,
-        }
-        return self._propose_next(context)
-
-    def _propose_next(self, context: ConversationContext) -> AgentResponse:
-        proposal = context.variables["proposal"]
-        index = proposal["index"]
-        options = proposal["options"]
-        if index >= len(options) or index >= 2:
-            # Give up after two rejected proposals (§6.3, User 480 lines 5-6).
-            context.variables.pop("proposal", None)
-            return AgentResponse(
-                text="OK. Please modify your search.",
-                intent="abort",
-                confidence=1.0,
-                kind="management",
-            )
-        intent = self.space.intent(options[index])
-        subject = intent.result_concept or intent.name
-        return AgentResponse(
-            text=(
-                f"Would you like to see the {subject.lower()} of "
-                f"{proposal['value']}?"
-            ),
-            intent=intent.name,
-            confidence=1.0,
-            kind="proposal",
-            entities={proposal["concept"]: proposal["value"]},
-        )
-
-    def _handle_proposal(
-        self,
-        intent_name: str | None,
-        confidence: float,
-        recognition: RecognitionResult,
-        context: ConversationContext,
-    ) -> AgentResponse | None:
-        proposal = context.variables.get("proposal")
-        if not proposal:
-            return None
-        if intent_name == "affirmative" and confidence >= self.tree.confidence_threshold:
-            context.variables.pop("proposal", None)
-            chosen = self.space.intent(proposal["options"][proposal["index"]])
-            outcome = self.tree.respond(
-                chosen.name,
-                CONTEXT_CONFIDENCE,
-                {proposal["concept"]: proposal["value"]},
-                context,
-            )
-            return self._act(
-                outcome, proposal["value"], recognition, CONTEXT_CONFIDENCE, context
-            )
-        if intent_name == "negative" and confidence >= self.tree.confidence_threshold:
-            proposal["index"] += 1
-            return self._propose_next(context)
-        # Anything else abandons the proposal and is processed normally.
-        context.variables.pop("proposal", None)
-        return None
-
-    # -- acting on tree outcomes ---------------------------------------------------------
-
-    def _act(
-        self,
-        outcome: NodeOutcome,
-        utterance: str,
-        recognition: RecognitionResult,
-        confidence: float,
-        context: ConversationContext,
-    ) -> AgentResponse:
-        if outcome.kind == "management":
-            return self._management_response(outcome, utterance, context)
-        if outcome.kind == "elicit":
-            context.remember_entities(recognition.values)
-            assert outcome.intent_name and outcome.elicit_concept
-            context.begin_slot_filling(outcome.intent_name, outcome.elicit_concept)
-            return AgentResponse(
-                text=outcome.elicit_prompt or f"Which {outcome.elicit_concept}?",
-                intent=outcome.intent_name,
-                confidence=confidence,
-                kind="elicit",
-                entities=dict(recognition.values),
-                elicit_concept=outcome.elicit_concept,
-            )
-        if outcome.kind == "keyword":
-            context.end_slot_filling()
-            assert outcome.intent_name
-            intent = self.space.intent(outcome.intent_name)
-            concept = intent.required_entities[0]
-            value = outcome.bindings.get(concept) or next(
-                iter(recognition.values.values()), None
-            )
-            if value:
-                # "cogentin adverse effects": a keyword-style utterance that
-                # still names a dependent concept is a recognizable lookup
-                # request (§6.3, User 480 line 07) — answer it directly.
-                redirected = self._redirect_keyword(
-                    concept, value, recognition, confidence, context
-                )
-                if redirected is not None:
-                    return redirected
-                started = self._start_proposal(concept, value, context)
-                if started is not None:
-                    return started
-            return self._fallback_response(confidence)
-        if outcome.kind == "answer":
-            return self._answer(outcome, recognition, confidence, context)
-        # Fallback: a mentioned-but-unclassified entity still gets the
-        # keyword treatment (search-engine style users, §6.3).
-        if recognition.values and not context.is_slot_filling:
-            concept, value = next(iter(recognition.values.items()))
-            started = self._start_proposal(concept, value, context)
-            if started is not None:
-                return started
-        return self._fallback_response(confidence)
-
-    def _redirect_keyword(
-        self,
-        concept: str,
-        value: str,
-        recognition: RecognitionResult,
-        confidence: float,
-        context: ConversationContext,
-    ) -> AgentResponse | None:
-        """Answer a keyword utterance that also names a dependent concept."""
-        mentioned = {c.lower() for c in recognition.concepts}
-        if not mentioned:
-            return None
-        for intent in self.space.intents:
-            if intent.kind != "lookup" or not intent.result_concept:
-                continue
-            if intent.result_concept.lower() not in mentioned:
-                continue
-            if not any(
-                r.lower() == concept.lower() for r in intent.required_entities
-            ):
-                continue
-            outcome = self.tree.respond(
-                intent.name, CONTEXT_CONFIDENCE, {concept: value}, context
-            )
-            if outcome.kind == "answer":
-                return self._answer(outcome, recognition, confidence, context)
-        return None
-
-    def _fallback_response(self, confidence: float) -> AgentResponse:
-        return AgentResponse(
-            text=(
-                "I'm sorry, I didn't understand that. Try asking about the "
-                f"{self.domain} — say 'help' for examples."
-            ),
-            intent=None,
-            confidence=confidence,
-            kind="fallback",
-        )
-
-    def _management_response(
-        self, outcome: NodeOutcome, utterance: str, context: ConversationContext
-    ) -> AgentResponse:
-        intent_name = outcome.intent_name or ""
-        template = outcome.response_template or ""
-        values: dict[str, Any] = {
-            "agent_name": self.agent_name,
-            "domain": self.domain,
-            "last_response": context.last_response or "nothing yet",
-        }
-        if intent_name in ("help", "capabilities"):
-            values["examples"] = self._example_questions()
-        if intent_name == "paraphrase_request":
-            compact = self._paraphrase(context)
-            if compact is not None:
-                values["last_response"] = compact
-        if intent_name == "definition_request":
-            values["definition"] = self._definition_for(utterance)
-        if intent_name == "abort":
-            context.reset()
-        text = render_template(template, values) if template else ""
-        return AgentResponse(
-            text=text,
-            intent=intent_name,
-            confidence=CONTEXT_CONFIDENCE,
-            kind="management",
-        )
-
-    def _paraphrase(self, context: ConversationContext) -> str | None:
-        """Re-render the last answer's rows compactly (pattern B2.0.0:
-        a paraphrase is a reformulation, not a verbatim repeat)."""
-        rows = context.variables.get("last_rows")
-        if not rows:
-            return None
-        if context.variables.get("last_grouped"):
-            return format_grouped_rows(rows, limit_per_group=3)
-        return format_result_rows(rows, limit=3)
-
-    def _example_questions(self, count: int = 3) -> str:
-        """Real example questions drawn from the space's intents, so help
-        text always reflects what this agent can actually answer."""
-        examples = []
-        for intent in self.space.intents:
-            if intent.kind in ("management", "keyword"):
-                continue
-            for example in self.space.examples_for(intent.name):
-                examples.append(f"'{example.utterance}'")
-                break
-            if len(examples) >= count:
-                break
-        return ", ".join(examples) if examples else "'help'"
-
-    def _definition_for(self, utterance: str) -> str:
-        tokens = tokenize(utterance)
-        # Longest glossary term mentioned in the utterance wins.
-        best: tuple[int, str, str] | None = None
-        for term, definition in self.glossary.items():
-            term_tokens = tokenize(term)
-            if not term_tokens:
-                continue
-            joined = " ".join(term_tokens)
-            if joined in " ".join(tokens):
-                if best is None or len(term_tokens) > best[0]:
-                    best = (len(term_tokens), term, definition)
-        if best is None:
-            return (
-                "I don't have a definition for that term, but you can ask "
-                "about anything in the knowledge base."
-            )
-        _, term, definition = best
-        capitalized = term[0].upper() + term[1:]
-        return f"{capitalized} is {definition}"
-
-    def _select_template(
-        self,
-        intent: Intent,
-        bindings: dict[str, str],
-        recognition: RecognitionResult,
-    ) -> StructuredQueryTemplate | None:
-        candidates = self.templates.get(intent.name, [])
-        if not candidates:
-            return None
-        # Union/inheritance lookups: a mentioned member concept picks its
-        # augmentation template ("contra indications" under "Risk").  Only
-        # pattern-generated template lists align 1:1 with the patterns.
-        if not intent.custom_templates:
-            for concept in recognition.concepts:
-                for pattern, template in zip(intent.patterns, candidates):
-                    if (
-                        pattern.augmented_from is not None
-                        and pattern.result_concept.lower() == concept.lower()
-                    ):
-                        return template
-        # Otherwise the most specific fully-satisfied template wins: the
-        # indirect pattern 2 when both keys are bound, the severity-
-        # filtered interaction template when a severity was mentioned.
-        bound = {k.lower() for k, v in bindings.items() if v}
-        best = candidates[0]
-        best_filters = {c.lower() for c in best.required_concepts()}
-        for template in candidates:
-            filters = {c.lower() for c in template.required_concepts()}
-            if filters <= bound and len(filters) > len(best_filters):
-                best = template
-                best_filters = filters
-        return best
-
-    def _answer(
-        self,
-        outcome: NodeOutcome,
-        recognition: RecognitionResult,
-        confidence: float,
-        context: ConversationContext,
-    ) -> AgentResponse:
-        assert outcome.intent_name
-        intent = self.space.intent(outcome.intent_name)
-        bindings = {k: v for k, v in outcome.bindings.items() if v}
-        context.remember_entities(recognition.values)
-        context.end_slot_filling()
-        template = self._select_template(intent, bindings, recognition)
-        if template is None:
-            return AgentResponse(
-                text=(
-                    "I understood the question but cannot answer it from the "
-                    "knowledge base yet."
-                ),
-                intent=intent.name,
-                confidence=confidence,
-                kind="answer_unavailable",
-            )
-        try:
-            result = template.execute(self.database, bindings)
-        except MissingBindingsError as exc:
-            # Filters the template needs are missing; elicit the first
-            # (the error names them all, so the loop converges).
-            concept = exc.missing[0] if exc.missing else intent.required_entities[0]
-            context.begin_slot_filling(intent.name, concept)
-            return AgentResponse(
-                text=f"For which {concept.lower()}?",
-                intent=intent.name,
-                confidence=confidence,
-                kind="elicit",
-                elicit_concept=concept,
-            )
-        if not result.rows:
-            subject = intent.result_concept or "information"
-            value_text = ", ".join(bindings.values()) or "that"
-            return AgentResponse(
-                text=f"I could not find {subject} for {value_text}.",
-                intent=intent.name,
-                confidence=confidence,
-                kind="answer_empty",
-                entities=bindings,
-                sql=template.sql,
-            )
-        if template.grouped:
-            results_text = format_grouped_rows(result.rows)
-        else:
-            results_text = format_result_rows(result.rows)
-        context.variables["last_rows"] = list(result.rows)
-        context.variables["last_grouped"] = template.grouped
-        if outcome.response_template:
-            values = {context_key(k): v for k, v in bindings.items()}
-            values["results"] = results_text
-            try:
-                text = render_template(outcome.response_template, values)
-            except (DialogueError, ValueError):
-                # An unbound variable or malformed format spec; `repro
-                # check` flags these at build time, but an SME-edited
-                # template can still slip through — answer plainly.
-                text = f"Here is what I found: {results_text}"
-        else:
-            text = f"Here is what I found: {results_text}"
-        return AgentResponse(
-            text=text,
-            intent=intent.name,
-            confidence=confidence,
-            kind="answer",
-            entities=bindings,
-            rows=list(result.rows),
-            sql=template.sql,
-        )
+        return self.pipeline.run(utterance, context)
 
 
 class Session:
@@ -918,6 +246,7 @@ class Session:
                 confidence=response.confidence,
                 entities=dict(response.entities),
                 outcome_kind=response.kind,
+                trace=response.trace,
             )
         )
         self.agent.feedback_log.record(
@@ -940,3 +269,8 @@ class Session:
 
     def transcript(self) -> list[TurnRecord]:
         return list(self.context.history)
+
+    def last_trace(self) -> TurnTrace | None:
+        """The per-stage trace of the most recent turn, if any."""
+        last = self.context.last_turn()
+        return last.trace if last is not None else None

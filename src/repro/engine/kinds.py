@@ -1,0 +1,69 @@
+"""The closed set of agent response kinds.
+
+Every :class:`~repro.engine.agent.AgentResponse` carries a ``kind`` that
+tells callers (the serving layer, the evaluation harness, the CLI) what
+the turn *was* — an answer, a clarification, a canned management reply.
+Historically these were ad-hoc strings scattered through the engine;
+they are now a documented, validated constant set so a typo can never
+silently produce an unroutable response.
+
+==================  =====================================================
+Kind                Meaning
+==================  =====================================================
+ANSWER              KB rows found and rendered into a response template.
+ANSWER_EMPTY        The query ran but returned no rows.
+ANSWER_UNAVAILABLE  The intent has no executable query template.
+ELICIT              Slot filling: the agent asked for a missing entity.
+DISAMBIGUATE        A partial name matched several instances; the agent
+                    asked which one was meant.
+PROPOSAL            Entity-only (keyword) utterance: the agent proposed a
+                    query pattern ("Would you like to see ...?").
+MANAGEMENT          A conversation-management reply (greeting, help,
+                    repeat, definition, goodbye, ...).
+FALLBACK            The utterance was not understood.
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineError
+
+
+class ResponseKind:
+    """Namespace of the valid ``AgentResponse.kind`` values.
+
+    The values stay plain strings (they are serialized into the ``/chat``
+    JSON, the interaction log and the golden transcripts), but every
+    response constructed by the engine is checked against :data:`ALL`.
+    """
+
+    ANSWER = "answer"
+    ANSWER_EMPTY = "answer_empty"
+    ANSWER_UNAVAILABLE = "answer_unavailable"
+    ELICIT = "elicit"
+    DISAMBIGUATE = "disambiguate"
+    PROPOSAL = "proposal"
+    MANAGEMENT = "management"
+    FALLBACK = "fallback"
+
+    #: Every valid kind.
+    ALL = frozenset({
+        ANSWER, ANSWER_EMPTY, ANSWER_UNAVAILABLE, ELICIT,
+        DISAMBIGUATE, PROPOSAL, MANAGEMENT, FALLBACK,
+    })
+
+    #: Kinds that terminate an interaction with KB-derived content.
+    ANSWER_KINDS = frozenset({ANSWER, ANSWER_EMPTY, ANSWER_UNAVAILABLE})
+
+    #: Kinds that keep the interaction open waiting for the user.
+    CONTINUATION_KINDS = frozenset({ELICIT, DISAMBIGUATE, PROPOSAL})
+
+
+def validate_kind(kind: str) -> str:
+    """Return ``kind`` unchanged, or raise :class:`EngineError`."""
+    if kind not in ResponseKind.ALL:
+        raise EngineError(
+            f"unknown response kind {kind!r}; expected one of "
+            f"{sorted(ResponseKind.ALL)}"
+        )
+    return kind

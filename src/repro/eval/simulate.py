@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.agent import AgentResponse, ConversationAgent
 from repro.engine.feedback import InteractionRecord
+from repro.engine.kinds import ResponseKind
 from repro.eval.workload import SimulatedQuery
 
 #: Maximum cooperative turns a simulated user spends on one query
@@ -51,6 +52,9 @@ class SimulationOutcome:
     turns: int
     correct: bool
     record: InteractionRecord
+    #: Pipeline stage that produced the final response (from the turn
+    #: trace), so ablations can report *where* turns die.
+    deciding_stage: str | None = None
 
 
 @dataclass
@@ -74,20 +78,60 @@ class SimulationResult:
             return 1.0
         return sum(1 for o in self.outcomes if o.correct) / len(self.outcomes)
 
+    def stage_decisions(self, only_incorrect: bool = False) -> dict[str, int]:
+        """Deciding-stage counts over the final turn of each interaction.
+
+        With ``only_incorrect=True`` this is the "where do turns die"
+        report: which pipeline stage produced the response for the
+        interactions the agent mishandled.
+        """
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if only_incorrect and outcome.correct:
+                continue
+            stage = outcome.deciding_stage or "<untraced>"
+            counts[stage] = counts.get(stage, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def stage_latency(self) -> dict[str, float]:
+        """Mean per-stage latency (seconds) across every traced turn."""
+        totals: dict[str, list[float]] = {}
+        for outcome in self.outcomes:
+            trace = outcome.final_response.trace
+            if trace is None:
+                continue
+            for stage in trace.stages:
+                totals.setdefault(stage.stage, []).append(stage.duration)
+        return {
+            name: sum(values) / len(values)
+            for name, values in totals.items()
+        }
+
 
 def _is_correct(query: SimulatedQuery, response: AgentResponse) -> bool:
     """Ground-truth check of the agent's final behaviour for one query."""
     if query.noise == "gibberish":
         # Correct handling of gibberish is *not* answering: fallback or a
         # clarification is right.
-        return response.kind in ("fallback", "management", "disambiguate")
+        return response.kind in (
+            ResponseKind.FALLBACK,
+            ResponseKind.MANAGEMENT,
+            ResponseKind.DISAMBIGUATE,
+        )
     if query.noise == "management":
-        return response.kind == "management" and response.intent == query.true_intent
+        return (
+            response.kind == ResponseKind.MANAGEMENT
+            and response.intent == query.true_intent
+        )
     if query.true_intent == "DRUG_GENERAL":
         # Keyword-only input: proposing a query pattern (or answering a
         # confirmed proposal) is the designed behaviour.
-        return response.kind in ("proposal", "answer", "disambiguate")
-    if response.kind not in ("answer", "answer_empty"):
+        return response.kind in (
+            ResponseKind.PROPOSAL,
+            ResponseKind.ANSWER,
+            ResponseKind.DISAMBIGUATE,
+        )
+    if response.kind not in (ResponseKind.ANSWER, ResponseKind.ANSWER_EMPTY):
         return False
     if response.intent != query.true_intent:
         return False
@@ -107,16 +151,16 @@ def _followup_for(
     rng: random.Random,
 ) -> str | None:
     """What a cooperative user says next, or None to stop."""
-    if response.kind == "elicit" and response.elicit_concept:
+    if response.kind == ResponseKind.ELICIT and response.elicit_concept:
         concept = response.elicit_concept
         value = query.entities.get(concept)
         if value is None:
             options = agent.recognizer.values_for_concept(concept)
             value = rng.choice(options) if options else None
         return value
-    if response.kind == "proposal":
+    if response.kind == ResponseKind.PROPOSAL:
         return "yes" if rng.random() < 0.7 else "no"
-    if response.kind == "disambiguate":
+    if response.kind == ResponseKind.DISAMBIGUATE:
         # Pick the canonical value the user meant, if known.
         for value in query.entities.values():
             return value
@@ -148,9 +192,9 @@ def simulate_usage(
         response = session.ask(query.utterance)
         turns = 1
         while turns < MAX_FOLLOWUPS and response.kind in (
-            "elicit",
-            "proposal",
-            "disambiguate",
+            ResponseKind.ELICIT,
+            ResponseKind.PROPOSAL,
+            ResponseKind.DISAMBIGUATE,
         ):
             followup = _followup_for(response, query, agent, rng)
             if followup is None:
@@ -166,7 +210,7 @@ def simulate_usage(
         elif not correct:
             if rng.random() < user_model.down_when_wrong:
                 feedback = "down"
-        elif response.kind == "answer_empty":
+        elif response.kind == ResponseKind.ANSWER_EMPTY:
             if rng.random() < user_model.down_when_empty:
                 feedback = "down"
         elif rng.random() < user_model.down_when_correct:
@@ -195,6 +239,7 @@ def simulate_usage(
             session_id=session.id,
             sme_label=sme_label,
         )
+        trace = response.trace
         result.outcomes.append(
             SimulationOutcome(
                 query=query,
@@ -202,6 +247,7 @@ def simulate_usage(
                 turns=turns,
                 correct=correct,
                 record=record,
+                deciding_stage=trace.deciding_stage if trace else None,
             )
         )
     return result

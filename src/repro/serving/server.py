@@ -11,9 +11,11 @@ queries are short-circuited by the
 Endpoints
 ---------
 ``POST /chat``
-    ``{"utterance": ..., "session_id": optional}`` → the agent turn.
-    Omitting ``session_id`` opens a new session; the response always
-    echoes the id to use on the next turn.
+    ``{"utterance": ..., "session_id": optional, "debug": optional}`` →
+    the agent turn.  Omitting ``session_id`` opens a new session; the
+    response always echoes the id to use on the next turn.  With
+    ``"debug": true`` the response additionally carries the per-stage
+    turn trace under ``"debug"``.
 ``POST /feedback``
     ``{"session_id": ..., "feedback": "up"|"down"}`` → thumbs feedback
     on that session's most recent interaction (Equation 1 input).
@@ -21,6 +23,7 @@ Endpoints
     Liveness plus session/in-flight gauges.
 ``GET /metrics``
     Prometheus-style text: per-intent turn latency histograms,
+    per-stage pipeline latency histograms and deciding-stage counters,
     classifier latency, cache hit rate, session churn, HTTP counters.
 
 Concurrency model: ``ThreadingHTTPServer`` accepts requests, but agent
@@ -246,10 +249,13 @@ class ConversationApp:
                     f"session {sid} does not exist (it may have expired)",
                 )
             entry = found
+        debug = bool(payload.get("debug"))
         with self._state_lock:
             self._in_flight += 1
         try:
-            future: Future = self._executor.submit(self._turn, sid, entry, utterance)
+            future: Future = self._executor.submit(
+                self._turn, sid, entry, utterance, debug
+            )
             try:
                 return future.result(timeout=self.request_timeout)
             except TimeoutError:
@@ -264,7 +270,9 @@ class ConversationApp:
             with self._state_lock:
                 self._in_flight -= 1
 
-    def _turn(self, sid: str, entry: SessionEntry, utterance: str) -> dict:
+    def _turn(
+        self, sid: str, entry: SessionEntry, utterance: str, debug: bool = False
+    ) -> dict:
         start = time.perf_counter()
         with entry.lock:
             try:
@@ -279,7 +287,17 @@ class ConversationApp:
         self.metrics.histogram(
             "turn_latency_seconds", ("intent", intent_label)
         ).observe(elapsed)
-        return {
+        trace = response.trace
+        if trace is not None:
+            for stage in trace.stages:
+                self.metrics.histogram(
+                    "turn_stage_latency_seconds", ("stage", stage.stage)
+                ).observe(stage.duration)
+            self.metrics.counter(
+                "turn_stage_decisions_total",
+                ("stage", trace.deciding_stage or "<none>"),
+            ).inc()
+        result = {
             "session_id": sid,
             "text": response.text,
             "intent": response.intent,
@@ -289,6 +307,9 @@ class ConversationApp:
             "sql": response.sql,
             "turn": entry.turn_count,
         }
+        if debug and trace is not None:
+            result["debug"] = trace.to_dict()
+        return result
 
     def feedback(self, payload: dict) -> dict:
         session_id = payload.get("session_id")

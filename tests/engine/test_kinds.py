@@ -1,0 +1,48 @@
+"""The closed ResponseKind constant set and its validation."""
+
+import pytest
+
+from repro.engine.kinds import ResponseKind, validate_kind
+from repro.engine.pipeline import AgentResponse
+from repro.errors import EngineError
+
+
+class TestClosedSet:
+    def test_all_contains_exactly_the_documented_kinds(self):
+        assert ResponseKind.ALL == {
+            "answer",
+            "answer_empty",
+            "answer_unavailable",
+            "elicit",
+            "disambiguate",
+            "proposal",
+            "management",
+            "fallback",
+        }
+
+    def test_subsets_partition_sensibly(self):
+        assert ResponseKind.ANSWER_KINDS <= ResponseKind.ALL
+        assert ResponseKind.CONTINUATION_KINDS <= ResponseKind.ALL
+        assert not ResponseKind.ANSWER_KINDS & ResponseKind.CONTINUATION_KINDS
+
+    def test_values_are_plain_lowercase_strings(self):
+        for kind in ResponseKind.ALL:
+            assert kind == kind.lower()
+            assert " " not in kind
+
+
+class TestValidation:
+    def test_validate_kind_returns_valid_kinds(self):
+        for kind in ResponseKind.ALL:
+            assert validate_kind(kind) == kind
+
+    def test_validate_kind_rejects_unknown(self):
+        with pytest.raises(EngineError, match="unknown response kind"):
+            validate_kind("answerr")
+
+    def test_agent_response_validates_at_construction(self):
+        AgentResponse(
+            text="ok", intent=None, confidence=0.5, kind=ResponseKind.ANSWER
+        )
+        with pytest.raises(EngineError):
+            AgentResponse(text="ok", intent=None, confidence=0.5, kind="oops")

@@ -1,0 +1,166 @@
+"""TurnPipeline mechanics: outcome classification, tracing, clock injection."""
+
+import json
+
+import pytest
+
+from repro.dialogue.context import ConversationContext
+from repro.engine.kinds import ResponseKind
+from repro.engine.pipeline import (
+    FINAL,
+    PASS,
+    UPDATE,
+    AgentResponse,
+    Stage,
+    TurnPipeline,
+    TurnState,
+    render_trace,
+)
+from repro.errors import EngineError
+
+
+class TickClock:
+    """A deterministic clock: every read advances by one second."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class Noop(Stage):
+    name = "noop"
+
+    def run(self, state):
+        return None
+
+
+class Adopt(Stage):
+    name = "adopt"
+
+    def run(self, state):
+        state.adopt("X", 0.5)
+        state.annotate(reason="test")
+        return None
+
+
+class Finish(Stage):
+    name = "finish"
+
+    def run(self, state):
+        return AgentResponse(
+            text="done", intent=state.intent, confidence=state.confidence,
+            kind=ResponseKind.MANAGEMENT,
+        )
+
+
+class Boom(Stage):
+    name = "boom"
+
+    def run(self, state):
+        raise AssertionError("stages after the deciding one must not run")
+
+
+def run_pipeline(stages, clock=None, utterance="hello"):
+    pipeline = TurnPipeline(stages, clock=clock or TickClock())
+    return pipeline.run(utterance, ConversationContext())
+
+
+class TestOutcomeClassification:
+    def test_pass_update_final_markers(self):
+        response = run_pipeline([Noop(), Adopt(), Finish()])
+        outcomes = [(s.stage, s.outcome) for s in response.trace.stages]
+        assert outcomes == [
+            ("noop", PASS), ("adopt", UPDATE), ("finish", FINAL),
+        ]
+
+    def test_deciding_stage_and_summary(self):
+        response = run_pipeline([Adopt(), Finish()])
+        trace = response.trace
+        assert trace.deciding_stage == "finish"
+        assert trace.kind == ResponseKind.MANAGEMENT
+        assert trace.intent == "X"
+        assert trace.confidence == 0.5
+        assert trace.utterance == "hello"
+
+    def test_stages_after_final_do_not_run(self):
+        response = run_pipeline([Finish(), Boom()])
+        assert [s.stage for s in response.trace.stages] == ["finish"]
+
+    def test_detail_is_per_stage(self):
+        response = run_pipeline([Adopt(), Noop(), Finish()])
+        by_name = {s.stage: s.detail for s in response.trace.stages}
+        assert by_name["adopt"] == {"reason": "test"}
+        assert by_name["noop"] == {}
+
+    def test_annotation_alone_counts_as_update(self):
+        class AnnotateOnly(Stage):
+            name = "annotate_only"
+
+            def run(self, state):
+                state.annotate(looked=True)
+                return None
+
+        response = run_pipeline([AnnotateOnly(), Finish()])
+        assert response.trace.stages[0].outcome == UPDATE
+
+
+class TestErrors:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(EngineError):
+            TurnPipeline([])
+
+    def test_exhausted_pipeline_raises(self):
+        pipeline = TurnPipeline([Noop()], clock=TickClock())
+        with pytest.raises(EngineError, match="exhausted"):
+            pipeline.run("hello", ConversationContext())
+
+
+class TestClockInjection:
+    def test_stage_durations_come_from_the_injected_clock(self):
+        # TickClock advances by 1s per read; each stage is timed with two
+        # reads, so every stage duration is exactly 1.0 seconds.
+        response = run_pipeline([Noop(), Finish()])
+        assert [s.duration for s in response.trace.stages] == [1.0, 1.0]
+        assert response.trace.duration > 0
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        response = run_pipeline([Adopt(), Finish()])
+        payload = json.loads(json.dumps(response.trace.to_dict()))
+        assert payload["deciding_stage"] == "finish"
+        assert [s["stage"] for s in payload["stages"]] == ["adopt", "finish"]
+
+    def test_stage_named(self):
+        trace = run_pipeline([Adopt(), Finish()]).trace
+        assert trace.stage_named("adopt").outcome == UPDATE
+        assert trace.stage_named("nope") is None
+
+    def test_render_trace_is_human_readable(self):
+        text = render_trace(run_pipeline([Noop(), Adopt(), Finish()]).trace)
+        assert "decided by [finish]" in text
+        assert "kind=management" in text
+        assert "~ adopt" in text
+        assert "* finish" in text
+
+    def test_trace_excluded_from_response_equality(self):
+        first = run_pipeline([Finish()])
+        second = run_pipeline([Finish()])
+        assert first == second  # different trace timings, equal behaviour
+
+
+class TestStateHelpers:
+    def test_adopt_and_fingerprint(self):
+        state = TurnState(utterance="u", context=ConversationContext())
+        before = state._fingerprint()
+        state.adopt("Intent", 0.9)
+        assert state._fingerprint() != before
+
+    def test_pop_detail_clears(self):
+        state = TurnState(utterance="u", context=ConversationContext())
+        state.annotate(a=1)
+        assert state.pop_detail() == {"a": 1}
+        assert state.pop_detail() == {}

@@ -16,6 +16,11 @@ class TestParser:
         args = build_parser().parse_args(["chat"])
         assert args.space is None
         assert args.name == "Assistant"
+        assert args.trace is False
+
+    def test_chat_trace_flag(self):
+        args = build_parser().parse_args(["chat", "--trace"])
+        assert args.trace is True
 
     def test_simulate_options(self):
         args = build_parser().parse_args(["simulate", "-n", "50", "--seed", "3"])
@@ -59,6 +64,30 @@ class TestExportAndChatRoundTrip:
         answers = [t for t in transcript if t.startswith("A: Here are the")]
         assert answers
         assert "Aspirin" in answers[0]
+
+    def test_chat_trace_prints_stage_breakdown(self, tmp_path):
+        out = tmp_path / "artifacts"
+        export_args = build_parser().parse_args(["export", "--out", str(out)])
+        cmd_export(export_args, output_fn=lambda _line: None)
+
+        chat_args = build_parser().parse_args([
+            "chat", "--trace",
+            "--space", str(out / "conversation_space.json"),
+            "--data", str(out / "kb"),
+        ])
+        script = iter(["adverse effects of aspirin", "quit"])
+        transcript = []
+        code = cmd_chat(
+            chat_args,
+            input_fn=lambda _prompt: next(script),
+            output_fn=transcript.append,
+        )
+        assert code == 0
+        traces = [t for t in transcript if "decided by" in t]
+        assert traces, transcript
+        assert "classify" in traces[0]
+        assert "decided by [answer]" in traces[0]
+        assert "kind=answer" in traces[0]
 
     def test_chat_space_without_data_rejected(self):
         args = build_parser().parse_args(["chat", "--space", "x.json"])

@@ -125,6 +125,35 @@ class TestHTTPContract:
         )
         assert hit_rate > 0
 
+    def test_metrics_expose_pipeline_stages(self, served):
+        http_json(served.address + "/chat", {"utterance": "dosage for Aspirin"})
+        status, text = http_text(served.address + "/metrics")
+        assert status == 200
+        # Per-stage latency histograms for stages every turn runs...
+        assert 'repro_turn_stage_latency_seconds' in text
+        assert 'stage="classify"' in text
+        assert 'stage="tree"' in text
+        # ...and deciding-stage counters for at least the answer stage.
+        assert 'repro_turn_stage_decisions_total{stage="answer"}' in text
+
+    def test_chat_debug_flag_returns_trace(self, served):
+        status, plain = http_json(
+            served.address + "/chat", {"utterance": "dosage for Aspirin"}
+        )
+        assert status == 200 and "debug" not in plain
+        status, body = http_json(
+            served.address + "/chat",
+            {"utterance": "dosage for Aspirin", "debug": True},
+        )
+        assert status == 200
+        trace = body["debug"]
+        assert trace["deciding_stage"] == "answer"
+        assert trace["kind"] == "answer"
+        stage_names = [s["stage"] for s in trace["stages"]]
+        assert stage_names[0] == "classify"
+        assert stage_names[-1] == "answer"
+        assert all(s["duration"] >= 0 for s in trace["stages"])
+
 
 class TestConcurrentIsolation:
     CONCURRENCY = 50
@@ -182,6 +211,51 @@ class TestConcurrentIsolation:
             assert entry is not None
             assert entry.session.context.entities.get("Drug") == follow_ups[index]
             assert entry.turn_count == 2
+
+    def test_same_session_concurrent_turns_serialize(self, served):
+        """Two threads firing into the *same* session must serialize on
+        the per-session lock: no lost turns, no interleaved context."""
+        _, first = http_json(
+            served.address + "/chat", {"utterance": "dosage for Aspirin"}
+        )
+        sid = first["session_id"]
+        barrier = threading.Barrier(2)
+        outcomes: list[dict | None] = [None, None]
+        errors: list[Exception] = []
+
+        def worker(index: int, drug: str) -> None:
+            try:
+                barrier.wait(timeout=30)
+                status, body = http_json(
+                    served.address + "/chat",
+                    {"utterance": f"how about for {drug}?", "session_id": sid},
+                )
+                assert status == 200, body
+                outcomes[index] = body
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(0, "Ibuprofen")),
+            threading.Thread(target=worker, args=(1, "Fluocinonide")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert all(o is not None for o in outcomes)
+        # The lock serialized the turns: distinct, consecutive turn
+        # numbers, and each response answered its own utterance.
+        assert sorted(o["turn"] for o in outcomes) == [2, 3]
+        assert dosage_of("Ibuprofen") in outcomes[0]["text"]
+        assert dosage_of("Fluocinonide") in outcomes[1]["text"]
+        entry = served.app.store.get(sid)
+        assert entry is not None and entry.turn_count == 3
+        assert len(entry.session.context.history) == 3
+        # The remembered Drug slot is whichever turn the lock let in last.
+        last_drug = entry.session.context.history[-1].entities.get("Drug")
+        assert entry.session.context.entities.get("Drug") == last_drug
 
 
 class TestBackpressureAndTimeout:
