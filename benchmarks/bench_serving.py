@@ -1,46 +1,101 @@
-"""Serving-layer load benchmark: throughput and tail latency.
+#!/usr/bin/env python
+"""Serving benchmark: load, tail latency, and the crash-recovery drill.
 
 Not a paper artifact — the paper's §7 deployment served real clinician
-traffic from the cloud; this bench establishes the reproduction's
-serving trajectory.  A closed-loop load generator drives 50 concurrent
-client sessions (the acceptance floor) against the HTTP server and
-reports throughput plus p50/p95/p99 turn latency, then repeats one
-lookup until the query cache is the hot path and reports the hit rate.
+traffic from an always-on cloud deployment; this bench establishes the
+reproduction's serving trajectory and *proves the durability contract
+under fire*:
+
+* **Load phase** — a closed-loop generator drives concurrent client
+  sessions against a single in-process server and reports throughput,
+  p50/p95/p99 turn latency, and the query-cache hit rate.
+* **Recovery drill** (``--workers >= 2``) — spawns the session-affine
+  router over real worker subprocesses, spreads sessions across them
+  (every turn committed to the journal with ``fsync=always``), then
+  SIGKILLs one worker mid-load.  Clients retry through the outage with
+  idempotent ``client_turn_id``s; afterwards every session's durable
+  transcript is compared against every turn a client saw acknowledged.
+  The acceptance criterion is **zero lost committed turns**.
+
+Two modes:
+
+* **Full** (default) — 50 load clients; drill over 1000 sessions
+  across the workers.
+* **Smoke** (``--smoke``, run in CI) — small agent, 12 load clients,
+  60 drill sessions; asserts correctness, not latency numbers (which
+  would flake on shared CI runners).
+
+Either mode can emit a JSON report via ``--json PATH`` for the CI
+artifact upload.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --json out.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --workers 3 --sessions 1500
 """
 
 from __future__ import annotations
 
-import statistics
+import argparse
+import json
+import os
+import signal
+import sys
+import tempfile
 import threading
 import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
 
-import pytest
-
+import repro
+from repro.bootstrap import space_to_dict
 from repro.engine import ConversationAgent
+from repro.kb.io import save_database
 from repro.medical import (
     GeneratorConfig,
     build_mdx_database,
     build_mdx_ontology,
     build_mdx_space,
 )
+from repro.persistence.router import SessionRouter, affinity
 from repro.serving import ConversationServer
-from tests.serving.conftest import http_json, http_text
 
-#: Concurrent client sessions (the acceptance criterion floor).
-CLIENTS = 50
-#: Turns each client performs after the session-opening turn.
+#: Load-phase concurrent client sessions (full / smoke).
+CLIENTS, SMOKE_CLIENTS = 50, 12
+#: Turns each load client performs after the session-opening turn.
 TURNS_PER_CLIENT = 3
+#: Drill sessions spread across the workers (full / smoke).
+DRILL_SESSIONS, SMOKE_DRILL_SESSIONS = 1000, 60
+#: Committed turns per drill session.
+DRILL_TURNS = 2
+#: Client threads driving the drill sessions.
+DRILL_THREADS = 16
 
 
-@pytest.fixture(scope="module")
-def serving_agent() -> ConversationAgent:
-    """A self-contained small MDX agent (the shared session fixture is
-    read-only; serving wraps the database and appends feedback)."""
-    db = build_mdx_database(GeneratorConfig(max_drugs=40, max_conditions=20))
-    space = build_mdx_space(db, build_mdx_ontology(db))
-    return ConversationAgent.build(
-        space, db, agent_name="Micromedex", domain="drug reference"
+def http_json(
+    url: str, payload: dict | None = None, timeout: float = 60.0
+) -> tuple[int, dict]:
+    """POST (payload given) or GET ``url``; returns (status, body).
+
+    Connection-level failures (a worker dying mid-request) surface as a
+    synthetic 599 so drill clients can treat them like a 503 and retry.
+    """
+    data = None
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
     )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read())
+        except (ValueError, UnicodeDecodeError):
+            return exc.code, {"error": "unparseable"}
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return 599, {"error": "connection", "message": str(exc)}
 
 
 def percentiles(samples: list[float]) -> tuple[float, float, float]:
@@ -52,18 +107,36 @@ def percentiles(samples: list[float]) -> tuple[float, float, float]:
     return pct(0.5), pct(0.95), pct(0.99)
 
 
-def test_serving_concurrent_load(serving_agent, report):
+def build_agent() -> ConversationAgent:
+    """A self-contained small MDX agent (fast to build, full behaviour)."""
+    db = build_mdx_database(GeneratorConfig(max_drugs=40, max_conditions=20))
+    space = build_mdx_space(db, build_mdx_ontology(db))
+    return ConversationAgent.build(
+        space, db, agent_name="Micromedex", domain="drug reference"
+    )
+
+
+def export_artifacts(agent: ConversationAgent, out: Path) -> None:
+    """Space JSON + CSV KB, so drill workers rebuild the same agent."""
+    (out / "space.json").write_text(
+        json.dumps(space_to_dict(agent.space)), encoding="utf-8"
+    )
+    save_database(agent.database, out / "kb")
+
+
+# -- load phase ---------------------------------------------------------------
+
+
+def run_load_phase(agent: ConversationAgent, clients: int) -> dict[str, Any]:
     drugs = [
-        row[0] for row in
-        serving_agent.database.query("SELECT name FROM drug").rows
+        row[0] for row in agent.database.query("SELECT name FROM drug").rows
     ][:8]
     server = ConversationServer(
-        serving_agent, port=0, max_workers=64, max_pending=512,
-        request_timeout=60.0,
+        agent, port=0, max_workers=64, max_pending=512, request_timeout=60.0
     )
     with server:
-        barrier = threading.Barrier(CLIENTS)
-        latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+        barrier = threading.Barrier(clients)
+        latencies: list[list[float]] = [[] for _ in range(clients)]
         failures: list[tuple[int, dict]] = []
 
         def client(index: int) -> None:
@@ -71,7 +144,9 @@ def test_serving_concurrent_load(serving_agent, report):
             session_id = None
             for turn in range(1 + TURNS_PER_CLIENT):
                 drug = drugs[(index + turn) % len(drugs)]
-                payload = {"utterance": f"adverse effects of {drug}"}
+                payload: dict[str, Any] = {
+                    "utterance": f"adverse effects of {drug}"
+                }
                 if session_id is not None:
                     payload["session_id"] = session_id
                 start = time.perf_counter()
@@ -83,7 +158,7 @@ def test_serving_concurrent_load(serving_agent, report):
                 session_id = body["session_id"]
 
         threads = [
-            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+            threading.Thread(target=client, args=(i,)) for i in range(clients)
         ]
         wall_start = time.perf_counter()
         for t in threads:
@@ -92,42 +167,260 @@ def test_serving_concurrent_load(serving_agent, report):
             t.join(timeout=120)
         wall = time.perf_counter() - wall_start
 
-        assert not failures, failures[:3]
         flat = [sample for per_client in latencies for sample in per_client]
-        assert len(flat) == CLIENTS * (1 + TURNS_PER_CLIENT)
-        requests_per_second = len(flat) / wall
-        p50, p95, p99 = percentiles(flat)
+        p50, p95, p99 = percentiles(flat) if flat else (0.0, 0.0, 0.0)
 
-        # Phase 2: one hot lookup repeated by a single client — the
-        # query cache should carry it (hit rate > 0 is the acceptance
-        # criterion; in practice it converges toward 1.0 here).
+        # Hot-lookup pass: one repeated query, the cache carries it.
         hot = {"utterance": f"adverse effects of {drugs[0]}"}
-        hot_latencies = []
         for _ in range(20):
-            start = time.perf_counter()
             status, _body = http_json(server.address + "/chat", dict(hot))
-            hot_latencies.append(time.perf_counter() - start)
-            assert status == 200
+            if status != 200:
+                failures.append((status, _body))
         hit_rate = server.app.cache.hit_rate()
         cache_stats = server.app.cache.stats()
-        _status, metrics_text = http_text(server.address + "/metrics")
-        sessions = len(server.app.store)
 
-    assert hit_rate > 0, cache_stats
-    assert "repro_turn_latency_seconds" in metrics_text
-    assert 'quantile="0.99"' in metrics_text
-    hot_p50, _, _ = percentiles(hot_latencies)
+    return {
+        "clients": clients,
+        "turns": len(flat),
+        "wall_s": round(wall, 3),
+        "requests_per_second": round(len(flat) / wall, 1) if wall else 0.0,
+        "p50_ms": round(p50 * 1000, 2),
+        "p95_ms": round(p95 * 1000, 2),
+        "p99_ms": round(p99 * 1000, 2),
+        "cache_hit_rate": round(hit_rate, 4),
+        "cache_hits": cache_stats["hits"],
+        "cache_misses": cache_stats["misses"],
+        "failures": failures[:5],
+        "ok": not failures and len(flat) == clients * (1 + TURNS_PER_CLIENT),
+    }
 
-    report(
-        "Serving load benchmark "
-        f"({CLIENTS} concurrent sessions x {1 + TURNS_PER_CLIENT} turns)",
-        f"  throughput        {requests_per_second:8.1f} req/s  "
-        f"(wall {wall:.2f}s, {len(flat)} requests)",
-        f"  latency p50       {p50 * 1000:8.1f} ms",
-        f"  latency p95       {p95 * 1000:8.1f} ms",
-        f"  latency p99       {p99 * 1000:8.1f} ms",
-        f"  hot-lookup p50    {hot_p50 * 1000:8.1f} ms  (query cache on)",
-        f"  cache hit rate    {hit_rate:8.1%}  "
-        f"(hits={cache_stats['hits']} misses={cache_stats['misses']})",
-        f"  live sessions     {sessions:8d}",
+
+# -- recovery drill -----------------------------------------------------------
+
+
+def run_recovery_drill(
+    artifacts: Path,
+    data_dir: Path,
+    workers: int,
+    sessions: int,
+    drugs: list[str],
+) -> dict[str, Any]:
+    """Kill a worker under load; prove no committed turn was lost."""
+    # Workers are fresh interpreters; they need an absolute import path.
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    os.environ["PYTHONPATH"] = src + os.pathsep + os.environ.get(
+        "PYTHONPATH", ""
     )
+    router = SessionRouter(
+        workers,
+        data_dir,
+        port=0,
+        health_interval=0.25,
+        worker_args=[
+            "--space", str(artifacts / "space.json"),
+            "--data", str(artifacts / "kb"),
+            "--name", "Micromedex",
+            "--domain", "drug reference",
+            "--fsync", "always",
+            "--turn-threads", "8",
+            "--max-sessions", str(max(sessions + 16, 64)),
+            "--cache-size", "64",
+        ],
+    )
+    utterances = ["adverse effects of {d}", "dosage for {d}"]
+
+    committed: dict[str, list[str]] = {}  # sid -> texts acknowledged
+    committed_lock = threading.Lock()
+    errors: list[str] = []
+    retries_used = [0]
+    kill_at = max(1, sessions // 3)  # sessions completed before the kill
+    completed = [0]
+    kill_event = threading.Event()
+
+    def drive_session(index: int) -> None:
+        sid: str | None = None
+        texts: list[str] = []
+        for turn in range(DRILL_TURNS):
+            drug = drugs[(index + turn) % len(drugs)]
+            payload: dict[str, Any] = {
+                "utterance": utterances[turn % len(utterances)].format(d=drug),
+                "client_turn_id": f"s{index}-t{turn}",
+            }
+            if sid is not None:
+                payload["session_id"] = sid
+            deadline = time.monotonic() + 120.0
+            while True:
+                status, body = http_json(router.address + "/chat", payload)
+                if status == 200:
+                    break
+                if status not in (503, 599) or time.monotonic() > deadline:
+                    errors.append(f"session {sid} turn {turn}: "
+                                  f"{status} {body}")
+                    return
+                with committed_lock:
+                    retries_used[0] += 1
+                time.sleep(0.2)
+            sid = body["session_id"]
+            texts.append(body["text"])
+        with committed_lock:
+            committed[sid] = texts
+            completed[0] += 1
+            if completed[0] >= kill_at:
+                kill_event.set()
+
+    wall_start = time.perf_counter()
+    killed_pid = None
+    with router:
+        pool: list[threading.Thread] = []
+        indices = list(range(sessions))
+        cursor_lock = threading.Lock()
+
+        def worker_loop() -> None:
+            while True:
+                with cursor_lock:
+                    if not indices:
+                        return
+                    index = indices.pop()
+                drive_session(index)
+
+        for _ in range(min(DRILL_THREADS, sessions)):
+            thread = threading.Thread(target=worker_loop)
+            thread.start()
+            pool.append(thread)
+
+        # Once a third of the sessions committed, kill a worker cold.
+        kill_event.wait(timeout=300)
+        victim = 0
+        try:
+            killed_pid = router.kill_worker(victim, signal.SIGKILL)
+        except Exception as exc:
+            errors.append(f"kill failed: {exc}")
+        for thread in pool:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - wall_start
+
+        # Every acknowledged turn must be in the durable transcript.
+        lost: list[str] = []
+        for sid, texts in committed.items():
+            status, detail = http_json(
+                router.address + f"/session?session_id={sid}"
+            )
+            if status != 200:
+                lost.append(f"session {sid}: transcript unavailable "
+                            f"({status})")
+                continue
+            transcript = [t["agent"] for t in detail["turns"]]
+            if transcript[:len(texts)] != texts:
+                lost.append(f"session {sid}: committed {texts!r} "
+                            f"but recovered {transcript!r}")
+        restarts = router.workers[victim].restarts
+        per_worker = [0] * workers
+        for sid in committed:
+            per_worker[affinity(sid, workers)] += 1
+
+    return {
+        "workers": workers,
+        "sessions": sessions,
+        "sessions_completed": len(committed),
+        "turns_committed": sum(len(t) for t in committed.values()),
+        "sessions_per_worker": per_worker,
+        "killed_worker": 0,
+        "killed_pid": killed_pid,
+        "worker_restarts": restarts,
+        "retries_during_outage": retries_used[0],
+        "lost_committed_turns": len(lost),
+        "lost_detail": lost[:5],
+        "wall_s": round(wall, 3),
+        "errors": errors[:5],
+        "ok": (
+            not errors
+            and not lost
+            and len(committed) == sessions
+            and restarts >= 1
+        ),
+    }
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small agent and workload; asserts correctness, not latency",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the report as JSON to PATH"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="drill worker processes (0 or 1 skips the drill)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=None,
+        help="drill sessions (default: 1000, or 60 with --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    clients = SMOKE_CLIENTS if args.smoke else CLIENTS
+    sessions = args.sessions or (
+        SMOKE_DRILL_SESSIONS if args.smoke else DRILL_SESSIONS
+    )
+
+    print("building the serving agent...")
+    agent = build_agent()
+    print(f"load phase: {clients} concurrent sessions x "
+          f"{1 + TURNS_PER_CLIENT} turns")
+    load = run_load_phase(agent, clients)
+    print(f"  throughput        {load['requests_per_second']:8.1f} req/s  "
+          f"(wall {load['wall_s']}s, {load['turns']} requests)")
+    print(f"  latency p50/p95/p99  {load['p50_ms']}/{load['p95_ms']}/"
+          f"{load['p99_ms']} ms")
+    print(f"  cache hit rate    {load['cache_hit_rate']:8.1%}")
+
+    report: dict[str, Any] = {
+        "benchmark": "serving",
+        "mode": "smoke" if args.smoke else "full",
+        "load": load,
+    }
+    ok = load["ok"] and load["cache_hit_rate"] > 0
+
+    if args.workers >= 2:
+        print(f"recovery drill: {sessions} sessions across "
+              f"{args.workers} workers, SIGKILL under load")
+        with tempfile.TemporaryDirectory(prefix="repro-drill-") as tmp:
+            tmp_path = Path(tmp)
+            artifacts = tmp_path / "artifacts"
+            artifacts.mkdir()
+            export_artifacts(agent, artifacts)
+            drugs = [
+                row[0] for row in
+                agent.database.query("SELECT name FROM drug").rows
+            ][:8]
+            drill = run_recovery_drill(
+                artifacts, tmp_path / "data", args.workers, sessions, drugs
+            )
+        report["drill"] = drill
+        print(f"  sessions          {drill['sessions_completed']:8d}  "
+              f"(per worker: {drill['sessions_per_worker']})")
+        print(f"  turns committed   {drill['turns_committed']:8d}")
+        print(f"  worker restarts   {drill['worker_restarts']:8d}  "
+              f"(killed pid {drill['killed_pid']})")
+        print(f"  retries in outage {drill['retries_during_outage']:8d}")
+        print(f"  lost committed    {drill['lost_committed_turns']:8d}")
+        for line in drill["lost_detail"] + drill["errors"]:
+            print(f"  PROBLEM: {line}")
+        ok = ok and drill["ok"]
+
+    report["ok"] = ok
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json}")
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

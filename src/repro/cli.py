@@ -19,6 +19,13 @@ Commands
     Run the concurrent JSON-over-HTTP conversation server
     (``POST /chat``, ``POST /feedback``, ``GET /healthz``,
     ``GET /metrics``) over Conversational MDX or a custom space/KB.
+    ``--data-dir`` makes sessions durable (journaled turns, atomic
+    snapshots, crash recovery on boot); ``--workers N`` with N > 1 runs
+    the session-affine router in front of N worker processes, each
+    owning a slice of the data directory.
+``sessions``
+    List or inspect the durable sessions in a ``serve --data-dir``
+    directory (including per-worker slices) without starting a server.
 ``check``
     Statically validate the conversation-space artifacts (templates,
     logic table, dialogue tree, entities) without executing a query;
@@ -39,7 +46,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
+import time
 from pathlib import Path
 from typing import Callable
 
@@ -195,9 +205,23 @@ def cmd_serve(
 ) -> int:
     """Start the conversation server; blocks until interrupted.
 
+    Three shapes, picked from the flags:
+
+    * default — one process, in-memory sessions (plus durability when
+      ``--data-dir`` is set),
+    * ``--workers N`` (N > 1) — the session-affine router fronting N
+      worker subprocesses (requires ``--data-dir``),
+    * ``--worker-index i`` — one router-managed worker (internal; set
+      by the router when it spawns ``python -m repro serve``).
+
     ``run_forever=False`` starts and immediately drains (for tests).
     """
     from repro.serving import ConversationServer
+
+    if args.worker_index is not None:
+        return _serve_worker(args, output_fn, run_forever)
+    if args.workers > 1:
+        return _serve_router(args, output_fn, run_forever)
 
     output_fn("Building the conversation agent...")
     agent = _build_agent(args)
@@ -209,11 +233,17 @@ def cmd_serve(
         session_ttl=args.session_ttl,
         cache_size=args.cache_size,
         cache_ttl=args.cache_ttl,
-        max_workers=args.workers,
+        max_workers=args.turn_threads,
         request_timeout=args.request_timeout,
         log_path=args.log,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
     )
     output_fn(f"Serving on {server.address} (Ctrl-C to drain and stop)")
+    if args.data_dir:
+        output_fn(f"  durable sessions under {args.data_dir} "
+                  f"(fsync={args.fsync})")
     output_fn('  try: curl -s -X POST -d \'{"utterance": "help"}\' '
               f"{server.address}/chat")
     if not run_forever:
@@ -222,6 +252,208 @@ def cmd_serve(
         return 0
     server.serve_forever()
     output_fn("Server stopped; interaction log flushed.")
+    return 0
+
+
+def _interrupt_once() -> Callable[[int, object], None]:
+    """Signal handler that starts the graceful-drain path exactly once.
+
+    The first SIGTERM/SIGINT raises ``KeyboardInterrupt`` so the serve
+    loop falls into its drain-and-snapshot ``finally`` block; any later
+    signal is swallowed so it cannot abort the drain mid-snapshot (the
+    router's SIGTERM and a terminal Ctrl-C can otherwise both arrive).
+    """
+    state = {"fired": False}
+
+    def handler(signum, frame) -> None:
+        if state["fired"]:
+            return
+        state["fired"] = True
+        raise KeyboardInterrupt
+
+    return handler
+
+
+def _serve_worker(args: argparse.Namespace, output_fn, run_forever) -> int:
+    """Router-managed worker: serve one slice of the durable data dir.
+
+    The worker owns ids ≡ ``worker_index`` (mod ``workers``) — exactly
+    the sessions the router hashes to it — and announces its bound port
+    through an atomically written ready file once it is listening.
+    """
+    from repro.persistence.router import READY_FILE, worker_dir
+    from repro.serving import ConversationServer
+
+    if not args.data_dir:
+        raise SystemExit("--worker-index requires --data-dir")
+    index = args.worker_index
+    directory = worker_dir(args.data_dir, index)
+    directory.mkdir(parents=True, exist_ok=True)
+    output_fn(f"[worker {index}] building the conversation agent...")
+    agent = _build_agent(args)
+    server = ConversationServer(
+        agent,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        max_workers=args.turn_threads,
+        request_timeout=args.request_timeout,
+        log_path=args.log,
+        data_dir=directory,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+        id_stride=max(args.workers, 1),
+        id_offset=index,
+    )
+    server.start()
+    ready = directory / READY_FILE
+    tmp = ready.with_name(ready.name + ".tmp")
+    tmp.write_text(
+        json.dumps({"port": server.port, "pid": os.getpid()}),
+        encoding="utf-8",
+    )
+    os.replace(tmp, ready)
+    output_fn(f"[worker {index}] serving on {server.address}")
+    if not run_forever:
+        server.shutdown()
+        return 0
+    handler = _interrupt_once()
+    signal.signal(signal.SIGTERM, handler)
+    signal.signal(signal.SIGINT, handler)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        output_fn(f"[worker {index}] stopped")
+    return 0
+
+
+def _serve_router(args: argparse.Namespace, output_fn, run_forever) -> int:
+    """Front ``--workers N`` worker subprocesses with the session router."""
+    from repro.persistence.router import SessionRouter
+
+    if not args.data_dir:
+        raise SystemExit(
+            "--workers > 1 requires --data-dir (the durable session root)"
+        )
+    worker_args = []
+    if args.space:
+        worker_args += ["--space", args.space]
+    if args.data:
+        worker_args += ["--data", args.data]
+    worker_args += [
+        "--name", args.name,
+        "--domain", args.domain,
+        "--session-ttl", str(args.session_ttl),
+        "--max-sessions", str(args.max_sessions),
+        "--cache-size", str(args.cache_size),
+        "--cache-ttl", str(args.cache_ttl),
+        "--turn-threads", str(args.turn_threads),
+        "--request-timeout", str(args.request_timeout),
+        "--fsync", args.fsync,
+        "--snapshot-every", str(args.snapshot_every),
+    ]
+    router = SessionRouter(
+        args.workers,
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        worker_args=worker_args,
+    )
+    output_fn(f"Routing {args.workers} workers on {router.address} "
+              "(Ctrl-C to stop)")
+    output_fn(f"  durable sessions under {args.data_dir} "
+              f"(per-worker slices in {args.data_dir}/workers/)")
+    if not run_forever:
+        router.start()
+        router.stop()
+        return 0
+    router.serve_forever()
+    output_fn("Router stopped; workers terminated.")
+    return 0
+
+
+def cmd_sessions(args: argparse.Namespace, output_fn=print) -> int:
+    """List or inspect the durable sessions under a serve data dir."""
+    from repro.persistence.recovery import inspect_session, list_session_ids
+
+    root = Path(args.data_dir)
+    # A data dir is either a single-process root or a router root whose
+    # workers/ subdirectories each hold one worker's slice.
+    slices: list[tuple[str | None, Path]] = []
+    if (root / "sessions").is_dir():
+        slices.append((None, root))
+    workers_root = root / "workers"
+    if workers_root.is_dir():
+        for sub in sorted(workers_root.iterdir()):
+            if (sub / "sessions").is_dir():
+                slices.append((sub.name, sub))
+    if not slices:
+        output_fn(f"no durable sessions under {root}")
+        return 1
+
+    if args.session:
+        for worker, directory in slices:
+            detail = inspect_session(directory, args.session)
+            if detail is None:
+                continue
+            if worker is not None:
+                detail["worker"] = worker
+            if args.json:
+                output_fn(json.dumps(detail, indent=2))
+                return 0
+            header = f"session {detail['session_id']}"
+            if worker is not None:
+                header += f" (worker {worker})"
+            torn = ", torn tail" if detail["journal_torn"] else ""
+            output_fn(
+                f"{header}: {detail['turn_count']} turns "
+                f"({detail['snapshot_turns']} snapshotted, "
+                f"{detail['journal_suffix']} journaled{torn})"
+            )
+            for turn in detail["turns"]:
+                output_fn(f"U: {turn['user']}")
+                output_fn(f"A: {turn['agent']}")
+            return 0
+        output_fn(f"session {args.session} has no durable state under {root}")
+        return 1
+
+    rows = []
+    for worker, directory in slices:
+        for sid in list_session_ids(directory):
+            detail = inspect_session(directory, sid)
+            if detail is None:
+                continue
+            rows.append({
+                "session_id": sid,
+                "worker": worker,
+                "turns": detail["turn_count"],
+                "snapshot_turns": detail["snapshot_turns"],
+                "journal_suffix": detail["journal_suffix"],
+                "journal_bytes": detail["journal_bytes"],
+                "journal_torn": detail["journal_torn"],
+            })
+    if args.json:
+        output_fn(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        output_fn(f"no durable sessions under {root}")
+        return 0
+    output_fn(f"{'session':>8}  {'worker':>6}  {'turns':>5}  {'snap':>5}  "
+              f"{'journal':>7}  {'bytes':>8}  torn")
+    for row in rows:
+        output_fn(
+            f"{row['session_id']:>8}  {(row['worker'] or '-'):>6}  "
+            f"{row['turns']:>5}  {row['snapshot_turns']:>5}  "
+            f"{row['journal_suffix']:>7}  {row['journal_bytes']:>8}  "
+            f"{'yes' if row['journal_torn'] else 'no'}"
+        )
     return 0
 
 
@@ -271,13 +503,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query-cache entries")
     serve.add_argument("--cache-ttl", type=float, default=300.0,
                        help="query-cache entry lifetime, seconds")
-    serve.add_argument("--workers", type=int, default=16,
-                       help="turn-executor thread pool size")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes; > 1 runs the session-affine "
+                            "router in front (requires --data-dir)")
+    serve.add_argument("--turn-threads", type=int, default=16,
+                       help="turn-executor thread pool size per process")
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="per-turn timeout, seconds (504 past it)")
     serve.add_argument("--log", default=None,
                        help="interaction-log path, flushed on shutdown")
+    serve.add_argument("--data-dir", default=None,
+                       help="durable session root: journaled turns, atomic "
+                            "snapshots, crash recovery on boot")
+    serve.add_argument("--fsync", choices=("always", "interval", "never"),
+                       default="always",
+                       help="journal fsync policy in durable mode")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       help="journaled turns between snapshot + compaction")
+    # Internal: the router passes this when spawning its workers.
+    serve.add_argument("--worker-index", type=int, default=None,
+                       help=argparse.SUPPRESS)
     serve.set_defaults(handler=cmd_serve)
+
+    sessions = sub.add_parser(
+        "sessions", help="list or inspect durable sessions in a data dir"
+    )
+    sessions.add_argument("--data-dir", required=True,
+                          help="durable session root (as passed to serve)")
+    sessions.add_argument("--session", default=None,
+                          help="show one session's committed transcript")
+    sessions.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    sessions.set_defaults(handler=cmd_sessions)
 
     from repro.analysis.runner import (
         add_analysis_arguments,

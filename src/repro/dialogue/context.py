@@ -33,6 +33,29 @@ class TurnRecord:
     outcome_kind: str = ""
     trace: "TurnTrace | None" = field(default=None, repr=False, compare=False)
 
+    def to_dict(self) -> dict[str, Any]:
+        """The turn's observable behaviour (``trace`` is per-process
+        telemetry, not conversation state, and is not persisted)."""
+        return {
+            "user": self.user,
+            "agent": self.agent,
+            "intent": self.intent,
+            "confidence": self.confidence,
+            "entities": dict(self.entities),
+            "outcome_kind": self.outcome_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TurnRecord":
+        return cls(
+            user=data["user"],
+            agent=data["agent"],
+            intent=data.get("intent"),
+            confidence=data.get("confidence", 0.0),
+            entities=dict(data.get("entities") or {}),
+            outcome_kind=data.get("outcome_kind", ""),
+        )
+
 
 class ConversationContext:
     """Mutable per-session state shared by the dialogue tree and engine.
@@ -127,3 +150,35 @@ class ConversationContext:
             "entities": dict(self.entities),
             "turns": self.turn_count,
         }
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full mutable state for durable persistence.
+
+        ``variables`` is passed through as-is (it may contain tuples —
+        ``repro.persistence.snapshot`` owns the JSON-safe encoding);
+        restoring this dict via :meth:`from_dict` yields a context that
+        drives the turn pipeline identically to the original.
+        """
+        return {
+            "current_intent": self.current_intent,
+            "pending_intent": self.pending_intent,
+            "pending_entity": self.pending_entity,
+            "entities": dict(self.entities),
+            "variables": dict(self.variables),
+            "last_response": self.last_response,
+            "history": [record.to_dict() for record in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ConversationContext":
+        context = cls()
+        context.current_intent = data.get("current_intent")
+        context.pending_intent = data.get("pending_intent")
+        context.pending_entity = data.get("pending_entity")
+        context.entities = dict(data.get("entities") or {})
+        context.variables = dict(data.get("variables") or {})
+        context.last_response = data.get("last_response", "")
+        context.history = [
+            TurnRecord.from_dict(turn) for turn in data.get("history") or []
+        ]
+        return context

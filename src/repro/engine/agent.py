@@ -53,10 +53,52 @@ __all__ = [
     "AgentResponse",
     "ConversationAgent",
     "Session",
+    "SessionIdAllocator",
     "ResponseKind",
     "CONTEXT_CONFIDENCE",
     "TRUST_THRESHOLD",
 ]
+
+
+class SessionIdAllocator:
+    """Thread-safe monotonic session-id source.
+
+    ``start``/``stride`` carve the id space into residue classes so N
+    serving workers can allocate concurrently without coordination
+    (worker *i* of *N* hands out ids ≡ *i* (mod *N*)).  The default
+    ``start=1, stride=1`` reproduces the historical single-process
+    sequence.  Subclasses may override :meth:`reserve` to persist a
+    high-water mark before ids from a batch are handed out (see
+    :class:`repro.persistence.store.DurableSessionIdAllocator`).
+    """
+
+    def __init__(self, start: int = 1, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        self._lock = threading.Lock()
+        self._stride = stride
+        self._next = start if start > 0 else stride
+
+    @property
+    def stride(self) -> int:
+        return self._stride
+
+    def allocate(self) -> int:
+        with self._lock:
+            session_id = self._next
+            self._next += self._stride
+            self.reserve(self._next)
+            return session_id
+
+    def peek(self) -> int:
+        """The id the next :meth:`allocate` call would return."""
+        with self._lock:
+            return self._next
+
+    def reserve(self, up_to: int) -> None:
+        """Ensure ids below ``up_to`` are never reissued (no-op here)."""
 
 
 class ConversationAgent:
@@ -96,11 +138,12 @@ class ConversationAgent:
         self.domain = domain
         self.feedback_log = FeedbackLog()
         self.pipeline = TurnPipeline(default_stages(self), clock=clock)
-        # Session ids are allocated under a lock: concurrent requests on
-        # the serving layer open sessions from many threads at once, and
-        # two sessions sharing an id would cross their feedback records.
-        self._session_id_lock = threading.Lock()
-        self._next_session_id = 1
+        # Session ids are allocated under the allocator's lock: concurrent
+        # requests on the serving layer open sessions from many threads at
+        # once, and two sessions sharing an id would cross their feedback
+        # records.  The durable serving layer swaps in an allocator that
+        # persists its high-water mark so ids survive restarts.
+        self.id_allocator = SessionIdAllocator()
 
     # -- construction ----------------------------------------------------------
 
@@ -194,10 +237,7 @@ class ConversationAgent:
 
     def allocate_session_id(self) -> int:
         """Hand out the next session id (thread-safe)."""
-        with self._session_id_lock:
-            session_id = self._next_session_id
-            self._next_session_id += 1
-            return session_id
+        return self.id_allocator.allocate()
 
     def session(self) -> "Session":
         """Open a new conversation session."""

@@ -198,3 +198,24 @@ class NotFittedError(NLPError):
 
 class EvaluationError(ReproError):
     """Base class for evaluation-harness errors."""
+
+
+# ---------------------------------------------------------------------------
+# Persistence errors
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(ReproError):
+    """Base class for durable-session persistence errors."""
+
+
+class JournalError(PersistenceError):
+    """A session journal could not be written or is malformed."""
+
+
+class SnapshotError(PersistenceError):
+    """A session snapshot could not be written or restored."""
+
+
+class RouterError(PersistenceError):
+    """The multi-worker session router could not start or route."""

@@ -1,0 +1,504 @@
+"""Session-affine multi-worker front end: router + worker supervision.
+
+One router process owns the public listening socket and forwards every
+request to one of *N* worker subprocesses, each a full single-process
+conversation server (``python -m repro serve --worker-index i``) with
+its own immutable KB replica and its own slice of the durable data
+directory::
+
+    data_dir/
+      workers/
+        00/  worker 0: session_ids.json, sessions/, worker.json, worker.log
+        01/  worker 1: ...
+
+Affinity is the id space itself: worker *i* of *N* allocates session
+ids ≡ *i* (mod *N*) (see
+:class:`~repro.persistence.store.DurableSessionIdAllocator`), so the
+router can route any request carrying a numeric ``session_id`` with
+``int(sid) % N`` — no routing table, nothing to rebuild after a crash.
+Requests without a session id (new conversations, health checks) are
+spread round-robin.
+
+Workers hand their bound port back through a ready file
+(``worker.json``, written after the worker's server is listening); the
+router deletes the file before each spawn so a stale file can never be
+mistaken for the new process.  A monitor thread restarts dead workers;
+a restarted worker replays its journals on boot
+(``recover_on_boot``), so every session it owned resumes exactly where
+its last committed turn left it.  While a worker is down, requests for
+its sessions fail fast with ``503 worker_unavailable`` — clients retry
+(idempotently, via ``client_turn_id``) until the replacement is up.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+import zlib
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.errors import RouterError
+from repro.serving.metrics import MetricsRegistry
+
+#: Ready file a worker writes into its worker directory once listening.
+READY_FILE = "worker.json"
+
+#: How long the router waits for a spawned worker to come up.  Workers
+#: may build an agent from scratch (the full MDX build takes a while),
+#: so this is generous; pass ``spawn_timeout`` to tighten it in tests.
+DEFAULT_SPAWN_TIMEOUT = 180.0
+
+
+def worker_dir(data_dir: str | Path, index: int) -> Path:
+    """The slice of the data directory owned by worker ``index``."""
+    return Path(data_dir) / "workers" / f"{index:02d}"
+
+
+def affinity(session_id: str, workers: int) -> int:
+    """Which worker owns ``session_id``.
+
+    Numeric ids (the allocator's) map by residue class — the inverse of
+    how workers allocate them.  Anything else hashes stably.
+    """
+    sid = session_id.strip()
+    if sid.isdigit():
+        return int(sid) % workers
+    return zlib.crc32(sid.encode("utf-8")) % workers
+
+
+class WorkerHandle:
+    """One supervised worker subprocess and its lifecycle state."""
+
+    def __init__(self, index: int, directory: Path) -> None:
+        self.index = index
+        self.directory = directory
+        self.process: subprocess.Popen | None = None
+        self.port: int | None = None
+        self.restarts = 0
+        self.lock = threading.Lock()  # guards respawn vs. kill races
+
+    @property
+    def base_url(self) -> str | None:
+        if self.port is None:
+            return None
+        return f"http://127.0.0.1:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+class SessionRouter:
+    """Spawns, fronts and supervises N conversation-server workers.
+
+    ``worker_args`` is appended to every worker's command line — the
+    agent-definition flags (``--space``/``--data``/``--name`` …) and
+    durability tuning (``--fsync`` …) pass through untouched, so the
+    router stays agnostic of how agents are built.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        data_dir: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        worker_args: list[str] | None = None,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+        health_interval: float = 1.0,
+        forward_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise RouterError("router needs at least one worker")
+        self.data_dir = Path(data_dir)
+        self.worker_args = list(worker_args or [])
+        self.spawn_timeout = spawn_timeout
+        self.health_interval = health_interval
+        self.forward_timeout = forward_timeout
+        self.metrics = MetricsRegistry()
+        self.workers = [
+            WorkerHandle(i, worker_dir(self.data_dir, i))
+            for i in range(workers)
+        ]
+        self._round_robin = 0
+        self._rr_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._httpd = _RouterHTTPServer((host, port), self)
+        self._thread: threading.Thread | None = None
+        self.metrics.gauge(
+            "router_workers_alive",
+            lambda: sum(1 for w in self.workers if w.alive),
+        )
+        self.metrics.gauge("router_workers_total", lambda: len(self.workers))
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _command(self, index: int) -> list[str]:
+        return [
+            sys.executable, "-m", "repro", "serve",
+            "--worker-index", str(index),
+            "--workers", str(len(self.workers)),
+            "--data-dir", str(self.data_dir),
+            "--host", "127.0.0.1", "--port", "0",
+        ] + self.worker_args
+
+    def spawn_worker(self, handle: WorkerHandle) -> None:
+        """Start (or restart) one worker and wait until it is serving."""
+        handle.directory.mkdir(parents=True, exist_ok=True)
+        ready = handle.directory / READY_FILE
+        ready.unlink(missing_ok=True)
+        log = open(handle.directory / "worker.log", "ab")
+        try:
+            with handle.lock:
+                handle.port = None
+                handle.process = subprocess.Popen(
+                    self._command(handle.index),
+                    stdout=log, stderr=subprocess.STDOUT,
+                    stdin=subprocess.DEVNULL,
+                    # Detach from the controlling terminal's process group:
+                    # a Ctrl-C must reach only the router, which then
+                    # coordinates one SIGTERM per worker so each drains
+                    # and snapshots exactly once.
+                    start_new_session=True,
+                )
+        finally:
+            log.close()  # the child holds its own descriptor
+        self._await_ready(handle, ready)
+
+    def _await_ready(self, handle: WorkerHandle, ready: Path) -> None:
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            process = handle.process
+            if process is not None and process.poll() is not None:
+                raise RouterError(
+                    f"worker {handle.index} exited with code "
+                    f"{process.returncode} during startup (see "
+                    f"{handle.directory / 'worker.log'})"
+                )
+            port = self._read_ready(ready, process.pid if process else None)
+            if port is not None and self._healthy(port):
+                handle.port = port
+                return
+            time.sleep(0.05)
+        raise RouterError(
+            f"worker {handle.index} did not become ready within "
+            f"{self.spawn_timeout:.0f}s"
+        )
+
+    @staticmethod
+    def _read_ready(ready: Path, expected_pid: int | None) -> int | None:
+        try:
+            data = json.loads(ready.read_text(encoding="utf-8"))
+            port = int(data["port"])
+        except (FileNotFoundError, KeyError, TypeError, ValueError):
+            return None
+        if expected_pid is not None and data.get("pid") != expected_pid:
+            return None  # stale file from a previous incarnation
+        return port
+
+    @staticmethod
+    def _healthy(port: int) -> bool:
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=5.0
+            ) as response:
+                return response.status == 200
+        except (urllib.error.URLError, OSError, ValueError):
+            return False
+
+    def kill_worker(self, index: int, sig: int = signal.SIGKILL) -> int:
+        """Deliver ``sig`` to a worker (crash drills); returns its pid."""
+        handle = self.workers[index]
+        with handle.lock:
+            process = handle.process
+            if process is None or process.poll() is not None:
+                raise RouterError(f"worker {index} is not running")
+            process.send_signal(sig)
+            return process.pid
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.health_interval):
+            for handle in self.workers:
+                if self._stopping.is_set():
+                    return
+                if handle.alive:
+                    continue
+                handle.restarts += 1
+                self.metrics.counter("router_worker_restarts_total").inc()
+                try:
+                    self.spawn_worker(handle)
+                except RouterError:
+                    continue  # retried on the next sweep; counter shows it
+
+    # -- routing -------------------------------------------------------------
+
+    def pick_worker(self, session_id: str | None) -> WorkerHandle:
+        if session_id:
+            return self.workers[affinity(session_id, len(self.workers))]
+        with self._rr_lock:
+            index = self._round_robin % len(self.workers)
+            self._round_robin += 1
+        return self.workers[index]
+
+    def forward(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        session_id: str | None,
+    ) -> tuple[int, bytes, str]:
+        """Proxy one request to its session's worker.
+
+        Returns ``(status, body, content_type)``.  A dead or unreachable
+        worker yields a fast 503 the client can retry against.
+        """
+        handle = self.pick_worker(session_id)
+        self.metrics.counter(
+            "router_requests_total", ("worker", str(handle.index))
+        ).inc()
+        base = handle.base_url
+        if base is None or not handle.alive:
+            return self._unavailable(handle)
+        request = urllib.request.Request(
+            base + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.forward_timeout
+            ) as response:
+                return (
+                    response.status,
+                    response.read(),
+                    response.headers.get("Content-Type", "application/json"),
+                )
+        except urllib.error.HTTPError as error:
+            # Worker answered with an error status — relay it verbatim.
+            self.metrics.counter(
+                "router_errors_total", ("code", str(error.code))
+            ).inc()
+            return (
+                error.code,
+                error.read(),
+                error.headers.get("Content-Type", "application/json"),
+            )
+        except (urllib.error.URLError, OSError) as error:
+            del error  # connection refused / reset: worker is (re)starting
+            return self._unavailable(handle)
+
+    def _unavailable(self, handle: WorkerHandle) -> tuple[int, bytes, str]:
+        self.metrics.counter("router_errors_total", ("code", "503")).inc()
+        payload = json.dumps({
+            "error": "worker_unavailable",
+            "worker": handle.index,
+            "message": "the session's worker is restarting; retry shortly",
+        }).encode("utf-8")
+        return 503, payload, "application/json"
+
+    # -- router-local endpoints ---------------------------------------------
+
+    def health(self) -> tuple[int, bytes, str]:
+        workers = []
+        all_up = True
+        for handle in self.workers:
+            up = handle.alive and handle.port is not None and self._healthy(
+                handle.port
+            )
+            all_up = all_up and up
+            workers.append({
+                "index": handle.index,
+                "up": up,
+                "port": handle.port,
+                "pid": handle.process.pid if handle.process else None,
+                "restarts": handle.restarts,
+            })
+        body = json.dumps({
+            "status": "ok" if all_up else "degraded",
+            "role": "router",
+            "workers": workers,
+        }).encode("utf-8")
+        return (200 if all_up else 503), body, "application/json"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SessionRouter":
+        """Spawn every worker, then serve in a background thread."""
+        with self._lifecycle_lock:
+            if self._thread is not None:
+                raise RuntimeError("router already started")
+        try:
+            for handle in self.workers:
+                self.spawn_worker(handle)
+        except BaseException:
+            self.stop()
+            raise
+        with self._lifecycle_lock:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                name="repro-router-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-router",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted, then stop."""
+        try:
+            for handle in self.workers:
+                self.spawn_worker(handle)
+            with self._lifecycle_lock:
+                self._monitor = threading.Thread(
+                    target=self._monitor_loop,
+                    name="repro-router-monitor",
+                    daemon=True,
+                )
+                self._monitor.start()
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop the monitor, terminate every worker, close the listener."""
+        self._stopping.set()
+        with self._lifecycle_lock:
+            monitor, self._monitor = self._monitor, None
+        if monitor is not None:
+            monitor.join(timeout=5.0)
+        for handle in self.workers:
+            with handle.lock:
+                process, handle.process = handle.process, None
+            if process is None or process.poll() is not None:
+                continue
+            process.terminate()  # workers drain + snapshot on SIGTERM
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+        with self._lifecycle_lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "SessionRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Thin HTTP shim: extract the session id, delegate to the router."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_RouterHTTPServer"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the router's metrics replace per-request stderr noise
+
+    def _session_id(self, body: bytes | None) -> str | None:
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(self.path).query)
+        if "session_id" in query:
+            return query["session_id"][0]
+        if body:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                return None
+            sid = payload.get("session_id") if isinstance(payload, dict) else None
+            return str(sid) if sid is not None else None
+        return None
+
+    def _respond(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self, method: str) -> None:
+        router = self.server.router
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else None
+        path_only = self.path.split("?", 1)[0]
+        if method == "GET" and path_only == "/healthz":
+            self._respond(*router.health())
+            return
+        if method == "GET" and path_only == "/metrics":
+            rendered = router.metrics.render().encode("utf-8")
+            self._respond(200, rendered, "text/plain; version=0.0.4")
+            return
+        try:
+            status, payload, content_type = router.forward(
+                method, self.path, body, self._session_id(body)
+            )
+        except Exception as error:
+            payload = json.dumps(
+                {"error": "router_error", "message": str(error)}
+            ).encode("utf-8")
+            status, content_type = 500, "application/json"
+        self._respond(status, payload, content_type)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            self._handle(method)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+class _RouterHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    request_queue_size = 128
+
+    def __init__(
+        self, address: tuple[str, int], router: SessionRouter
+    ) -> None:
+        super().__init__(address, _RouterHandler)
+        self.router = router

@@ -11,11 +11,15 @@ queries are short-circuited by the
 Endpoints
 ---------
 ``POST /chat``
-    ``{"utterance": ..., "session_id": optional, "debug": optional}`` →
-    the agent turn.  Omitting ``session_id`` opens a new session; the
-    response always echoes the id to use on the next turn.  With
-    ``"debug": true`` the response additionally carries the per-stage
-    turn trace under ``"debug"``.
+    ``{"utterance": ..., "session_id": optional, "debug": optional,
+    "client_turn_id": optional}`` → the agent turn.  Omitting
+    ``session_id`` opens a new session; the response always echoes the
+    id to use on the next turn.  With ``"debug": true`` the response
+    additionally carries the per-stage turn trace under ``"debug"``.
+    ``client_turn_id`` (any client-chosen string, unique per attempted
+    turn) makes retries idempotent: re-sending a turn the server
+    already committed returns the committed response instead of
+    running the turn twice.
 ``POST /feedback``
     ``{"session_id": ..., "feedback": "up"|"down"}`` → thumbs feedback
     on that session's most recent interaction (Equation 1 input).
@@ -24,7 +28,12 @@ Endpoints
 ``GET /metrics``
     Prometheus-style text: per-intent turn latency histograms,
     per-stage pipeline latency histograms and deciding-stage counters,
-    classifier latency, cache hit rate, session churn, HTTP counters.
+    classifier latency, cache hit rate, session churn, HTTP counters,
+    and (durable mode) journal/snapshot/recovery counters.
+``GET /sessions`` / ``GET /session?session_id=N``
+    Session inspection: live and journaled sessions, and one session's
+    committed transcript (read-only — inspecting a journaled session
+    does not page it back into memory).
 
 Concurrency model: ``ThreadingHTTPServer`` accepts requests, but agent
 turns execute on a bounded ``ThreadPoolExecutor`` — the worker pool is
@@ -32,6 +41,14 @@ the admission control.  Each request carries a timeout (504 on expiry)
 and the server sheds load with 503 once ``max_pending`` turns are in
 flight.  ``shutdown()`` drains: new chat turns are refused, in-flight
 turns finish, then the interaction log is flushed atomically.
+
+Durability: constructed with a ``data_dir`` the app replaces its
+in-memory session store with a
+:class:`~repro.persistence.store.DurableSessionStore` — every committed
+turn is journaled *before* the response leaves the process, eviction
+snapshots instead of losing state, unknown session ids are paged back
+in from disk, and boot runs crash recovery.  See
+:mod:`repro.persistence`.
 """
 
 from __future__ import annotations
@@ -43,6 +60,7 @@ from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.agent import ConversationAgent
 from repro.engine.logging import save_log
@@ -53,6 +71,10 @@ from repro.serving.session_store import SessionEntry, SessionStore
 
 #: Maximum accepted request body, in bytes (an utterance, not an upload).
 MAX_BODY_BYTES = 64 * 1024
+
+
+def _session_sort_key(sid: str) -> tuple:
+    return (not sid.isdigit(), int(sid) if sid.isdigit() else 0, sid)
 
 
 class _TimingClassifier:
@@ -100,12 +122,43 @@ class ConversationApp:
         max_pending: int = 128,
         request_timeout: float = 30.0,
         log_path: str | Path | None = None,
+        data_dir: str | Path | None = None,
+        fsync: str = "always",
+        snapshot_every: int = 64,
+        id_stride: int = 1,
+        id_offset: int = 1,
+        recover_on_boot: bool = True,
     ) -> None:
         self.agent = agent
         self.metrics = MetricsRegistry()
-        self.store = SessionStore(
-            agent, max_sessions=max_sessions, ttl=session_ttl
-        )
+        self.durable = None
+        if data_dir is not None:
+            # Imported lazily: repro.persistence.store depends on this
+            # package's session store, so a module-level import would be
+            # circular.
+            from repro.persistence.store import DurableSessionStore
+
+            self.durable = DurableSessionStore(
+                agent,
+                data_dir,
+                max_sessions=max_sessions,
+                ttl=session_ttl,
+                fsync=fsync,
+                snapshot_every=snapshot_every,
+                id_stride=id_stride,
+                id_offset=id_offset,
+                recover_on_boot=recover_on_boot,
+            )
+            #: ``sessions`` is the lifecycle surface (create/get page
+            #: through disk in durable mode); ``store`` stays the
+            #: in-memory working set for gauges and inspection.
+            self.sessions = self.durable
+            self.store = self.durable.store
+        else:
+            self.store = SessionStore(
+                agent, max_sessions=max_sessions, ttl=session_ttl
+            )
+            self.sessions = self.store
         self.cache = QueryCache(max_entries=cache_size, ttl=cache_ttl)
         self.request_timeout = request_timeout
         self.max_pending = max_pending
@@ -162,6 +215,11 @@ class ConversationApp:
         self.metrics.gauge(
             "kb_generation", lambda: self._original_database.generation
         )
+        if self.durable is not None:
+            for name in self.durable.counters:
+                self.metrics.gauge(
+                    name, lambda n=name: self.durable.counter(n)
+                )
 
     # -- state ---------------------------------------------------------------
 
@@ -190,11 +248,17 @@ class ConversationApp:
         return self.in_flight == 0
 
     def close(self, drain_timeout: float = 10.0) -> bool:
-        """Drain, stop workers, flush the log, restore the agent hooks."""
+        """Drain, stop workers, flush the log, restore the agent hooks.
+
+        In durable mode every live session is snapshotted on the way
+        out, so a clean restart recovers with zero journal replay.
+        """
         drained = self.drain(drain_timeout)
         self._executor.shutdown(wait=True)
         self.agent.database = self._original_database
         self.agent.classifier = self._original_classifier
+        if self.durable is not None:
+            self.durable.close()
         self.flush_log()
         return drained
 
@@ -207,8 +271,20 @@ class ConversationApp:
     # -- request handling ----------------------------------------------------
 
     def handle(self, method: str, path: str, payload: dict) -> tuple[int, dict | str]:
-        """Route one request; returns (status, JSON-able body or text)."""
-        route = f"{method} {path}"
+        """Route one request; returns (status, JSON-able body or text).
+
+        GET query parameters (``/session?session_id=7``) are folded into
+        the payload; explicit payload keys win.
+        """
+        parts = urlsplit(path)
+        if parts.query:
+            query = {
+                key: values[-1]
+                for key, values in parse_qs(parts.query).items()
+            }
+            query.update(payload)
+            payload = query
+        route = f"{method} {parts.path}"
         self.metrics.counter("http_requests_total", ("route", route)).inc()
         try:
             if route == "POST /chat":
@@ -219,6 +295,10 @@ class ConversationApp:
                 return 200, self.health()
             if route == "GET /metrics":
                 return 200, self.metrics.render()
+            if route == "GET /sessions":
+                return 200, self.list_sessions()
+            if route == "GET /session":
+                return 200, self.session_detail(payload)
             raise ServingError(404, "not_found", f"no route for {route}")
         except ServingError as exc:
             self.metrics.counter(
@@ -238,10 +318,10 @@ class ConversationApp:
             raise ServingError(503, "overloaded", "too many turns in flight")
         session_id = payload.get("session_id")
         if session_id is None:
-            sid, entry = self.store.create()
+            sid, entry = self.sessions.create()
         else:
             sid = str(session_id)
-            found = self.store.get(sid)
+            found = self.sessions.get(sid)
             if found is None:
                 raise ServingError(
                     404,
@@ -250,11 +330,14 @@ class ConversationApp:
                 )
             entry = found
         debug = bool(payload.get("debug"))
+        client_turn_id = payload.get("client_turn_id")
+        if client_turn_id is not None:
+            client_turn_id = str(client_turn_id)
         with self._state_lock:
             self._in_flight += 1
         try:
             future: Future = self._executor.submit(
-                self._turn, sid, entry, utterance, debug
+                self._turn, sid, entry, utterance, debug, client_turn_id
             )
             try:
                 return future.result(timeout=self.request_timeout)
@@ -271,15 +354,50 @@ class ConversationApp:
                 self._in_flight -= 1
 
     def _turn(
-        self, sid: str, entry: SessionEntry, utterance: str, debug: bool = False
+        self,
+        sid: str,
+        entry: SessionEntry,
+        utterance: str,
+        debug: bool = False,
+        client_turn_id: str | None = None,
     ) -> dict:
         start = time.perf_counter()
         with entry.lock:
+            if (
+                client_turn_id is not None
+                and entry.last_commit is not None
+                and entry.last_commit[0] == client_turn_id
+            ):
+                # The client is retrying a turn that already committed
+                # (it never saw the response — a dropped connection or a
+                # worker death after the journal append): replay the
+                # committed answer instead of mutating the conversation
+                # a second time.
+                self.metrics.counter("turns_deduplicated_total").inc()
+                return dict(entry.last_commit[1])
             try:
                 response = entry.session.ask(utterance)
             except EngineError as exc:
                 raise ServingError(400, "bad_request", str(exc)) from exc
             entry.turn_count += 1
+            result = {
+                "session_id": sid,
+                "text": response.text,
+                "intent": response.intent,
+                "confidence": response.confidence,
+                "kind": response.kind,
+                "entities": dict(response.entities),
+                "sql": response.sql,
+                "turn": entry.turn_count,
+            }
+            # The commit point: once the journal append returns, the
+            # turn survives kill -9 and the response may go out.
+            if self.durable is not None:
+                self.durable.commit_turn(
+                    sid, entry, utterance, result, client_turn_id
+                )
+            elif client_turn_id is not None:
+                entry.last_commit = (client_turn_id, dict(result))
         elapsed = time.perf_counter() - start
         intent_label = response.intent or "<none>"
         self.metrics.counter("turns_total").inc()
@@ -297,17 +415,8 @@ class ConversationApp:
                 "turn_stage_decisions_total",
                 ("stage", trace.deciding_stage or "<none>"),
             ).inc()
-        result = {
-            "session_id": sid,
-            "text": response.text,
-            "intent": response.intent,
-            "confidence": response.confidence,
-            "kind": response.kind,
-            "entities": dict(response.entities),
-            "sql": response.sql,
-            "turn": entry.turn_count,
-        }
         if debug and trace is not None:
+            result = dict(result)
             result["debug"] = trace.to_dict()
         return result
 
@@ -320,7 +429,7 @@ class ConversationApp:
                 "bad_request",
                 "'session_id' and 'feedback' ('up'|'down') are required",
             )
-        entry = self.store.get(str(session_id))
+        entry = self.sessions.get(str(session_id))
         if entry is None:
             raise ServingError(
                 404, "unknown_session", f"session {session_id} does not exist"
@@ -336,13 +445,72 @@ class ConversationApp:
         return {"session_id": str(session_id), "feedback": feedback}
 
     def health(self) -> dict:
-        return {
+        health = {
             "status": "draining" if self.draining else "ok",
             "sessions": len(self.store),
             "in_flight": self.in_flight,
             "turns_total": self.metrics.counter("turns_total").value,
             "cache": self.cache.stats(),
         }
+        if self.durable is not None:
+            health["durable"] = {
+                "data_dir": str(self.durable.data_dir),
+                "fsync": self.durable.fsync_policy,
+                "turns_journaled": self.durable.counter(
+                    "turns_journaled_total"
+                ),
+                "sessions_recovered": self.durable.counter(
+                    "sessions_recovered_total"
+                ),
+            }
+        return health
+
+    def list_sessions(self) -> dict:
+        """Live sessions plus every session with durable state on disk."""
+        live = set(self.store.ids())
+        out = {"live": sorted(live, key=_session_sort_key)}
+        if self.durable is not None:
+            from repro.persistence.recovery import list_session_ids
+
+            durable = list_session_ids(self.durable.data_dir)
+            out["durable"] = durable
+            out["paged_out"] = [sid for sid in durable if sid not in live]
+        return out
+
+    def session_detail(self, payload: dict) -> dict:
+        """One session's committed transcript (read-only).
+
+        A live session answers from its in-memory context; a paged-out
+        one is inspected straight from its journal/snapshot without
+        being paged back in.
+        """
+        session_id = payload.get("session_id")
+        if session_id is None:
+            raise ServingError(400, "bad_request", "'session_id' is required")
+        sid = str(session_id)
+        entry = self.store.get(sid)
+        if entry is not None:
+            with entry.lock:
+                history = [
+                    record.to_dict()
+                    for record in entry.session.context.history
+                ]
+            return {
+                "session_id": sid,
+                "source": "live",
+                "turn_count": len(history),
+                "turns": history,
+            }
+        if self.durable is not None:
+            from repro.persistence.recovery import inspect_session
+
+            detail = inspect_session(self.durable.data_dir, sid)
+            if detail is not None:
+                detail["source"] = "disk"
+                return detail
+        raise ServingError(
+            404, "unknown_session", f"session {sid} does not exist"
+        )
 
 
 class _Handler(BaseHTTPRequestHandler):

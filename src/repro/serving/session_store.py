@@ -11,6 +11,14 @@ process without bound.  :class:`SessionStore` owns that lifecycle:
 * every session carries its own lock so two requests for the same
   conversation serialize instead of interleaving turns.
 
+``on_evict`` is the durability hook: the persistence layer registers a
+callback that snapshots a session's context to disk *before* the store
+forgets it, turning eviction from data loss into working-set paging
+(the evicted conversation resumes from disk on its next request).  The
+callback runs under the store lock but may take the entry's own lock —
+every caller acquires the store lock first and the entry lock second,
+so the ordering is deadlock-free.
+
 ``clock`` is injectable (monotonic seconds) for deterministic tests.
 """
 
@@ -20,9 +28,12 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.engine.agent import ConversationAgent, Session
+
+#: Eviction reasons passed to the ``on_evict`` callback.
+EVICT_TTL, EVICT_LRU, EVICT_DROP, EVICT_CLEAR = "ttl", "lru", "drop", "clear"
 
 
 @dataclass
@@ -36,6 +47,11 @@ class SessionEntry:
     #: Serializes turns within one conversation; the store's own lock is
     #: never held while a turn runs.
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: The most recent committed turn as ``(client_turn_id, result)``,
+    #: kept so a client retrying a turn it never saw the response to
+    #: (worker died between commit and reply) gets the committed answer
+    #: back instead of a duplicated turn.
+    last_commit: tuple[str, dict[str, Any]] | None = None
 
 
 class SessionStore:
@@ -47,6 +63,7 @@ class SessionStore:
         max_sessions: int = 1024,
         ttl: float = 1800.0,
         clock: Callable[[], float] = time.monotonic,
+        on_evict: Callable[[str, SessionEntry, str], None] | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -56,6 +73,7 @@ class SessionStore:
         self.max_sessions = max_sessions
         self.ttl = ttl
         self._clock = clock
+        self._on_evict = on_evict
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
         self.created_total = 0
@@ -73,16 +91,30 @@ class SessionStore:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _evict_locked(self, sid: str, entry: SessionEntry, reason: str) -> None:
+        """Forget one entry, giving the persistence hook its last look."""
+        del self._entries[sid]
+        if self._on_evict is not None:
+            self._on_evict(sid, entry, reason)
+
     def _sweep_locked(self, now: float) -> None:
         """Drop every entry idle past the TTL (caller holds the lock)."""
         stale = [
-            sid
+            (sid, entry)
             for sid, entry in self._entries.items()
             if now - entry.last_used_at >= self.ttl
         ]
-        for sid in stale:
-            del self._entries[sid]
+        for sid, entry in stale:
+            self._evict_locked(sid, entry, EVICT_TTL)
             self.evicted_ttl += 1
+
+    def _insert_locked(self, sid: str, entry: SessionEntry) -> None:
+        self._entries[sid] = entry
+        self._entries.move_to_end(sid)
+        while len(self._entries) > self.max_sessions:
+            oldest_sid, oldest = next(iter(self._entries.items()))
+            self._evict_locked(oldest_sid, oldest, EVICT_LRU)
+            self.evicted_lru += 1
 
     def create(self) -> tuple[str, SessionEntry]:
         """Open a new session, evicting as needed; returns (id, entry)."""
@@ -92,12 +124,42 @@ class SessionStore:
         sid = str(session.id)
         with self._lock:
             self._sweep_locked(now)
-            self._entries[sid] = entry
-            self._entries.move_to_end(sid)
-            while len(self._entries) > self.max_sessions:
-                self._entries.popitem(last=False)
-                self.evicted_lru += 1
+            self._insert_locked(sid, entry)
             self.created_total += 1
+        return sid, entry
+
+    def adopt(
+        self,
+        session: Session,
+        turn_count: int = 0,
+        last_commit: tuple[str, dict[str, Any]] | None = None,
+    ) -> tuple[str, SessionEntry]:
+        """Admit an externally built session (a recovery, not a create).
+
+        Used by the persistence layer to page a journaled session back
+        into the working set; counts toward ``max_sessions`` and evicts
+        like any other insertion, but not toward ``created_total``.
+        """
+        now = self._clock()
+        entry = SessionEntry(
+            session=session,
+            created_at=now,
+            last_used_at=now,
+            turn_count=turn_count,
+            last_commit=last_commit,
+        )
+        sid = str(session.id)
+        with self._lock:
+            self._sweep_locked(now)
+            existing = self._entries.get(sid)
+            if existing is not None:
+                # A concurrent request already resurrected this session;
+                # keep the incumbent so there is only ever one live
+                # context per conversation.
+                existing.last_used_at = now
+                self._entries.move_to_end(sid)
+                return sid, existing
+            self._insert_locked(sid, entry)
         return sid, entry
 
     def get(self, session_id: str) -> SessionEntry | None:
@@ -119,7 +181,11 @@ class SessionStore:
     def drop(self, session_id: str) -> bool:
         """Explicitly close one session; True if it existed."""
         with self._lock:
-            return self._entries.pop(session_id, None) is not None
+            entry = self._entries.get(session_id)
+            if entry is None:
+                return False
+            self._evict_locked(session_id, entry, EVICT_DROP)
+            return True
 
     def sweep(self) -> int:
         """Evict every TTL-expired session; returns how many were dropped."""
@@ -130,7 +196,8 @@ class SessionStore:
 
     def clear(self) -> None:
         with self._lock:
-            self._entries.clear()
+            for sid, entry in list(self._entries.items()):
+                self._evict_locked(sid, entry, EVICT_CLEAR)
 
     def stats(self) -> dict[str, int]:
         with self._lock:

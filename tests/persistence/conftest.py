@@ -1,0 +1,62 @@
+"""Fixtures for the persistence tests.
+
+Durability tests need agents twice over: an in-process one to drive
+``DurableSessionStore`` directly, and exported artifacts (conversation
+space JSON + CSV KB) so router tests can spawn worker *subprocesses*
+that rebuild the identical agent in about a second.  The agent build is
+deterministic, so an uninterrupted control conversation and a
+crash-recovered one can be compared byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bootstrap import space_to_dict
+from repro.engine import ConversationAgent
+from repro.kb.io import save_database
+from tests.serving.conftest import build_toy_agent
+
+#: A multi-turn conversation exercising context carry-over (the
+#: follow-up turns only make sense given the turns before them), so a
+#: recovery that dropped or reordered state produces different text.
+GOLDEN_SCRIPT = [
+    "dosage for Aspirin",
+    "how about for Ibuprofen?",
+    "what treats Fever",
+    "tell me about Tazarotene",
+    "how about Fluocinonide?",
+]
+
+TOY_AGENT_NAME = "ToyServe"
+TOY_AGENT_DOMAIN = "toy drug reference"
+
+
+@pytest.fixture
+def agent() -> ConversationAgent:
+    return build_toy_agent()
+
+
+@pytest.fixture(scope="session")
+def toy_artifacts(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """Exported toy space + CSV KB, for ``serve --space ... --data ...``."""
+    out = tmp_path_factory.mktemp("toy-artifacts")
+    agent = build_toy_agent()
+    (out / "space.json").write_text(
+        json.dumps(space_to_dict(agent.space)), encoding="utf-8"
+    )
+    save_database(agent.database, out / "kb")
+    return out
+
+
+def run_script(
+    session, utterances: list[str] | None = None
+) -> list[str]:
+    """Drive ``session`` through a script; returns the response texts."""
+    return [
+        session.ask(utterance).text
+        for utterance in (utterances or GOLDEN_SCRIPT)
+    ]

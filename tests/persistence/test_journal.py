@@ -1,0 +1,171 @@
+"""Journal framing, fsync policies, torn/corrupt tails, compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JournalError
+from repro.persistence.journal import (
+    SessionJournal,
+    compact_journal,
+    crc32,
+    frame_record,
+    read_journal,
+)
+from tests.serving.conftest import FakeClock
+
+
+def _records(n: int) -> list[dict]:
+    return [
+        {"type": "turn", "turn": i + 1, "utterance": f"u{i + 1}",
+         "response": {"text": f"a{i + 1} é中"}}
+        for i in range(n)
+    ]
+
+
+class TestFraming:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "s.journal"
+        records = _records(3)
+        with SessionJournal(path) as journal:
+            for record in records:
+                journal.append(record)
+        result = read_journal(path)
+        assert result.records == records
+        assert not result.torn
+        assert result.valid_bytes == result.total_bytes == path.stat().st_size
+
+    def test_frame_is_length_crc_payload(self):
+        frame = frame_record({"a": 1})
+        length, crc, payload = frame.split(b" ", 2)
+        payload = payload.rstrip(b"\n")
+        assert int(length) == len(payload)
+        assert int(crc, 16) == crc32(payload)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        result = read_journal(tmp_path / "absent.journal")
+        assert result.records == [] and not result.torn
+
+    def test_append_returns_bytes_written(self, tmp_path):
+        journal = SessionJournal(tmp_path / "s.journal")
+        written = journal.append({"turn": 1})
+        journal.close()
+        assert written == (tmp_path / "s.journal").stat().st_size
+        assert journal.bytes_written == written
+        assert journal.appends == 1
+
+
+class TestFsyncPolicies:
+    def test_always_fsyncs_every_append(self, tmp_path):
+        journal = SessionJournal(tmp_path / "s.journal", fsync="always")
+        for record in _records(3):
+            journal.append(record)
+        assert journal.fsyncs == 3
+        journal.close()
+
+    def test_never_only_flushes(self, tmp_path):
+        journal = SessionJournal(tmp_path / "s.journal", fsync="never")
+        for record in _records(3):
+            journal.append(record)
+        assert journal.fsyncs == 0
+        # The bytes still reach the OS: a reader sees every record.
+        assert len(read_journal(tmp_path / "s.journal").records) == 3
+        journal.close(sync=False)
+        assert journal.fsyncs == 0
+
+    def test_interval_batches_fsyncs(self, tmp_path):
+        clock = FakeClock()
+        journal = SessionJournal(
+            tmp_path / "s.journal", fsync="interval", fsync_interval=10.0,
+            clock=clock,
+        )
+        journal.append({"turn": 1})   # first append past the epoch syncs
+        journal.append({"turn": 2})   # within the interval: no sync
+        assert journal.fsyncs == 1
+        clock.advance(11.0)
+        journal.append({"turn": 3})
+        assert journal.fsyncs == 2
+        journal.close()
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            SessionJournal(tmp_path / "s.journal", fsync="sometimes")
+
+
+class TestTornTail:
+    def _write(self, path, n=3):
+        with SessionJournal(path) as journal:
+            for record in _records(n):
+                journal.append(record)
+
+    def test_truncated_tail_drops_only_last_record(self, tmp_path):
+        path = tmp_path / "s.journal"
+        self._write(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # crash mid-write of record 3
+        result = read_journal(path)
+        assert [r["turn"] for r in result.records] == [1, 2]
+        assert result.torn and "truncated" in result.torn_reason
+        assert result.valid_bytes < result.total_bytes
+
+    def test_every_truncation_point_is_safe(self, tmp_path):
+        """No prefix of a valid journal crashes the reader or yields a
+        phantom record."""
+        path = tmp_path / "s.journal"
+        self._write(path, n=2)
+        data = path.read_bytes()
+        first_len = read_journal(path).valid_bytes  # == both records
+        for cut in range(len(data)):
+            path.write_bytes(data[:cut])
+            result = read_journal(path)
+            assert len(result.records) <= 2
+            for record in result.records:
+                assert record in _records(2)
+        del first_len
+
+    def test_corrupt_crc_detected(self, tmp_path):
+        path = tmp_path / "s.journal"
+        self._write(path)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # flip a payload byte of the final record
+        path.write_bytes(bytes(data))
+        result = read_journal(path)
+        assert [r["turn"] for r in result.records] == [1, 2]
+        assert result.torn
+        assert result.torn_reason in ("crc mismatch", "unparseable payload")
+
+    def test_garbage_header_detected(self, tmp_path):
+        path = tmp_path / "s.journal"
+        self._write(path, n=1)
+        with open(path, "ab") as handle:
+            handle.write(b"not a frame at all")
+        result = read_journal(path)
+        assert len(result.records) == 1
+        assert result.torn
+
+
+class TestCompaction:
+    def test_compact_drops_covered_prefix(self, tmp_path):
+        path = tmp_path / "s.journal"
+        with SessionJournal(path) as journal:
+            for record in _records(5):
+                journal.append(record)
+        dropped = compact_journal(path, keep_after_turn=3)
+        assert dropped == 3
+        result = read_journal(path)
+        assert [r["turn"] for r in result.records] == [4, 5]
+        assert not result.torn
+
+    def test_compact_missing_file_is_noop(self, tmp_path):
+        assert compact_journal(tmp_path / "absent.journal", 10) == 0
+
+    def test_compact_discards_torn_tail(self, tmp_path):
+        path = tmp_path / "s.journal"
+        with SessionJournal(path) as journal:
+            for record in _records(3):
+                journal.append(record)
+        path.write_bytes(path.read_bytes()[:-4])
+        compact_journal(path, keep_after_turn=1)
+        result = read_journal(path)
+        assert [r["turn"] for r in result.records] == [2]
+        assert not result.torn  # the rewrite healed the tail

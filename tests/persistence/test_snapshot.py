@@ -1,0 +1,130 @@
+"""Snapshot encode/decode fidelity, atomicity, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.persistence.snapshot import (
+    decode_value,
+    encode_value,
+    load_snapshot,
+    write_snapshot,
+)
+from tests.persistence.conftest import run_script
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, 3, 2.5, "text",
+        [1, "two", None],
+        {"k": [1, 2], "nested": {"x": 0.5}},
+        (1, 2, 3),
+        [("a", 1), ("b", 2)],                      # list of tuples (rows)
+        {"rows": [(1, "x"), (2, "y")], "n": 2},    # the last_rows shape
+        ((), ("deep", (1,))),                      # nested/empty tuples
+    ])
+    def test_roundtrip(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_tuples_stay_tuples_lists_stay_lists(self):
+        decoded = decode_value(encode_value({"t": (1, [2, (3,)])}))
+        assert isinstance(decoded["t"], tuple)
+        assert isinstance(decoded["t"][1], list)
+        assert isinstance(decoded["t"][1][1], tuple)
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(SnapshotError):
+            encode_value({"bad": object()})
+        with pytest.raises(SnapshotError):
+            encode_value({1: "non-string key"})
+
+
+class TestSnapshotRoundtrip:
+    def test_context_survives_snapshot(self, tmp_path, agent):
+        session = agent.session()
+        control = run_script(session)
+        path = tmp_path / "s.snapshot"
+        write_snapshot(path, session.id, session.context)
+        snap = load_snapshot(path)
+        assert snap is not None
+        assert snap.session_id == session.id
+        assert snap.turn_count == session.context.turn_count
+        assert snap.context.to_dict() == session.context.to_dict()
+        # The restored context must be behaviourally identical: the same
+        # follow-up produces the same answer on a fresh agent.
+        restored = agent.session()
+        restored.context = snap.context
+        fresh = agent.session()
+        run_script(fresh)
+        assert restored.ask("how about Aspirin?").text == \
+            fresh.ask("how about Aspirin?").text
+        del control
+
+    def test_last_commit_roundtrip(self, tmp_path, agent):
+        session = agent.session()
+        session.ask("dosage for Aspirin")
+        result = {"text": "answer", "rows": [(1, "a")], "turn": 1}
+        path = tmp_path / "s.snapshot"
+        write_snapshot(path, session.id, session.context,
+                       last_commit=("turn-abc", result))
+        snap = load_snapshot(path)
+        assert snap.last_commit == ("turn-abc", result)
+        assert isinstance(snap.last_commit[1]["rows"][0], tuple)
+
+    def test_rewrite_replaces_atomically(self, tmp_path, agent):
+        session = agent.session()
+        session.ask("dosage for Aspirin")
+        path = tmp_path / "s.snapshot"
+        write_snapshot(path, session.id, session.context)
+        session.ask("how about for Ibuprofen?")
+        write_snapshot(path, session.id, session.context)
+        assert load_snapshot(path).turn_count == 2
+        # No temp droppings: the directory holds exactly the snapshot.
+        assert [p.name for p in tmp_path.iterdir()] == ["s.snapshot"]
+
+
+class TestCorruption:
+    def test_missing_loads_as_none(self, tmp_path):
+        assert load_snapshot(tmp_path / "absent.snapshot") is None
+
+    def test_truncated_loads_as_none(self, tmp_path, agent):
+        session = agent.session()
+        session.ask("dosage for Aspirin")
+        path = tmp_path / "s.snapshot"
+        write_snapshot(path, session.id, session.context)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert load_snapshot(path) is None
+
+    def test_bit_flip_fails_crc(self, tmp_path, agent):
+        session = agent.session()
+        session.ask("dosage for Aspirin")
+        path = tmp_path / "s.snapshot"
+        write_snapshot(path, session.id, session.context)
+        data = path.read_bytes()
+        # Corrupt a byte inside the body, keeping the JSON parseable.
+        corrupted = data.replace(b"Aspirin", b"Asqirin", 1)
+        assert corrupted != data
+        path.write_bytes(corrupted)
+        assert load_snapshot(path) is None
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "s.snapshot"
+        body = {"version": 99, "session_id": 1, "turn_count": 0,
+                "context": {}, "last_commit": None}
+        from repro.persistence.journal import crc32
+        body_json = json.dumps(body, separators=(",", ":"), sort_keys=True)
+        path.write_text(json.dumps(
+            {"crc": crc32(body_json.encode()), "body": body},
+            separators=(",", ":"), sort_keys=True,
+        ))
+        assert load_snapshot(path) is None
+
+    def test_garbage_loads_as_none(self, tmp_path):
+        path = tmp_path / "s.snapshot"
+        path.write_bytes(b"\x00\xffnot json")
+        assert load_snapshot(path) is None

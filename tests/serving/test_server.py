@@ -361,7 +361,10 @@ class TestServeCommand:
         assert args.session_ttl == 1800.0
         assert args.max_sessions == 1024
         assert args.cache_size == 512
-        assert args.workers == 16
+        assert args.workers == 1
+        assert args.turn_threads == 16
+        assert args.data_dir is None
+        assert args.fsync == "always"
 
     def test_serve_smoke(self, monkeypatch):
         monkeypatch.setattr(
