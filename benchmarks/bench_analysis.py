@@ -2,10 +2,10 @@
 
 Not a paper artifact — the analyzers are build-time tooling — but their
 cost gates how often CI and SMEs can afford to run them, so it belongs
-in the perf trajectory next to the serving numbers.  Times the three
-analysis layers over the full MDX conversation space (and the lint over
-``src/repro``), then reports per-layer wall time and the audit's
-finding count against the < 1 s acceptance budget.
+in the perf trajectory next to the serving numbers.  Times the analysis
+layers over the full MDX conversation space (and the lint plus the
+whole-program race pass over ``src/repro``), then reports per-layer wall
+time and finding counts against the < 1 s acceptance budgets.
 """
 
 from __future__ import annotations
@@ -17,6 +17,8 @@ import pytest
 
 from repro.analysis.ambiguity import check_ambiguity
 from repro.analysis.linter import LintConfig, lint_paths
+from repro.analysis.model import build_model
+from repro.analysis.race import RaceConfig, analyze_model
 from repro.analysis.space_checker import build_artifacts, check_space
 from repro.analysis.type_checker import check_types
 from repro.medical import build_mdx_database, build_mdx_ontology, build_mdx_space
@@ -26,6 +28,9 @@ REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 #: Acceptance budget for the semantic audit (type + ambiguity passes).
 AUDIT_BUDGET_SECONDS = 1.0
+
+#: Acceptance budget for the whole-program race pass (model + rules).
+RACE_BUDGET_SECONDS = 1.0
 
 
 @pytest.fixture(scope="module")
@@ -54,6 +59,12 @@ def test_analysis_cost_trajectory(full_space, report):
     lint_findings, lint_seconds = _timed(
         lambda: lint_paths([REPO_SRC], LintConfig())
     )
+    model, model_seconds = _timed(lambda: build_model([REPO_SRC]))
+    analysis, race_seconds = _timed(
+        lambda: analyze_model(model, RaceConfig())
+    )
+    race_findings, rules_seconds = _timed(analysis.run)
+    race_seconds += model_seconds + rules_seconds
 
     audit_seconds = type_seconds + ambiguity_seconds
     report(
@@ -69,6 +80,11 @@ def test_analysis_cost_trajectory(full_space, report):
         f"{len(ambiguity_findings)} finding(s)",
         f"  lint   (L codes)      {lint_seconds * 1000:8.1f} ms  "
         f"{len(lint_findings)} finding(s)",
+        f"  race   (R/D codes)    {race_seconds * 1000:8.1f} ms  "
+        f"{len(race_findings)} finding(s)  "
+        f"({len(analysis.functions)} functions, "
+        f"{len(analysis.edges)} lock-order edges; "
+        f"budget {RACE_BUDGET_SECONDS:.0f} s)",
         f"  audit total           {audit_seconds * 1000:8.1f} ms  "
         f"(budget {AUDIT_BUDGET_SECONDS:.0f} s)",
     )
@@ -78,4 +94,10 @@ def test_analysis_cost_trajectory(full_space, report):
     # The single intentional cross-entity synonym (baselined in CI).
     assert [d.code for d in ambiguity_findings] == ["A003"]
     assert lint_findings == []
+    # Every shipped race finding is a reviewed commit-point suppression
+    # (fsync-under-lock durability contract) or the post-hoc feedback
+    # reader — all carried in .repro-baseline; nothing new may appear.
+    assert sorted({d.code for d in race_findings}) == ["R002", "R003"]
+    assert len(race_findings) == 11
     assert audit_seconds < AUDIT_BUDGET_SECONDS
+    assert race_seconds < RACE_BUDGET_SECONDS

@@ -1,7 +1,7 @@
 """Static analysis for the conversation system.
 
-Four layers share one diagnostic framework (``repro check`` / ``lint`` /
-``audit``):
+Five layers share one diagnostic framework (``repro check`` / ``lint`` /
+``audit`` / ``race``):
 
 * :mod:`repro.analysis.space_checker` cross-validates the bootstrapped
   conversation-space artifacts (templates, logic table, dialogue tree,
@@ -15,7 +15,11 @@ Four layers share one diagnostic framework (``repro check`` / ``lint`` /
   statistics (T001–T008);
 * :mod:`repro.analysis.ambiguity` measures conversation separability —
   duplicate/near-duplicate cross-intent utterances, cross-entity synonym
-  collisions, shadowed templates, stray elicitations (A001–A005).
+  collisions, shadowed templates, stray elicitations (A001–A005);
+* :mod:`repro.analysis.model` + :mod:`repro.analysis.race` build a
+  whole-program model (lock identities, guarded-field sites, a call
+  graph with effect summaries) and run global concurrency rules
+  (R001–R004) and crash-consistency rules (D001–D003) over it.
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` values;
 reviewed, intentional ones are suppressed by a
@@ -48,6 +52,13 @@ from repro.analysis.linter import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.model import ProjectModel, build_model
+from repro.analysis.race import (
+    RaceConfig,
+    analyze_model,
+    check_race_paths,
+    check_race_sources,
+)
 from repro.analysis.space_checker import SpaceArtifacts, build_artifacts, check_space
 from repro.analysis.type_checker import (
     check_space_types,
@@ -73,6 +84,12 @@ __all__ = [
     "LintConfig",
     "lint_paths",
     "lint_source",
+    "ProjectModel",
+    "build_model",
+    "RaceConfig",
+    "analyze_model",
+    "check_race_paths",
+    "check_race_sources",
     "SpaceArtifacts",
     "build_artifacts",
     "check_space",

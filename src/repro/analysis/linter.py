@@ -66,10 +66,13 @@ class LintConfig:
     #: addition to ``do_*`` methods of ``*HTTPRequestHandler`` classes.
     handler_methods: tuple[str, ...] = (
         "handle", "chat", "feedback", "health", "_turn", "_dispatch",
+        "forward",
     )
     #: Path substrings whose modules are in L004's blast radius (the
     #: request path); ``*HTTPRequestHandler`` subclasses are always in.
-    handler_modules: tuple[str, ...] = ("serving",)
+    #: ``persistence`` is in scope because the router's forward path
+    #: (``persistence/router.py``) serves requests too.
+    handler_modules: tuple[str, ...] = ("serving", "persistence")
 
 
 @dataclass

@@ -1,0 +1,1036 @@
+"""Phase 1 of ``repro race``: the whole-program concurrency model.
+
+The intra-method lint (:mod:`repro.analysis.linter`) sees one method at
+a time; the race analyzer needs the *global* structure those methods
+imply — the same move MedTQ makes when it derives a predicate graph
+from local declarations.  This module builds that structure from the
+AST alone:
+
+* every class's **lock attributes** (``self._lock = threading.Lock()``
+  declarations, dataclass ``field(default_factory=threading.Lock)``
+  fields, inherited locks), giving each lock a stable project-wide
+  identity ``ClassName.attr``;
+* a light **type environment** — parameter/return annotations,
+  ``self.x = ClassName(...)`` constructor assignments, ``list``/``dict``
+  element types — so ``entry.lock`` resolves to ``SessionEntry.lock``
+  and ``self.durable.commit_turn(...)`` resolves to a real callee;
+* per-function **effect records**: which locks are acquired (and which
+  were already held — the raw material of the lock-order graph), every
+  resolvable ``obj.field`` read/write with the lock set held at that
+  site, every call site, every blocking syscall, and the ordered
+  file-I/O events (write / flush / fsync / rename / journal append /
+  return) the durability rules D001–D003 check.
+
+Conventions honoured (mirroring the L001 lint so correct code models
+cleanly):
+
+* ``__init__``/``__post_init__`` run before the object is shared;
+* a method named ``*_locked`` documents that its caller holds the
+  class's lock — with exactly one lock that lock is assumed held, with
+  several the sites are marked :data:`CALLER_HELD` (satisfies any
+  guard, creates no order edges);
+* a ``# locks: ClassName.attr[, ...]`` comment on a ``def`` line
+  declares caller-held locks explicitly, for cross-object or multi-lock
+  cases the naming convention cannot express.
+
+The model never guesses: an unresolvable receiver or callee is simply
+omitted, so every edge and site the phase-2 rules reason about is
+backed by a declaration the code actually makes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Marker lock id meaning "whatever lock the caller holds" — satisfies
+#: any guard requirement but never participates in ordering rules.
+CALLER_HELD = "<caller>"
+
+#: ``def`` line annotation declaring caller-held locks.
+_LOCKS_PRAGMA = re.compile(r"#\s*locks:\s*([A-Za-z0-9_.\[\]<>, ]+)")
+
+#: Dotted calls that block the calling thread (syscalls, sleeps).
+BLOCKING_QUALIFIED = {
+    ("os", "fsync"), ("os", "replace"), ("os", "rename"),
+    ("os", "remove"), ("os", "unlink"),
+    ("time", "sleep"),
+    ("subprocess", "Popen"), ("subprocess", "run"), ("subprocess", "call"),
+    ("subprocess", "check_call"), ("subprocess", "check_output"),
+    ("socket", "create_connection"),
+    ("request", "urlopen"),
+    ("json", "dump"), ("json", "load"),
+}
+BLOCKING_BARE = {"open"}
+BLOCKING_ATTRS = {
+    "read_text", "write_text", "read_bytes", "write_bytes", "mkdir",
+}
+
+#: Attribute calls that write bytes out (D001's "write before rename").
+WRITE_ATTRS = {"write", "writelines", "write_text", "write_bytes"}
+
+#: Method calls that mutate their receiver in place — a call through a
+#: field (``self.x.setdefault(...)``) is a *write* to that field's state.
+MUTATING_ATTRS = {
+    "setdefault", "pop", "popitem", "append", "extend", "add", "insert",
+    "remove", "discard", "clear", "update", "move_to_end",
+}
+
+
+# ---------------------------------------------------------------------------
+# Type references
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassType:
+    """A value known to be an instance of a project class."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ListType:
+    elem: object  # TypeRef | None
+
+
+@dataclass(frozen=True)
+class DictType:
+    value: object  # TypeRef | None
+
+
+@dataclass(frozen=True)
+class TupleType:
+    elems: tuple
+
+
+@dataclass(frozen=True)
+class LockValue:
+    """A raw ``threading.Lock`` value; ``family`` names where it lives
+    (``"Store._resuming[]"`` for locks handed out of a dict)."""
+
+    family: str | None = None
+
+
+@dataclass(frozen=True)
+class TempFile:
+    """A path produced by a temp-file idiom; ``same_dir`` records
+    whether it provably lives in the rename target's directory."""
+
+    same_dir: bool
+
+
+# ---------------------------------------------------------------------------
+# Effect records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    lock: str
+    line: int
+    held: frozenset
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    cls: str
+    attr: str
+    write: bool
+    line: int
+    held: frozenset
+
+
+@dataclass
+class CallSite:
+    callee: "FunctionModel | None"
+    line: int
+    held: frozenset
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    what: str
+    line: int
+    held: frozenset
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One ordered durability-relevant event (D001–D003 raw material)."""
+
+    kind: str  # write | flush | fsync | replace | commit_append
+    line: int
+    origin: object = None  # for replace: the source path's TempFile, if known
+
+
+@dataclass
+class Registration:
+    """A function handed to ``signal.signal`` or ``atexit.register``."""
+
+    kind: str  # "signal" | "atexit"
+    target: "FunctionModel | None"
+    line: int
+
+
+@dataclass
+class FunctionModel:
+    """One function/method plus everything the rules need to know."""
+
+    path: str
+    module: str
+    name: str
+    qualname: str  # "Class.method" or bare function name
+    lineno: int
+    node: ast.AST
+    class_model: "ClassModel | None" = None
+    declared_locks: frozenset = frozenset()
+    return_type: object = None
+    acquisitions: list = field(default_factory=list)
+    accesses: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+    blocking: list = field(default_factory=list)
+    io_events: list = field(default_factory=list)
+    returns: list = field(default_factory=list)
+    registrations: list = field(default_factory=list)
+
+    @property
+    def is_init(self) -> bool:
+        return self.name in ("__init__", "__post_init__")
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}::{self.qualname}"
+
+
+@dataclass
+class ClassModel:
+    path: str
+    module: str
+    name: str
+    lineno: int
+    node: ast.ClassDef
+    base_names: list = field(default_factory=list)
+    bases: list = field(default_factory=list)  # resolved ClassModel refs
+    own_locks: set = field(default_factory=set)
+    attr_types: dict = field(default_factory=dict)  # attr -> TypeRef | None
+    methods: dict = field(default_factory=dict)  # name -> FunctionModel
+
+    def mro(self) -> list:
+        """This class followed by its resolvable project bases."""
+        out, queue, seen = [], [self], set()
+        while queue:
+            cls = queue.pop(0)
+            if id(cls) in seen:
+                continue
+            seen.add(id(cls))
+            out.append(cls)
+            queue.extend(cls.bases)
+        return out
+
+    def lock_attrs(self) -> dict:
+        """lock attribute name -> stable lock id ``DeclaringClass.attr``."""
+        locks: dict[str, str] = {}
+        for cls in reversed(self.mro()):
+            for attr in cls.own_locks:
+                locks[attr] = f"{cls.name}.{attr}"
+        return locks
+
+    def find_method(self, name: str) -> FunctionModel | None:
+        for cls in self.mro():
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+    def field_names(self) -> set:
+        out: set[str] = set()
+        for cls in self.mro():
+            out.update(cls.attr_types)
+        return out
+
+    def attr_type(self, attr: str):
+        for cls in self.mro():
+            if attr in cls.attr_types:
+                return cls.attr_types[attr]
+        return None
+
+
+@dataclass
+class ModuleModel:
+    path: str
+    dotted: str
+    tree: ast.Module
+    source: str
+    classes: dict = field(default_factory=dict)
+    functions: dict = field(default_factory=dict)
+    raw_imports: list = field(default_factory=list)  # (local, dotted, symbol)
+    symbols: dict = field(default_factory=dict)  # local name -> resolution
+
+
+@dataclass
+class ProjectModel:
+    """The whole-program model phase 2 runs its rules over."""
+
+    modules: dict = field(default_factory=dict)  # dotted -> ModuleModel
+    classes: dict = field(default_factory=dict)  # bare name -> ClassModel
+    ambiguous_classes: set = field(default_factory=set)
+
+    def all_functions(self):
+        for module in self.modules.values():
+            yield from module.functions.values()
+            for cls in module.classes.values():
+                yield from cls.methods.values()
+
+    def resolve_class(self, name: str) -> ClassModel | None:
+        if name in self.ambiguous_classes:
+            return None
+        return self.classes.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.expr) -> tuple[str, ...] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_lock_constructor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _dotted_name(node.func)
+    if name and name[-1] in ("Lock", "RLock"):
+        return name[0] in ("threading", "Lock", "RLock")
+    # dataclasses.field(default_factory=threading.Lock)
+    if name and name[-1] == "field":
+        for kw in node.keywords:
+            if kw.arg == "default_factory":
+                factory = _dotted_name(kw.value)
+                if factory and factory[-1] in ("Lock", "RLock"):
+                    return True
+    return False
+
+
+def _module_name(root: Path, file: Path) -> str:
+    try:
+        rel = file.relative_to(root.parent)
+    except ValueError:
+        return file.stem
+    return ".".join(rel.with_suffix("").parts)
+
+
+# ---------------------------------------------------------------------------
+# Pass A: parse files, collect raw classes/functions/imports
+# ---------------------------------------------------------------------------
+
+
+def _collect_module(
+    path: Path | str, dotted: str, source: str | None = None
+) -> ModuleModel | None:
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    module = ModuleModel(path=str(path), dotted=dotted, tree=tree, source=source)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            cls = ClassModel(
+                path=module.path, module=dotted, name=node.name,
+                lineno=node.lineno, node=node,
+            )
+            cls.base_names = [
+                ".".join(name) for name in
+                (_dotted_name(base) for base in node.bases) if name
+            ]
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionModel(
+                        path=module.path, module=dotted, name=item.name,
+                        qualname=f"{node.name}.{item.name}",
+                        lineno=item.lineno, node=item, class_model=cls,
+                    )
+            module.classes[node.name] = cls
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[node.name] = FunctionModel(
+                path=module.path, module=dotted, name=node.name,
+                qualname=node.name, lineno=node.lineno, node=node,
+            )
+    # Imports anywhere in the module (function-local imports are the
+    # house style for breaking circular dependencies) resolve names for
+    # the whole module — a small over-approximation, never ambiguous.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                module.raw_imports.append((local, alias.name, None))
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                module.raw_imports.append((local, node.module, alias.name))
+    return module
+
+
+# ---------------------------------------------------------------------------
+# Pass B: resolve imports, bases, attribute/return types
+# ---------------------------------------------------------------------------
+
+
+class _Resolver:
+    """Name → model resolution in one module's import context."""
+
+    def __init__(self, project: ProjectModel, module: ModuleModel) -> None:
+        self.project = project
+        self.module = module
+
+    def lookup(self, name: str):
+        """A local name → ClassModel | FunctionModel | ModuleModel | None."""
+        if name in self.module.classes:
+            return self.module.classes[name]
+        if name in self.module.functions:
+            return self.module.functions[name]
+        resolved = self.module.symbols.get(name)
+        return resolved
+
+    def lookup_dotted(self, parts: tuple[str, ...]):
+        """``("recovery", "recover_session")`` → the imported function."""
+        base = self.lookup(parts[0])
+        for part in parts[1:]:
+            if isinstance(base, ModuleModel):
+                base = base.classes.get(part) or base.functions.get(part)
+            else:
+                return None
+        return base
+
+    def resolve_annotation(self, node: ast.expr | None):
+        """An annotation AST → TypeRef (best effort, never guesses)."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            left = self.resolve_annotation(node.left)
+            return left if left is not None else self.resolve_annotation(node.right)
+        name = _dotted_name(node) if not isinstance(node, ast.Subscript) else None
+        if name:
+            if name[-1] in ("Lock", "RLock") and name[0] in ("threading",):
+                return LockValue()
+            target = self.lookup(name[0]) if len(name) == 1 else (
+                self.lookup_dotted(name)
+            )
+            if isinstance(target, ClassModel):
+                return ClassType(target.name)
+            return None
+        if isinstance(node, ast.Subscript):
+            container = _dotted_name(node.value)
+            if container is None:
+                return None
+            kind = container[-1]
+            items = (
+                list(node.slice.elts)
+                if isinstance(node.slice, ast.Tuple)
+                else [node.slice]
+            )
+            if kind in ("list", "List", "Iterable", "Sequence"):
+                return ListType(self.resolve_annotation(items[0]))
+            if kind in ("dict", "Dict", "OrderedDict", "defaultdict"):
+                return DictType(
+                    self.resolve_annotation(items[-1]) if len(items) > 1 else None
+                )
+            if kind in ("tuple", "Tuple"):
+                return TupleType(
+                    tuple(self.resolve_annotation(item) for item in items)
+                )
+            if kind == "Optional":
+                return self.resolve_annotation(items[0])
+        return None
+
+
+def _resolve_symbols(project: ProjectModel) -> None:
+    for module in project.modules.values():
+        for local, dotted, symbol in module.raw_imports:
+            if symbol is None:
+                target = project.modules.get(dotted)
+            else:
+                # `from pkg import name`: a submodule, or a symbol of pkg.
+                target = project.modules.get(f"{dotted}.{symbol}")
+                if target is None:
+                    source = project.modules.get(dotted)
+                    if source is not None:
+                        target = source.classes.get(symbol) or (
+                            source.functions.get(symbol)
+                        )
+            if target is not None:
+                module.symbols[local] = target
+
+
+def _shallow_value_type(resolver: _Resolver, node: ast.expr):
+    """Type of an ``__init__`` right-hand side, without a local env."""
+    if _is_lock_constructor(node):
+        return LockValue()
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        if name:
+            target = resolver.lookup_dotted(name) if len(name) > 1 else (
+                resolver.lookup(name[0])
+            )
+            if isinstance(target, ClassModel):
+                return ClassType(target.name)
+    if isinstance(node, (ast.ListComp, ast.List)):
+        elements = (
+            [node.elt] if isinstance(node, ast.ListComp) else node.elts
+        )
+        if elements:
+            elem = _shallow_value_type(resolver, elements[0])
+            if elem is not None:
+                return ListType(elem)
+    return None
+
+
+def _resolve_class_details(project: ProjectModel) -> None:
+    for module in project.modules.values():
+        resolver = _Resolver(project, module)
+        for cls in module.classes.values():
+            for base_name in cls.base_names:
+                base = resolver.lookup(base_name.split(".")[0])
+                if "." in base_name:
+                    base = resolver.lookup_dotted(tuple(base_name.split(".")))
+                if isinstance(base, ClassModel):
+                    cls.bases.append(base)
+            # Class-level annotated fields (dataclasses).
+            for item in cls.node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    ref = resolver.resolve_annotation(item.annotation)
+                    if item.value is not None and _is_lock_constructor(item.value):
+                        ref = LockValue()
+                    cls.attr_types[item.target.id] = ref
+                    if isinstance(ref, LockValue):
+                        cls.own_locks.add(item.target.id)
+            # Attributes assigned anywhere in the class body.
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    targets: list[ast.expr] = []
+                    value = None
+                    if isinstance(node, ast.Assign):
+                        targets, value = node.targets, node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        targets, value = [node.target], node.value
+                    for target in targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        attr = target.attr
+                        ref = None
+                        if isinstance(node, ast.AnnAssign):
+                            ref = resolver.resolve_annotation(node.annotation)
+                        if ref is None and value is not None:
+                            ref = _shallow_value_type(resolver, value)
+                        if _is_lock_constructor(value) if value else False:
+                            cls.own_locks.add(attr)
+                            ref = LockValue()
+                        if attr not in cls.attr_types or (
+                            cls.attr_types[attr] is None and ref is not None
+                        ):
+                            cls.attr_types[attr] = ref
+            # Give dict-of-lock attributes a stable family name.
+            for attr, ref in cls.attr_types.items():
+                if isinstance(ref, DictType) and isinstance(
+                    ref.value, LockValue
+                ):
+                    cls.attr_types[attr] = DictType(
+                        LockValue(f"{cls.name}.{attr}[]")
+                    )
+
+
+def _resolve_signatures(project: ProjectModel) -> None:
+    for module in project.modules.values():
+        resolver = _Resolver(project, module)
+        for function in _module_function_models(module):
+            args = function.node.args
+            function.return_type = resolver.resolve_annotation(
+                function.node.returns
+            )
+            function.param_types = {}
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.arg == "self":
+                    continue
+                function.param_types[arg.arg] = resolver.resolve_annotation(
+                    arg.annotation
+                )
+            function.declared_locks = _declared_locks(module, function)
+
+
+def _module_function_models(module: ModuleModel):
+    yield from module.functions.values()
+    for cls in module.classes.values():
+        yield from cls.methods.values()
+
+
+def _declared_locks(module: ModuleModel, function: FunctionModel) -> frozenset:
+    """Caller-held locks from the ``*_locked`` convention and pragma."""
+    held: set[str] = set()
+    lines = module.source.splitlines()
+    body_start = function.node.body[0].lineno if function.node.body else (
+        function.lineno + 1
+    )
+    for lineno in range(function.lineno, body_start):
+        if 0 < lineno <= len(lines):
+            match = _LOCKS_PRAGMA.search(lines[lineno - 1])
+            if match:
+                held.update(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip()
+                )
+    if function.name.endswith("_locked") and function.class_model is not None:
+        locks = sorted(set(function.class_model.lock_attrs().values()))
+        if len(locks) == 1:
+            held.add(locks[0])
+        elif locks:
+            held.add(CALLER_HELD)
+    return frozenset(held)
+
+
+# ---------------------------------------------------------------------------
+# Pass C: walk every function body recording effects
+# ---------------------------------------------------------------------------
+
+
+class _BodyWalker:
+    """Records one function's effects under a static held-lock set."""
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        module: ModuleModel,
+        function: FunctionModel,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.function = function
+        self.resolver = _Resolver(project, module)
+        self.env: dict[str, object] = dict(
+            getattr(function, "param_types", {}) or {}
+        )
+
+    # -- typing --------------------------------------------------------------
+
+    def _type_of(self, node: ast.expr):
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            target = self.resolver.lookup(node.id)
+            if isinstance(target, ClassModel):
+                return ClassType(target.name)
+            return None
+        if isinstance(node, ast.Attribute):
+            owner = self._receiver_class(node.value)
+            if owner is not None:
+                return owner.attr_type(node.attr)
+            return None
+        if isinstance(node, ast.Subscript):
+            container = self._type_of(node.value)
+            if isinstance(container, ListType):
+                return container.elem
+            if isinstance(container, DictType):
+                return container.value
+            return None
+        if isinstance(node, ast.Call):
+            callee, result = self._resolve_call(node)
+            return result
+        return None
+
+    def _receiver_class(self, node: ast.expr) -> ClassModel | None:
+        if (
+            isinstance(node, ast.Name)
+            and node.id == "self"
+            and self.function.class_model is not None
+        ):
+            return self.function.class_model
+        ref = self._type_of(node)
+        if isinstance(ref, ClassType):
+            return self.project.resolve_class(ref.name)
+        return None
+
+    def _resolve_call(self, node: ast.Call):
+        """→ (callee FunctionModel | None, result TypeRef | None)."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            target = self.resolver.lookup(func.id)
+            if isinstance(target, ClassModel):
+                init = target.find_method("__init__")
+                return init, ClassType(target.name)
+            if isinstance(target, FunctionModel):
+                return target, target.return_type
+            return None, None
+        if isinstance(func, ast.Attribute):
+            owner = self._receiver_class(func.value)
+            if owner is not None:
+                method = owner.find_method(func.attr)
+                if method is not None:
+                    return method, method.return_type
+                return None, None
+            # `module.symbol(...)` through a project module alias.
+            name = _dotted_name(func)
+            if name and len(name) >= 2:
+                target = self.resolver.lookup_dotted(name)
+                if isinstance(target, ClassModel):
+                    return target.find_method("__init__"), ClassType(target.name)
+                if isinstance(target, FunctionModel):
+                    return target, target.return_type
+            # Container accessors hand back their element type.
+            container = self._type_of(func.value)
+            if isinstance(container, DictType) and func.attr in (
+                "get", "setdefault", "pop"
+            ):
+                return None, container.value
+            if isinstance(container, ListType) and func.attr == "pop":
+                return None, container.elem
+        return None, None
+
+    # -- lock identity -------------------------------------------------------
+
+    def _lock_id(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Attribute):
+            owner = self._receiver_class(node.value)
+            if owner is not None:
+                return owner.lock_attrs().get(node.attr)
+        ref = self._type_of(node)
+        if isinstance(ref, LockValue):
+            return ref.family
+        return None
+
+    # -- effect recording ----------------------------------------------------
+
+    def _record_access(self, cls: ClassModel, attr: str, write, line, held):
+        if attr not in cls.field_names() and attr not in cls.lock_attrs():
+            return
+        self.function.accesses.append(
+            FieldAccess(
+                cls=cls.name, attr=attr, write=write, line=line,
+                held=frozenset(held),
+            )
+        )
+
+    def _walk_expr(self, node: ast.expr | None, held: frozenset) -> None:
+        if node is None:
+            return
+        consumed: set[int] = set()
+        stack: list[ast.AST] = [node]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, ast.Lambda):
+                continue  # runs later, in an unknown lock context
+            if isinstance(sub, ast.Call):
+                # `self.x.setdefault(...)` and friends mutate the field.
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_ATTRS
+                    and isinstance(func.value, ast.Attribute)
+                ):
+                    owner = self._receiver_class(func.value.value)
+                    if owner is not None and owner.find_method(
+                        func.value.attr
+                    ) is None:
+                        self._record_access(
+                            owner, func.value.attr, True, sub.lineno, held
+                        )
+                        consumed.add(id(func.value))
+                self._record_call(sub, held)
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.ctx, ast.Load)
+                and id(sub) not in consumed
+            ):
+                owner = self._receiver_class(sub.value)
+                if owner is not None and owner.find_method(sub.attr) is None:
+                    self._record_access(
+                        owner, sub.attr, False, sub.lineno, held
+                    )
+            stack.extend(ast.iter_child_nodes(sub))
+
+    def _record_call(self, node: ast.Call, held: frozenset) -> None:
+        callee, _result = self._resolve_call(node)
+        if callee is not None:
+            self.function.calls.append(
+                CallSite(callee=callee, line=node.lineno, held=held)
+            )
+        self._record_blocking(node, held)
+        self._record_io(node, held)
+        self._record_registration(node)
+
+    def _record_blocking(self, node: ast.Call, held: frozenset) -> None:
+        name = _dotted_name(node.func)
+        what = None
+        if name is not None:
+            if len(name) == 1 and name[0] in BLOCKING_BARE:
+                what = name[0]
+            elif len(name) >= 2 and (name[-2], name[-1]) in BLOCKING_QUALIFIED:
+                what = ".".join(name[-2:])
+            elif name[-1] in BLOCKING_ATTRS:
+                what = name[-1]
+        elif isinstance(node.func, ast.Attribute) and (
+            node.func.attr in BLOCKING_ATTRS
+        ):
+            what = node.func.attr
+        if what is not None:
+            self.function.blocking.append(
+                BlockingCall(what=what, line=node.lineno, held=held)
+            )
+
+    def _record_io(self, node: ast.Call, held: frozenset) -> None:
+        name = _dotted_name(node.func)
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+        events = self.function.io_events
+        if attr in WRITE_ATTRS or (
+            name and len(name) >= 2 and (name[-2], name[-1]) == ("json", "dump")
+        ):
+            events.append(IOEvent("write", node.lineno))
+        elif attr == "flush":
+            events.append(IOEvent("flush", node.lineno))
+        elif name and len(name) >= 2 and (name[-2], name[-1]) == ("os", "fsync"):
+            events.append(IOEvent("fsync", node.lineno))
+        elif attr is not None and "fsync" in attr:
+            # A helper whose name advertises fsyncing counts as one
+            # (`self._fsync_directory(...)`).
+            events.append(IOEvent("fsync", node.lineno))
+        if name and len(name) >= 2 and (name[-2], name[-1]) in (
+            ("os", "replace"), ("os", "rename")
+        ):
+            origin = None
+            if node.args:
+                source = node.args[0]
+                if isinstance(source, ast.Name):
+                    candidate = self.env.get(source.id)
+                    if isinstance(candidate, TempFile):
+                        origin = candidate
+            events.append(IOEvent("replace", node.lineno, origin=origin))
+        if attr == "append":
+            owner = self._receiver_class(node.func.value)
+            if owner is not None and owner.find_method("append") is not None:
+                events.append(IOEvent("commit_append", node.lineno))
+
+    def _record_registration(self, node: ast.Call) -> None:
+        name = _dotted_name(node.func)
+        if name is None:
+            return
+        kind = None
+        if (name[-2:] if len(name) >= 2 else name) == ("signal", "signal"):
+            kind, target_node = "signal", node.args[1] if len(node.args) > 1 else None
+        elif len(name) >= 2 and (name[-2], name[-1]) == ("atexit", "register"):
+            kind, target_node = "atexit", node.args[0] if node.args else None
+        if kind is None or target_node is None:
+            return
+        target: FunctionModel | None = None
+        if isinstance(target_node, ast.Name):
+            looked = self.resolver.lookup(target_node.id)
+            if isinstance(looked, FunctionModel):
+                target = looked
+        elif isinstance(target_node, ast.Attribute):
+            owner = self._receiver_class(target_node.value)
+            if owner is not None:
+                target = owner.find_method(target_node.attr)
+        self.function.registrations.append(
+            Registration(kind=kind, target=target, line=node.lineno)
+        )
+
+    # -- assignment / statement walk -----------------------------------------
+
+    def _assign_target(self, target: ast.expr, value_type, held, line) -> None:
+        if isinstance(target, ast.Name):
+            if value_type is not None:
+                self.env[target.id] = value_type
+            else:
+                self.env.pop(target.id, None)
+            return
+        receiver = target
+        if isinstance(target, ast.Subscript):
+            receiver = target.value
+        if isinstance(receiver, ast.Attribute):
+            owner = self._receiver_class(receiver.value)
+            if owner is not None:
+                self._record_access(owner, receiver.attr, True, line, held)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elems = (
+                value_type.elems
+                if isinstance(value_type, TupleType)
+                else (None,) * len(target.elts)
+            )
+            for sub, sub_type in zip(target.elts, elems):
+                self._assign_target(sub, sub_type, held, line)
+
+    def _value_type_with_tempfiles(self, node: ast.expr):
+        """Value typing plus the temp-file idioms D002 certifies."""
+        name = _dotted_name(node.func) if isinstance(node, ast.Call) else None
+        if name and len(name) >= 2 and (name[-2], name[-1]) == (
+            "tempfile", "mkstemp"
+        ):
+            same_dir = any(kw.arg == "dir" for kw in node.keywords)
+            return TupleType((None, TempFile(same_dir=same_dir)))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("with_name", "with_suffix")
+        ):
+            return TempFile(same_dir=True)
+        return self._type_of(node)
+
+    def walk(self) -> None:
+        held = frozenset(
+            lock for lock in self.function.declared_locks
+        )
+        self._walk_block(self.function.node.body, held)
+
+    def _walk_block(self, statements, held: frozenset) -> None:
+        for statement in statements:
+            self._walk_stmt(statement, held)
+
+    def _walk_stmt(self, node: ast.stmt, held: frozenset) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions run in an unknown lock context
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(node, "value", None)
+            self._walk_expr(value, held)
+            value_type = (
+                self._value_type_with_tempfiles(value)
+                if value is not None
+                else None
+            )
+            if isinstance(node, ast.AnnAssign) and value_type is None:
+                value_type = self.resolver.resolve_annotation(node.annotation)
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(node, ast.AugAssign):
+                    # += reads then writes the same location.
+                    self._walk_expr_target_read(target, held)
+                self._assign_target(target, value_type, held, node.lineno)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._assign_target(target, None, held, node.lineno)
+            return
+        if isinstance(node, ast.With):
+            new_held = set(held)
+            for item in node.items:
+                self._walk_expr(item.context_expr, held)
+                lock = self._lock_id(item.context_expr)
+                if lock is not None:
+                    self.function.acquisitions.append(
+                        Acquisition(lock=lock, line=node.lineno, held=held)
+                    )
+                    new_held.add(lock)
+            self._walk_block(node.body, frozenset(new_held))
+            return
+        if isinstance(node, ast.Return):
+            self.function.returns.append(node.lineno)
+            self._walk_expr(node.value, held)
+            return
+        if isinstance(node, ast.Expr):
+            self._walk_expr(node.value, held)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._walk_expr(node.test, held)
+            self._walk_block(node.body, held)
+            self._walk_block(node.orelse, held)
+            return
+        if isinstance(node, ast.For):
+            self._walk_expr(node.iter, held)
+            iter_type = self._type_of(node.iter)
+            elem = iter_type.elem if isinstance(iter_type, ListType) else None
+            self._assign_target(node.target, elem, held, node.lineno)
+            self._walk_block(node.body, held)
+            self._walk_block(node.orelse, held)
+            return
+        if isinstance(node, ast.Try):
+            self._walk_block(node.body, held)
+            for handler in node.handlers:
+                self._walk_block(handler.body, held)
+            self._walk_block(node.orelse, held)
+            self._walk_block(node.finalbody, held)
+            return
+        if isinstance(node, ast.Raise):
+            self._walk_expr(node.exc, held)
+            return
+        # Anything else: record the calls/reads it contains.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._walk_expr(child, held)
+            elif isinstance(child, ast.stmt):
+                self._walk_stmt(child, held)
+
+    def _walk_expr_target_read(self, target: ast.expr, held: frozenset) -> None:
+        receiver = target.value if isinstance(target, ast.Subscript) else target
+        if isinstance(receiver, ast.Attribute):
+            owner = self._receiver_class(receiver.value)
+            if owner is not None:
+                self._record_access(
+                    owner, receiver.attr, False, target.lineno, held
+                )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _finish_model(project: ProjectModel) -> ProjectModel:
+    for module in project.modules.values():
+        for cls in module.classes.values():
+            if cls.name in project.classes:
+                project.ambiguous_classes.add(cls.name)
+            project.classes[cls.name] = cls
+    _resolve_symbols(project)
+    _resolve_class_details(project)
+    _resolve_signatures(project)
+    for module in project.modules.values():
+        for function in _module_function_models(module):
+            _BodyWalker(project, module, function).walk()
+    return project
+
+
+def build_model(paths: list[str | Path]) -> ProjectModel:
+    """Build the whole-program model from ``.py`` files/directories."""
+    project = ProjectModel()
+    for path in paths:
+        path = Path(path)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        root = path if path.is_dir() else path.parent
+        for file in files:
+            dotted = _module_name(root, file)
+            module = _collect_module(file, dotted)
+            if module is not None:
+                project.modules[dotted] = module
+    return _finish_model(project)
+
+
+def build_model_from_sources(sources: dict[str, str]) -> ProjectModel:
+    """Build the model from in-memory modules (``{"pkg/mod.py": source}``)
+    — the unit-test entry point."""
+    project = ProjectModel()
+    for path, source in sources.items():
+        dotted = ".".join(Path(path).with_suffix("").parts)
+        module = _collect_module(path, dotted, source=source)
+        if module is not None:
+            project.modules[dotted] = module
+    return _finish_model(project)

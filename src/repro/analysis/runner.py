@@ -27,6 +27,8 @@ from repro.analysis.diagnostics import (
     sort_key,
 )
 from repro.analysis.linter import LintConfig, lint_paths
+from repro.analysis.model import build_model
+from repro.analysis.race import RaceConfig, analyze_model
 from repro.analysis.space_checker import build_artifacts, check_space
 from repro.analysis.type_checker import check_types
 from repro.errors import ReproError
@@ -152,17 +154,52 @@ def cmd_check(args: argparse.Namespace, output_fn=print) -> int:
     )
 
 
-def cmd_lint(args: argparse.Namespace, output_fn=print) -> int:
-    """Run the concurrency/purity lint over the codebase."""
+def _lint_targets(args: argparse.Namespace) -> list[str]:
     paths = args.paths or ["src/repro"]
     missing = [p for p in paths if not Path(p).exists()]
     if missing:
         raise SystemExit(f"no such path: {', '.join(missing)}")
+    return paths
+
+
+def cmd_lint(args: argparse.Namespace, output_fn=print) -> int:
+    """Run the concurrency/purity lint over the codebase."""
+    paths = _lint_targets(args)
     diagnostics = lint_paths(paths, LintConfig())
+    deep = getattr(args, "deep", False)
+    if deep:
+        analysis = analyze_model(build_model(paths), RaceConfig())
+        diagnostics = sorted(diagnostics + analysis.run(), key=sort_key)
+    header = (
+        f"repro lint{' --deep' if deep else ''}: "
+        f"{', '.join(str(p) for p in paths)}"
+    )
     baseline = _load_baseline(args)
-    header = f"repro lint: {', '.join(str(p) for p in paths)}"
+    prefixes = ("L", "R", "D") if deep else ("L",)
     return _report(
-        diagnostics, baseline, args, output_fn, header, code_prefixes=("L",)
+        diagnostics, baseline, args, output_fn, header, code_prefixes=prefixes
+    )
+
+
+def cmd_race(args: argparse.Namespace, output_fn=print) -> int:
+    """Run the whole-program concurrency & crash-consistency analyzer."""
+    started = time.perf_counter()
+    paths = _lint_targets(args)
+    analysis = analyze_model(build_model(paths), RaceConfig())
+    if getattr(args, "graph", False):
+        output_fn(analysis.graph_dot())
+        return 0
+    diagnostics = analysis.run()
+    elapsed = time.perf_counter() - started
+    header = (
+        f"repro race: {', '.join(str(p) for p in paths)} — "
+        f"{len(analysis.functions)} functions, "
+        f"{len(analysis.lock_nodes)} locks, {len(analysis.edges)} "
+        f"lock-order edges analyzed in {elapsed:.2f}s"
+    )
+    return _report(
+        diagnostics, baseline=_load_baseline(args), args=args,
+        output_fn=output_fn, header=header, code_prefixes=("R", "D"),
     )
 
 
@@ -195,6 +232,9 @@ def _all_diagnostics(args: argparse.Namespace) -> list[Diagnostic]:
     lint_root = Path("src/repro")
     if lint_root.exists():
         diagnostics += lint_paths([lint_root], LintConfig())
+        diagnostics += analyze_model(
+            build_model([lint_root]), RaceConfig()
+        ).run()
     return sorted(diagnostics, key=sort_key)
 
 

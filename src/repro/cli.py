@@ -31,7 +31,14 @@ Commands
     logic table, dialogue tree, entities) without executing a query;
     ``--deep`` additionally runs the semantic audit.
 ``lint``
-    Run the concurrency/purity lint pass over the codebase.
+    Run the concurrency/purity lint pass over the codebase; ``--deep``
+    additionally runs the whole-program race analyzer.
+``race``
+    Whole-program concurrency & crash-consistency analyzer: lock-order
+    cycles, inconsistently guarded fields, blocking syscalls under
+    request-path locks, signal-handler locking (codes R001–R004) and
+    write→fsync→rename / journal commit-point discipline (codes
+    D001–D003).  ``--graph`` dumps the lock-order graph as DOT.
 ``audit``
     Run the semantic audit: typed symbolic evaluation over every
     template's SQL AST (codes T001–T008) and conversation ambiguity
@@ -311,10 +318,10 @@ def _serve_worker(args: argparse.Namespace, output_fn, run_forever) -> int:
     server.start()
     ready = directory / READY_FILE
     tmp = ready.with_name(ready.name + ".tmp")
-    tmp.write_text(
-        json.dumps({"port": server.port, "pid": os.getpid()}),
-        encoding="utf-8",
-    )
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"port": server.port, "pid": os.getpid()}, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, ready)
     output_fn(f"[worker {index}] serving on {server.address}")
     if not run_forever:
@@ -543,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd_baseline,
         cmd_check,
         cmd_lint,
+        cmd_race,
     )
 
     check = sub.add_parser(
@@ -561,8 +569,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the race/durability analyzer (R/D codes)")
     add_analysis_arguments(lint)
     lint.set_defaults(handler=cmd_lint)
+
+    race = sub.add_parser(
+        "race",
+        help="whole-program concurrency & crash-consistency analyzer "
+        "(R/D codes)",
+    )
+    race.add_argument("paths", nargs="*",
+                      help="files/directories to analyze (default: src/repro)")
+    race.add_argument("--graph", action="store_true",
+                      help="dump the lock-order graph as DOT and exit")
+    add_analysis_arguments(race)
+    race.set_defaults(handler=cmd_race)
 
     audit = sub.add_parser(
         "audit",

@@ -87,23 +87,25 @@ class FeedbackLog:
     # -- aggregates -----------------------------------------------------------
 
     def negative_count(self) -> int:
-        return sum(1 for r in self.records() if r.feedback == "down")
+        with self._lock:
+            return sum(1 for r in self._records if r.feedback == "down")
 
     def success_rate(self) -> float:
         """Equation 1: (interactions - negative) / interactions."""
-        records = self.records()
-        if not records:
-            return 1.0
-        negative = sum(1 for r in records if r.feedback == "down")
-        return 1.0 - negative / len(records)
+        with self._lock:
+            if not self._records:
+                return 1.0
+            negative = sum(1 for r in self._records if r.feedback == "down")
+            return 1.0 - negative / len(self._records)
 
     def per_intent(self) -> dict[str, tuple[int, int]]:
         """intent -> (total interactions, negative interactions)."""
         out: dict[str, list[int]] = {}
-        for record in self.records():
-            key = record.intent or "<none>"
-            bucket = out.setdefault(key, [0, 0])
-            bucket[0] += 1
-            if record.feedback == "down":
-                bucket[1] += 1
+        with self._lock:
+            for record in self._records:
+                key = record.intent or "<none>"
+                bucket = out.setdefault(key, [0, 0])
+                bucket[0] += 1
+                if record.feedback == "down":
+                    bucket[1] += 1
         return {k: (v[0], v[1]) for k, v in out.items()}

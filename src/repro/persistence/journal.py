@@ -197,6 +197,11 @@ class SessionJournal:
         os.fsync(self._handle.fileno())
         self.fsyncs += 1
 
+    def fsync_count(self) -> int:
+        """How many fsyncs this journal has issued, read under the lock."""
+        with self._lock:
+            return self.fsyncs
+
     def sync(self) -> None:
         """Force an fsync regardless of policy (used on graceful close)."""
         with self._lock:

@@ -87,13 +87,17 @@ class WorkerHandle:
 
     @property
     def base_url(self) -> str | None:
-        if self.port is None:
+        with self.lock:
+            port = self.port
+        if port is None:
             return None
-        return f"http://127.0.0.1:{self.port}"
+        return f"http://127.0.0.1:{port}"
 
     @property
     def alive(self) -> bool:
-        return self.process is not None and self.process.poll() is None
+        with self.lock:
+            process = self.process
+        return process is not None and process.poll() is None
 
 
 class SessionRouter:
@@ -174,26 +178,30 @@ class SessionRouter:
         ready.unlink(missing_ok=True)
         log = open(handle.directory / "worker.log", "ab")
         try:
-            with handle.lock:
-                handle.port = None
-                handle.process = subprocess.Popen(
-                    self._command(handle.index),
-                    stdout=log, stderr=subprocess.STDOUT,
-                    stdin=subprocess.DEVNULL,
-                    # Detach from the controlling terminal's process group:
-                    # a Ctrl-C must reach only the router, which then
-                    # coordinates one SIGTERM per worker so each drains
-                    # and snapshots exactly once.
-                    start_new_session=True,
-                )
+            # fork/exec happens outside handle.lock: the kill/stop paths
+            # take that lock and must never wait behind a spawn.
+            process = subprocess.Popen(
+                self._command(handle.index),
+                stdout=log, stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL,
+                # Detach from the controlling terminal's process group:
+                # a Ctrl-C must reach only the router, which then
+                # coordinates one SIGTERM per worker so each drains
+                # and snapshots exactly once.
+                start_new_session=True,
+            )
         finally:
             log.close()  # the child holds its own descriptor
+        with handle.lock:
+            handle.port = None
+            handle.process = process
         self._await_ready(handle, ready)
 
     def _await_ready(self, handle: WorkerHandle, ready: Path) -> None:
         deadline = time.monotonic() + self.spawn_timeout
         while time.monotonic() < deadline:
-            process = handle.process
+            with handle.lock:
+                process = handle.process
             if process is not None and process.poll() is not None:
                 raise RouterError(
                     f"worker {handle.index} exited with code "
@@ -202,7 +210,8 @@ class SessionRouter:
                 )
             port = self._read_ready(ready, process.pid if process else None)
             if port is not None and self._healthy(port):
-                handle.port = port
+                with handle.lock:
+                    handle.port = port
                 return
             time.sleep(0.05)
         raise RouterError(
@@ -248,7 +257,8 @@ class SessionRouter:
                     return
                 if handle.alive:
                     continue
-                handle.restarts += 1
+                with handle.lock:
+                    handle.restarts += 1
                 self.metrics.counter("router_worker_restarts_total").inc()
                 try:
                     self.spawn_worker(handle)
@@ -328,16 +338,19 @@ class SessionRouter:
         workers = []
         all_up = True
         for handle in self.workers:
-            up = handle.alive and handle.port is not None and self._healthy(
-                handle.port
-            )
+            with handle.lock:
+                port = handle.port
+                process = handle.process
+                restarts = handle.restarts
+            running = process is not None and process.poll() is None
+            up = running and port is not None and self._healthy(port)
             all_up = all_up and up
             workers.append({
                 "index": handle.index,
                 "up": up,
-                "port": handle.port,
-                "pid": handle.process.pid if handle.process else None,
-                "restarts": handle.restarts,
+                "port": port,
+                "pid": process.pid if process else None,
+                "restarts": restarts,
             })
         body = json.dumps({
             "status": "ok" if all_up else "degraded",

@@ -100,7 +100,7 @@ class DurableSessionIdAllocator(SessionIdAllocator):
         self._reserved_to = reserved
         return reserved
 
-    def reserve(self, up_to: int) -> None:
+    def reserve(self, up_to: int) -> None:  # locks: SessionIdAllocator._lock
         """Persist a new high-water mark before ids past the current
         reservation are handed out (called under the allocator lock)."""
         if up_to <= self._reserved_to:
@@ -222,11 +222,11 @@ class DurableSessionStore:
 
     @property
     def evicted_ttl(self) -> int:
-        return self.store.evicted_ttl
+        return self.store.eviction_counts()[0]
 
     @property
     def evicted_lru(self) -> int:
-        return self.store.evicted_lru
+        return self.store.eviction_counts()[1]
 
     def create(self) -> tuple[str, SessionEntry]:
         return self.store.create()
@@ -275,7 +275,7 @@ class DurableSessionStore:
         utterance: str,
         result: dict[str, Any],
         client_turn_id: str | None = None,
-    ) -> None:
+    ) -> None:  # locks: SessionEntry.lock
         """Make one completed turn durable (called under the entry lock).
 
         When this returns, the turn is on disk per the fsync policy and
@@ -297,11 +297,11 @@ class DurableSessionStore:
         }
         if client_turn_id is not None:
             record["client_turn_id"] = client_turn_id
-        fsyncs_before = journal.fsyncs
+        fsyncs_before = journal.fsync_count()
         written = journal.append(record)
         self._count("turns_journaled_total")
         self._count("journal_bytes_total", written)
-        self._count("journal_fsyncs_total", journal.fsyncs - fsyncs_before)
+        self._count("journal_fsyncs_total", journal.fsync_count() - fsyncs_before)
         if client_turn_id is not None:
             entry.last_commit = (client_turn_id, dict(result))
         with self._journal_lock:
@@ -310,7 +310,7 @@ class DurableSessionStore:
         if pending >= self.snapshot_every:
             self._snapshot(sid, entry)
 
-    def _snapshot(self, sid: str, entry: SessionEntry) -> None:
+    def _snapshot(self, sid: str, entry: SessionEntry) -> None:  # locks: SessionEntry.lock
         """Snapshot the context and compact the journal (entry lock held
         by the caller, or the entry already unreachable)."""
         write_snapshot(
@@ -370,7 +370,11 @@ class DurableSessionStore:
                 return entry
         finally:
             with self._resume_lock:
-                self._resuming.pop(sid, None)
+                # Identity-checked: only the thread whose setdefault won
+                # may retire the gate, so a late finisher can never pop a
+                # newer gate out from under the threads queued on it.
+                if self._resuming.get(sid) is gate:
+                    self._resuming.pop(sid)
 
     def _absorb_recovery(self, recovered: recovery.RecoveredSession) -> None:
         self._count("sessions_recovered_total")

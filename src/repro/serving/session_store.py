@@ -189,10 +189,15 @@ class SessionStore:
 
     def sweep(self) -> int:
         """Evict every TTL-expired session; returns how many were dropped."""
-        before = self.evicted_ttl
         with self._lock:
+            before = self.evicted_ttl
             self._sweep_locked(self._clock())
             return self.evicted_ttl - before
+
+    def eviction_counts(self) -> tuple[int, int]:
+        """``(evicted_ttl, evicted_lru)`` as one consistent reading."""
+        with self._lock:
+            return self.evicted_ttl, self.evicted_lru
 
     def clear(self) -> None:
         with self._lock:

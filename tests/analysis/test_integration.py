@@ -283,4 +283,8 @@ class TestBaselineCLI:
         ]) == 0
         text = target.read_text(encoding="utf-8")
         assert "reviewed: union subtype labels" in text
-        assert "TODO: review" not in text
+        # The race findings are new relative to the seeded file and get
+        # TODO markers; the preserved entry keeps its comment instead.
+        for line in text.splitlines():
+            if line.startswith("A003"):
+                assert "TODO: review" not in line

@@ -230,6 +230,26 @@ class TestL004BlockingIO:
         """, path="src/repro/serving/server.py")
         assert codes == []
 
+    def test_forward_in_persistence_module_flagged(self):
+        # Regression: the router's forward path is a request handler too;
+        # blocking file I/O there stalls every session pinned to a worker.
+        codes = _codes("""
+            class SessionRouter:
+                def forward(self, session_id, payload):
+                    with open("spool.json", "a") as fh:
+                        fh.write(payload)
+        """, path="src/repro/persistence/router.py")
+        assert codes == ["L004"]
+
+    def test_non_handler_method_in_persistence_is_fine(self):
+        codes = _codes("""
+            class SessionRouter:
+                def spool(self, payload):
+                    with open("spool.json", "a") as fh:
+                        fh.write(payload)
+        """, path="src/repro/persistence/router.py")
+        assert codes == []
+
     def test_path_methods_flagged(self):
         codes = _codes("""
             class App:
