@@ -4,8 +4,9 @@ Not a paper artifact — the analyzers are build-time tooling — but their
 cost gates how often CI and SMEs can afford to run them, so it belongs
 in the perf trajectory next to the serving numbers.  Times the analysis
 layers over the full MDX conversation space (and the lint plus the
-whole-program race pass over ``src/repro``), then reports per-layer wall
-time and finding counts against the < 1 s acceptance budgets.
+whole-program race and purity passes over ``src/repro``), then reports
+per-layer wall time and finding counts against the per-layer acceptance
+budgets (1 s per analysis pass, 2 s for the shared program model).
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import pytest
 from repro.analysis.ambiguity import check_ambiguity
 from repro.analysis.linter import LintConfig, lint_paths
 from repro.analysis.model import build_model
+from repro.analysis.purity import PurityConfig, analyze_purity_model
 from repro.analysis.race import RaceConfig, analyze_model
 from repro.analysis.space_checker import build_artifacts, check_space
 from repro.analysis.type_checker import check_types
@@ -29,8 +31,17 @@ REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 #: Acceptance budget for the semantic audit (type + ambiguity passes).
 AUDIT_BUDGET_SECONDS = 1.0
 
-#: Acceptance budget for the whole-program race pass (model + rules).
+#: Acceptance budget for the shared whole-program model build.  The
+#: model is built once and reused by the race *and* purity passes
+#: (exactly how ``lint --deep`` and ``baseline`` run them), so its cost
+#: is budgeted once rather than double-counted into each pass.
+MODEL_BUDGET_SECONDS = 2.0
+
+#: Acceptance budget for the race pass over an already-built model.
 RACE_BUDGET_SECONDS = 1.0
+
+#: Acceptance budget for the purity pass over an already-built model.
+PURITY_BUDGET_SECONDS = 1.0
 
 
 @pytest.fixture(scope="module")
@@ -64,7 +75,12 @@ def test_analysis_cost_trajectory(full_space, report):
         lambda: analyze_model(model, RaceConfig())
     )
     race_findings, rules_seconds = _timed(analysis.run)
-    race_seconds += model_seconds + rules_seconds
+    race_seconds += rules_seconds
+    purity, summaries_seconds = _timed(
+        lambda: analyze_purity_model(model, PurityConfig())
+    )
+    purity_findings, purity_rules_seconds = _timed(purity.run)
+    purity_seconds = summaries_seconds + purity_rules_seconds
 
     audit_seconds = type_seconds + ambiguity_seconds
     report(
@@ -80,11 +96,18 @@ def test_analysis_cost_trajectory(full_space, report):
         f"{len(ambiguity_findings)} finding(s)",
         f"  lint   (L codes)      {lint_seconds * 1000:8.1f} ms  "
         f"{len(lint_findings)} finding(s)",
+        f"  program model         {model_seconds * 1000:8.1f} ms  "
+        f"(shared by race + purity; budget {MODEL_BUDGET_SECONDS:.0f} s)",
         f"  race   (R/D codes)    {race_seconds * 1000:8.1f} ms  "
         f"{len(race_findings)} finding(s)  "
         f"({len(analysis.functions)} functions, "
         f"{len(analysis.edges)} lock-order edges; "
         f"budget {RACE_BUDGET_SECONDS:.0f} s)",
+        f"  purity (P/X codes)    {purity_seconds * 1000:8.1f} ms  "
+        f"{len(purity_findings)} finding(s)  "
+        f"({len(purity.entries)} stage entries, "
+        f"{len(purity.reach)} turn-path functions; "
+        f"budget {PURITY_BUDGET_SECONDS:.0f} s)",
         f"  audit total           {audit_seconds * 1000:8.1f} ms  "
         f"(budget {AUDIT_BUDGET_SECONDS:.0f} s)",
     )
@@ -99,5 +122,12 @@ def test_analysis_cost_trajectory(full_space, report):
     # reader — all carried in .repro-baseline; nothing new may appear.
     assert sorted({d.code for d in race_findings}) == ["R002", "R003"]
     assert len(race_findings) == 11
+    # Every shipped purity finding is a reviewed replay-transparent
+    # P003 (ephemeral per-statement objects, generation-invalidated
+    # memos, observability counters) carried in .repro-baseline.
+    assert sorted({d.code for d in purity_findings}) == ["P003"]
+    assert len(purity_findings) == 11
     assert audit_seconds < AUDIT_BUDGET_SECONDS
+    assert model_seconds < MODEL_BUDGET_SECONDS
     assert race_seconds < RACE_BUDGET_SECONDS
+    assert purity_seconds < PURITY_BUDGET_SECONDS

@@ -1,7 +1,7 @@
 """Static analysis for the conversation system.
 
-Five layers share one diagnostic framework (``repro check`` / ``lint`` /
-``audit`` / ``race``):
+Six layers share one diagnostic framework (``repro check`` / ``lint`` /
+``audit`` / ``race`` / ``purity``):
 
 * :mod:`repro.analysis.space_checker` cross-validates the bootstrapped
   conversation-space artifacts (templates, logic table, dialogue tree,
@@ -19,7 +19,12 @@ Five layers share one diagnostic framework (``repro check`` / ``lint`` /
 * :mod:`repro.analysis.model` + :mod:`repro.analysis.race` build a
   whole-program model (lock identities, guarded-field sites, a call
   graph with effect summaries) and run global concurrency rules
-  (R001–R004) and crash-consistency rules (D001–D003) over it.
+  (R001–R004) and crash-consistency rules (D001–D003) over it;
+* :mod:`repro.analysis.purity` runs replay-determinism rules
+  (P001–P004: nondeterminism, order escapes, hidden state, environment
+  dependence on the turn path) and exception-flow rules (X001–X003)
+  over the same model, proving journal replay reproduces every turn
+  byte-for-byte and no exception kills a worker mid-commit.
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` values;
 reviewed, intentional ones are suppressed by a
@@ -53,6 +58,12 @@ from repro.analysis.linter import (
     lint_source,
 )
 from repro.analysis.model import ProjectModel, build_model
+from repro.analysis.purity import (
+    PurityConfig,
+    analyze_purity_model,
+    check_purity_paths,
+    check_purity_sources,
+)
 from repro.analysis.race import (
     RaceConfig,
     analyze_model,
@@ -86,6 +97,10 @@ __all__ = [
     "lint_source",
     "ProjectModel",
     "build_model",
+    "PurityConfig",
+    "analyze_purity_model",
+    "check_purity_paths",
+    "check_purity_sources",
     "RaceConfig",
     "analyze_model",
     "check_race_paths",

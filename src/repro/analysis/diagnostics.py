@@ -74,6 +74,10 @@ class Diagnostic:
     location: Location
     #: Short kebab-case name of the rule ("unknown-column").
     rule: str = ""
+    #: EXPLAIN-style witness chain: ``("qualname:line", ...)`` steps from
+    #: the entry point down to the offending call/raise, when the rule
+    #: is interprocedural (the purity/exception-flow P*/X* codes).
+    chain: tuple = ()
 
     def render(self) -> str:
         """One pretty line: ``error C003 path (symbol): message``."""
@@ -83,7 +87,7 @@ class Diagnostic:
         )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "code": self.code,
             "severity": self.severity.value,
             "rule": self.rule,
@@ -92,6 +96,9 @@ class Diagnostic:
             "symbol": self.location.symbol,
             "message": self.message,
         }
+        if self.chain:
+            out["chain"] = list(self.chain)
+        return out
 
 
 def sort_key(diag: Diagnostic):
@@ -118,6 +125,7 @@ class DiagnosticCollector:
         message: str,
         location: Location,
         rule: str = "",
+        chain: tuple = (),
     ) -> Diagnostic:
         diag = Diagnostic(
             code=code,
@@ -125,15 +133,16 @@ class DiagnosticCollector:
             message=message,
             location=location,
             rule=rule,
+            chain=chain,
         )
         self.diagnostics.append(diag)
         return diag
 
-    def error(self, code: str, message: str, location: Location, rule: str = "") -> Diagnostic:
-        return self.emit(code, Severity.ERROR, message, location, rule)
+    def error(self, code: str, message: str, location: Location, rule: str = "", chain: tuple = ()) -> Diagnostic:
+        return self.emit(code, Severity.ERROR, message, location, rule, chain)
 
-    def warning(self, code: str, message: str, location: Location, rule: str = "") -> Diagnostic:
-        return self.emit(code, Severity.WARNING, message, location, rule)
+    def warning(self, code: str, message: str, location: Location, rule: str = "", chain: tuple = ()) -> Diagnostic:
+        return self.emit(code, Severity.WARNING, message, location, rule, chain)
 
     def sorted(self) -> list[Diagnostic]:
         return sorted(self.diagnostics, key=sort_key)

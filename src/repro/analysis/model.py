@@ -78,6 +78,44 @@ MUTATING_ATTRS = {
     "remove", "discard", "clear", "update", "move_to_end",
 }
 
+#: Calls whose results vary across runs or processes — the raw material
+#: of the replay-determinism rules (P001/P004).  ``clock``/``random``/
+#: ``uuid``/``entropy`` values diverge between the original turn and its
+#: journal replay; ``env``/``fs`` values depend on the host environment.
+NONDET_QUALIFIED = {
+    ("time", "time"): "clock", ("time", "time_ns"): "clock",
+    ("time", "monotonic"): "clock", ("time", "monotonic_ns"): "clock",
+    ("time", "perf_counter"): "clock", ("time", "perf_counter_ns"): "clock",
+    ("datetime", "now"): "clock", ("datetime", "utcnow"): "clock",
+    ("datetime", "today"): "clock", ("date", "today"): "clock",
+    ("random", "random"): "random", ("random", "randint"): "random",
+    ("random", "randrange"): "random", ("random", "choice"): "random",
+    ("random", "choices"): "random", ("random", "shuffle"): "random",
+    ("random", "sample"): "random", ("random", "uniform"): "random",
+    ("random", "getrandbits"): "random", ("random", "seed"): "random",
+    ("uuid", "uuid1"): "uuid", ("uuid", "uuid4"): "uuid",
+    ("os", "urandom"): "entropy", ("secrets", "token_bytes"): "entropy",
+    ("secrets", "token_hex"): "entropy",
+    ("secrets", "token_urlsafe"): "entropy",
+    ("os", "getenv"): "env",
+    ("os", "listdir"): "fs", ("os", "scandir"): "fs", ("os", "walk"): "fs",
+    ("glob", "glob"): "fs", ("glob", "iglob"): "fs",
+}
+
+#: Receiver-typed directory enumeration (``Path.iterdir`` — no module
+#: prefix to resolve, so these go by attribute name alone).
+NONDET_ATTRS = {"iterdir": "fs"}
+
+#: Wrapping a filesystem enumeration (or a set) in one of these fixes
+#: its order, so the wrapped call is no longer an order hazard.
+ORDER_SANITIZERS = {"sorted"}
+
+#: Calls that consume an unordered collection without exposing its
+#: iteration order (aggregates, membership, emptiness).
+ORDER_NEUTRAL_CALLS = {
+    "sorted", "len", "min", "max", "sum", "any", "all", "bool",
+}
+
 
 # ---------------------------------------------------------------------------
 # Type references
@@ -148,6 +186,71 @@ class CallSite:
     callee: "FunctionModel | None"
     line: int
     held: frozenset
+    #: Exception type names caught by enclosing non-re-raising ``try``
+    #: handlers at this call site (``"<bare>"`` for a bare ``except:``).
+    caught: tuple = ()
+
+
+@dataclass(frozen=True)
+class NondetCall:
+    """One call whose result varies across runs/processes."""
+
+    kind: str  # clock | random | uuid | entropy | env | fs
+    what: str  # "time.perf_counter", "os.environ", ...
+    line: int
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One explicit ``raise`` with its resolved exception type."""
+
+    type_name: str  # bare class name, or "<unknown>" for dynamic raises
+    line: int
+    #: Type names caught by enclosing non-re-raising handlers at the
+    #: raise site (the raise only escapes past these).
+    caught: tuple = ()
+
+
+@dataclass(frozen=True)
+class GlobalWrite:
+    """A mutation of module-level state from inside a function."""
+
+    target: str  # "pkg.module:NAME"
+    line: int
+
+
+@dataclass(frozen=True)
+class OrderEscape:
+    """An unordered collection whose iteration order leaves the function
+    (into a returned/yielded value or an object field) — byte-unstable
+    across processes under str-hash randomization."""
+
+    source: str  # description of the unordered expression
+    line: int
+    via: str  # "return" | "yield" | "state"
+
+
+@dataclass(frozen=True)
+class ExceptClause:
+    """One ``except`` handler clause."""
+
+    types: tuple  # caught type names; () means a bare ``except:``
+    line: int
+    reraises: bool  # the handler body re-raises the caught exception
+
+
+@dataclass
+class TryBlock:
+    """One ``try`` statement: its handlers plus what the protected body
+    can actually raise (X002's raw material)."""
+
+    line: int
+    clauses: list = field(default_factory=list)  # ExceptClause
+    callees: list = field(default_factory=list)  # resolved FunctionModel
+    raise_types: list = field(default_factory=list)  # direct raises in body
+    #: True when every call in the body resolved to a project function
+    #: or a bare-name builtin — only then can a handler be proven dead.
+    complete: bool = True
 
 
 @dataclass(frozen=True)
@@ -195,6 +298,16 @@ class FunctionModel:
     io_events: list = field(default_factory=list)
     returns: list = field(default_factory=list)
     registrations: list = field(default_factory=list)
+    nondet_calls: list = field(default_factory=list)
+    raises: list = field(default_factory=list)
+    global_writes: list = field(default_factory=list)
+    order_escapes: list = field(default_factory=list)
+    except_clauses: list = field(default_factory=list)
+    try_blocks: list = field(default_factory=list)
+    #: Calls that did not resolve to a project function and were not
+    #: bare-name builtins — while any are reachable, the raise-set of
+    #: this function cannot be proven complete (gates X002).
+    unresolved_calls: int = 0
 
     @property
     def is_init(self) -> bool:
@@ -267,6 +380,7 @@ class ModuleModel:
     functions: dict = field(default_factory=dict)
     raw_imports: list = field(default_factory=list)  # (local, dotted, symbol)
     symbols: dict = field(default_factory=dict)  # local name -> resolution
+    global_names: set = field(default_factory=set)  # module-level variables
 
 
 @dataclass
@@ -303,6 +417,23 @@ def _dotted_name(node: ast.expr) -> tuple[str, ...] | None:
         parts.append(node.id)
         return tuple(reversed(parts))
     return None
+
+
+def _handler_type_names(node: ast.expr | None) -> tuple:
+    """Exception type names caught by an ``except`` clause expression.
+
+    ``except (A, B)`` yields both names; a bare ``except`` yields ``()``;
+    unresolvable expressions are dropped (treated as catching nothing we
+    can reason about)."""
+    if node is None:
+        return ()
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        dotted = _dotted_name(expr)
+        if dotted is not None:
+            names.append(dotted[-1])
+    return tuple(names)
 
 
 def _is_lock_constructor(node: ast.expr) -> bool:
@@ -367,6 +498,13 @@ def _collect_module(
                 path=module.path, module=dotted, name=node.name,
                 qualname=node.name, lineno=node.lineno, node=node,
             )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module.global_names.add(target.id)
     # Imports anywhere in the module (function-local imports are the
     # house style for breaking circular dependencies) resolve names for
     # the whole module — a small over-approximation, never ambiguous.
@@ -630,6 +768,25 @@ class _BodyWalker:
         self.env: dict[str, object] = dict(
             getattr(function, "param_types", {}) or {}
         )
+        # Exception-flow context: one entry per enclosing ``try`` whose
+        # handlers would stop a propagating exception here.
+        self._caught_stack: list[tuple] = []
+        self._try_stack: list[TryBlock] = []
+        # Order-taint context: locals currently holding unordered
+        # collections, and call nodes wrapped in an order sanitizer.
+        self._set_locals: set[str] = set()
+        self._sanitized: set[int] = set()
+        # Names the function declares ``global`` (writes hit the module),
+        # and every name bound locally (everything else may be a module
+        # global when the module defines it at top level).
+        self._global_decls: set[str] = set()
+        self._local_names: set[str] = set(self.env)
+        for sub in ast.walk(function.node):
+            if isinstance(sub, ast.Global):
+                self._global_decls.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                self._local_names.add(sub.id)
+        self._local_names -= self._global_decls
 
     # -- typing --------------------------------------------------------------
 
@@ -718,6 +875,135 @@ class _BodyWalker:
             return ref.family
         return None
 
+    # -- exception / nondeterminism / order context --------------------------
+
+    def _caught(self) -> tuple:
+        """Handler type names active at the current walk position."""
+        return tuple(
+            name for frame in self._caught_stack for name in frame
+        )
+
+    def _is_module_global(self, name: str) -> bool:
+        if name in self._global_decls:
+            return True
+        return name in self.module.global_names and (
+            name not in self._local_names
+        )
+
+    def _unordered_source(self, node: ast.expr) -> str | None:
+        """A description when ``node`` evaluates to an unordered
+        collection (set literal/comprehension/constructor, a tainted
+        local, or a set operation over one); None otherwise."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return f"{node.func.id}(...)"
+            return None
+        if isinstance(node, ast.Name) and node.id in self._set_locals:
+            return f"the set {node.id!r}"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._unordered_source(node.left) or (
+                self._unordered_source(node.right)
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference", "copy",
+            ):
+                return self._unordered_source(node.func.value)
+        return None
+
+    def _order_escapes_in(self, node: ast.expr | None) -> list:
+        """(source, line) pairs where an unordered collection's iteration
+        order reaches the value of ``node`` unsanitized."""
+        if node is None:
+            return []
+        out: list[tuple[str, int]] = []
+        stack: list[ast.AST] = [node]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+                if sub.func.id in ORDER_NEUTRAL_CALLS:
+                    continue  # sorted()/len()/... absorb the order
+                if sub.func.id in ("list", "tuple") and sub.args:
+                    source = self._unordered_source(sub.args[0])
+                    if source is not None:
+                        out.append((source, sub.lineno))
+                        continue
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ) and sub.func.attr == "join" and sub.args:
+                source = self._unordered_source(sub.args[0])
+                if source is not None:
+                    out.append((source, sub.lineno))
+                    continue
+            if isinstance(sub, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in sub.generators:
+                    source = self._unordered_source(comp.iter)
+                    if source is not None:
+                        out.append((source, sub.lineno))
+            if isinstance(sub, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in sub.ops
+            ):
+                continue  # membership tests are order-free
+            source = self._unordered_source(sub)
+            if source is not None:
+                out.append((source, sub.lineno))
+                continue
+            stack.extend(ast.iter_child_nodes(sub))
+        return out
+
+    def _record_order_escapes(self, node: ast.expr | None, via: str) -> None:
+        for source, line in self._order_escapes_in(node):
+            self.function.order_escapes.append(
+                OrderEscape(source=source, line=line, via=via)
+            )
+
+    def _record_nondet(self, node: ast.Call) -> None:
+        name = _dotted_name(node.func)
+        kind = what = None
+        if name is not None:
+            if len(name) >= 2 and (name[-2], name[-1]) in NONDET_QUALIFIED:
+                kind = NONDET_QUALIFIED[(name[-2], name[-1])]
+                what = ".".join(name[-2:])
+        if kind is None and isinstance(node.func, ast.Attribute) and (
+            node.func.attr in NONDET_ATTRS
+        ):
+            kind, what = NONDET_ATTRS[node.func.attr], node.func.attr
+        if kind is None:
+            return
+        if kind == "fs" and id(node) in self._sanitized:
+            return  # sorted(os.listdir(...)) — order fixed by the caller
+        self.function.nondet_calls.append(
+            NondetCall(kind=kind, what=what, line=node.lineno)
+        )
+
+    def _record_global_write(self, name: str, line: int) -> None:
+        self.function.global_writes.append(
+            GlobalWrite(target=f"{self.module.dotted}:{name}", line=line)
+        )
+
+    def _raise_type(self, exc: ast.expr | None) -> str | None:
+        """The exception type name a ``raise`` statement throws, or
+        "<unknown>" for dynamic values, or None for bare re-raise."""
+        if exc is None:
+            return None  # bare re-raise: already counted at the origin
+        node = exc
+        if isinstance(node, ast.Call):
+            node = node.func
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return "<unknown>"
+        name = dotted[-1]
+        if name[:1].isupper():
+            return name
+        return "<unknown>"  # raise from a local variable
+
     # -- effect recording ----------------------------------------------------
 
     def _record_access(self, cls: ClassModel, attr: str, write, line, held):
@@ -740,6 +1026,15 @@ class _BodyWalker:
             if isinstance(sub, ast.Lambda):
                 continue  # runs later, in an unknown lock context
             if isinstance(sub, ast.Call):
+                if isinstance(
+                    sub.func, ast.Name
+                ) and sub.func.id in ORDER_SANITIZERS:
+                    # sorted(os.listdir(...)): the wrapped enumeration's
+                    # order never escapes.
+                    self._sanitized.update(
+                        id(arg) for arg in sub.args
+                        if isinstance(arg, ast.Call)
+                    )
                 # `self.x.setdefault(...)` and friends mutate the field.
                 func = sub.func
                 if (
@@ -755,7 +1050,26 @@ class _BodyWalker:
                             owner, func.value.attr, True, sub.lineno, held
                         )
                         consumed.add(id(func.value))
+                # `_CACHE.setdefault(...)` on a module-level name is a
+                # hidden module-state write.
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_ATTRS
+                    and isinstance(func.value, ast.Name)
+                    and self._is_module_global(func.value.id)
+                ):
+                    self._record_global_write(func.value.id, sub.lineno)
                 self._record_call(sub, held)
+            if isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                dotted = _dotted_name(sub)
+                if dotted == ("os", "environ"):
+                    self.function.nondet_calls.append(
+                        NondetCall(
+                            kind="env", what="os.environ", line=sub.lineno
+                        )
+                    )
             if (
                 isinstance(sub, ast.Attribute)
                 and isinstance(sub.ctx, ast.Load)
@@ -772,8 +1086,32 @@ class _BodyWalker:
         callee, _result = self._resolve_call(node)
         if callee is not None:
             self.function.calls.append(
-                CallSite(callee=callee, line=node.lineno, held=held)
+                CallSite(
+                    callee=callee, line=node.lineno, held=held,
+                    caught=self._caught(),
+                )
             )
+        unresolved = callee is None
+        if unresolved and isinstance(node.func, ast.Name):
+            target = self.resolver.lookup(node.func.id)
+            if target is None and node.func.id not in self._local_names:
+                # A bare-name builtin stays provable; a local callable
+                # (``fn = getattr(...)``) could be any project code.
+                unresolved = False
+            elif isinstance(target, ClassModel):
+                # A constructor with no __init__/__post_init__ of its
+                # own (plain exception subclasses) runs no project code.
+                unresolved = target.find_method("__post_init__") is not None
+        if unresolved:
+            # An unresolved attribute/aliased call could reach any
+            # project code; the raise-set is no longer provable.
+            self.function.unresolved_calls += 1
+        for block in self._try_stack:
+            if callee is not None:
+                block.callees.append(callee)
+            elif unresolved:
+                block.complete = False
+        self._record_nondet(node)
         self._record_blocking(node, held)
         self._record_io(node, held)
         self._record_registration(node)
@@ -857,6 +1195,8 @@ class _BodyWalker:
 
     def _assign_target(self, target: ast.expr, value_type, held, line) -> None:
         if isinstance(target, ast.Name):
+            if target.id in self._global_decls:
+                self._record_global_write(target.id, line)
             if value_type is not None:
                 self.env[target.id] = value_type
             else:
@@ -865,7 +1205,16 @@ class _BodyWalker:
         receiver = target
         if isinstance(target, ast.Subscript):
             receiver = target.value
+        if isinstance(receiver, ast.Name) and self._is_module_global(
+            receiver.id
+        ):
+            # `_CACHE[key] = value` on a module-level name.
+            self._record_global_write(receiver.id, line)
         if isinstance(receiver, ast.Attribute):
+            if isinstance(
+                receiver.value, ast.Name
+            ) and self._is_module_global(receiver.value.id):
+                self._record_global_write(receiver.value.id, line)
             owner = self._receiver_class(receiver.value)
             if owner is not None:
                 self._record_access(owner, receiver.attr, True, line, held)
@@ -925,6 +1274,17 @@ class _BodyWalker:
                     # += reads then writes the same location.
                     self._walk_expr_target_read(target, held)
                 self._assign_target(target, value_type, held, node.lineno)
+                if isinstance(target, ast.Name) and not isinstance(
+                    node, ast.AugAssign
+                ):
+                    if value is not None and self._unordered_source(value):
+                        self._set_locals.add(target.id)
+                    else:
+                        self._set_locals.discard(target.id)
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    # Unordered iteration order persisted into object or
+                    # module state escapes the function.
+                    self._record_order_escapes(value, "state")
             return
         if isinstance(node, ast.Delete):
             for target in node.targets:
@@ -944,9 +1304,12 @@ class _BodyWalker:
             return
         if isinstance(node, ast.Return):
             self.function.returns.append(node.lineno)
+            self._record_order_escapes(node.value, "return")
             self._walk_expr(node.value, held)
             return
         if isinstance(node, ast.Expr):
+            if isinstance(node.value, (ast.Yield, ast.YieldFrom)):
+                self._record_order_escapes(node.value.value, "yield")
             self._walk_expr(node.value, held)
             return
         if isinstance(node, (ast.If, ast.While)):
@@ -956,6 +1319,24 @@ class _BodyWalker:
             return
         if isinstance(node, ast.For):
             self._walk_expr(node.iter, held)
+            if self._unordered_source(node.iter):
+                # Locals accumulated inside a loop over an unordered
+                # collection inherit its (hash-dependent) order.
+                for sub in ast.walk(node):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in ("append", "extend", "insert")
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        self._set_locals.add(sub.func.value.id)
+                    elif isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                        self.function.order_escapes.append(
+                            OrderEscape(
+                                source=self._unordered_source(node.iter),
+                                line=node.lineno, via="yield",
+                            )
+                        )
             iter_type = self._type_of(node.iter)
             elem = iter_type.elem if isinstance(iter_type, ListType) else None
             self._assign_target(node.target, elem, held, node.lineno)
@@ -963,13 +1344,49 @@ class _BodyWalker:
             self._walk_block(node.orelse, held)
             return
         if isinstance(node, ast.Try):
+            clauses = []
+            for handler in node.handlers:
+                reraises = any(
+                    isinstance(sub, ast.Raise) and sub.exc is None
+                    for stmt in handler.body
+                    for sub in ast.walk(stmt)
+                )
+                clauses.append(
+                    ExceptClause(
+                        types=_handler_type_names(handler.type),
+                        line=handler.lineno, reraises=reraises,
+                    )
+                )
+            block = TryBlock(line=node.lineno, clauses=clauses)
+            caught = tuple(
+                name
+                for clause in clauses
+                if not clause.reraises
+                for name in (clause.types or ("<bare>",))
+            )
+            self._try_stack.append(block)
+            self._caught_stack.append(caught)
             self._walk_block(node.body, held)
+            self._caught_stack.pop()
+            self._try_stack.pop()
+            self.function.try_blocks.append(block)
+            self.function.except_clauses.extend(clauses)
             for handler in node.handlers:
                 self._walk_block(handler.body, held)
             self._walk_block(node.orelse, held)
             self._walk_block(node.finalbody, held)
             return
         if isinstance(node, ast.Raise):
+            type_name = self._raise_type(node.exc)
+            if type_name is not None:
+                self.function.raises.append(
+                    RaiseSite(
+                        type_name=type_name, line=node.lineno,
+                        caught=self._caught(),
+                    )
+                )
+                for block in self._try_stack:
+                    block.raise_types.append(type_name)
             self._walk_expr(node.exc, held)
             return
         # Anything else: record the calls/reads it contains.

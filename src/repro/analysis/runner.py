@@ -1,11 +1,13 @@
-"""CLI entry points for ``python -m repro check|lint|audit|baseline``.
+"""CLI entry points for ``python -m repro check|lint|race|purity|audit|baseline``.
 
 All commands share one reporting pipeline: run the checkers, subtract
 the baseline, render pretty text or JSON, and exit non-zero when any
 non-baselined error remains (warnings too under ``--strict``).
 ``audit`` runs the semantic layers (type/dataflow + ambiguity) that
-``check`` leaves out; ``check --deep`` runs everything; ``baseline
---update`` regenerates the suppression file from current findings.
+``check`` leaves out; ``purity`` runs the replay-determinism and
+exception-flow rules; ``check --deep``/``lint --deep`` run everything;
+``baseline --update`` regenerates the suppression file from current
+findings.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.linter import LintConfig, lint_paths
 from repro.analysis.model import build_model
+from repro.analysis.purity import PurityConfig, analyze_purity_model
 from repro.analysis.race import RaceConfig, analyze_model
 from repro.analysis.space_checker import build_artifacts, check_space
 from repro.analysis.type_checker import check_types
@@ -168,14 +171,19 @@ def cmd_lint(args: argparse.Namespace, output_fn=print) -> int:
     diagnostics = lint_paths(paths, LintConfig())
     deep = getattr(args, "deep", False)
     if deep:
-        analysis = analyze_model(build_model(paths), RaceConfig())
-        diagnostics = sorted(diagnostics + analysis.run(), key=sort_key)
+        model = build_model(paths)
+        diagnostics = sorted(
+            diagnostics
+            + analyze_model(model, RaceConfig()).run()
+            + analyze_purity_model(model, PurityConfig()).run(),
+            key=sort_key,
+        )
     header = (
         f"repro lint{' --deep' if deep else ''}: "
         f"{', '.join(str(p) for p in paths)}"
     )
     baseline = _load_baseline(args)
-    prefixes = ("L", "R", "D") if deep else ("L",)
+    prefixes = ("L", "R", "D", "P", "X") if deep else ("L",)
     return _report(
         diagnostics, baseline, args, output_fn, header, code_prefixes=prefixes
     )
@@ -200,6 +208,26 @@ def cmd_race(args: argparse.Namespace, output_fn=print) -> int:
     return _report(
         diagnostics, baseline=_load_baseline(args), args=args,
         output_fn=output_fn, header=header, code_prefixes=("R", "D"),
+    )
+
+
+def cmd_purity(args: argparse.Namespace, output_fn=print) -> int:
+    """Run the replay-determinism & exception-flow analyzer."""
+    started = time.perf_counter()
+    paths = _lint_targets(args)
+    analysis = analyze_purity_model(build_model(paths), PurityConfig())
+    diagnostics = analysis.run()
+    elapsed = time.perf_counter() - started
+    header = (
+        f"repro purity: {', '.join(str(p) for p in paths)} — "
+        f"{len(analysis.functions)} functions, "
+        f"{len(analysis.entries)} stage entry points, "
+        f"{len(analysis.reach)} turn-path functions analyzed in "
+        f"{elapsed:.2f}s"
+    )
+    return _report(
+        diagnostics, baseline=_load_baseline(args), args=args,
+        output_fn=output_fn, header=header, code_prefixes=("P", "X"),
     )
 
 
@@ -232,9 +260,9 @@ def _all_diagnostics(args: argparse.Namespace) -> list[Diagnostic]:
     lint_root = Path("src/repro")
     if lint_root.exists():
         diagnostics += lint_paths([lint_root], LintConfig())
-        diagnostics += analyze_model(
-            build_model([lint_root]), RaceConfig()
-        ).run()
+        model = build_model([lint_root])
+        diagnostics += analyze_model(model, RaceConfig()).run()
+        diagnostics += analyze_purity_model(model, PurityConfig()).run()
     return sorted(diagnostics, key=sort_key)
 
 

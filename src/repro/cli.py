@@ -32,13 +32,19 @@ Commands
     ``--deep`` additionally runs the semantic audit.
 ``lint``
     Run the concurrency/purity lint pass over the codebase; ``--deep``
-    additionally runs the whole-program race analyzer.
+    additionally runs the whole-program race and purity analyzers.
 ``race``
     Whole-program concurrency & crash-consistency analyzer: lock-order
     cycles, inconsistently guarded fields, blocking syscalls under
     request-path locks, signal-handler locking (codes R001–R004) and
     write→fsync→rename / journal commit-point discipline (codes
     D001–D003).  ``--graph`` dumps the lock-order graph as DOT.
+``purity``
+    Whole-program replay-determinism & exception-flow analyzer over the
+    turn pipeline: nondeterministic calls, unordered-iteration escapes,
+    hidden shared-state writes, environment dependence (codes
+    P001–P004) and stage exception escapes / dead handlers / over-broad
+    catches (codes X001–X003), each with a witness call chain.
 ``audit``
     Run the semantic audit: typed symbolic evaluation over every
     template's SQL AST (codes T001–T008) and conversation ambiguity
@@ -550,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd_baseline,
         cmd_check,
         cmd_lint,
+        cmd_purity,
         cmd_race,
     )
 
@@ -570,7 +577,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: src/repro)")
     lint.add_argument("--deep", action="store_true",
-                      help="also run the race/durability analyzer (R/D codes)")
+                      help="also run the race/durability (R/D) and "
+                      "purity/exception-flow (P/X) analyzers")
     add_analysis_arguments(lint)
     lint.set_defaults(handler=cmd_lint)
 
@@ -585,6 +593,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="dump the lock-order graph as DOT and exit")
     add_analysis_arguments(race)
     race.set_defaults(handler=cmd_race)
+
+    purity = sub.add_parser(
+        "purity",
+        help="replay-determinism & exception-flow analyzer (P/X codes)",
+    )
+    purity.add_argument("paths", nargs="*",
+                        help="files/directories to analyze "
+                        "(default: src/repro)")
+    add_analysis_arguments(purity)
+    purity.set_defaults(handler=cmd_purity)
 
     audit = sub.add_parser(
         "audit",

@@ -155,6 +155,10 @@ class EntityRecognizer:
                     used[i] = True
                     continue
                 if len(distinct) > 1:
+                    # Candidate order reaches the disambiguation prompt
+                    # (and the journal): sort so it never depends on
+                    # entity declaration/load order.
+                    distinct.sort(key=lambda pair: (pair[1], pair[0]))
                     result.ambiguous[token] = distinct
                     used[i] = True
                     continue

@@ -54,7 +54,12 @@ from repro.dialogue.tree import NodeOutcome
 from repro.engine.kinds import ResponseKind
 from repro.engine.pipeline import AgentResponse, Stage, TurnState
 from repro.engine.recognizer import RecognitionResult
-from repro.errors import DialogueError, MissingBindingsError
+from repro.errors import (
+    DialogueError,
+    KBError,
+    MissingBindingsError,
+    TemplateError,
+)
 from repro.nlp.tokenizer import tokenize
 from repro.nlq.templates import StructuredQueryTemplate
 
@@ -482,7 +487,19 @@ def management_response(
         values["definition"] = definition_for(agent, utterance)
     if intent_name == "abort":
         context.reset()
-    text = render_template(template, values) if template else ""
+    if template:
+        try:
+            text = render_template(template, values)
+        except (DialogueError, ValueError):
+            # An SME-edited management template can carry an unbound
+            # variable past `repro check`; answer apologetically rather
+            # than letting DialogueError kill the worker (X001).
+            text = (
+                "I'm sorry, I can't do that right now — say 'help' for "
+                "examples."
+            )
+    else:
+        text = ""
     return AgentResponse(
         text=text,
         intent=intent_name,
@@ -612,6 +629,21 @@ def answer_response(
             confidence=confidence,
             kind=ResponseKind.ELICIT,
             elicit_concept=concept,
+        )
+    except (KBError, TemplateError):
+        # Template SQL that no longer matches the re-published KB
+        # (dropped column, renamed table, syntax slip in an SME edit):
+        # `repro check` flags these at build time, but the serving
+        # handler only catches EngineError, so anything escaping here
+        # would kill the worker mid-commit (X001) — degrade gracefully.
+        return AgentResponse(
+            text=(
+                "I understood the question but cannot answer it from the "
+                "knowledge base yet."
+            ),
+            intent=intent.name,
+            confidence=confidence,
+            kind=ResponseKind.ANSWER_UNAVAILABLE,
         )
     if not result.rows:
         subject = intent.result_concept or "information"

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import IntegrityError
 from repro.kb.schema import TableSchema
@@ -25,8 +25,15 @@ class Table:
     subscribing to change events.
     """
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(
+        self,
+        schema: TableSchema,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self.schema = schema
+        # Injected so the build-time stats below never read the wall
+        # clock on the turn path (replay determinism, P001).
+        self._clock = clock
         self._rows: list[tuple[Any, ...]] = []
         self._pk_index: dict[Any, int] | None = (
             {} if schema.primary_key is not None else None
@@ -161,7 +168,7 @@ class Table:
         cached = self._indexes.get(position)
         if cached is not None:
             return cached
-        start = time.perf_counter()
+        start = self._clock()
         index: dict[Any, list[int]] = {}
         for row_pos, row in enumerate(self._rows):
             value = row[position]
@@ -170,7 +177,7 @@ class Table:
             index.setdefault(normalize_key(value), []).append(row_pos)
         self._indexes[position] = index
         self._index_builds += 1
-        self._index_build_seconds += time.perf_counter() - start
+        self._index_build_seconds += self._clock() - start
         return index
 
     def index_stats(self) -> dict[str, float]:

@@ -1,0 +1,96 @@
+"""Replay determinism as a *property*, not just a static proof.
+
+``repro purity`` argues statically that nothing on the turn path reads
+the wall clock, a random source, the environment, or the iteration
+order of a hash container.  This test checks the same property
+dynamically: two fresh interpreters with **different**
+``PYTHONHASHSEED`` values recover the same journaled session and
+continue it, and their complete response streams must be byte
+identical.  If any set/dict iteration order ever escaped into a
+response (P002), or any hidden state made replay diverge (P003), the
+two processes would disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import repro
+from tests.persistence.conftest import GOLDEN_SCRIPT
+from tests.persistence.test_recovery import _crashy_conversation
+from tests.serving.conftest import build_toy_agent
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+REPO_ROOT = str(Path(__file__).resolve().parents[2])
+
+#: Recover the session named on argv, replay it, run the remaining
+#: golden turns, and emit every response text as UTF-8 JSON bytes.
+DRIVER = textwrap.dedent("""
+    import json
+    import sys
+    from pathlib import Path
+
+    from repro.persistence.recovery import recover_session
+    from tests.persistence.conftest import GOLDEN_SCRIPT
+    from tests.serving.conftest import build_toy_agent
+
+    data_dir, sid = Path(sys.argv[1]), sys.argv[2]
+    recovered = recover_session(build_toy_agent(), data_dir, sid)
+    texts = [turn.agent for turn in recovered.session.context.history]
+    texts += [
+        recovered.session.ask(utterance).text
+        for utterance in GOLDEN_SCRIPT[recovered.turn_count:]
+    ]
+    payload = {
+        "replayed": recovered.replayed,
+        "mismatches": recovered.mismatches,
+        "texts": texts,
+    }
+    sys.stdout.buffer.write(
+        json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    )
+""")
+
+
+def _recover_in_subprocess(driver: Path, data_dir, sid: str, seed: str):
+    result = subprocess.run(
+        [sys.executable, str(driver), str(data_dir), sid],
+        capture_output=True,
+        timeout=120,
+        env={
+            "PYTHONPATH": f"{SRC_DIR}:{REPO_ROOT}",
+            "PYTHONHASHSEED": seed,
+        },
+    )
+    assert result.returncode == 0, result.stderr.decode()
+    return result.stdout
+
+
+class TestHashSeedIndependence:
+    def test_replay_twice_is_byte_identical_across_hash_seeds(
+        self, tmp_path
+    ):
+        sid, before = _crashy_conversation(tmp_path, turns=3)
+        driver = tmp_path / "driver.py"
+        driver.write_text(DRIVER, encoding="utf-8")
+
+        # Two interpreters whose str() hashing disagrees everywhere.
+        first = _recover_in_subprocess(driver, tmp_path, sid, seed="1")
+        second = _recover_in_subprocess(driver, tmp_path, sid, seed="2")
+        assert first == second
+
+        # Both replayed the journal cleanly and their transcript
+        # matches the pre-crash conversation plus the uninterrupted
+        # control — replay is deterministic, not merely self-consistent.
+        payload = json.loads(first.decode("utf-8"))
+        assert payload["replayed"] == 3
+        assert payload["mismatches"] == 0
+        assert payload["texts"][:3] == before
+        control = build_toy_agent().session()
+        assert payload["texts"] == [
+            control.ask(utterance).text for utterance in GOLDEN_SCRIPT
+        ]
