@@ -17,24 +17,43 @@ under fire*:
   transcript is compared against every turn a client saw acknowledged.
   The acceptance criterion is **zero lost committed turns**.
 
+``--frontend async`` switches every serving process to the asyncio
+front end (``repro.serving.aio``) and adds two phases:
+
+* **Overload gate** (the ROADMAP saturation gate) — a baseline wave at
+  capacity, then a deliberate 2x-overload wave against a server with a
+  tight admission gate.  Passes when the p99 of *admitted* requests
+  stays within 2x the baseline p99, admitted throughput holds, and the
+  excess demand surfaces as 503s in ``admission_rejected_total`` — no
+  silent queue growth.
+* **Async session drill** — an asyncio load generator (coroutine per
+  session over a bounded keep-alive connection pool, replacing
+  thread-per-request clients) opens every session against the durable
+  multi-worker router, then revisits all of them wave by wave, so all
+  N sessions are concurrently live; durable transcripts are verified
+  afterwards.  Full mode drives >= 10k sessions.
+
 Two modes:
 
 * **Full** (default) — 50 load clients; drill over 1000 sessions
-  across the workers.
+  across the workers; async drill over 10000 sessions.
 * **Smoke** (``--smoke``, run in CI) — small agent, 12 load clients,
-  60 drill sessions; asserts correctness, not latency numbers (which
-  would flake on shared CI runners).
+  60 drill sessions, 300 async-drill sessions; asserts correctness and
+  shedding behaviour, not absolute latency numbers (which would flake
+  on shared CI runners; the strict 2x p99 gate runs in full mode).
 
 Either mode can emit a JSON report via ``--json PATH`` for the CI
 artifact upload.  Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --json out.json
     PYTHONPATH=src python benchmarks/bench_serving.py --workers 3 --sessions 1500
+    PYTHONPATH=src python benchmarks/bench_serving.py --frontend async
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import signal
@@ -58,7 +77,7 @@ from repro.medical import (
     build_mdx_space,
 )
 from repro.persistence.router import SessionRouter, affinity
-from repro.serving import ConversationServer
+from repro.serving import AsyncConversationServer, ConversationServer
 
 #: Load-phase concurrent client sessions (full / smoke).
 CLIENTS, SMOKE_CLIENTS = 50, 12
@@ -70,6 +89,16 @@ DRILL_SESSIONS, SMOKE_DRILL_SESSIONS = 1000, 60
 DRILL_TURNS = 2
 #: Client threads driving the drill sessions.
 DRILL_THREADS = 16
+#: Async session drill: concurrently live sessions (full / smoke).
+ASYNC_SESSIONS, SMOKE_ASYNC_SESSIONS = 10_000, 300
+#: Committed turns per async-drill session.
+ASYNC_DRILL_TURNS = 2
+#: Keep-alive connections the async load generator multiplexes over.
+ASYNC_POOL = 64
+#: Overload gate: turn-executor threads == admission slots (a tight
+#: gate, so overload sheds instead of queueing) and closed-loop turns
+#: per client in each wave.
+OVERLOAD_CAPACITY, OVERLOAD_TURNS = 8, 25
 
 
 def http_json(
@@ -107,6 +136,109 @@ def percentiles(samples: list[float]) -> tuple[float, float, float]:
     return pct(0.5), pct(0.95), pct(0.99)
 
 
+class AsyncHTTPClient:
+    """Keep-alive JSON client over a bounded asyncio connection pool.
+
+    ``pool_size`` sockets are multiplexed across any number of session
+    coroutines, so 10k concurrent sessions need 10k coroutines, not 10k
+    file descriptors (or threads).  A parked connection the server
+    closed while idle is detected at request time and retried once on a
+    fresh socket.
+    """
+
+    def __init__(self, host: str, port: int, pool_size: int) -> None:
+        self._host, self._port = host, port
+        self._pool: asyncio.Queue = asyncio.Queue()
+        for _ in range(pool_size):
+            self._pool.put_nowait(None)  # placeholder: open lazily
+
+    async def request_json(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float = 60.0,
+    ) -> tuple[int, dict]:
+        """One request; connection failures surface as a synthetic 599."""
+        conn = await self._pool.get()
+        try:
+            for attempt in (0, 1):
+                reused = conn is not None
+                if conn is None:
+                    try:
+                        conn = await asyncio.open_connection(
+                            self._host, self._port
+                        )
+                    except OSError as exc:
+                        return 599, {"error": "connection", "message": str(exc)}
+                body = b""
+                if payload is not None:
+                    body = json.dumps(payload).encode("utf-8")
+                head = (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self._host}:{self._port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                )
+                reader, writer = conn
+                try:
+                    writer.write(head.encode("latin-1") + body)
+                    await writer.drain()
+                    status, parsed, closing = await asyncio.wait_for(
+                        self._read_response(reader), timeout
+                    )
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    ConnectionResetError,
+                ) as exc:
+                    writer.close()
+                    conn = None
+                    if reused and attempt == 0:
+                        continue  # stale keep-alive: one fresh retry
+                    return 599, {"error": "connection", "message": str(exc)}
+                if closing:
+                    writer.close()
+                    conn = None
+                return status, parsed
+            return 599, {"error": "connection", "message": "retries spent"}
+        finally:
+            self._pool.put_nowait(conn)
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict, bool]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        status = int(status_line.decode("latin-1").split(" ", 2)[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        raw = await reader.readexactly(length) if length else b""
+        closing = headers.get("connection", "").lower() == "close"
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except ValueError:
+            parsed = {"raw": raw.decode("utf-8", "replace")}
+        if not isinstance(parsed, dict):
+            parsed = {"value": parsed}
+        return status, parsed, closing
+
+    async def close(self) -> None:
+        while not self._pool.empty():
+            conn = self._pool.get_nowait()
+            if conn is not None:
+                conn[1].close()
+
+
 def build_agent() -> ConversationAgent:
     """A self-contained small MDX agent (fast to build, full behaviour)."""
     db = build_mdx_database(GeneratorConfig(max_drugs=40, max_conditions=20))
@@ -127,11 +259,16 @@ def export_artifacts(agent: ConversationAgent, out: Path) -> None:
 # -- load phase ---------------------------------------------------------------
 
 
-def run_load_phase(agent: ConversationAgent, clients: int) -> dict[str, Any]:
+def run_load_phase(
+    agent: ConversationAgent, clients: int, frontend: str = "thread"
+) -> dict[str, Any]:
     drugs = [
         row[0] for row in agent.database.query("SELECT name FROM drug").rows
     ][:8]
-    server = ConversationServer(
+    server_cls = (
+        AsyncConversationServer if frontend == "async" else ConversationServer
+    )
+    server = server_cls(
         agent, port=0, max_workers=64, max_pending=512, request_timeout=60.0
     )
     with server:
@@ -180,6 +317,7 @@ def run_load_phase(agent: ConversationAgent, clients: int) -> dict[str, Any]:
         cache_stats = server.app.cache.stats()
 
     return {
+        "frontend": frontend,
         "clients": clients,
         "turns": len(flat),
         "wall_s": round(wall, 3),
@@ -195,6 +333,259 @@ def run_load_phase(agent: ConversationAgent, clients: int) -> dict[str, Any]:
     }
 
 
+# -- overload gate (async front end) ------------------------------------------
+
+
+def _metric_value(metrics_text: str, needle: str) -> float:
+    for line in metrics_text.splitlines():
+        if needle in line:
+            try:
+                return float(line.rsplit(" ", 1)[1])
+            except (IndexError, ValueError):
+                continue
+    return 0.0
+
+
+def run_overload_phase(agent: ConversationAgent, smoke: bool) -> dict[str, Any]:
+    """Baseline at capacity, then 2x overload: p99 of admitted bounded.
+
+    The server gets a deliberately tight gate (``max_pending`` ==
+    executor threads), so an admitted turn never queues behind more
+    demand than the executor can run; everything past the gate sheds as
+    503 ``overloaded``.  The ROADMAP gate: under 2x overload the p99 of
+    *admitted* requests stays within 2x the baseline p99 (enforced
+    strictly in full mode; smoke adds an absolute floor so shared CI
+    runners cannot flake it) while throughput holds and every rejection
+    is visible in ``/metrics``.
+    """
+    drugs = [
+        row[0] for row in agent.database.query("SELECT name FROM drug").rows
+    ][:8]
+    server = AsyncConversationServer(
+        agent,
+        port=0,
+        max_workers=OVERLOAD_CAPACITY,
+        max_pending=OVERLOAD_CAPACITY,
+        request_timeout=60.0,
+        accept_queue=OVERLOAD_CAPACITY * 16,
+    )
+
+    async def wave(clients: int) -> dict[str, Any]:
+        client = AsyncHTTPClient(server.host, server.port, pool_size=clients)
+        latencies: list[float] = []
+        rejected = [0]
+        failures: list[tuple[int, dict]] = []
+
+        async def drive(index: int) -> None:
+            sid = None
+            for turn in range(OVERLOAD_TURNS):
+                payload: dict[str, Any] = {
+                    "utterance":
+                        f"adverse effects of {drugs[(index + turn) % len(drugs)]}"
+                }
+                if sid is not None:
+                    payload["session_id"] = sid
+                start = time.perf_counter()
+                status, body = await client.request_json(
+                    "POST", "/chat", payload
+                )
+                elapsed = time.perf_counter() - start
+                if status == 200:
+                    latencies.append(elapsed)
+                    sid = body["session_id"]
+                elif status in (503, 429):
+                    rejected[0] += 1
+                else:
+                    failures.append((status, body))
+
+        start = time.perf_counter()
+        await asyncio.gather(*(drive(i) for i in range(clients)))
+        wall = time.perf_counter() - start
+        await client.close()
+        p50, p95, p99 = (
+            percentiles(latencies) if latencies else (0.0, 0.0, 0.0)
+        )
+        return {
+            "clients": clients,
+            "admitted": len(latencies),
+            "rejected": rejected[0],
+            "failures": failures[:5],
+            "wall_s": round(wall, 3),
+            "admitted_per_second":
+                round(len(latencies) / wall, 1) if wall else 0.0,
+            "p50_ms": round(p50 * 1000, 2),
+            "p95_ms": round(p95 * 1000, 2),
+            "p99_ms": round(p99 * 1000, 2),
+        }
+
+    with server:
+        baseline = asyncio.run(wave(OVERLOAD_CAPACITY))
+        overload = asyncio.run(wave(OVERLOAD_CAPACITY * 2))
+        with urllib.request.urlopen(server.address + "/metrics") as response:
+            metrics_text = response.read().decode("utf-8")
+    shed = _metric_value(
+        metrics_text, 'admission_rejected_total{reason="overloaded"}'
+    )
+    p99_bound_ms = 2 * baseline["p99_ms"]
+    if smoke:
+        # Shared CI runners jitter small absolute latencies; the strict
+        # relative gate is a full-mode assertion.
+        p99_bound_ms = max(p99_bound_ms, 250.0)
+    throughput_floor = 0.5 * baseline["admitted_per_second"]
+    return {
+        "capacity": OVERLOAD_CAPACITY,
+        "baseline": baseline,
+        "overload": overload,
+        "admission_rejected_overloaded": int(shed),
+        "p99_bound_ms": round(p99_bound_ms, 2),
+        "ok": (
+            not baseline["failures"]
+            and not overload["failures"]
+            and overload["rejected"] > 0
+            and shed > 0
+            and overload["p99_ms"] <= p99_bound_ms
+            and overload["admitted_per_second"] >= throughput_floor
+        ),
+    }
+
+
+# -- async session drill (durable multi-worker router) -------------------------
+
+
+def run_async_drill(
+    artifacts: Path,
+    data_dir: Path,
+    workers: int,
+    sessions: int,
+    drugs: list[str],
+) -> dict[str, Any]:
+    """N concurrently live sessions against async workers, verified.
+
+    Wave scheduling: every session commits turn *t* before any session
+    starts turn *t + 1*, so after the first wave all N sessions are
+    simultaneously live on the durable workers and stay live to the
+    end.  The generator is a coroutine per session over a bounded
+    keep-alive pool — the thread-per-request client this replaces
+    topped out around a thousand sessions.
+    """
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    os.environ["PYTHONPATH"] = src + os.pathsep + os.environ.get(
+        "PYTHONPATH", ""
+    )
+    router = SessionRouter(
+        workers,
+        data_dir,
+        port=0,
+        health_interval=0.5,
+        worker_args=[
+            "--space", str(artifacts / "space.json"),
+            "--data", str(artifacts / "kb"),
+            "--name", "Micromedex",
+            "--domain", "drug reference",
+            "--async",
+            # Durable, group-fsync'd journals: the drill proves scale,
+            # the SIGKILL drill (fsync=always) proves crash safety.
+            "--fsync", "interval",
+            "--turn-threads", "8",
+            "--max-sessions", str(sessions + 64),
+            "--cache-size", "256",
+        ],
+    )
+    utterances = ["adverse effects of {d}", "dosage for {d}"]
+
+    async def drive() -> dict[str, Any]:
+        client = AsyncHTTPClient(router.host, router.port, ASYNC_POOL)
+        sids: list[str | None] = [None] * sessions
+        texts: list[list[str]] = [[] for _ in range(sessions)]
+        errors: list[str] = []
+        retries = [0]
+
+        async def one_turn(index: int, turn: int) -> None:
+            drug = drugs[(index + turn) % len(drugs)]
+            payload: dict[str, Any] = {
+                "utterance": utterances[turn % len(utterances)].format(d=drug),
+                "client_turn_id": f"a{index}-t{turn}",
+            }
+            if sids[index] is not None:
+                payload["session_id"] = sids[index]
+            deadline = time.monotonic() + 120.0
+            while True:
+                status, body = await client.request_json(
+                    "POST", "/chat", payload
+                )
+                if status == 200:
+                    break
+                if status not in (429, 503, 599) or (
+                    time.monotonic() > deadline
+                ):
+                    errors.append(
+                        f"session {index} turn {turn}: {status} {body}"
+                    )
+                    return
+                retries[0] += 1
+                await asyncio.sleep(0.05)
+            sids[index] = body["session_id"]
+            texts[index].append(body["text"])
+
+        start = time.perf_counter()
+        for turn in range(ASYNC_DRILL_TURNS):
+            await asyncio.gather(
+                *(one_turn(i, turn) for i in range(sessions))
+            )
+        wall = time.perf_counter() - start
+
+        # All N sessions should be live at once across the workers.
+        live: set[str] = set()
+        for _ in range(workers * 3):
+            status, listing = await client.request_json("GET", "/sessions")
+            if status == 200:
+                live.update(listing.get("live", []))
+
+        # Durable transcripts must match what clients saw acknowledged.
+        lost: list[str] = []
+        step = max(1, sessions // 200)
+        for index in range(0, sessions, step):
+            sid = sids[index]
+            if sid is None:
+                continue
+            status, detail = await client.request_json(
+                "GET", f"/session?session_id={sid}"
+            )
+            if status != 200:
+                lost.append(f"session {sid}: transcript unavailable "
+                            f"({status})")
+                continue
+            transcript = [t["agent"] for t in detail["turns"]]
+            if transcript[:len(texts[index])] != texts[index]:
+                lost.append(f"session {sid}: committed {texts[index]!r} "
+                            f"but recovered {transcript!r}")
+        await client.close()
+        turns_committed = sum(len(t) for t in texts)
+        return {
+            "workers": workers,
+            "sessions": sessions,
+            "concurrent_live_sessions": len(live),
+            "turns_committed": turns_committed,
+            "wall_s": round(wall, 3),
+            "turns_per_second":
+                round(turns_committed / wall, 1) if wall else 0.0,
+            "retries": retries[0],
+            "transcripts_verified": len(range(0, sessions, step)),
+            "lost_committed_turns": len(lost),
+            "lost_detail": lost[:5],
+            "errors": errors[:5],
+            "ok": (
+                not errors
+                and not lost
+                and turns_committed == sessions * ASYNC_DRILL_TURNS
+                and len(live) >= int(sessions * 0.99)
+            ),
+        }
+
+    with router:
+        return asyncio.run(drive())
+
+
 # -- recovery drill -----------------------------------------------------------
 
 
@@ -204,6 +595,7 @@ def run_recovery_drill(
     workers: int,
     sessions: int,
     drugs: list[str],
+    use_async: bool = False,
 ) -> dict[str, Any]:
     """Kill a worker under load; prove no committed turn was lost."""
     # Workers are fresh interpreters; they need an absolute import path.
@@ -211,21 +603,24 @@ def run_recovery_drill(
     os.environ["PYTHONPATH"] = src + os.pathsep + os.environ.get(
         "PYTHONPATH", ""
     )
+    worker_args = [
+        "--space", str(artifacts / "space.json"),
+        "--data", str(artifacts / "kb"),
+        "--name", "Micromedex",
+        "--domain", "drug reference",
+        "--fsync", "always",
+        "--turn-threads", "8",
+        "--max-sessions", str(max(sessions + 16, 64)),
+        "--cache-size", "64",
+    ]
+    if use_async:
+        worker_args.append("--async")
     router = SessionRouter(
         workers,
         data_dir,
         port=0,
         health_interval=0.25,
-        worker_args=[
-            "--space", str(artifacts / "space.json"),
-            "--data", str(artifacts / "kb"),
-            "--name", "Micromedex",
-            "--domain", "drug reference",
-            "--fsync", "always",
-            "--turn-threads", "8",
-            "--max-sessions", str(max(sessions + 16, 64)),
-            "--cache-size", "64",
-        ],
+        worker_args=worker_args,
     )
     utterances = ["adverse effects of {d}", "dosage for {d}"]
 
@@ -361,18 +756,31 @@ def main(argv: list[str] | None = None) -> int:
         "--sessions", type=int, default=None,
         help="drill sessions (default: 1000, or 60 with --smoke)",
     )
+    parser.add_argument(
+        "--frontend", choices=("thread", "async"), default="thread",
+        help="serving front end under test; 'async' adds the overload "
+             "gate and the async session drill",
+    )
+    parser.add_argument(
+        "--async-sessions", type=int, default=None,
+        help="async-drill concurrently live sessions "
+             "(default: 10000, or 300 with --smoke)",
+    )
     args = parser.parse_args(argv)
 
     clients = SMOKE_CLIENTS if args.smoke else CLIENTS
     sessions = args.sessions or (
         SMOKE_DRILL_SESSIONS if args.smoke else DRILL_SESSIONS
     )
+    async_sessions = args.async_sessions or (
+        SMOKE_ASYNC_SESSIONS if args.smoke else ASYNC_SESSIONS
+    )
 
     print("building the serving agent...")
     agent = build_agent()
-    print(f"load phase: {clients} concurrent sessions x "
-          f"{1 + TURNS_PER_CLIENT} turns")
-    load = run_load_phase(agent, clients)
+    print(f"load phase ({args.frontend} front end): {clients} concurrent "
+          f"sessions x {1 + TURNS_PER_CLIENT} turns")
+    load = run_load_phase(agent, clients, args.frontend)
     print(f"  throughput        {load['requests_per_second']:8.1f} req/s  "
           f"(wall {load['wall_s']}s, {load['turns']} requests)")
     print(f"  latency p50/p95/p99  {load['p50_ms']}/{load['p95_ms']}/"
@@ -382,13 +790,27 @@ def main(argv: list[str] | None = None) -> int:
     report: dict[str, Any] = {
         "benchmark": "serving",
         "mode": "smoke" if args.smoke else "full",
+        "frontend": args.frontend,
         "load": load,
     }
     ok = load["ok"] and load["cache_hit_rate"] > 0
 
+    if args.frontend == "async":
+        print(f"overload gate: capacity {OVERLOAD_CAPACITY}, baseline at "
+              f"capacity then 2x overload")
+        overload = run_overload_phase(agent, args.smoke)
+        report["overload"] = overload
+        base, over = overload["baseline"], overload["overload"]
+        print(f"  baseline p99      {base['p99_ms']:8.2f} ms  "
+              f"({base['admitted_per_second']} adm/s)")
+        print(f"  overload p99      {over['p99_ms']:8.2f} ms  "
+              f"({over['admitted_per_second']} adm/s; bound "
+              f"{overload['p99_bound_ms']} ms)")
+        print(f"  shed as 503       {over['rejected']:8d}  (metrics: "
+              f"{overload['admission_rejected_overloaded']})")
+        ok = ok and overload["ok"]
+
     if args.workers >= 2:
-        print(f"recovery drill: {sessions} sessions across "
-              f"{args.workers} workers, SIGKILL under load")
         with tempfile.TemporaryDirectory(prefix="repro-drill-") as tmp:
             tmp_path = Path(tmp)
             artifacts = tmp_path / "artifacts"
@@ -398,20 +820,44 @@ def main(argv: list[str] | None = None) -> int:
                 row[0] for row in
                 agent.database.query("SELECT name FROM drug").rows
             ][:8]
+            print(f"recovery drill: {sessions} sessions across "
+                  f"{args.workers} workers, SIGKILL under load")
             drill = run_recovery_drill(
-                artifacts, tmp_path / "data", args.workers, sessions, drugs
+                artifacts, tmp_path / "data", args.workers, sessions, drugs,
+                use_async=args.frontend == "async",
             )
-        report["drill"] = drill
-        print(f"  sessions          {drill['sessions_completed']:8d}  "
-              f"(per worker: {drill['sessions_per_worker']})")
-        print(f"  turns committed   {drill['turns_committed']:8d}")
-        print(f"  worker restarts   {drill['worker_restarts']:8d}  "
-              f"(killed pid {drill['killed_pid']})")
-        print(f"  retries in outage {drill['retries_during_outage']:8d}")
-        print(f"  lost committed    {drill['lost_committed_turns']:8d}")
-        for line in drill["lost_detail"] + drill["errors"]:
-            print(f"  PROBLEM: {line}")
-        ok = ok and drill["ok"]
+            report["drill"] = drill
+            print(f"  sessions          {drill['sessions_completed']:8d}  "
+                  f"(per worker: {drill['sessions_per_worker']})")
+            print(f"  turns committed   {drill['turns_committed']:8d}")
+            print(f"  worker restarts   {drill['worker_restarts']:8d}  "
+                  f"(killed pid {drill['killed_pid']})")
+            print(f"  retries in outage {drill['retries_during_outage']:8d}")
+            print(f"  lost committed    {drill['lost_committed_turns']:8d}")
+            for line in drill["lost_detail"] + drill["errors"]:
+                print(f"  PROBLEM: {line}")
+            ok = ok and drill["ok"]
+
+            if args.frontend == "async":
+                print(f"async session drill: {async_sessions} concurrently "
+                      f"live sessions across {args.workers} async workers")
+                async_drill = run_async_drill(
+                    artifacts, tmp_path / "async-data", args.workers,
+                    async_sessions, drugs,
+                )
+                report["async_drill"] = async_drill
+                print(f"  live at once      "
+                      f"{async_drill['concurrent_live_sessions']:8d}")
+                print(f"  turns committed   "
+                      f"{async_drill['turns_committed']:8d}  "
+                      f"({async_drill['turns_per_second']} turns/s)")
+                print(f"  transcripts ok    "
+                      f"{async_drill['transcripts_verified']:8d} sampled, "
+                      f"{async_drill['lost_committed_turns']} lost")
+                for line in (async_drill["lost_detail"]
+                             + async_drill["errors"]):
+                    print(f"  PROBLEM: {line}")
+                ok = ok and async_drill["ok"]
 
     report["ok"] = ok
     if args.json:

@@ -228,9 +228,13 @@ def cmd_serve(
       by the router when it spawns ``python -m repro serve``).
 
     ``run_forever=False`` starts and immediately drains (for tests).
-    """
-    from repro.serving import ConversationServer
 
+    Any shape takes ``--async``: each serving process swaps its
+    thread-per-connection listener for the asyncio front end
+    (``repro.serving.aio``), gaining ``POST /chat/stream`` and the
+    front-end admission knobs (``--rate-limit``/``--rate-burst``/
+    ``--accept-queue``).
+    """
     if args.worker_index is not None:
         return _serve_worker(args, output_fn, run_forever)
     if args.workers > 1:
@@ -238,8 +242,32 @@ def cmd_serve(
 
     output_fn("Building the conversation agent...")
     agent = _build_agent(args)
-    server = ConversationServer(
-        agent,
+    server = _make_server(args, agent, args.data_dir)
+    if not run_forever:
+        server.start()
+    output_fn(f"Serving on {server.address} (Ctrl-C to drain and stop)")
+    if args.use_async:
+        output_fn("  async front end: POST /chat/stream streams turn events")
+    if args.data_dir:
+        output_fn(f"  durable sessions under {args.data_dir} "
+                  f"(fsync={args.fsync})")
+    output_fn('  try: curl -s -X POST -d \'{"utterance": "help"}\' '
+              f"{server.address}/chat")
+    if not run_forever:
+        server.shutdown()
+        return 0
+    server.serve_forever()
+    output_fn("Server stopped; interaction log flushed.")
+    return 0
+
+
+def _make_server(
+    args: argparse.Namespace, agent, data_dir, **extra: object
+):
+    """One serving process: threaded by default, asyncio with --async."""
+    from repro.serving import AsyncConversationServer, ConversationServer
+
+    common: dict = dict(
         host=args.host,
         port=args.port,
         max_sessions=args.max_sessions,
@@ -249,23 +277,20 @@ def cmd_serve(
         max_workers=args.turn_threads,
         request_timeout=args.request_timeout,
         log_path=args.log,
-        data_dir=args.data_dir,
+        data_dir=data_dir,
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
     )
-    output_fn(f"Serving on {server.address} (Ctrl-C to drain and stop)")
-    if args.data_dir:
-        output_fn(f"  durable sessions under {args.data_dir} "
-                  f"(fsync={args.fsync})")
-    output_fn('  try: curl -s -X POST -d \'{"utterance": "help"}\' '
-              f"{server.address}/chat")
-    if not run_forever:
-        server.start()
-        server.shutdown()
-        return 0
-    server.serve_forever()
-    output_fn("Server stopped; interaction log flushed.")
-    return 0
+    common.update(extra)
+    if args.use_async:
+        return AsyncConversationServer(
+            agent,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            accept_queue=args.accept_queue,
+            **common,
+        )
+    return ConversationServer(agent, **common)
 
 
 def _interrupt_once() -> Callable[[int, object], None]:
@@ -295,7 +320,6 @@ def _serve_worker(args: argparse.Namespace, output_fn, run_forever) -> int:
     through an atomically written ready file once it is listening.
     """
     from repro.persistence.router import READY_FILE, worker_dir
-    from repro.serving import ConversationServer
 
     if not args.data_dir:
         raise SystemExit("--worker-index requires --data-dir")
@@ -304,20 +328,10 @@ def _serve_worker(args: argparse.Namespace, output_fn, run_forever) -> int:
     directory.mkdir(parents=True, exist_ok=True)
     output_fn(f"[worker {index}] building the conversation agent...")
     agent = _build_agent(args)
-    server = ConversationServer(
+    server = _make_server(
+        args,
         agent,
-        host=args.host,
-        port=args.port,
-        max_sessions=args.max_sessions,
-        session_ttl=args.session_ttl,
-        cache_size=args.cache_size,
-        cache_ttl=args.cache_ttl,
-        max_workers=args.turn_threads,
-        request_timeout=args.request_timeout,
-        log_path=args.log,
-        data_dir=directory,
-        fsync=args.fsync,
-        snapshot_every=args.snapshot_every,
+        directory,
         id_stride=max(args.workers, 1),
         id_offset=index,
     )
@@ -372,6 +386,13 @@ def _serve_router(args: argparse.Namespace, output_fn, run_forever) -> int:
         "--fsync", args.fsync,
         "--snapshot-every", str(args.snapshot_every),
     ]
+    if args.use_async:
+        worker_args += [
+            "--async",
+            "--rate-limit", str(args.rate_limit),
+            "--rate-burst", str(args.rate_burst),
+            "--accept-queue", str(args.accept_queue),
+        ]
     router = SessionRouter(
         args.workers,
         args.data_dir,
@@ -523,6 +544,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="turn-executor thread pool size per process")
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="per-turn timeout, seconds (504 past it)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="asyncio front end: keep-alive scales past "
+                            "thread-per-connection and POST /chat/stream "
+                            "streams turn events (SSE)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="async: sustained turns/second allowed per "
+                            "session (0 disables the token bucket)")
+    serve.add_argument("--rate-burst", type=float, default=8.0,
+                       help="async: token-bucket burst size per session")
+    serve.add_argument("--accept-queue", type=int, default=256,
+                       help="async: max requests in flight on the front "
+                            "end before shedding 503 queue_full")
     serve.add_argument("--log", default=None,
                        help="interaction-log path, flushed on shutdown")
     serve.add_argument("--data-dir", default=None,

@@ -251,14 +251,20 @@ class ConversationAgent:
     # -- core turn logic -------------------------------------------------------
 
     def respond(
-        self, utterance: str, context: ConversationContext
+        self,
+        utterance: str,
+        context: ConversationContext,
+        chunk_sink: Callable[[str, dict], None] | None = None,
     ) -> AgentResponse:
         """Produce the agent turn for ``utterance`` under ``context``.
 
         The returned response carries the turn's
         :class:`~repro.engine.pipeline.TurnTrace` in ``response.trace``.
+        ``chunk_sink`` (optional) receives incremental row-batch chunks
+        while the turn executes (the streaming serving path); it never
+        changes the returned response.
         """
-        return self.pipeline.run(utterance, context)
+        return self.pipeline.run(utterance, context, chunk_sink=chunk_sink)
 
 
 class Session:
@@ -273,11 +279,15 @@ class Session:
         """The agent's conversation-opening utterance (pattern A1.0.0)."""
         return self.agent.greeting()
 
-    def ask(self, utterance: str) -> AgentResponse:
+    def ask(
+        self,
+        utterance: str,
+        chunk_sink: Callable[[str, dict], None] | None = None,
+    ) -> AgentResponse:
         """Process one user utterance and log the interaction."""
         if not utterance or not utterance.strip():
             raise EngineError("utterance must be non-empty")
-        response = self.agent.respond(utterance, self.context)
+        response = self.agent.respond(utterance, self.context, chunk_sink)
         self.context.record_turn(
             TurnRecord(
                 user=utterance,

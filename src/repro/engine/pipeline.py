@@ -35,6 +35,13 @@ from repro.errors import EngineError
 #: Stage-trace outcome labels.
 PASS, UPDATE, FINAL = "pass", "update", "final"
 
+#: A per-turn incremental-output callback: ``sink(kind, data)`` receives
+#: chunks (e.g. ``("rows", {"rows": [...]})``) while the turn is still
+#: executing.  The serving layer's streaming endpoint installs one; the
+#: sink must be cheap and must never raise (a streaming transport error
+#: must not abort the committed turn).
+ChunkSink = Callable[[str, dict], None]
+
 
 @dataclass
 class AgentResponse:
@@ -136,10 +143,27 @@ class TurnState:
     recognition: RecognitionResult = field(default_factory=RecognitionResult)
     outcome: NodeOutcome | None = None
     detail: dict[str, Any] = field(default_factory=dict)
+    #: Streaming hook: when set, stages may emit incremental chunks
+    #: (row batches from the answer stage) through :meth:`emit_chunk`
+    #: while the turn runs.  ``None`` on every non-streaming turn, so
+    #: replayed (recovery) and golden-transcript turns behave
+    #: identically with or without a listener.
+    chunk_sink: "ChunkSink | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def annotate(self, **items: Any) -> None:
         """Attach trace detail for the currently running stage."""
         self.detail.update(items)
+
+    def emit_chunk(self, kind: str, data: dict) -> None:
+        """Send one incremental chunk to the streaming listener, if any.
+
+        Sink errors are deliberately not caught here: the serving layer
+        wraps its sink so a broken client can never raise into the turn.
+        """
+        if self.chunk_sink is not None:
+            self.chunk_sink(kind, data)
 
     def pop_detail(self) -> dict[str, Any]:
         detail, self.detail = self.detail, {}
@@ -201,9 +225,21 @@ class TurnPipeline:
     def stage_names(self) -> list[str]:
         return [stage.name for stage in self.stages]
 
-    def run(self, utterance: str, context: ConversationContext) -> AgentResponse:
-        """Process one utterance; the returned response carries its trace."""
-        state = TurnState(utterance=utterance, context=context)
+    def run(
+        self,
+        utterance: str,
+        context: ConversationContext,
+        chunk_sink: "ChunkSink | None" = None,
+    ) -> AgentResponse:
+        """Process one utterance; the returned response carries its trace.
+
+        ``chunk_sink`` (optional) receives incremental chunks — row
+        batches from the answer stage — while the turn executes; the
+        final response is unchanged by its presence.
+        """
+        state = TurnState(
+            utterance=utterance, context=context, chunk_sink=chunk_sink
+        )
         trace = TurnTrace(utterance=utterance)
         started = self._clock()
         response: AgentResponse | None = None

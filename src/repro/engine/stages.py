@@ -41,7 +41,7 @@ fallback            Total: entity-mention proposal or the apology.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.bootstrap.intents import Intent, keyword_intent_name
 from repro.dialogue.logic_table import context_key
@@ -592,14 +592,26 @@ def select_template(
     return best
 
 
+#: Rows per streamed ``rows`` chunk (see :meth:`TurnState.emit_chunk`).
+STREAM_ROW_BATCH = 8
+
+
 def answer_response(
     agent: "ConversationAgent",
     outcome: NodeOutcome,
     recognition: RecognitionResult,
     confidence: float,
     context: "ConversationContext",
+    chunk_sink: "Callable[[str, dict], None] | None" = None,
 ) -> AgentResponse:
-    """Select a template, execute it against the KB, render the answer."""
+    """Select a template, execute it against the KB, render the answer.
+
+    With a ``chunk_sink`` installed (a streaming turn), the result rows
+    are additionally emitted as ordered ``rows`` chunks of
+    :data:`STREAM_ROW_BATCH` rows each, as soon as the KB query returns
+    and before the answer text is rendered or the turn committed — the
+    streaming client sees data while the rest of the turn completes.
+    """
     assert outcome.intent_name
     intent = agent.space.intent(outcome.intent_name)
     bindings = {k: v for k, v in outcome.bindings.items() if v}
@@ -656,6 +668,13 @@ def answer_response(
             entities=bindings,
             sql=template.sql,
         )
+    if chunk_sink is not None:
+        for start in range(0, len(result.rows), STREAM_ROW_BATCH):
+            batch = result.rows[start:start + STREAM_ROW_BATCH]
+            chunk_sink("rows", {
+                "batch": start // STREAM_ROW_BATCH,
+                "rows": [list(row) for row in batch],
+            })
     if template.grouped:
         results_text = format_grouped_rows(result.rows)
     else:
@@ -1019,6 +1038,7 @@ class Answer(_ActStage):
         return answer_response(
             self.agent, state.outcome, state.recognition,
             state.confidence, state.context,
+            chunk_sink=state.chunk_sink,
         )
 
 

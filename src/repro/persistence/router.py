@@ -32,6 +32,7 @@ its sessions fail fast with ``503 worker_unavailable`` — clients retry
 
 from __future__ import annotations
 
+import http.client
 import json
 import signal
 import subprocess
@@ -100,6 +101,73 @@ class WorkerHandle:
         return process is not None and process.poll() is None
 
 
+class _WorkerConnectionPool:
+    """Keep-alive HTTP connections to workers, keyed by ``(host, port)``.
+
+    The forward path used to open a fresh TCP socket per proxied request;
+    at drill scale the handshake cost and ``TIME_WAIT`` churn dominate
+    router latency.  Connections parked here are reused by the next
+    request to the same worker.  Keys are per-port, and a restarted
+    worker binds a new ephemeral port, so a replacement incarnation can
+    never be handed a socket to its dead predecessor; stale keys are
+    dropped on respawn.  A parked socket the worker closed while idle is
+    detected at request time and retried once on a fresh connection (see
+    :meth:`SessionRouter.forward`).
+    """
+
+    def __init__(self, max_idle_per_key: int = 8) -> None:
+        self._lock = threading.Lock()
+        self._idle: dict[tuple[str, int], list[http.client.HTTPConnection]] = {}
+        self._max_idle = max_idle_per_key
+        self._closed = False
+
+    def acquire(
+        self, host: str, port: int
+    ) -> http.client.HTTPConnection | None:
+        """A parked connection to ``host:port``, or None (caller opens
+        a fresh one — outside the pool lock)."""
+        with self._lock:
+            stack = self._idle.get((host, port))
+            if stack:
+                return stack.pop()
+        return None
+
+    def release(
+        self,
+        host: str,
+        port: int,
+        connection: http.client.HTTPConnection,
+        reusable: bool,
+    ) -> None:
+        if reusable:
+            with self._lock:
+                if not self._closed:
+                    stack = self._idle.setdefault((host, port), [])
+                    if len(stack) < self._max_idle:
+                        stack.append(connection)
+                        return
+        connection.close()
+
+    def discard(self, host: str, port: int) -> None:
+        """Drop every parked connection for a (dead) worker incarnation."""
+        with self._lock:
+            stale = self._idle.pop((host, port), [])
+        for connection in stale:
+            connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            parked = [
+                connection
+                for stack in self._idle.values()
+                for connection in stack
+            ]
+            self._idle.clear()
+        for connection in parked:
+            connection.close()
+
+
 class SessionRouter:
     """Spawns, fronts and supervises N conversation-server workers.
 
@@ -135,6 +203,7 @@ class SessionRouter:
         ]
         self._round_robin = 0
         self._rr_lock = threading.Lock()
+        self._pool = _WorkerConnectionPool()
         self._lifecycle_lock = threading.Lock()
         self._stopping = threading.Event()
         self._monitor: threading.Thread | None = None
@@ -193,8 +262,13 @@ class SessionRouter:
         finally:
             log.close()  # the child holds its own descriptor
         with handle.lock:
+            old_port = handle.port
             handle.port = None
             handle.process = process
+        if old_port is not None:
+            # Sockets parked for the dead incarnation can never be valid
+            # for the replacement (which binds a fresh ephemeral port).
+            self._pool.discard("127.0.0.1", old_port)
         self._await_ready(handle, ready)
 
     def _await_ready(self, handle: WorkerHandle, ready: Path) -> None:
@@ -291,37 +365,59 @@ class SessionRouter:
         self.metrics.counter(
             "router_requests_total", ("worker", str(handle.index))
         ).inc()
-        base = handle.base_url
-        if base is None or not handle.alive:
+        with handle.lock:
+            port = handle.port
+        if port is None or not handle.alive:
             return self._unavailable(handle)
-        request = urllib.request.Request(
-            base + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.forward_timeout
-            ) as response:
-                return (
-                    response.status,
-                    response.read(),
-                    response.headers.get("Content-Type", "application/json"),
+        host = "127.0.0.1"
+        headers = {"Content-Type": "application/json"}
+        for _attempt in range(2):
+            connection = self._pool.acquire(host, port)
+            reused = connection is not None
+            if connection is None:
+                connection = http.client.HTTPConnection(
+                    host, port, timeout=self.forward_timeout
                 )
-        except urllib.error.HTTPError as error:
-            # Worker answered with an error status — relay it verbatim.
-            self.metrics.counter(
-                "router_errors_total", ("code", str(error.code))
-            ).inc()
+                self.metrics.counter("router_connections_opened_total").inc()
+            else:
+                self.metrics.counter("router_connections_reused_total").inc()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except (
+                http.client.RemoteDisconnected,
+                ConnectionResetError,
+                BrokenPipeError,
+            ) as error:
+                del error
+                connection.close()
+                if reused:
+                    # A keep-alive socket the worker closed while the
+                    # router held it idle: retry exactly once on a fresh
+                    # connection.  Only this stale-reuse case retries —
+                    # a fresh connection failing means the worker is
+                    # really down (and blind re-sends stay safe for
+                    # clients passing ``client_turn_id``).
+                    self.metrics.counter("router_forward_retries_total").inc()
+                    continue
+                return self._unavailable(handle)
+            except (http.client.HTTPException, OSError) as error:
+                del error  # refused / timed out: worker is (re)starting
+                connection.close()
+                return self._unavailable(handle)
+            if response.status >= 400:
+                # Worker answered with an error status — relayed verbatim.
+                self.metrics.counter(
+                    "router_errors_total", ("code", str(response.status))
+                ).inc()
+            self._pool.release(host, port, connection, not response.will_close)
             return (
-                error.code,
-                error.read(),
-                error.headers.get("Content-Type", "application/json"),
+                response.status,
+                payload,
+                response.getheader("Content-Type") or "application/json",
             )
-        except (urllib.error.URLError, OSError) as error:
-            del error  # connection refused / reset: worker is (re)starting
-            return self._unavailable(handle)
+        return self._unavailable(handle)
 
     def _unavailable(self, handle: WorkerHandle) -> tuple[int, bytes, str]:
         self.metrics.counter("router_errors_total", ("code", "503")).inc()
@@ -430,6 +526,7 @@ class SessionRouter:
             self._httpd.shutdown()
             thread.join(timeout=5.0)
         self._httpd.server_close()
+        self._pool.close()
 
     def __enter__(self) -> "SessionRouter":
         return self.start()

@@ -10,6 +10,7 @@ session store under a per-session lock; the query cache memoizes only
 immutable result sets and is dropped wholesale on any KB write.
 """
 
+from repro.serving.aio import AsyncConversationServer, TokenBucket
 from repro.serving.metrics import Counter, Histogram, MetricsRegistry
 from repro.serving.query_cache import CachingDatabase, QueryCache, make_key
 from repro.serving.server import (
@@ -20,9 +21,11 @@ from repro.serving.server import (
 from repro.serving.session_store import SessionEntry, SessionStore
 
 __all__ = [
+    "AsyncConversationServer",
     "CachingDatabase",
     "ConversationApp",
     "ConversationServer",
+    "TokenBucket",
     "Counter",
     "Histogram",
     "MetricsRegistry",

@@ -54,15 +54,17 @@ in from disk, and boot runs crash recovery.  See
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.agent import ConversationAgent
+from repro.engine.kinds import ResponseKind
 from repro.engine.logging import save_log
 from repro.errors import EngineError
 from repro.serving.metrics import MetricsRegistry
@@ -72,13 +74,37 @@ from repro.serving.session_store import SessionEntry, SessionStore
 #: Maximum accepted request body, in bytes (an utterance, not an upload).
 MAX_BODY_BYTES = 64 * 1024
 
+#: Routes the app serves; anything else is labelled ``<unmatched>`` in
+#: ``http_requests_total`` so a scanner walking random 404 URLs cannot
+#: grow metric label cardinality (and registry memory) without bound.
+KNOWN_ROUTES = frozenset({
+    "POST /chat",
+    "POST /chat/stream",
+    "POST /feedback",
+    "GET /healthz",
+    "GET /metrics",
+    "GET /sessions",
+    "GET /session",
+})
+
+logger = logging.getLogger("repro.serving")
+
 
 def _session_sort_key(sid: str) -> tuple:
     return (not sid.isdigit(), int(sid) if sid.isdigit() else 0, sid)
 
 
 class _TimingClassifier:
-    """Delegating classifier proxy that records ``classify`` latency."""
+    """Delegating classifier proxy that records classification latency.
+
+    Both entry points are proxied explicitly: ``classify_batch`` must
+    not fall through ``__getattr__`` untimed, because it is the path
+    batched callers take (and the one ``IntentClassifier.classify``
+    itself delegates to on the unwrapped object) — letting it bypass the
+    timer would silently blank ``classifier_latency_seconds`` for any
+    batching server.  Batch latency is observed per utterance so the
+    histogram stays comparable across both paths.
+    """
 
     def __init__(self, classifier: Any, registry: MetricsRegistry) -> None:
         self._classifier = classifier
@@ -92,6 +118,20 @@ class _TimingClassifier:
             self._registry.histogram("classifier_latency_seconds").observe(
                 time.perf_counter() - start
             )
+
+    def classify_batch(self, utterances: Any) -> Any:
+        start = time.perf_counter()
+        try:
+            return self._classifier.classify_batch(utterances)
+        finally:
+            count = len(utterances)
+            if count:
+                per_utterance = (time.perf_counter() - start) / count
+                histogram = self._registry.histogram(
+                    "classifier_latency_seconds"
+                )
+                for _ in range(count):
+                    histogram.observe(per_utterance)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._classifier, name)
@@ -169,6 +209,12 @@ class ConversationApp:
         self._in_flight = 0
         self._state_lock = threading.Lock()
         self._draining = False
+        #: Turn futures whose client already got a 504: the turn is
+        #: still running on the executor, its slot is still reserved
+        #: (the done-callback frees it), and its eventual exception is
+        #: retrieved and logged instead of becoming "never retrieved"
+        #: noise.
+        self._abandoned: set[Future] = set()
         # The agent is shared and immutable during serving *except* for
         # these two instrumentation hooks, installed for the server's
         # lifetime and removed by close(): the database proxy adds the
@@ -233,6 +279,49 @@ class ConversationApp:
         with self._state_lock:
             return self._draining
 
+    def _try_reserve_slot(self) -> bool:
+        """Atomically reserve one in-flight turn slot (the admission gate).
+
+        The capacity check and the increment happen under a single lock
+        acquisition, so N requests racing the gate admit at most
+        ``max_pending`` turns.  (The old pattern read ``in_flight`` in
+        one acquisition and incremented in a second — a check-then-act
+        race that let concurrent requests all pass the gate at once.)
+        """
+        with self._state_lock:
+            if self._in_flight >= self.max_pending:
+                return False
+            self._in_flight += 1
+            return True
+
+    def _release_slot(self) -> None:
+        """Undo a reservation whose turn never reached the executor."""
+        with self._state_lock:
+            self._in_flight -= 1
+
+    def _on_turn_done(self, future: Future) -> None:
+        """Done-callback on every turn future: the only slot release.
+
+        A 504 abandons the future, but ``Future.cancel`` cannot stop a
+        turn that is already running — the executor thread it occupies
+        is real load, so the slot stays reserved (visible to admission
+        control) until the turn actually finishes, which is exactly when
+        this callback fires.  Abandoned futures also get their exception
+        retrieved and logged here instead of surfacing as "exception was
+        never retrieved" noise at interpreter shutdown.
+        """
+        with self._state_lock:
+            self._in_flight -= 1
+            abandoned = future in self._abandoned
+            self._abandoned.discard(future)
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None and abandoned:
+            logger.warning(
+                "turn abandoned by its 504 client failed: %r", exc
+            )
+
     def begin_drain(self) -> None:
         with self._state_lock:
             self._draining = True
@@ -285,10 +374,20 @@ class ConversationApp:
             query.update(payload)
             payload = query
         route = f"{method} {parts.path}"
-        self.metrics.counter("http_requests_total", ("route", route)).inc()
+        self.metrics.counter(
+            "http_requests_total",
+            ("route", route if route in KNOWN_ROUTES else "<unmatched>"),
+        ).inc()
         try:
             if route == "POST /chat":
                 return 200, self.chat(payload)
+            if route == "POST /chat/stream":
+                raise ServingError(
+                    501,
+                    "stream_unsupported",
+                    "streaming requires the async front end "
+                    "(repro serve --async)",
+                )
             if route == "POST /feedback":
                 return 200, self.feedback(payload)
             if route == "GET /healthz":
@@ -306,16 +405,20 @@ class ConversationApp:
             ).inc()
             return exc.status, {"error": exc.code, "message": exc.message}
 
-    def chat(self, payload: dict) -> dict:
+    def _admit_chat(
+        self, payload: dict
+    ) -> tuple[str, str, SessionEntry, bool, str | None]:
+        """Validate a chat payload and resolve its session (no slot yet)."""
         utterance = payload.get("utterance")
         if not isinstance(utterance, str) or not utterance.strip():
             raise ServingError(
                 400, "bad_request", "'utterance' must be a non-empty string"
             )
         if self.draining:
+            self.metrics.counter(
+                "admission_rejected_total", ("reason", "draining")
+            ).inc()
             raise ServingError(503, "draining", "server is shutting down")
-        if self.in_flight >= self.max_pending:
-            raise ServingError(503, "overloaded", "too many turns in flight")
         session_id = payload.get("session_id")
         if session_id is None:
             sid, entry = self.sessions.create()
@@ -333,25 +436,139 @@ class ConversationApp:
         client_turn_id = payload.get("client_turn_id")
         if client_turn_id is not None:
             client_turn_id = str(client_turn_id)
-        with self._state_lock:
-            self._in_flight += 1
+        return utterance, sid, entry, debug, client_turn_id
+
+    def submit_turn(
+        self,
+        sid: str,
+        entry: SessionEntry,
+        utterance: str,
+        debug: bool,
+        client_turn_id: str | None,
+        chunk_sink: Callable[[str, dict], None] | None = None,
+    ) -> Future:
+        """Reserve a slot and start the turn on the executor.
+
+        Raises 503 when admission control refuses the turn; otherwise
+        the returned future resolves to the committed-turn dict.  The
+        slot is released by the future's done-callback — callers that
+        stop waiting must report through :meth:`timeout_turn`, never by
+        touching the slot count themselves.
+        """
+        if not self._try_reserve_slot():
+            self.metrics.counter(
+                "admission_rejected_total", ("reason", "overloaded")
+            ).inc()
+            raise ServingError(503, "overloaded", "too many turns in flight")
         try:
             future: Future = self._executor.submit(
-                self._turn, sid, entry, utterance, debug, client_turn_id
+                self._turn, sid, entry, utterance, debug, client_turn_id,
+                chunk_sink,
             )
-            try:
-                return future.result(timeout=self.request_timeout)
-            except TimeoutError:
-                future.cancel()
-                self.metrics.counter("turn_timeouts_total").inc()
-                raise ServingError(
-                    504,
-                    "timeout",
-                    f"turn exceeded {self.request_timeout}s",
-                ) from None
-        finally:
+        except BaseException:
+            self._release_slot()
+            raise
+        future.add_done_callback(self._on_turn_done)
+        return future
+
+    def timeout_turn(self, future: Future) -> ServingError:
+        """Bookkeeping for a turn whose client gave up; returns the 504.
+
+        ``Future.cancel`` cannot stop a running turn, so an uncancellable
+        future is marked abandoned: its slot stays reserved (it is real
+        executor load) until the done-callback fires, and its eventual
+        exception is retrieved and logged there.
+        """
+        abandoned = False
+        if not future.cancel():
             with self._state_lock:
-                self._in_flight -= 1
+                if not future.done():
+                    self._abandoned.add(future)
+                    abandoned = True
+        if abandoned:
+            self.metrics.counter("turns_abandoned_total").inc()
+        self.metrics.counter("turn_timeouts_total").inc()
+        return ServingError(
+            504, "timeout", f"turn exceeded {self.request_timeout}s"
+        )
+
+    def stream_sink(
+        self, emit: Callable[[str, dict], None]
+    ) -> Callable[[str, dict], None]:
+        """Wrap a transport ``emit`` as a shielded turn chunk sink.
+
+        The returned sink runs on the executor thread driving the turn.
+        If ``emit`` raises (the client went away mid-stream) the error
+        is logged, further chunks are dropped, and the turn still
+        commits; successful chunks count into ``stream_chunks_total``.
+        """
+        sink_broken: list[BaseException] = []
+
+        def sink(kind: str, data: dict) -> None:
+            if sink_broken:
+                return
+            try:
+                emit(kind, data)
+            except Exception as exc:
+                sink_broken.append(exc)
+                logger.warning(
+                    "stream sink failed; dropping further chunks: %r", exc
+                )
+                return
+            self.metrics.counter("stream_chunks_total").inc()
+
+        return sink
+
+    def _run_turn(
+        self,
+        sid: str,
+        entry: SessionEntry,
+        utterance: str,
+        debug: bool,
+        client_turn_id: str | None,
+        chunk_sink: Callable[[str, dict], None] | None = None,
+    ) -> dict:
+        """Run one turn synchronously, enforcing the request timeout."""
+        future = self.submit_turn(
+            sid, entry, utterance, debug, client_turn_id, chunk_sink
+        )
+        try:
+            return future.result(timeout=self.request_timeout)
+        except TimeoutError:
+            raise self.timeout_turn(future) from None
+
+    def chat(self, payload: dict) -> dict:
+        utterance, sid, entry, debug, client_turn_id = self._admit_chat(
+            payload
+        )
+        return self._run_turn(sid, entry, utterance, debug, client_turn_id)
+
+    def chat_stream(
+        self, payload: dict, emit: Callable[[str, dict], None]
+    ) -> dict:
+        """Run one turn, streaming incremental events through ``emit``.
+
+        Events arrive in order while the turn executes: ``rows`` batches
+        from the answer stage (emitted as soon as the KB query returns,
+        before the answer text is rendered or the turn committed), then
+        one ``elicitation``/``disambiguation`` event for clarification
+        turns.  The returned dict is the committed turn — byte-identical
+        to what ``POST /chat`` returns — which the transport sends as
+        the terminating ``done`` event.  Admission, timeout and
+        abandonment semantics are exactly :meth:`chat`'s.
+
+        ``emit`` runs on the executor thread driving the turn, so
+        transports must hand chunks off thread-safely.  It is shielded:
+        if it raises (client went away mid-stream), the error is logged,
+        further chunks are dropped, and the turn still commits.
+        """
+        utterance, sid, entry, debug, client_turn_id = self._admit_chat(
+            payload
+        )
+        return self._run_turn(
+            sid, entry, utterance, debug, client_turn_id,
+            chunk_sink=self.stream_sink(emit),
+        )
 
     def _turn(
         self,
@@ -360,6 +577,7 @@ class ConversationApp:
         utterance: str,
         debug: bool = False,
         client_turn_id: str | None = None,
+        chunk_sink: Callable[[str, dict], None] | None = None,
     ) -> dict:
         start = time.perf_counter()
         with entry.lock:
@@ -376,9 +594,26 @@ class ConversationApp:
                 self.metrics.counter("turns_deduplicated_total").inc()
                 return dict(entry.last_commit[1])
             try:
-                response = entry.session.ask(utterance)
+                response = entry.session.ask(utterance, chunk_sink)
             except EngineError as exc:
                 raise ServingError(400, "bad_request", str(exc)) from exc
+            if chunk_sink is not None:
+                if response.kind == ResponseKind.ELICIT:
+                    chunk_sink("elicitation", {
+                        "text": response.text,
+                        "concept": response.elicit_concept,
+                    })
+                elif response.kind == ResponseKind.DISAMBIGUATE:
+                    pending = (
+                        entry.session.context.variables.get("disambiguation")
+                        or {}
+                    )
+                    chunk_sink("disambiguation", {
+                        "text": response.text,
+                        "choices": [
+                            value for _, value in pending.get("candidates", [])
+                        ],
+                    })
             entry.turn_count += 1
             result = {
                 "session_id": sid,

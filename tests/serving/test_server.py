@@ -263,9 +263,9 @@ class TestBackpressureAndTimeout:
         agent = build_toy_agent()
         original = agent.respond
 
-        def slow_respond(utterance, context):
+        def slow_respond(utterance, context, chunk_sink=None):
             time.sleep(0.6)
-            return original(utterance, context)
+            return original(utterance, context, chunk_sink)
 
         agent.respond = slow_respond
         server = ConversationServer(
@@ -300,9 +300,9 @@ class TestGracefulShutdown:
         agent = build_toy_agent()
         original = agent.respond
 
-        def slow_respond(utterance, context):
+        def slow_respond(utterance, context, chunk_sink=None):
             time.sleep(0.4)
-            return original(utterance, context)
+            return original(utterance, context, chunk_sink)
 
         agent.respond = slow_respond
         log_path = tmp_path / "interactions.jsonl"
