@@ -9,6 +9,10 @@ under fire*:
 * **Load phase** — a closed-loop generator drives concurrent client
   sessions against a single in-process server and reports throughput,
   p50/p95/p99 turn latency, and the query-cache hit rate.
+* **Refresh drill** — both front ends (thread and asyncio) take
+  repeated zero-downtime KB swaps (``POST /refresh``) while closed-loop
+  clients stay in flight; passes only with zero failed requests, zero
+  wrong answers, and zero stale cache hits served across the swaps.
 * **Recovery drill** (``--workers >= 2``) — spawns the session-affine
   router over real worker subprocesses, spreads sessions across them
   (every turn committed to the journal with ``fsync=always``), then
@@ -330,6 +334,136 @@ def run_load_phase(
         "cache_misses": cache_stats["misses"],
         "failures": failures[:5],
         "ok": not failures and len(flat) == clients * (1 + TURNS_PER_CLIENT),
+    }
+
+
+# -- refresh drill ------------------------------------------------------------
+
+
+def run_refresh_drill(
+    agent_factory, frontend: str, refreshes: int = 2, clients: int = 8
+) -> dict[str, Any]:
+    """Swap the KB under live traffic; prove zero failed and zero stale.
+
+    Closed-loop clients hammer ``/chat`` while the main thread triggers
+    ``refreshes`` zero-downtime KB swaps (each rebuilds the small MDX
+    snapshot from scratch, validates it, and flips the handle).  The
+    acceptance criteria come straight from the refresh contract: every
+    request during the swaps answers 200 with the correct text, the
+    epoch advances once per refresh, and
+    ``query_cache_stale_served_total`` stays 0 — a cached answer from
+    the old generation is dropped on revalidation, never served.
+    """
+    agent = agent_factory()
+
+    def kb_builder():
+        from repro.kb.backend import wrap_database
+
+        db = build_mdx_database(
+            GeneratorConfig(max_drugs=40, max_conditions=20)
+        )
+        return wrap_database(db, "memory")
+
+    drugs = [
+        row[0] for row in agent.database.query("SELECT name FROM drug").rows
+    ][:8]
+    server_cls = (
+        AsyncConversationServer if frontend == "async" else ConversationServer
+    )
+    server = server_cls(
+        agent, port=0, max_workers=32, max_pending=256,
+        request_timeout=60.0, kb_builder=kb_builder,
+    )
+    stop = threading.Event()
+    failures: list[tuple[int, dict]] = []
+    completed = [0]
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        session_id = None
+        turn = 0
+        while not stop.is_set():
+            drug = drugs[(index + turn) % len(drugs)]
+            payload: dict[str, Any] = {
+                "utterance": f"adverse effects of {drug}"
+            }
+            if session_id is not None:
+                payload["session_id"] = session_id
+            status, body = http_json(server.address + "/chat", payload)
+            ok = status == 200 and drug in body.get("text", "")
+            with lock:
+                completed[0] += 1
+                if not ok:
+                    failures.append((status, body))
+            if status == 200:
+                session_id = body["session_id"]
+            turn += 1
+
+    wall_start = time.perf_counter()
+    with server:
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        refresh_bodies = []
+        refresh_failures: list[tuple[int, dict]] = []
+        try:
+            for _ in range(refreshes):
+                status, body = http_json(
+                    server.address + "/refresh", {}, timeout=300.0
+                )
+                if status != 200:
+                    refresh_failures.append((status, body))
+                else:
+                    refresh_bodies.append(body)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=120)
+        wall = time.perf_counter() - wall_start
+        status, metrics_text = 0, ""
+        try:
+            with urllib.request.urlopen(
+                server.address + "/metrics"
+            ) as response:
+                metrics_text = response.read().decode("utf-8")
+        except OSError:
+            pass
+        epoch = server.app.agent.database.epoch
+        stale_served = int(_metric_value(
+            metrics_text, "query_cache_stale_served_total"
+        ))
+        stale_drops = int(_metric_value(
+            metrics_text, "query_cache_stale_drops_total"
+        ))
+        refresh_total = int(_metric_value(metrics_text, "kb_refresh_total"))
+
+    return {
+        "frontend": frontend,
+        "clients": clients,
+        "refreshes_requested": refreshes,
+        "refreshes_completed": len(refresh_bodies),
+        "epoch": epoch,
+        "requests": completed[0],
+        "wall_s": round(wall, 3),
+        "refresh_seconds": [
+            body.get("duration_seconds") for body in refresh_bodies
+        ],
+        "stale_drops": stale_drops,
+        "stale_served": stale_served,
+        "failed_requests": len(failures),
+        "failures": failures[:5],
+        "refresh_failures": refresh_failures[:5],
+        "ok": (
+            not failures
+            and not refresh_failures
+            and completed[0] > 0
+            and epoch == refreshes
+            and refresh_total == refreshes
+            and stale_served == 0
+        ),
     }
 
 
@@ -794,6 +928,23 @@ def main(argv: list[str] | None = None) -> int:
         "load": load,
     }
     ok = load["ok"] and load["cache_hit_rate"] > 0
+
+    report["refresh"] = {}
+    for drill_frontend in ("thread", "async"):
+        print(f"refresh drill ({drill_frontend} front end): "
+              "zero-downtime KB swaps under live traffic")
+        refresh = run_refresh_drill(build_agent, drill_frontend)
+        report["refresh"][drill_frontend] = refresh
+        print(f"  requests in flight{refresh['requests']:8d}  "
+              f"(failed: {refresh['failed_requests']})")
+        print(f"  swaps completed   {refresh['refreshes_completed']:8d}  "
+              f"(epoch {refresh['epoch']}, "
+              f"{refresh['refresh_seconds']} s each)")
+        print(f"  stale cache       {refresh['stale_drops']:8d} dropped, "
+              f"{refresh['stale_served']} served")
+        for line in refresh["failures"] + refresh["refresh_failures"]:
+            print(f"  PROBLEM: {line}")
+        ok = ok and refresh["ok"]
 
     if args.frontend == "async":
         print(f"overload gate: capacity {OVERLOAD_CAPACITY}, baseline at "

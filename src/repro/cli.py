@@ -23,6 +23,11 @@ Commands
     snapshots, crash recovery on boot); ``--workers N`` with N > 1 runs
     the session-affine router in front of N worker processes, each
     owning a slice of the data directory.
+``refresh``
+    Trigger a zero-downtime KB refresh on a running server: the server
+    rebuilds its KB snapshot off the request path, validates it, and
+    atomically swaps it in under live traffic (the router broadcasts the
+    refresh to every worker replica).
 ``sessions``
     List or inspect the durable sessions in a ``serve --data-dir``
     directory (including per-worker slices) without starting a server.
@@ -68,6 +73,12 @@ from typing import Callable
 
 from repro.bootstrap import space_from_dict, space_to_dict
 from repro.engine import ConversationAgent
+from repro.errors import KBError
+from repro.kb.backend import (
+    backend_spec_from_env,
+    parse_backend_spec,
+    wrap_database,
+)
 from repro.kb.io import load_database, save_database
 from repro.medical import build_mdx_agent, build_mdx_database, build_mdx_space
 from repro.medical.build import rename_to_paper_intents
@@ -75,19 +86,67 @@ from repro.medical.knowledge import mdx_glossary
 from repro.ontology import ontology_to_owl
 
 
-def _build_agent(args: argparse.Namespace) -> ConversationAgent:
+def _backend_spec(args: argparse.Namespace) -> str:
+    """The KB backend spec: ``--kb-backend`` wins over REPRO_KB_BACKEND."""
+    spec = getattr(args, "kb_backend", None) or backend_spec_from_env()
+    try:
+        parse_backend_spec(spec)  # fail fast on typos, before the build
+    except KBError as exc:
+        raise SystemExit(str(exc)) from exc
+    return spec
+
+
+def _load_database(args: argparse.Namespace):
+    """The raw in-memory database the agent's backend is built from."""
     if args.space:
         if not args.data:
             raise SystemExit("--space requires --data (the CSV KB directory)")
-        database = load_database(args.data)
+        return load_database(args.data)
+    return build_mdx_database()
+
+
+def _build_agent(args: argparse.Namespace) -> ConversationAgent:
+    spec = _backend_spec(args)
+    database = _load_database(args)
+    backend = wrap_database(database, spec)
+    if args.space:
         space = space_from_dict(
             json.loads(Path(args.space).read_text(encoding="utf-8")),
             database=database,
         )
         return ConversationAgent.build(
-            space, database, agent_name=args.name, domain=args.domain
+            space, backend, agent_name=args.name, domain=args.domain
         )
-    return build_mdx_agent()
+    # The space is bootstrapped from the raw in-memory database (ontology
+    # generation samples column statistics); the agent then serves every
+    # query through the selected backend.
+    space = build_mdx_space(database)
+    rename_to_paper_intents(space)
+    return ConversationAgent.build(
+        space,
+        backend,
+        glossary=mdx_glossary(),
+        agent_name="Micromedex",
+        domain="drug reference",
+    )
+
+
+def _kb_builder(args: argparse.Namespace) -> Callable[[], object]:
+    """The zero-argument snapshot builder ``POST /refresh`` invokes.
+
+    Re-runs the same KB load the server booted with (CSV directory or
+    the synthetic MDX build) and wraps it for the configured backend.
+    A refreshed SQLite snapshot always lands in ``:memory:`` — the old
+    backend may still be serving in-flight plans from the previous file,
+    so the builder never overwrites a path out from under it.
+    """
+    kind, _path = parse_backend_spec(_backend_spec(args))
+
+    def build() -> object:
+        database = _load_database(args)
+        return wrap_database(database, "sqlite" if kind == "sqlite" else "memory")
+
+    return build
 
 
 def cmd_chat(
@@ -207,10 +266,47 @@ def cmd_export(args: argparse.Namespace, output_fn=print) -> int:
     (out / "dialogue_logic_table.txt").write_text(
         agent.logic_table.render(), encoding="utf-8"
     )
+    extras = ""
+    if getattr(args, "sqlite", False):
+        backend = wrap_database(database, f"sqlite:{out / 'kb.db'}")
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+        extras = "  kb.db"
     output_fn(f"Artifacts written to {out}/")
     output_fn("  conversation_space.json  ontology.owl  kb/  "
-              "dialogue_logic_table.txt")
+              f"dialogue_logic_table.txt{extras}")
     return 0
+
+
+def cmd_refresh(args: argparse.Namespace, output_fn=print) -> int:
+    """Trigger a zero-downtime KB refresh on a running server.
+
+    POSTs ``/refresh`` to the server (or router, which broadcasts to
+    every worker) and prints the outcome; exits non-zero when the
+    refresh was rejected or any worker failed.
+    """
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/refresh"
+    request = urllib.request.Request(
+        url, data=b"{}", headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            status, body = response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        status, body = exc.code, exc.read()
+    except (urllib.error.URLError, OSError) as exc:
+        output_fn(f"refresh failed: cannot reach {url}: {exc}")
+        return 1
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except ValueError:
+        payload = {"raw": body.decode("utf-8", "replace")}
+    output_fn(json.dumps(payload, indent=2))
+    return 0 if status < 400 else 1
 
 
 def cmd_serve(
@@ -242,7 +338,7 @@ def cmd_serve(
 
     output_fn("Building the conversation agent...")
     agent = _build_agent(args)
-    server = _make_server(args, agent, args.data_dir)
+    server = _make_server(args, agent, args.data_dir, kb_builder=_kb_builder(args))
     if not run_forever:
         server.start()
     output_fn(f"Serving on {server.address} (Ctrl-C to drain and stop)")
@@ -334,6 +430,7 @@ def _serve_worker(args: argparse.Namespace, output_fn, run_forever) -> int:
         directory,
         id_stride=max(args.workers, 1),
         id_offset=index,
+        kb_builder=_kb_builder(args),
     )
     server.start()
     ready = directory / READY_FILE
@@ -374,6 +471,13 @@ def _serve_router(args: argparse.Namespace, output_fn, run_forever) -> int:
         worker_args += ["--space", args.space]
     if args.data:
         worker_args += ["--data", args.data]
+    if args.kb_backend:
+        # Workers each materialise their own replica; a shared sqlite
+        # *file* path would have N processes clobbering one database, so
+        # only the backend kind is forwarded (sqlite replicas stay
+        # per-worker, in :memory:).
+        kind, _path = parse_backend_spec(args.kb_backend)
+        worker_args += ["--kb-backend", kind]
     worker_args += [
         "--name", args.name,
         "--domain", args.domain,
@@ -507,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--domain", default="knowledge base", help="domain label")
     chat.add_argument("--trace", action="store_true",
                       help="print the per-stage pipeline trace after each turn")
+    chat.add_argument("--kb-backend", default=None,
+                      help="KB backend: 'memory' (default), 'sqlite', or "
+                           "'sqlite:<path>'; REPRO_KB_BACKEND sets the "
+                           "default")
     chat.set_defaults(handler=cmd_chat)
 
     demo = sub.add_parser("demo", help="replay the paper's §6.3 conversations")
@@ -519,6 +627,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     export = sub.add_parser("export", help="write the MDX artifacts")
     export.add_argument("--out", default="mdx-artifacts")
+    export.add_argument("--sqlite", action="store_true",
+                        help="also materialise the KB as a SQLite file "
+                             "(kb.db), usable with --kb-backend "
+                             "sqlite:<path> and check/audit --backend")
     export.set_defaults(handler=cmd_export)
 
     serve = sub.add_parser("serve", help="run the HTTP conversation server")
@@ -526,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data", help="CSV knowledge-base directory")
     serve.add_argument("--name", default="Assistant", help="agent name")
     serve.add_argument("--domain", default="knowledge base", help="domain label")
+    serve.add_argument("--kb-backend", default=None,
+                       help="KB backend: 'memory' (default), 'sqlite', or "
+                            "'sqlite:<path>'; REPRO_KB_BACKEND sets the "
+                            "default")
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8080,
                        help="bind port (0 picks a free one)")
@@ -570,6 +686,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-index", type=int, default=None,
                        help=argparse.SUPPRESS)
     serve.set_defaults(handler=cmd_serve)
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="trigger a zero-downtime KB refresh on a running server",
+    )
+    refresh.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="server (or router) base URL")
+    refresh.add_argument("--timeout", type=float, default=300.0,
+                         help="seconds to wait for the rebuild + swap")
+    refresh.set_defaults(handler=cmd_refresh)
 
     sessions = sub.add_parser(
         "sessions", help="list or inspect durable sessions in a data dir"

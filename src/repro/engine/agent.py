@@ -45,7 +45,7 @@ from repro.engine.stages import (
     default_stages,
 )
 from repro.errors import EngineError, KBError, NLQError, TemplateError
-from repro.kb.database import Database
+from repro.kb.backend import KBBackend, KBHandle
 from repro.nlp.classifier import IntentClassifier
 from repro.nlq.templates import StructuredQueryTemplate, templates_for_intent
 
@@ -115,7 +115,7 @@ class ConversationAgent:
     def __init__(
         self,
         space: ConversationSpace,
-        database: Database,
+        database: "KBBackend",
         classifier: IntentClassifier,
         recognizer: EntityRecognizer,
         tree: DialogueTree,
@@ -127,7 +127,11 @@ class ConversationAgent:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.space = space
-        self.database = database
+        # Every KB access goes through a copy-on-write handle so a live
+        # refresh can atomically swap the backend under running turns.
+        self.database = (
+            database if isinstance(database, KBHandle) else KBHandle(database)
+        )
         self.classifier = classifier
         self.recognizer = recognizer
         self.tree = tree
@@ -151,7 +155,7 @@ class ConversationAgent:
     def build(
         cls,
         space: ConversationSpace,
-        database: Database,
+        database: "KBBackend",
         glossary: dict[str, str] | None = None,
         agent_name: str = "Assistant",
         domain: str = "knowledge base",

@@ -19,7 +19,14 @@ class Database:
     enforces foreign keys on insert, computes the statistics that the
     ontology-generation step consumes, and executes SQL via
     :func:`repro.kb.sql.execute`.
+
+    It is also the reference implementation of the
+    :class:`~repro.kb.backend.KBBackend` protocol (``backend_name ==
+    "memory"``): every other backend must match its results
+    byte-for-byte or fall back to it.
     """
+
+    backend_name = "memory"
 
     def __init__(self, name: str = "kb") -> None:
         self.name = name
@@ -86,6 +93,10 @@ class Database:
     def table_names(self) -> list[str]:
         """Declared table names, in creation order."""
         return [t.name for t in self._tables.values()]
+
+    def schema(self) -> dict[str, TableSchema]:
+        """Every table schema, keyed by lowercase name, in creation order."""
+        return {name: table.schema for name, table in self._tables.items()}
 
     # -- data ----------------------------------------------------------------
 
@@ -167,6 +178,10 @@ class Database:
     def plan_stats(self) -> dict[str, int]:
         """Plan-cache observability: plans, hits, misses, executions, probes."""
         return self._plan_cache.stats()
+
+    def execution_paths(self) -> dict[str, int]:
+        """Executions by physical path; the in-memory engine has one path."""
+        return {"memory": self.plan_stats()["executions"]}
 
     # -- statistics ----------------------------------------------------------------
 

@@ -41,15 +41,14 @@ def _decode(text: str, data_type: DataType):
     return text
 
 
-def save_database(database: Database, directory: str | Path) -> Path:
-    """Write ``database`` to ``directory`` (created if needed).
+def database_manifest(database: Database) -> dict:
+    """The JSON-safe schema manifest for ``database``.
 
-    Returns the manifest path.  Layout: ``schema.json`` plus one
-    ``<table>.csv`` per table with a header row.
+    Shared by the CSV round-trip here and the SQLite backend's embedded
+    metadata table, so both persistence formats describe schemas
+    identically.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    manifest = {
+    return {
         "database": database.name,
         "tables": [
             {
@@ -75,6 +74,39 @@ def save_database(database: Database, directory: str | Path) -> Path:
             for table in database.tables()
         ],
     }
+
+
+def table_schema_from_manifest(tdata: dict) -> TableSchema:
+    """Rebuild one :class:`TableSchema` from its manifest entry."""
+    return TableSchema(
+        name=tdata["name"],
+        columns=[
+            Column(
+                c["name"],
+                DataType(c["type"]),
+                nullable=c.get("nullable", True),
+            )
+            for c in tdata["columns"]
+        ],
+        primary_key=tdata.get("primary_key"),
+        foreign_keys=[
+            ForeignKey(
+                fk["column"], fk["referenced_table"], fk["referenced_column"]
+            )
+            for fk in tdata.get("foreign_keys", [])
+        ],
+    )
+
+
+def save_database(database: Database, directory: str | Path) -> Path:
+    """Write ``database`` to ``directory`` (created if needed).
+
+    Returns the manifest path.  Layout: ``schema.json`` plus one
+    ``<table>.csv`` per table with a header row.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = database_manifest(database)
     manifest_path = directory / MANIFEST_NAME
     manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
     for table in database.tables():
@@ -104,24 +136,7 @@ def load_database(directory: str | Path) -> Database:
 
     database = Database(manifest.get("database", "kb"))
     for tdata in manifest.get("tables", []):
-        schema = TableSchema(
-            name=tdata["name"],
-            columns=[
-                Column(
-                    c["name"],
-                    DataType(c["type"]),
-                    nullable=c.get("nullable", True),
-                )
-                for c in tdata["columns"]
-            ],
-            primary_key=tdata.get("primary_key"),
-            foreign_keys=[
-                ForeignKey(
-                    fk["column"], fk["referenced_table"], fk["referenced_column"]
-                )
-                for fk in tdata.get("foreign_keys", [])
-            ],
-        )
+        schema = table_schema_from_manifest(tdata)
         database.create_table(schema)
         csv_path = directory / f"{schema.name}.csv"
         if not csv_path.exists():

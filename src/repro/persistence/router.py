@@ -365,6 +365,16 @@ class SessionRouter:
         self.metrics.counter(
             "router_requests_total", ("worker", str(handle.index))
         ).inc()
+        return self._forward_to(handle, method, path, body)
+
+    def _forward_to(
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes | None,
+    ) -> tuple[int, bytes, str]:
+        """Proxy one request to one specific worker."""
         with handle.lock:
             port = handle.port
         if port is None or not handle.alive:
@@ -418,6 +428,41 @@ class SessionRouter:
                 response.getheader("Content-Type") or "application/json",
             )
         return self._unavailable(handle)
+
+    def broadcast(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, bytes, str]:
+        """Fan one request out to *every* worker and aggregate the results.
+
+        Each worker owns an independent KB replica, so cluster-wide
+        operations (``POST /refresh``) must reach all of them — session
+        affinity would refresh one replica and leave N-1 serving the old
+        snapshot.  Returns 200 only when every worker accepted; any
+        failure downgrades the aggregate to the worst worker status so
+        the operator sees a partial refresh instead of a silent one.
+        """
+        results = []
+        worst = 200
+        for handle in self.workers:
+            self.metrics.counter(
+                "router_broadcasts_total", ("worker", str(handle.index))
+            ).inc()
+            status, payload, _content_type = self._forward_to(
+                handle, method, path, body
+            )
+            try:
+                parsed: Any = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                parsed = payload.decode("utf-8", "replace")
+            results.append(
+                {"worker": handle.index, "status": status, "body": parsed}
+            )
+            worst = max(worst, status)
+        body_out = json.dumps({
+            "status": "ok" if worst < 400 else "partial_failure",
+            "workers": results,
+        }).encode("utf-8")
+        return worst, body_out, "application/json"
 
     def _unavailable(self, handle: WorkerHandle) -> tuple[int, bytes, str]:
         self.metrics.counter("router_errors_total", ("code", "503")).inc()
@@ -579,9 +624,15 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._respond(200, rendered, "text/plain; version=0.0.4")
             return
         try:
-            status, payload, content_type = router.forward(
-                method, self.path, body, self._session_id(body)
-            )
+            if method == "POST" and path_only == "/refresh":
+                # Cluster-wide: every worker owns its own KB replica.
+                status, payload, content_type = router.broadcast(
+                    method, self.path, body
+                )
+            else:
+                status, payload, content_type = router.forward(
+                    method, self.path, body, self._session_id(body)
+                )
         except Exception as error:
             payload = json.dumps(
                 {"error": "router_error", "message": str(error)}

@@ -127,7 +127,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[tuple[str, tuple[str, str] | None], Counter] = {}
         self._histograms: dict[tuple[str, tuple[str, str] | None], Histogram] = {}
-        self._gauges: dict[str, Callable[[], float]] = {}
+        self._gauges: dict[tuple[str, tuple[str, str] | None], Callable[[], float]] = {}
 
     def counter(
         self, name: str, label: tuple[str, str] | None = None
@@ -150,10 +150,20 @@ class MetricsRegistry:
                 self._histograms[key] = Histogram(buckets)
             return self._histograms[key]
 
-    def gauge(self, name: str, read: Callable[[], float]) -> None:
-        """Register a live-value gauge; ``read`` is called at render time."""
+    def gauge(
+        self,
+        name: str,
+        read: Callable[[], float],
+        label: tuple[str, str] | None = None,
+    ) -> None:
+        """Register a live-value gauge; ``read`` is called at render time.
+
+        Like counters/histograms, one optional ``(name, value)`` label
+        pair distinguishes gauge families (e.g. per-path plan counts,
+        per-backend info gauges).
+        """
         with self._lock:
-            self._gauges[name] = read
+            self._gauges[(name, label)] = read
 
     # -- rendering -----------------------------------------------------------
 
@@ -179,8 +189,10 @@ class MetricsRegistry:
             lines.append(
                 f"{self.prefix}_{name}{self._labels(label)} {counter.value}"
             )
-        for name, read in sorted(gauges.items()):
-            lines.append(f"{self.prefix}_{name} {read()}")
+        for (name, label), read in sorted(
+            gauges.items(), key=lambda kv: (kv[0][0], kv[0][1] or ("", ""))
+        ):
+            lines.append(f"{self.prefix}_{name}{self._labels(label)} {read()}")
         for (name, label), histogram in sorted(
             histograms.items(), key=lambda kv: (kv[0][0], kv[0][1] or ("", ""))
         ):

@@ -29,7 +29,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
-from repro.kb.database import Database
+from repro.kb.backend import KBBackend
 from repro.kb.sql.planner import CompiledPlan
 from repro.kb.sql.result import ResultSet
 
@@ -70,6 +70,13 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Refresh observability: entries dropped because their stored
+        # generation no longer matches (the KB was swapped/mutated), and
+        # hits served despite a generation mismatch.  The latter is zero
+        # by construction — the lookup below drops instead of serving —
+        # and is exported to /metrics so a refresh drill can assert it.
+        self.stale_drops = 0
+        self.stale_served = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -91,6 +98,8 @@ class QueryCache:
                 return None
             expires_at, stored_generation, result = entry
             if now >= expires_at or stored_generation != generation:
+                if now < expires_at:
+                    self.stale_drops += 1
                 del self._entries[key]
                 self.misses += 1
                 return None
@@ -141,6 +150,8 @@ class QueryCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "stale_drops": self.stale_drops,
+                "stale_served": self.stale_served,
             }
 
 
@@ -182,12 +193,12 @@ class CachingDatabase:
     wherever a ``Database`` is expected.
     """
 
-    def __init__(self, database: Database, cache: QueryCache | None = None) -> None:
+    def __init__(self, database: KBBackend, cache: QueryCache | None = None) -> None:
         self._database = database
         self.cache = cache if cache is not None else QueryCache()
 
     @property
-    def wrapped(self) -> Database:
+    def wrapped(self) -> KBBackend:
         return self._database
 
     def _cached_execute(

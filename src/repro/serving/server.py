@@ -81,6 +81,7 @@ KNOWN_ROUTES = frozenset({
     "POST /chat",
     "POST /chat/stream",
     "POST /feedback",
+    "POST /refresh",
     "GET /healthz",
     "GET /metrics",
     "GET /sessions",
@@ -168,9 +169,16 @@ class ConversationApp:
         id_stride: int = 1,
         id_offset: int = 1,
         recover_on_boot: bool = True,
+        kb_builder: Callable[[], Any] | None = None,
     ) -> None:
         self.agent = agent
         self.metrics = MetricsRegistry()
+        #: Zero-argument callable producing the *next* KB backend for
+        #: ``POST /refresh`` (typically a rebuild of the bootstrap
+        #: pipeline).  Refresh is a 501 when no builder is wired.
+        self._kb_builder = kb_builder
+        self._refresh_state_lock = threading.Lock()
+        self._refresh_in_progress = False
         self.durable = None
         if data_dir is not None:
             # Imported lazily: repro.persistence.store depends on this
@@ -260,6 +268,47 @@ class ConversationApp:
         )
         self.metrics.gauge(
             "kb_generation", lambda: self._original_database.generation
+        )
+        # KB backend / refresh observability.  kb_refresh_total and the
+        # duration histogram are registered now so they render as 0
+        # before the first refresh; kb_backend_info is an info-style
+        # gauge (1 on the active backend's label, 0 elsewhere); and
+        # plan_lowered_total counts plan executions by physical path
+        # (memory | sql | fallback) from the active backend.
+        self.metrics.counter("kb_refresh_total")
+        self._refresh_duration = self.metrics.histogram(
+            "kb_refresh_duration_seconds"
+        )
+        for backend_label in ("memory", "sqlite"):
+            self.metrics.gauge(
+                "kb_backend_info",
+                lambda b=backend_label: (
+                    1.0
+                    if getattr(self._original_database, "backend_name", "memory")
+                    == b
+                    else 0.0
+                ),
+                label=("backend", backend_label),
+            )
+        self.metrics.gauge(
+            "kb_epoch",
+            lambda: float(getattr(self._original_database, "epoch", 0)),
+        )
+        for path_label in ("memory", "sql", "fallback"):
+            self.metrics.gauge(
+                "plan_lowered_total",
+                lambda p=path_label: float(
+                    self._execution_paths().get(p, 0)
+                ),
+                label=("path", path_label),
+            )
+        self.metrics.gauge(
+            "query_cache_stale_drops_total",
+            lambda: float(self.cache.stale_drops),
+        )
+        self.metrics.gauge(
+            "query_cache_stale_served_total",
+            lambda: float(self.cache.stale_served),
         )
         if self.durable is not None:
             for name in self.durable.counters:
@@ -390,6 +439,8 @@ class ConversationApp:
                 )
             if route == "POST /feedback":
                 return 200, self.feedback(payload)
+            if route == "POST /refresh":
+                return 200, self.refresh_kb(payload)
             if route == "GET /healthz":
                 return 200, self.health()
             if route == "GET /metrics":
@@ -678,6 +729,81 @@ class ConversationApp:
                 raise ServingError(409, "no_interaction", str(exc)) from exc
         self.metrics.counter("feedback_total", ("feedback", feedback)).inc()
         return {"session_id": str(session_id), "feedback": feedback}
+
+    def _execution_paths(self) -> dict[str, int]:
+        reader = getattr(self._original_database, "execution_paths", None)
+        return reader() if reader is not None else {}
+
+    def refresh_kb(self, payload: dict | None = None) -> dict:
+        """Build, validate and atomically swap in the next KB snapshot.
+
+        Runs on the calling request thread (each request has its own, so
+        serving continues on the old snapshot throughout the build).
+        The new backend is validated with the ``repro check`` space
+        checker before the swap; a snapshot that fails validation is
+        discarded and the live KB is untouched.  The swap itself is one
+        atomic handle update — in-flight turns keep the backend object
+        they already resolved, new turns observe the new one, and the
+        epoch-scaled generation makes every cached plan/result from the
+        old snapshot unservable.
+        """
+        handle = self._original_database
+        if self._kb_builder is None:
+            raise ServingError(
+                501,
+                "refresh_unsupported",
+                "this server was started without a KB builder",
+            )
+        if not hasattr(handle, "swap"):
+            raise ServingError(
+                501,
+                "refresh_unsupported",
+                "the agent database is not behind a swappable KB handle",
+            )
+        with self._refresh_state_lock:
+            if self._refresh_in_progress:
+                raise ServingError(
+                    409, "refresh_in_progress", "a KB refresh is already running"
+                )
+            self._refresh_in_progress = True
+        start = time.perf_counter()
+        try:
+            try:
+                backend = self._kb_builder()
+            except Exception as exc:
+                raise ServingError(
+                    500, "refresh_build_failed", f"KB build failed: {exc}"
+                ) from exc
+            # Imported lazily — the analysis package is a toolchain
+            # dependency the serving hot path never touches.
+            from repro.analysis.diagnostics import error_count
+            from repro.analysis.space_checker import check_space
+
+            diagnostics = check_space(self.agent.space, backend)
+            errors = error_count(diagnostics)
+            if errors:
+                raise ServingError(
+                    409,
+                    "refresh_validation_failed",
+                    f"new KB snapshot failed validation with {errors} "
+                    "error(s); keeping the current snapshot",
+                )
+            epoch = handle.swap(backend)
+            duration = time.perf_counter() - start
+            self.metrics.counter("kb_refresh_total").inc()
+            self._refresh_duration.observe(duration)
+            return {
+                "status": "ok",
+                "epoch": epoch,
+                "backend": getattr(backend, "backend_name", "memory"),
+                "generation": handle.generation,
+                "tables": len(backend.table_names()),
+                "duration_seconds": round(duration, 6),
+                "validation_errors": 0,
+            }
+        finally:
+            with self._refresh_state_lock:
+                self._refresh_in_progress = False
 
     def health(self) -> dict:
         health = {

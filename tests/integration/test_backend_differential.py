@@ -1,0 +1,203 @@
+"""Differential correctness: every shipped MDX template, memory vs SQLite.
+
+The acceptance criterion for the pluggable-backend work is that the
+backend changes only *where* rows are found, never *which* rows come
+back: for every structured query template the MDX agent ships, the
+in-memory reference engine and the SQLite backend must return
+byte-identical result sets — same values, same types (an affinity
+coercion from ``True`` to ``1`` counts as a failure), same order.
+
+A hand-written edge corpus covers the dialect gaps the templates do
+not reach: NULL ordering, ORDER BY ties, LIMIT/OFFSET, DISTINCT over
+case-folded duplicates, boolean keys, LIKE, IN, NOT.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.kb import Column, Database, DataType, TableSchema
+from repro.kb.backend import wrap_database
+
+HAS_WINDOW_FUNCTIONS = sqlite3.sqlite_version_info >= (3, 25, 0)
+
+
+def typed_rows(result) -> list[list[tuple[str, object]]]:
+    """Rows with the concrete runtime type of every value made explicit."""
+    return [[(type(v).__name__, v) for v in row] for row in result.rows]
+
+
+@pytest.fixture(scope="module")
+def bindings(mdx_small_space) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for entity in mdx_small_space.entities:
+        if entity.kind == "instance" and entity.concept and entity.values:
+            out.setdefault(entity.concept.lower(), entity.values[0].value)
+    return out
+
+
+@pytest.fixture(scope="module")
+def sqlite_backend(mdx_small_db):
+    return wrap_database(mdx_small_db, "sqlite")
+
+
+def all_templates(mdx_small_space):
+    for intent in mdx_small_space.intents:
+        yield from intent.custom_templates
+
+
+class TestShippedTemplates:
+    def test_every_template_identical_on_both_backends(
+        self, mdx_small_space, mdx_small_db, sqlite_backend, bindings
+    ):
+        checked = 0
+        unbindable = []
+        for template in all_templates(mdx_small_space):
+            concept_values = {}
+            for concept in template.required_concepts():
+                value = bindings.get(concept.lower())
+                if value is not None:
+                    concept_values[concept] = value
+            if len(concept_values) != len(template.required_concepts()):
+                unbindable.append(template.sql)
+                continue
+            params = template.instantiate(concept_values)
+            reference = mdx_small_db.prepare(template.sql).execute(params)
+            candidate = sqlite_backend.prepare(template.sql).execute(params)
+            assert candidate.columns == reference.columns, template.sql
+            assert typed_rows(candidate) == typed_rows(reference), template.sql
+            checked += 1
+        assert checked > 0
+        assert not unbindable, f"templates with unbindable concepts: {unbindable}"
+
+    @pytest.mark.skipif(not HAS_WINDOW_FUNCTIONS,
+                        reason="DISTINCT lowering needs SQLite >= 3.25")
+    def test_every_shipped_template_lowers_to_real_sql(
+        self, mdx_small_space, sqlite_backend
+    ):
+        # Regression guard for the lowered path itself: the shipped
+        # templates are all plain SELECT (DISTINCT) + joins + equality
+        # parameters, which the lowering covers completely.  A template
+        # silently dropping to the fallback would hide lowering bugs
+        # from the differential suite above.
+        fallbacks = []
+        for template in all_templates(mdx_small_space):
+            plan = sqlite_backend.prepare(template.sql)
+            if plan.lowered_sql is None:
+                fallbacks.append((template.sql, plan.fallback_reason))
+        assert not fallbacks, f"templates that fell back: {fallbacks}"
+
+
+def make_edge_database() -> Database:
+    db = Database("edges")
+    db.create_table(TableSchema(
+        "t",
+        [Column("id", DataType.INTEGER, nullable=False),
+         Column("name", DataType.TEXT),
+         Column("rank", DataType.INTEGER),
+         Column("score", DataType.FLOAT),
+         Column("flag", DataType.BOOLEAN)],
+        primary_key="id",
+    ))
+    rows = [
+        (1, "Alpha", 2, 1.5, True),
+        (2, "beta", 1, None, False),
+        (3, None, 2, 0.5, True),
+        (4, "ALPHA", 1, 2.5, None),
+        (5, "gamma", None, 1.5, False),
+        (6, "Beta", 2, 1.5, True),
+        (7, None, 1, None, None),
+    ]
+    for id_, name, rank, score, flag in rows:
+        db.insert("t", {"id": id_, "name": name, "rank": rank,
+                        "score": score, "flag": flag})
+    db.create_table(TableSchema(
+        "u",
+        [Column("id", DataType.INTEGER, nullable=False),
+         Column("t_id", DataType.INTEGER),
+         Column("note", DataType.TEXT)],
+        primary_key="id",
+    ))
+    for id_, t_id, note in [(1, 1, "x"), (2, 1, "y"), (3, 3, "z"),
+                            (4, 9, "dangling"), (5, None, "orphan")]:
+        db.insert("u", {"id": id_, "t_id": t_id, "note": note})
+    return db
+
+
+EDGE_QUERIES = [
+    # NULL ordering, ascending and descending.
+    ("SELECT id, rank FROM t ORDER BY rank", {}),
+    ("SELECT id, rank FROM t ORDER BY rank DESC", {}),
+    ("SELECT id, name FROM t ORDER BY name", {}),
+    ("SELECT id, name FROM t ORDER BY name DESC, id DESC", {}),
+    # ORDER BY ties: insertion order must break them identically.
+    ("SELECT id FROM t ORDER BY rank, score", {}),
+    ("SELECT id FROM t ORDER BY score DESC", {}),
+    # LIMIT / OFFSET over a tied ordering.
+    ("SELECT id FROM t ORDER BY rank LIMIT 3", {}),
+    ("SELECT id FROM t ORDER BY rank LIMIT 3 OFFSET 2", {}),
+    ("SELECT id FROM t ORDER BY rank LIMIT 100 OFFSET 5", {}),
+    # DISTINCT: case-folded text keys, NULL keys, bool keys, multi-column.
+    ("SELECT DISTINCT name FROM t", {}),
+    ("SELECT DISTINCT name FROM t ORDER BY name", {}),
+    ("SELECT DISTINCT rank FROM t ORDER BY rank DESC", {}),
+    ("SELECT DISTINCT flag FROM t", {}),
+    ("SELECT DISTINCT rank, score FROM t ORDER BY rank", {}),
+    ("SELECT DISTINCT name FROM t ORDER BY name LIMIT 2 OFFSET 1", {}),
+    # Two-valued NULL logic under NOT / comparisons.
+    ("SELECT id FROM t WHERE rank = 2", {}),
+    ("SELECT id FROM t WHERE NOT rank = 2", {}),
+    ("SELECT id FROM t WHERE score > 1.0", {}),
+    ("SELECT id FROM t WHERE NOT score > 1.0", {}),
+    ("SELECT id FROM t WHERE rank IS NULL", {}),
+    ("SELECT id FROM t WHERE rank IS NOT NULL", {}),
+    # Case-insensitive text equality and LIKE.
+    ("SELECT id FROM t WHERE name = 'alpha'", {}),
+    ("SELECT id FROM t WHERE name = :n", {"n": "BETA"}),
+    ("SELECT id FROM t WHERE name LIKE 'a%'", {}),
+    ("SELECT id FROM t WHERE name NOT LIKE '%a'", {}),
+    # IN lists, including NULL members and negation.
+    ("SELECT id FROM t WHERE rank IN (1, 3)", {}),
+    ("SELECT id FROM t WHERE rank NOT IN (1, 3)", {}),
+    ("SELECT id FROM t WHERE name IN ('ALPHA', 'gamma')", {}),
+    ("SELECT id FROM t WHERE rank IN (:a, :b)", {"a": 1, "b": None}),
+    # Booleans are a real type.
+    ("SELECT id, flag FROM t WHERE flag = TRUE", {}),
+    ("SELECT id FROM t WHERE flag = FALSE ORDER BY id DESC", {}),
+    ("SELECT id FROM t WHERE flag = :f", {"f": True}),
+    # Joins: enumeration order, NULL join keys, dangling FKs.
+    ("SELECT t.id, u.note FROM t JOIN u ON u.t_id = t.id", {}),
+    ("SELECT t.id, u.note FROM t JOIN u ON u.t_id = t.id ORDER BY u.note", {}),
+    ("SELECT DISTINCT t.flag FROM t JOIN u ON u.t_id = t.id", {}),
+    # Compound predicates mixing the above.
+    ("SELECT id FROM t WHERE rank = 2 AND score > 1.0 OR flag = FALSE", {}),
+    ("SELECT id FROM t WHERE NOT (name = 'alpha' OR rank = 1)", {}),
+]
+
+
+class TestEdgeCorpus:
+    @pytest.fixture(scope="class")
+    def engines(self):
+        db = make_edge_database()
+        return db, wrap_database(db, "sqlite")
+
+    @pytest.mark.parametrize("sql,params", EDGE_QUERIES,
+                             ids=[sql for sql, _ in EDGE_QUERIES])
+    def test_byte_identical(self, engines, sql, params):
+        reference, sqlite_backend = engines
+        expected = reference.query(sql, params)
+        actual = sqlite_backend.query(sql, params)
+        assert actual.columns == expected.columns
+        assert typed_rows(actual) == typed_rows(expected)
+
+    def test_ambiguous_column_fails_identically(self, engines):
+        from repro.errors import AmbiguousColumnError
+
+        reference, sqlite_backend = engines
+        sql = "SELECT id FROM t JOIN u ON u.t_id = t.id"
+        with pytest.raises(AmbiguousColumnError):
+            reference.query(sql)
+        with pytest.raises(AmbiguousColumnError):
+            sqlite_backend.query(sql)

@@ -104,6 +104,30 @@ class TestAffinityRouting:
         assert "router_workers_alive 2" in text
 
 
+class TestRefreshBroadcast:
+    def test_refresh_reaches_every_worker(self, router):
+        # Each worker owns an independent KB replica; a refresh routed by
+        # affinity would leave N-1 replicas on the old snapshot.  The
+        # router must fan /refresh out to all of them.
+        status, body = http_json(router.address + "/refresh", {})
+        assert status == 200, body
+        assert body["status"] == "ok"
+        assert [w["worker"] for w in body["workers"]] == [0, 1]
+        for worker in body["workers"]:
+            assert worker["status"] == 200
+            assert worker["body"]["status"] == "ok"
+            assert worker["body"]["epoch"] == 1
+
+        # Both replicas keep answering, and metrics record the fan-out.
+        status, answer = _chat(router, {"utterance": "dosage for Aspirin"})
+        assert status == 200
+        assert "10mg daily" in answer["text"]
+        status, text = http_text(router.address + "/metrics")
+        assert status == 200
+        assert 'router_broadcasts_total{worker="0"} 1' in text
+        assert 'router_broadcasts_total{worker="1"} 1' in text
+
+
 class TestKillRecovery:
     def test_sigkill_mid_conversation_resumes_byte_identical(self, router):
         crash_after = 2
